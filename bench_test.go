@@ -1,0 +1,208 @@
+// Benchmarks regenerating every table and figure of the paper's
+// evaluation (§IV), plus the ablation studies listed in DESIGN.md.
+//
+// Each Benchmark executes the full run matrix behind one figure
+// (parallel across cores) and reports the headline metrics via
+// b.ReportMetric, so `go test -bench=. -benchmem` doubles as the
+// reproduction harness. Scale defaults to 0.15 of the paper's node
+// counts so the suite completes on a laptop; set PIDCAN_BENCH_SCALE
+// (e.g. "1" for the paper's n=2000…12000) to change it, and use
+// cmd/pidcan-figures to render the full series tables.
+package pidcan
+
+import (
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+	"testing"
+
+	"pidcan/internal/experiment"
+	"pidcan/internal/vector"
+)
+
+// benchScale reads PIDCAN_BENCH_SCALE (default 0.15).
+func benchScale() float64 {
+	if s := os.Getenv("PIDCAN_BENCH_SCALE"); s != "" {
+		if v, err := strconv.ParseFloat(s, 64); err == nil && v > 0 && v <= 1 {
+			return v
+		}
+	}
+	return 0.15
+}
+
+// benchFigure executes one figure per iteration and reports the
+// end-of-run metrics of every run as benchmark metrics.
+func benchFigure(b *testing.B, id string) {
+	b.Helper()
+	scale := benchScale()
+	var fr *experiment.FigureResult
+	for i := 0; i < b.N; i++ {
+		f, err := experiment.Get(id, 1, scale)
+		if err != nil {
+			b.Fatal(err)
+		}
+		fr, err = experiment.Execute(f, 0)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	if fr == nil {
+		return
+	}
+	for i, res := range fr.Results {
+		rec := res.Rec
+		// Metric units must be whitespace-free.
+		label := strings.ReplaceAll(fr.Runs[i].Label, " ", "-")
+		b.ReportMetric(rec.TRatio(), "T:"+label)
+		b.ReportMetric(rec.FRatio(), "F:"+label)
+	}
+	b.Logf("\n%s", fr.Summary())
+}
+
+// BenchmarkFig4a regenerates Fig. 4(a): T-Ratio at demand ratio 0.84
+// for Newscast vs SID-CAN vs KHDN-CAN.
+func BenchmarkFig4a(b *testing.B) { benchFigure(b, "fig4a") }
+
+// BenchmarkFig4b regenerates Fig. 4(b): the same protocols at demand
+// ratio 0.25, where the ordering flips (Newscast overtakes SID-CAN).
+func BenchmarkFig4b(b *testing.B) { benchFigure(b, "fig4b") }
+
+// BenchmarkFig5 regenerates Fig. 5(a–c): the six-protocol comparison
+// at λ=1 (T-Ratio, F-Ratio, fairness).
+func BenchmarkFig5(b *testing.B) { benchFigure(b, "fig5") }
+
+// BenchmarkFig6 regenerates Fig. 6(a–c): λ=0.5.
+func BenchmarkFig6(b *testing.B) { benchFigure(b, "fig6") }
+
+// BenchmarkFig7 regenerates Fig. 7(a–c): λ=0.25, where HID-CAN's
+// failed-task count collapses to near zero while Newscast still
+// fails a visible fraction.
+func BenchmarkFig7(b *testing.B) { benchFigure(b, "fig7") }
+
+// BenchmarkTable3 regenerates Table III: HID-CAN scalability across
+// system scales (T-Ratio, F-Ratio, fairness, message delivery cost).
+func BenchmarkTable3(b *testing.B) { benchFigure(b, "t3") }
+
+// BenchmarkFig8 regenerates Fig. 8(a–c): HID-CAN under node churn
+// at dynamic degrees 0–95%.
+func BenchmarkFig8(b *testing.B) { benchFigure(b, "fig8") }
+
+// BenchmarkAblationDiffusion sweeps the diffusion fan-out L for both
+// diffusion methods (DESIGN.md A2).
+func BenchmarkAblationDiffusion(b *testing.B) { benchFigure(b, "a2") }
+
+// BenchmarkAblationSelection compares best-fit, first-fit and
+// max-share candidate selection (DESIGN.md A3).
+func BenchmarkAblationSelection(b *testing.B) { benchFigure(b, "a3") }
+
+// BenchmarkAblationKHDN sweeps KHDN-CAN's hop radius K.
+func BenchmarkAblationKHDN(b *testing.B) { benchFigure(b, "aK") }
+
+// BenchmarkAblationPlacement compares the paper's dispatch-and-dilute
+// placement against host-side re-validation.
+func BenchmarkAblationPlacement(b *testing.B) { benchFigure(b, "aP") }
+
+// BenchmarkAblationDutyCache compares the repaired Algorithm 3
+// (duty-node cache search) against the literal pseudo-code.
+func BenchmarkAblationDutyCache(b *testing.B) { benchFigure(b, "aD") }
+
+// BenchmarkAblationCheckpoint compares HID-CAN under heavy churn
+// with and without the §VI checkpoint-recovery extension.
+func BenchmarkAblationCheckpoint(b *testing.B) { benchFigure(b, "aC") }
+
+// BenchmarkAblationAggregate compares the SoS slack bound computed
+// from the static Table-I cmax against the gossip-aggregated
+// estimate (paper ref [23]).
+func BenchmarkAblationAggregate(b *testing.B) { benchFigure(b, "aS") }
+
+// BenchmarkAblationINSCANRQ is ablation A1: the exhaustive INSCAN-RQ
+// range query versus PID-CAN's single-message query on the same
+// cluster — the traffic/completeness trade-off of §III.A.
+func BenchmarkAblationINSCANRQ(b *testing.B) {
+	c, err := NewCluster(ClusterConfig{
+		Nodes: 512,
+		CMax:  vector.Of(10, 10, 10),
+		Seed:  1,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	nodes := c.Nodes()
+	for i, id := range nodes {
+		f := 1 + 8*float64(i)/float64(len(nodes))
+		if err := c.SetAvailability(id, vector.Of(f, f, f)); err != nil {
+			b.Fatal(err)
+		}
+	}
+	c.Step(45 * Minute)
+	demand := vector.Of(5, 5, 5)
+
+	var singleMsgs, floodMsgs, singleFound, floodFound int
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		recs, hops, err := c.Query(nodes[i%len(nodes)], demand, 3)
+		if err != nil {
+			b.Fatal(err)
+		}
+		singleMsgs += hops
+		singleFound += len(recs)
+		all, fh, err := c.RangeQueryAll(nodes[(i+1)%len(nodes)], demand)
+		if err != nil {
+			b.Fatal(err)
+		}
+		floodMsgs += fh
+		floodFound += len(all)
+	}
+	n := float64(b.N)
+	b.ReportMetric(float64(singleMsgs)/n, "msgs/single-query")
+	b.ReportMetric(float64(floodMsgs)/n, "msgs/inscan-rq")
+	b.ReportMetric(float64(singleFound)/n, "found/single-query")
+	b.ReportMetric(float64(floodFound)/n, "found/inscan-rq")
+}
+
+// BenchmarkClusterQuery measures the wall-clock cost of driving one
+// discovery query through the simulated cluster (engine + protocol
+// overhead per query).
+func BenchmarkClusterQuery(b *testing.B) {
+	c, err := NewCluster(ClusterConfig{Nodes: 1024, CMax: vector.Of(10, 10, 10), Seed: 2})
+	if err != nil {
+		b.Fatal(err)
+	}
+	nodes := c.Nodes()
+	for i, id := range nodes {
+		f := 1 + 8*float64(i)/float64(len(nodes))
+		if err := c.SetAvailability(id, vector.Of(f, f, f)); err != nil {
+			b.Fatal(err)
+		}
+	}
+	c.Step(45 * Minute)
+	demand := vector.Of(5, 5, 5)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := c.Query(nodes[i%len(nodes)], demand, 3); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSimulationThroughput measures raw simulation speed:
+// events per second for a mid-size HID-CAN cloud (reported as
+// sim-hours per wall-second via custom metrics).
+func BenchmarkSimulationThroughput(b *testing.B) {
+	var events uint64
+	var simSeconds float64
+	for i := 0; i < b.N; i++ {
+		cfg := DefaultConfig(HIDCAN, 300, 0.5)
+		cfg.Duration = 6 * Hour
+		cfg.Seed = uint64(i + 1)
+		res, err := Run(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		events += res.Events
+		simSeconds += cfg.Duration.Seconds()
+	}
+	b.ReportMetric(float64(events)/float64(b.N), "events/run")
+	fmt.Fprintf(os.Stderr, "")
+}

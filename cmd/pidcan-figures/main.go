@@ -1,0 +1,81 @@
+// Command pidcan-figures regenerates the paper's tables and figures:
+// it executes the run matrix behind a figure (in parallel across CPU
+// cores) and prints the same series/rows the paper reports.
+//
+// Examples:
+//
+//	pidcan-figures -fig fig5 -scale 0.25        # Fig. 5 at quarter scale
+//	pidcan-figures -fig t3 -scale 1             # Table III, paper scale
+//	pidcan-figures -fig all -scale 0.15         # everything, laptop scale
+//	pidcan-figures -list
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"pidcan/internal/experiment"
+)
+
+func main() {
+	var (
+		fig     = flag.String("fig", "", "figure ID (see -list), or \"all\"")
+		scale   = flag.Float64("scale", 0.25, "node-count scale factor (1 = paper scale)")
+		seed    = flag.Uint64("seed", 1, "random seed")
+		workers = flag.Int("workers", 0, "parallel runs (0 = GOMAXPROCS)")
+		list    = flag.Bool("list", false, "list figure IDs and exit")
+		reps    = flag.Int("seeds", 1, "seed replications (report mean ± sd when > 1)")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, id := range experiment.IDs() {
+			f, _ := experiment.Get(id, 1, 1)
+			fmt.Printf("%-6s %s (%d runs)\n", id, f.Title, len(f.Runs))
+		}
+		return
+	}
+	if *fig == "" {
+		fmt.Fprintln(os.Stderr, "pidcan-figures: -fig required (or -list)")
+		os.Exit(2)
+	}
+	ids := []string{*fig}
+	if *fig == "all" {
+		ids = experiment.IDs()
+	}
+	for _, id := range ids {
+		id := id
+		start := time.Now()
+		if *reps > 1 {
+			seeds := make([]uint64, *reps)
+			for i := range seeds {
+				seeds[i] = *seed + uint64(i)
+			}
+			rep, err := experiment.ExecuteReplicated(func(s uint64) (experiment.Figure, error) {
+				return experiment.Get(id, s, *scale)
+			}, seeds, *workers)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "pidcan-figures:", err)
+				os.Exit(1)
+			}
+			rep.Render(os.Stdout)
+			fmt.Printf("(%d runs × %d seeds at scale %.2f in %v)\n\n",
+				len(rep.Runs), *reps, *scale, time.Since(start).Round(time.Millisecond))
+			continue
+		}
+		f, err := experiment.Get(id, *seed, *scale)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "pidcan-figures:", err)
+			os.Exit(2)
+		}
+		fr, err := experiment.Execute(f, *workers)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "pidcan-figures:", err)
+			os.Exit(1)
+		}
+		fr.Render(os.Stdout)
+		fmt.Printf("(%d runs at scale %.2f in %v)\n\n", len(f.Runs), *scale, time.Since(start).Round(time.Millisecond))
+	}
+}

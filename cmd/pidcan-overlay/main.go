@@ -1,0 +1,114 @@
+// Command pidcan-overlay inspects the CAN/INSCAN overlay substrate:
+// it builds an overlay, reports zone statistics, and measures routing
+// hop counts for indexed (INSCAN) vs adjacent-only (plain CAN)
+// greedy routing — the empirical check of the paper's Theorem 1
+// (O(log2 n) delivery with 2^k index links vs O(n^{1/d}) without).
+//
+// Example:
+//
+//	pidcan-overlay -nodes 4096 -dims 5 -routes 2000
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math"
+	"os"
+	"sort"
+
+	"pidcan/internal/overlay"
+	"pidcan/internal/sim"
+	"pidcan/internal/space"
+)
+
+func main() {
+	var (
+		nodes  = flag.Int("nodes", 2048, "overlay size")
+		dims   = flag.Int("dims", 5, "space dimensionality")
+		routes = flag.Int("routes", 1000, "random routing trials")
+		seed   = flag.Uint64("seed", 1, "random seed")
+		churn  = flag.Int("churn", 0, "leave/join pairs to apply before measuring")
+	)
+	flag.Parse()
+
+	rng := sim.NewRNG(*seed, sim.StreamOverlay)
+	nw := overlay.New(*dims, 0, rng)
+	for i := 1; i < *nodes; i++ {
+		if _, err := nw.Join(overlay.NodeID(i)); err != nil {
+			fmt.Fprintln(os.Stderr, "join:", err)
+			os.Exit(1)
+		}
+	}
+	next := overlay.NodeID(*nodes)
+	ids := nw.Nodes()
+	for i := 0; i < *churn; i++ {
+		victim := ids[rng.IntN(len(ids))]
+		if nw.Contains(victim) {
+			if _, err := nw.Leave(victim); err != nil {
+				fmt.Fprintln(os.Stderr, "leave:", err)
+				os.Exit(1)
+			}
+			if _, err := nw.Join(next); err != nil {
+				fmt.Fprintln(os.Stderr, "join:", err)
+				os.Exit(1)
+			}
+			next++
+			ids = nw.Nodes()
+		}
+	}
+	if err := nw.Validate(); err != nil {
+		fmt.Fprintln(os.Stderr, "overlay invalid:", err)
+		os.Exit(1)
+	}
+
+	// Zone statistics.
+	vols := make([]float64, 0, nw.Size())
+	nw.Nodes()
+	for _, id := range nw.Nodes() {
+		z, _ := nw.ZoneOf(id)
+		vols = append(vols, z.Volume())
+	}
+	sort.Float64s(vols)
+	fmt.Printf("overlay             n=%d d=%d (K=%d index exponents)\n", nw.Size(), *dims, nw.MaxIndexExponent())
+	fmt.Printf("zone volume         min %.3g  median %.3g  max %.3g (uniform would be %.3g)\n",
+		vols[0], vols[len(vols)/2], vols[len(vols)-1], 1/float64(nw.Size()))
+
+	// Routing statistics.
+	ids = nw.Nodes()
+	routeRNG := sim.NewRNG(*seed, 99)
+	var idxHops, adjHops []int
+	for i := 0; i < *routes; i++ {
+		origin := ids[routeRNG.IntN(len(ids))]
+		target := make(space.Point, *dims)
+		for k := range target {
+			target[k] = routeRNG.Float64()
+		}
+		p1, err := nw.Route(origin, target)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "route:", err)
+			os.Exit(1)
+		}
+		p2, err := nw.RouteAdjacent(origin, target)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "route:", err)
+			os.Exit(1)
+		}
+		idxHops = append(idxHops, p1.Len())
+		adjHops = append(adjHops, p2.Len())
+	}
+	report := func(name string, hops []int) {
+		sort.Ints(hops)
+		sum := 0
+		for _, h := range hops {
+			sum += h
+		}
+		fmt.Printf("%-19s mean %.2f  p50 %d  p99 %d  max %d\n", name,
+			float64(sum)/float64(len(hops)), hops[len(hops)/2], hops[len(hops)*99/100], hops[len(hops)-1])
+	}
+	report("indexed routing", idxHops)
+	report("adjacent routing", adjHops)
+	fmt.Printf("theorem-1 yardstick log2(n)=%.1f  d·log2(n^(1/d))=%.1f  n^(1/d)=%.1f\n",
+		math.Log2(float64(nw.Size())),
+		float64(*dims)*math.Log2(math.Pow(float64(nw.Size()), 1/float64(*dims))),
+		math.Pow(float64(nw.Size()), 1/float64(*dims)))
+}

@@ -1,0 +1,95 @@
+// Command pidcan-sim runs one Self-Organizing Cloud simulation and
+// prints the paper's metrics: end-of-run summary plus the hourly
+// T-Ratio / F-Ratio / fairness series as CSV.
+//
+// Example:
+//
+//	pidcan-sim -protocol HID-CAN -nodes 2000 -lambda 0.5 -hours 24 -seed 1
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"pidcan"
+)
+
+var protocols = map[string]pidcan.Protocol{
+	"HID-CAN":     pidcan.HIDCAN,
+	"SID-CAN":     pidcan.SIDCAN,
+	"HID-CAN+SoS": pidcan.HIDCANSoS,
+	"SID-CAN+SoS": pidcan.SIDCANSoS,
+	"SID-CAN+VD":  pidcan.SIDCANVD,
+	"Newscast":    pidcan.Newscast,
+	"KHDN-CAN":    pidcan.KHDNCAN,
+}
+
+func protocolNames() string {
+	names := make([]string, 0, len(protocols))
+	for n := range protocols {
+		names = append(names, n)
+	}
+	return strings.Join(names, ", ")
+}
+
+func main() {
+	var (
+		protoName = flag.String("protocol", "HID-CAN", "discovery protocol: "+protocolNames())
+		nodes     = flag.Int("nodes", 2000, "initial node count")
+		lambda    = flag.Float64("lambda", 0.5, "demand ratio λ (Table II)")
+		hours     = flag.Float64("hours", 24, "simulated duration in hours")
+		seed      = flag.Uint64("seed", 1, "random seed (equal seeds reproduce runs)")
+		churnDeg  = flag.Float64("churn", 0, "dynamic degree: churned node fraction per 3000s")
+		delta     = flag.Int("k", 3, "qualified results per query (δ)")
+		validate  = flag.Bool("validate-placement", false, "re-check Inequality (2) at the host (ablation)")
+		csv       = flag.Bool("csv", false, "emit the hourly series as CSV")
+	)
+	flag.Parse()
+
+	p, ok := protocols[*protoName]
+	if !ok {
+		fmt.Fprintf(os.Stderr, "unknown protocol %q; have: %s\n", *protoName, protocolNames())
+		os.Exit(2)
+	}
+	cfg := pidcan.DefaultConfig(p, *nodes, *lambda)
+	cfg.Duration = pidcan.Time(float64(pidcan.Hour) * *hours)
+	cfg.Seed = *seed
+	cfg.Churn.Degree = *churnDeg
+	cfg.ResultsWanted = *delta
+	cfg.ValidatePlacement = *validate
+	if *validate {
+		cfg.QueryRetries = 2
+	}
+
+	res, err := pidcan.Run(cfg)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "pidcan-sim:", err)
+		os.Exit(1)
+	}
+	rec := res.Rec
+	fmt.Printf("protocol            %s\n", res.Protocol)
+	fmt.Printf("nodes               %d (final %d)\n", *nodes, res.FinalNodes)
+	fmt.Printf("simulated           %.1f h   (wall %v, %d events)\n",
+		cfg.Duration.Hours(), res.Wall.Round(1e6), res.Events)
+	fmt.Printf("tasks               generated %d, finished %d, failed %d, lost %d\n",
+		rec.Generated, rec.Finished, rec.Failed, rec.Lost)
+	fmt.Printf("T-Ratio             %.3f\n", rec.TRatio())
+	fmt.Printf("F-Ratio             %.3f\n", rec.FRatio())
+	fmt.Printf("fairness index      %.3f   (Eq.4 literal %.3f)\n", rec.Fairness(), rec.FairnessEq4())
+	fmt.Printf("msg delivery cost   %.0f msgs/node\n", rec.DeliveryCostPerNode(res.FinalNodes))
+	fmt.Printf("mean query hops     %.1f over %d queries\n", rec.MeanQueryHops(), rec.Queries())
+	fmt.Printf("message breakdown  ")
+	for _, kc := range rec.MessageBreakdown() {
+		fmt.Printf(" %s=%d", kc.Kind, kc.Count)
+	}
+	fmt.Println()
+
+	if *csv {
+		fmt.Println("\nhour,t_ratio,f_ratio,fairness")
+		for _, s := range rec.Series() {
+			fmt.Printf("%.0f,%.4f,%.4f,%.4f\n", s.At.Hours(), s.TRatio, s.FRatio, s.Fairness)
+		}
+	}
+}

@@ -1,0 +1,63 @@
+package pidcan_test
+
+import (
+	"fmt"
+	"log"
+
+	"pidcan"
+	"pidcan/internal/vector"
+)
+
+// ExampleRun executes a miniature Self-Organizing Cloud day and
+// reads the paper's metrics off the recorder.
+func ExampleRun() {
+	cfg := pidcan.DefaultConfig(pidcan.HIDCAN, 64, 0.25)
+	cfg.Duration = 2 * pidcan.Hour
+	cfg.Seed = 7
+	cfg.MeanInterarrivalSec = 1200
+	cfg.MeanDurationSec = 600
+
+	res, err := pidcan.Run(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("protocol: %s\n", res.Protocol)
+	fmt.Printf("all tasks accounted: %v\n", res.Rec.Accounted() <= res.Rec.Generated)
+	fmt.Printf("messages flowed: %v\n", res.Rec.MessageTotal() > 0)
+	// Output:
+	// protocol: HID-CAN
+	// all tasks accounted: true
+	// messages flowed: true
+}
+
+// ExampleNewCluster embeds the PID-CAN index as a library: publish
+// availability vectors, let the index diffuse, then range-query.
+func ExampleNewCluster() {
+	c, err := pidcan.NewCluster(pidcan.ClusterConfig{
+		Nodes: 128,
+		CMax:  vector.Of(10, 10, 10),
+		Seed:  3,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	for i, id := range c.Nodes() {
+		f := 1 + 8*float64(i)/128
+		if err := c.SetAvailability(id, vector.Of(f, f, f)); err != nil {
+			log.Fatal(err)
+		}
+	}
+	c.Step(30 * pidcan.Minute) // state updates + index diffusion
+
+	recs, _, err := c.Query(c.Nodes()[0], vector.Of(5, 5, 5), 2)
+	if err != nil {
+		log.Fatal(err)
+	}
+	qualified := true
+	for _, r := range recs {
+		qualified = qualified && r.Avail.Dominates(vector.Of(5, 5, 5))
+	}
+	fmt.Printf("found qualified candidates: %v\n", len(recs) > 0 && qualified)
+	// Output:
+	// found qualified candidates: true
+}

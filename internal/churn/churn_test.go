@@ -1,0 +1,135 @@
+package churn
+
+import (
+	"testing"
+
+	"pidcan/internal/sim"
+)
+
+func TestConfigValidate(t *testing.T) {
+	if err := Default().Validate(); err != nil {
+		t.Errorf("default invalid: %v", err)
+	}
+	if err := (Config{Degree: -0.1, Window: sim.Second}).Validate(); err == nil {
+		t.Error("negative degree validated")
+	}
+	if err := (Config{Degree: 1.1, Window: sim.Second}).Validate(); err == nil {
+		t.Error("degree > 1 validated")
+	}
+	if err := (Config{Degree: 0.5, Window: 0}).Validate(); err == nil {
+		t.Error("zero window validated")
+	}
+}
+
+func TestNewRejectsBadInput(t *testing.T) {
+	eng := sim.New()
+	rng := sim.NewRNG(1, sim.StreamChurn)
+	if _, err := New(eng, rng, Config{Degree: 2, Window: sim.Second}, 10, func() {}, func() {}); err == nil {
+		t.Error("invalid config accepted")
+	}
+	if _, err := New(eng, rng, Default(), -1, func() {}, func() {}); err == nil {
+		t.Error("negative population accepted")
+	}
+}
+
+func TestQuota(t *testing.T) {
+	eng := sim.New()
+	rng := sim.NewRNG(1, sim.StreamChurn)
+	s, err := New(eng, rng, Config{Degree: 0.25, Window: 3000 * sim.Second}, 100, func() {}, func() {})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := s.QuotaPerWindow(); got != 25 {
+		t.Errorf("quota = %d, want 25", got)
+	}
+}
+
+func TestZeroDegreeNoEvents(t *testing.T) {
+	eng := sim.New()
+	rng := sim.NewRNG(1, sim.StreamChurn)
+	calls := 0
+	s, err := New(eng, rng, Default(), 100, func() { calls++ }, func() { calls++ })
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Start()
+	eng.Run(2 * sim.Hour)
+	if calls != 0 {
+		t.Errorf("zero-degree churn fired %d events", calls)
+	}
+}
+
+func TestEventRate(t *testing.T) {
+	eng := sim.New()
+	rng := sim.NewRNG(2, sim.StreamChurn)
+	leaves, joins := 0, 0
+	cfg := Config{Degree: 0.5, Window: 3000 * sim.Second}
+	s, err := New(eng, rng, cfg, 200, func() { leaves++ }, func() { joins++ })
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Start()
+	// 4 full windows.
+	eng.Run(4 * 3000 * sim.Second)
+	want := 4 * 100
+	if leaves < want-100 || leaves > want+100 {
+		t.Errorf("leaves = %d, want ≈%d", leaves, want)
+	}
+	if joins < want-100 || joins > want+100 {
+		t.Errorf("joins = %d, want ≈%d", joins, want)
+	}
+	// Balanced population drift.
+	if leaves != joins {
+		// The counts may differ only by events past the horizon.
+		diff := leaves - joins
+		if diff < -100 || diff > 100 {
+			t.Errorf("unbalanced churn: %d leaves vs %d joins", leaves, joins)
+		}
+	}
+}
+
+func TestEventsSpreadOverWindow(t *testing.T) {
+	eng := sim.New()
+	rng := sim.NewRNG(3, sim.StreamChurn)
+	var times []sim.Time
+	cfg := Config{Degree: 1, Window: 1000 * sim.Second}
+	s, err := New(eng, rng, cfg, 100, func() { times = append(times, eng.Now()) }, func() {})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Start()
+	eng.Run(1000 * sim.Second)
+	if len(times) < 90 {
+		t.Fatalf("only %d events in first window", len(times))
+	}
+	// Events must not be bunched at the window start: at least a
+	// third in the second half.
+	late := 0
+	for _, at := range times {
+		if at > 500*sim.Second {
+			late++
+		}
+	}
+	if late < len(times)/3 {
+		t.Errorf("events bunched early: %d/%d in second half", late, len(times))
+	}
+}
+
+func TestStop(t *testing.T) {
+	eng := sim.New()
+	rng := sim.NewRNG(4, sim.StreamChurn)
+	calls := 0
+	cfg := Config{Degree: 0.5, Window: 1000 * sim.Second}
+	s, err := New(eng, rng, cfg, 100, func() { calls++ }, func() { calls++ })
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Start()
+	eng.Run(500 * sim.Second)
+	s.Stop()
+	at := calls
+	eng.Run(1 * sim.Hour)
+	if calls != at {
+		t.Errorf("events after Stop: %d -> %d", at, calls)
+	}
+}

@@ -1,0 +1,655 @@
+package cloud
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"pidcan/internal/aggregate"
+	"pidcan/internal/churn"
+	"pidcan/internal/core"
+	"pidcan/internal/gossip"
+	"pidcan/internal/khdn"
+	"pidcan/internal/metrics"
+	"pidcan/internal/netmodel"
+	"pidcan/internal/overlay"
+	"pidcan/internal/proto"
+	"pidcan/internal/psm"
+	"pidcan/internal/sim"
+	"pidcan/internal/task"
+	"pidcan/internal/trace"
+	"pidcan/internal/vector"
+)
+
+// node is one SOC participant: its PSM host plus the task-pipeline
+// bookkeeping.
+type node struct {
+	id    overlay.NodeID
+	host  *psm.Host
+	alive bool
+
+	arrival    *sim.Timer
+	completion *sim.Timer
+	// specs holds the task.Spec of every task currently running on
+	// this host, for fairness accounting at completion.
+	specs map[psm.TaskID]*task.Spec
+}
+
+// Simulation is one fully wired SOC run. Build with New, execute
+// with Run. A Simulation is single-goroutine; run many Simulations
+// in parallel for sweeps (see internal/experiment).
+type Simulation struct {
+	cfg Config
+
+	eng      *sim.Engine
+	rngProto *sim.RNG
+	rngChurn *sim.RNG
+	net      *netmodel.Model
+	nw       *overlay.Network // nil for Newscast
+	gen      *task.Generator
+	rec      *metrics.Recorder
+	disc     proto.Discovery
+
+	nodes     map[overlay.NodeID]*node
+	aliveIDs  []overlay.NodeID // sorted cache
+	nextID    overlay.NodeID
+	capSum    vector.Vec
+	capCount  int
+	churner   *churn.Scheduler
+	agg       *aggregate.Estimator // nil unless AggregatedCMax
+	tr        *trace.Log
+	wallStart time.Time
+}
+
+var _ proto.Env = (*Simulation)(nil)
+
+// New builds a simulation from the config.
+func New(cfg Config) (*Simulation, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	s := &Simulation{
+		cfg:      cfg,
+		eng:      sim.New(),
+		rngProto: sim.NewRNG(cfg.Seed, sim.StreamProtocol),
+		rngChurn: sim.NewRNG(cfg.Seed, sim.StreamChurn),
+		rec:      metrics.NewRecorder(),
+		nodes:    make(map[overlay.NodeID]*node),
+		capSum:   vector.New(task.Dims),
+		tr:       trace.New(cfg.TraceCapacity),
+	}
+	s.net = netmodel.New(cfg.Net, cfg.Nodes, sim.NewRNG(cfg.Seed, sim.StreamNetwork))
+	gen, err := task.NewGenerator(cfg.genConfig(), sim.NewRNG(cfg.Seed, sim.StreamWorkload))
+	if err != nil {
+		return nil, err
+	}
+	s.gen = gen
+
+	if cfg.usesOverlay() {
+		s.nw = overlay.New(cfg.overlayDims(), 0, sim.NewRNG(cfg.Seed, sim.StreamOverlay))
+	}
+	for i := 0; i < cfg.Nodes; i++ {
+		id := overlay.NodeID(i)
+		if s.nw != nil && i > 0 {
+			if _, err := s.nw.Join(id); err != nil {
+				return nil, fmt.Errorf("cloud: building overlay: %w", err)
+			}
+		}
+		s.addNode(id)
+	}
+	s.nextID = overlay.NodeID(cfg.Nodes)
+
+	if s.disc, err = s.buildDiscovery(); err != nil {
+		return nil, err
+	}
+	if cfg.AggregatedCMax {
+		if p, ok := s.disc.(*core.PIDCAN); ok {
+			s.agg, err = aggregate.New(s, func(id overlay.NodeID) vector.Vec {
+				if n, ok := s.nodes[id]; ok {
+					return n.host.Cap
+				}
+				return vector.New(task.Dims)
+			}, aggregate.Default())
+			if err != nil {
+				return nil, err
+			}
+			p.SetCMaxSource(s.agg.Estimate)
+		}
+	}
+	s.churner, err = churn.New(s.eng, s.rngChurn, cfg.Churn, cfg.Nodes, s.churnLeave, s.churnJoin)
+	if err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+// buildDiscovery instantiates the configured protocol.
+func (s *Simulation) buildDiscovery() (proto.Discovery, error) {
+	switch s.cfg.Protocol {
+	case HIDCAN, SIDCAN, HIDCANSoS, SIDCANSoS, SIDCANVD:
+		cc := s.cfg.Core
+		switch s.cfg.Protocol {
+		case HIDCAN:
+			cc.Mode, cc.SoS, cc.VirtualDim = core.Hopping, false, false
+		case SIDCAN:
+			cc.Mode, cc.SoS, cc.VirtualDim = core.Spreading, false, false
+		case HIDCANSoS:
+			cc.Mode, cc.SoS, cc.VirtualDim = core.Hopping, true, false
+		case SIDCANSoS:
+			cc.Mode, cc.SoS, cc.VirtualDim = core.Spreading, true, false
+		case SIDCANVD:
+			cc.Mode, cc.SoS, cc.VirtualDim = core.Spreading, false, true
+		}
+		return core.New(s, cc)
+	case Newscast:
+		return gossip.New(s, s.cfg.Gossip)
+	case KHDNCAN:
+		return khdn.New(s, s.cfg.KHDN)
+	}
+	return nil, fmt.Errorf("cloud: unknown protocol %v", s.cfg.Protocol)
+}
+
+// addNode creates the node record with a Table-I capacity.
+func (s *Simulation) addNode(id overlay.NodeID) {
+	cap := s.gen.Capacity()
+	s.capSum.AddInPlace(cap)
+	s.capCount++
+	n := &node{
+		id:    id,
+		host:  psm.NewHost(cap, task.WorkDims, psm.DefaultOverhead()),
+		alive: true,
+		specs: make(map[psm.TaskID]*task.Spec),
+	}
+	s.nodes[id] = n
+	s.insertAlive(id)
+}
+
+func (s *Simulation) insertAlive(id overlay.NodeID) {
+	i := sort.Search(len(s.aliveIDs), func(i int) bool { return s.aliveIDs[i] >= id })
+	s.aliveIDs = append(s.aliveIDs, 0)
+	copy(s.aliveIDs[i+1:], s.aliveIDs[i:])
+	s.aliveIDs[i] = id
+}
+
+func (s *Simulation) removeAlive(id overlay.NodeID) {
+	i := sort.Search(len(s.aliveIDs), func(i int) bool { return s.aliveIDs[i] >= id })
+	if i < len(s.aliveIDs) && s.aliveIDs[i] == id {
+		s.aliveIDs = append(s.aliveIDs[:i], s.aliveIDs[i+1:]...)
+	}
+}
+
+// avgCap returns the running average node capacity — the baseline of
+// the fairness efficiency estimate (§IV.A).
+func (s *Simulation) avgCap() vector.Vec {
+	if s.capCount == 0 {
+		return vector.New(task.Dims)
+	}
+	return s.capSum.Scale(1 / float64(s.capCount))
+}
+
+// --- proto.Env implementation ----------------------------------------------
+
+// Engine implements proto.Env.
+func (s *Simulation) Engine() *sim.Engine { return s.eng }
+
+// ProtoRNG implements proto.Env.
+func (s *Simulation) ProtoRNG() *sim.RNG { return s.rngProto }
+
+// Overlay implements proto.Env.
+func (s *Simulation) Overlay() *overlay.Network { return s.nw }
+
+// CMax implements proto.Env.
+func (s *Simulation) CMax() vector.Vec { return task.CMax() }
+
+// Alive implements proto.Env.
+func (s *Simulation) Alive(id overlay.NodeID) bool {
+	n, ok := s.nodes[id]
+	return ok && n.alive
+}
+
+// AliveNodes implements proto.Env.
+func (s *Simulation) AliveNodes() []overlay.NodeID { return s.aliveIDs }
+
+// Availability implements proto.Env.
+func (s *Simulation) Availability(id overlay.NodeID) vector.Vec {
+	n, ok := s.nodes[id]
+	if !ok {
+		return vector.New(task.Dims)
+	}
+	return n.host.Availability()
+}
+
+// Send implements proto.Env.
+func (s *Simulation) Send(from, to overlay.NodeID, kind metrics.MsgKind, size int, deliver func(), onDrop func()) {
+	if !s.Alive(from) {
+		return
+	}
+	s.rec.Message(kind)
+	lat := s.net.Latency(int(from), int(to), size)
+	s.eng.After(lat, func() {
+		if s.Alive(to) {
+			deliver()
+		} else if onDrop != nil {
+			onDrop()
+		}
+	})
+}
+
+// SendPath implements proto.Env: one counted message per hop with
+// cumulative latency; delivery requires the final hop alive.
+func (s *Simulation) SendPath(from overlay.NodeID, path []overlay.NodeID, kind metrics.MsgKind, size int, deliver func(), onDrop func()) {
+	if !s.Alive(from) || len(path) == 0 {
+		return
+	}
+	s.rec.Messages(kind, int64(len(path)))
+	var lat sim.Time
+	prev := from
+	for _, hop := range path {
+		lat += s.net.Latency(int(prev), int(hop), size)
+		prev = hop
+	}
+	final := path[len(path)-1]
+	s.eng.After(lat, func() {
+		if s.Alive(final) {
+			deliver()
+		} else if onDrop != nil {
+			onDrop()
+		}
+	})
+}
+
+// --- task pipeline ----------------------------------------------------------
+
+// scheduleArrival arms the node's next Poisson task arrival.
+func (s *Simulation) scheduleArrival(n *node) {
+	gap := s.gen.Interarrival()
+	n.arrival = s.eng.After(gap, func() {
+		if !n.alive {
+			return
+		}
+		s.submit(n)
+		s.scheduleArrival(n)
+	})
+}
+
+// pending tracks one task through discovery and placement retries.
+type pending struct {
+	spec    *task.Spec
+	attempt int
+	// sawCandidates records whether any discovery attempt returned
+	// qualified records: such a task can end "unplaced" but never
+	// "failed" (the paper's F-Ratio counts only tasks that cannot
+	// find any qualified nodes).
+	sawCandidates bool
+}
+
+// submit generates a task at node n and starts discovery.
+func (s *Simulation) submit(n *node) {
+	spec := s.gen.Next(int(n.id), s.eng.Now())
+	s.rec.TaskGenerated()
+	s.tr.Record(trace.Event{At: s.eng.Now(), Kind: trace.TaskSubmitted, Node: n.id, Task: spec.ID})
+	s.runQuery(n, &pending{spec: spec})
+}
+
+// runQuery launches one discovery attempt for the task.
+func (s *Simulation) runQuery(n *node, pt *pending) {
+	started := s.eng.Now()
+	s.disc.Query(n.id, pt.spec.Demand, s.cfg.ResultsWanted, func(res proto.QueryResult) {
+		s.rec.QueryResolved(res.Hops)
+		s.rec.ObserveQueryDelay(s.eng.Now() - started)
+		s.tr.Record(trace.Event{At: s.eng.Now(), Kind: trace.QueryResolved, Node: n.id,
+			Task: pt.spec.ID, Arg: int64(len(res.Candidates))})
+		s.onQueryDone(n, pt, res)
+	})
+}
+
+// onQueryDone ranks candidates and attempts placement.
+func (s *Simulation) onQueryDone(n *node, pt *pending, res proto.QueryResult) {
+	if !n.alive {
+		s.rec.TaskLost()
+		return
+	}
+	cands := s.rankCandidates(pt.spec.Demand, res.Candidates)
+	if len(cands) == 0 {
+		s.rec.EmptyQueries++
+		s.retryOrFail(n, pt)
+		return
+	}
+	pt.sawCandidates = true
+	s.tryPlace(n, pt, cands)
+}
+
+// rankCandidates orders qualified records per the selection policy.
+func (s *Simulation) rankCandidates(demand vector.Vec, cands []proto.Record) []proto.Record {
+	out := make([]proto.Record, 0, len(cands))
+	out = append(out, cands...)
+	cmax := task.CMax()
+	switch s.cfg.Selection {
+	case BestFit:
+		sort.SliceStable(out, func(i, j int) bool {
+			return out[i].Avail.Surplus(demand, cmax) < out[j].Avail.Surplus(demand, cmax)
+		})
+	case MaxShare:
+		sort.SliceStable(out, func(i, j int) bool {
+			return out[i].Avail.Surplus(demand, cmax) > out[j].Avail.Surplus(demand, cmax)
+		})
+	case FirstFit:
+		// Records arrive sorted by node id already.
+	}
+	return out
+}
+
+// tryPlace sends a placement request to the best remaining candidate.
+// Rejections (stale records, contention races, churn) fall through to
+// the next candidate and finally to a re-query.
+func (s *Simulation) tryPlace(n *node, pt *pending, cands []proto.Record) {
+	if !n.alive {
+		s.rec.TaskLost()
+		return
+	}
+	if len(cands) == 0 {
+		s.retryOrFail(n, pt)
+		return
+	}
+	target := cands[0]
+	rest := cands[1:]
+	s.rec.PlacementAttempts++
+	s.Send(n.id, target.Node, metrics.MsgPlacement, proto.SizePlacement, func() {
+		host := s.nodes[target.Node]
+		now := s.eng.Now()
+		host.host.Advance(now)
+		t := pt.spec.NewPSMTask()
+		if host.host.Add(t, now, !s.cfg.ValidatePlacement) {
+			host.specs[pt.spec.ID] = pt.spec
+			s.tr.Record(trace.Event{At: now, Kind: trace.TaskPlaced, Node: n.id,
+				Task: pt.spec.ID, Arg: int64(target.Node)})
+			s.refreshCompletion(host)
+			return
+		}
+		// Rejected: Inequality (2) no longer holds at the host — a
+		// staleness/admission race with concurrent analogous
+		// queries. One reject message travels back.
+		s.rec.PlacementRejects++
+		s.tr.Record(trace.Event{At: now, Kind: trace.PlacementRejected, Node: target.Node, Task: pt.spec.ID})
+		s.Send(target.Node, n.id, metrics.MsgPlacement, proto.SizeNotify, func() {
+			s.tryPlace(n, pt, rest)
+		}, func() {
+			s.rec.TaskLost() // requester gone
+		})
+	}, func() {
+		// Candidate died before delivery.
+		s.tryPlace(n, pt, rest)
+	})
+}
+
+// retryOrFail re-queries within the retry budget; on exhaustion the
+// task counts as failed (never found qualified records — F-Ratio) or
+// unplaced (found records but lost every admission race).
+func (s *Simulation) retryOrFail(n *node, pt *pending) {
+	if !n.alive {
+		s.rec.TaskLost()
+		return
+	}
+	if pt.attempt < s.cfg.QueryRetries {
+		pt.attempt++
+		s.runQuery(n, pt)
+		return
+	}
+	if pt.sawCandidates {
+		s.rec.TaskUnplaced()
+		s.tr.Record(trace.Event{At: s.eng.Now(), Kind: trace.TaskUnplaced, Node: n.id, Task: pt.spec.ID})
+	} else {
+		s.rec.TaskFailed()
+		s.tr.Record(trace.Event{At: s.eng.Now(), Kind: trace.TaskFailed, Node: n.id, Task: pt.spec.ID})
+	}
+}
+
+// refreshCompletion re-arms the host's earliest-completion timer
+// after any membership change.
+func (s *Simulation) refreshCompletion(n *node) {
+	if n.completion != nil {
+		n.completion.Stop()
+		n.completion = nil
+	}
+	if !n.alive {
+		return
+	}
+	_, at, ok := n.host.NextCompletion()
+	if !ok {
+		return
+	}
+	n.completion = s.eng.At(at, func() { s.onCompletion(n) })
+}
+
+// onCompletion advances the host and retires every task whose work
+// is drained.
+func (s *Simulation) onCompletion(n *node) {
+	if !n.alive {
+		return
+	}
+	now := s.eng.Now()
+	n.host.Advance(now)
+	avg := s.avgCap()
+	for _, id := range n.host.Tasks() {
+		if !n.host.Done(id) {
+			continue
+		}
+		n.host.Remove(id, now)
+		spec := n.specs[id]
+		delete(n.specs, id)
+		if spec == nil {
+			continue
+		}
+		real := (now - spec.Submitted).Seconds()
+		if real <= 0 {
+			real = 1e-6
+		}
+		s.rec.TaskFinished(spec.ExpectedSeconds(avg) / real)
+		s.tr.Record(trace.Event{At: now, Kind: trace.TaskFinished, Node: n.id, Task: id})
+	}
+	s.refreshCompletion(n)
+}
+
+// --- churn -------------------------------------------------------------------
+
+// churnLeave disconnects one random alive node (never below 2 nodes).
+func (s *Simulation) churnLeave() {
+	if len(s.aliveIDs) <= 2 {
+		return
+	}
+	id := s.aliveIDs[s.rngChurn.IntN(len(s.aliveIDs))]
+	s.kill(id)
+}
+
+// kill tears one node down: running tasks are lost, timers stop, the
+// zone is reassigned, the protocol state dies.
+func (s *Simulation) kill(id overlay.NodeID) {
+	n, ok := s.nodes[id]
+	if !ok || !n.alive {
+		return
+	}
+	n.alive = false
+	s.removeAlive(id)
+	if n.arrival != nil {
+		n.arrival.Stop()
+	}
+	if n.completion != nil {
+		n.completion.Stop()
+	}
+	now := s.eng.Now()
+	n.host.Advance(now)
+	// Deterministic iteration: recovery consumes protocol RNG draws.
+	tids := make([]psm.TaskID, 0, len(n.specs))
+	for tid := range n.specs {
+		tids = append(tids, tid)
+	}
+	sort.Slice(tids, func(i, j int) bool { return tids[i] < tids[j] })
+	for _, tid := range tids {
+		spec := n.specs[tid]
+		delete(n.specs, tid)
+		if s.cfg.CheckpointSec > 0 {
+			s.recoverTask(n, spec, now)
+		} else {
+			s.rec.TaskLost()
+			s.tr.Record(trace.Event{At: now, Kind: trace.TaskLost, Node: id, Task: tid})
+		}
+	}
+	if s.nw != nil {
+		if _, err := s.nw.Leave(id); err == nil {
+			// Departure maintenance: neighbor refresh on the
+			// affected nodes (§IV.B), roughly 2 messages per
+			// dimension plus the takeover handshake.
+			s.rec.Messages(metrics.MsgMaintenance, int64(2*s.nw.Dim()+2))
+		}
+	}
+	s.disc.NodeLeft(id)
+	if s.agg != nil {
+		s.agg.NodeLeft(id)
+	}
+	s.tr.Record(trace.Event{At: s.eng.Now(), Kind: trace.NodeLeft, Node: id, Arg: int64(len(s.aliveIDs))})
+}
+
+// recoverTask re-queues a task killed by its execution node's
+// departure, resuming from its last checkpoint: the residual work is
+// the host's current remaining work plus up to one checkpoint
+// interval of progress lost since the last checkpoint (at the task's
+// expected rates). The origin node must still be alive to own the
+// re-query.
+func (s *Simulation) recoverTask(dead *node, spec *task.Spec, now sim.Time) {
+	origin, ok := s.nodes[overlay.NodeID(spec.Origin)]
+	if !ok || !origin.alive {
+		s.rec.TaskLost()
+		return
+	}
+	t := dead.host.Task(spec.ID)
+	if t == nil {
+		s.rec.TaskLost()
+		return
+	}
+	elapsed := (now - t.Started).Seconds()
+	lost := s.cfg.CheckpointSec
+	if elapsed < lost {
+		lost = elapsed
+	}
+	remaining := t.Work.Clone()
+	initial := spec.InitialWork()
+	for k := range remaining {
+		remaining[k] += spec.Demand[k] * lost // roll back the un-checkpointed progress
+		if remaining[k] > initial[k] {
+			remaining[k] = initial[k]
+		}
+	}
+	rspec := *spec
+	rspec.Remaining = remaining
+	s.rec.TaskRecovered()
+	s.tr.Record(trace.Event{At: now, Kind: trace.TaskRecovered, Node: origin.id, Task: spec.ID, Arg: int64(dead.id)})
+	s.runQuery(origin, &pending{spec: &rspec})
+}
+
+// churnJoin adds one brand-new node.
+func (s *Simulation) churnJoin() {
+	id := s.nextID
+	s.nextID++
+	idx := s.net.AddNode()
+	if idx != int(id) {
+		panic(fmt.Sprintf("cloud: netmodel index %d diverged from node id %d", idx, id))
+	}
+	if s.nw != nil {
+		if _, err := s.nw.Join(id); err != nil {
+			return
+		}
+		// Join maintenance: bootstrap routing plus neighbor updates.
+		s.rec.Messages(metrics.MsgMaintenance, int64(2*s.nw.Dim()+4))
+	}
+	s.addNode(id)
+	s.disc.NodeJoined(id)
+	if s.agg != nil {
+		s.agg.NodeJoined(id)
+	}
+	s.tr.Record(trace.Event{At: s.eng.Now(), Kind: trace.NodeJoined, Node: id, Arg: int64(len(s.aliveIDs))})
+	s.scheduleArrival(s.nodes[id])
+}
+
+// --- run ----------------------------------------------------------------------
+
+// Result summarizes one finished run.
+type Result struct {
+	Protocol string
+	Config   Config
+	Rec      *metrics.Recorder
+	// FinalNodes is the alive population at the end.
+	FinalNodes int
+	// Events is the number of engine callbacks processed.
+	Events uint64
+	// Wall is the host wall-clock time the run took.
+	Wall time.Duration
+	// Trace is the structured event log (enabled via
+	// Config.TraceCapacity; disabled logs are inert but non-nil).
+	Trace *trace.Log
+}
+
+// Run executes the simulation to completion and returns the metrics.
+func (s *Simulation) Run() *Result {
+	s.wallStart = time.Now()
+	s.disc.Start()
+	if s.agg != nil {
+		s.agg.Start()
+	}
+	for _, id := range s.aliveIDs {
+		s.scheduleArrival(s.nodes[id])
+	}
+	s.eng.Every(s.cfg.SnapshotEvery, s.cfg.SnapshotEvery, func() {
+		s.rec.Snapshot(s.eng.Now())
+	})
+	s.churner.Start()
+	s.eng.Run(s.cfg.Duration)
+	s.rec.Snapshot(s.eng.Now())
+	return &Result{
+		Protocol:   s.disc.Name(),
+		Config:     s.cfg,
+		Rec:        s.rec,
+		FinalNodes: len(s.aliveIDs),
+		Events:     s.eng.Processed(),
+		Wall:       time.Since(s.wallStart),
+		Trace:      s.tr,
+	}
+}
+
+// Recorder exposes the metrics recorder (tests, invariant checks).
+func (s *Simulation) Recorder() *metrics.Recorder { return s.rec }
+
+// Trace exposes the structured event log (enabled via
+// Config.TraceCapacity).
+func (s *Simulation) Trace() *trace.Log { return s.tr }
+
+// CheckInvariants verifies the conservation laws every run must
+// satisfy; tests and failure-injection suites call it after Run.
+func (s *Simulation) CheckInvariants() error {
+	rec := s.rec
+	if rec.Accounted() > rec.Generated {
+		return fmt.Errorf("cloud: accounted %d > generated %d", rec.Accounted(), rec.Generated)
+	}
+	running := int64(0)
+	for _, id := range s.aliveIDs {
+		running += int64(s.nodes[id].host.Len())
+	}
+	if rec.Accounted()+running > rec.Generated {
+		return fmt.Errorf("cloud: accounted %d + running %d > generated %d",
+			rec.Accounted(), running, rec.Generated)
+	}
+	if s.nw != nil {
+		if err := s.nw.Validate(); err != nil {
+			return fmt.Errorf("cloud: overlay invalid after run: %w", err)
+		}
+		if s.nw.Size() != len(s.aliveIDs) {
+			return fmt.Errorf("cloud: overlay has %d zones, %d alive nodes", s.nw.Size(), len(s.aliveIDs))
+		}
+	}
+	if t := rec.TRatio(); t < 0 || t > 1 {
+		return fmt.Errorf("cloud: T-Ratio %v outside [0,1]", t)
+	}
+	if f := rec.FRatio(); f < 0 || f > 1 {
+		return fmt.Errorf("cloud: F-Ratio %v outside [0,1]", f)
+	}
+	return nil
+}

@@ -1,0 +1,117 @@
+// Package core implements PID-CAN, the paper's contribution (§III):
+// proactive index diffusion over the INSCAN overlay (Algorithms 1–2),
+// the contention-minimized three-phase range query (Algorithms 3–5),
+// the Slack-on-Submission (SoS) and virtual-dimension (VD) variants,
+// and the exhaustive INSCAN-RQ range query used as a traffic
+// baseline (§III.A).
+package core
+
+import (
+	"fmt"
+
+	"pidcan/internal/sim"
+)
+
+// DiffusionMode selects the index-diffusion method of §III.B.
+type DiffusionMode int
+
+const (
+	// Hopping forwards indexes from index-node to index-node along
+	// each dimension (HID, Fig. 3(b)) — the paper's recommended
+	// method. Reach per trigger: L + L² + … + L^d nodes.
+	Hopping DiffusionMode = iota
+	// Spreading has the origin select all L negative-index nodes
+	// per dimension itself (SID, Fig. 3(a)). Fewer hops, narrower
+	// reach: L·d nodes per trigger.
+	Spreading
+)
+
+func (m DiffusionMode) String() string {
+	switch m {
+	case Hopping:
+		return "HID"
+	case Spreading:
+		return "SID"
+	}
+	return fmt.Sprintf("mode(%d)", int(m))
+}
+
+// Config parameterizes PID-CAN. Zero values are filled by Default().
+type Config struct {
+	// Mode is the index diffusion method (HID or SID).
+	Mode DiffusionMode
+	// L is the per-dimension diffusion fan-out (paper: "we always
+	// set it to 2").
+	L int
+	// SoS enables Slack-on-Submission: the first query attempt uses
+	// a randomly slacked expectation e′ with e ⪯ e′ ⪯ cmax (Formula
+	// 3) and retries with the original e on a shortfall.
+	SoS bool
+	// VirtualDim marks that the overlay carries one extra virtual
+	// dimension used only to disperse records and queries (the
+	// SID-CAN+VD variant, paper ref [27]). The cloud layer builds
+	// the overlay with dim = resource dims + 1 when set.
+	VirtualDim bool
+	// StateCycle is the state-update period (§IV.A: 400 s).
+	StateCycle sim.Time
+	// StateTTL is the state-record lifetime (§IV.A: 600 s).
+	StateTTL sim.Time
+	// DiffusionCycle is the index-sender period of Algorithm 1.
+	DiffusionCycle sim.Time
+	// IndexTTL is the PIList entry lifetime.
+	IndexTTL sim.Time
+	// JumpListSize bounds the index-jump list an agent assembles
+	// from its PIList (Algorithm 4 line 1, "a few indexes").
+	JumpListSize int
+	// SkipDutyCache disables searching the duty node's own cache γ
+	// before involving index agents. Algorithm 3 as printed never
+	// consults it, but the duty node is the boundary-corner node of
+	// Fig. 1 whose zone is part of the checked region, and its
+	// records are structurally unreachable through the PILists of
+	// its positive neighbors (diffusion flows strictly negative) —
+	// so the intended protocol must include the local search. The
+	// flag reproduces the literal pseudo-code as an ablation.
+	SkipDutyCache bool
+}
+
+// Default returns the paper's §IV.A configuration.
+func Default() Config {
+	return Config{
+		Mode:           Hopping,
+		L:              2,
+		StateCycle:     400 * sim.Second,
+		StateTTL:       600 * sim.Second,
+		DiffusionCycle: 400 * sim.Second,
+		IndexTTL:       600 * sim.Second,
+		JumpListSize:   8,
+	}
+}
+
+// Validate reports configuration errors.
+func (c Config) Validate() error {
+	if c.L < 1 {
+		return fmt.Errorf("core: L %d < 1", c.L)
+	}
+	if c.StateCycle <= 0 || c.StateTTL <= 0 || c.DiffusionCycle <= 0 || c.IndexTTL <= 0 {
+		return fmt.Errorf("core: non-positive cycle or TTL")
+	}
+	if c.JumpListSize < 1 {
+		return fmt.Errorf("core: JumpListSize %d < 1", c.JumpListSize)
+	}
+	if c.Mode != Hopping && c.Mode != Spreading {
+		return fmt.Errorf("core: unknown diffusion mode %d", c.Mode)
+	}
+	return nil
+}
+
+// Name returns the protocol label used in the paper's figures.
+func (c Config) Name() string {
+	name := c.Mode.String() + "-CAN"
+	if c.SoS {
+		name += "+SoS"
+	}
+	if c.VirtualDim {
+		name += "+VD"
+	}
+	return name
+}

@@ -1,0 +1,101 @@
+package core
+
+import (
+	"pidcan/internal/metrics"
+	"pidcan/internal/overlay"
+	"pidcan/internal/proto"
+	"pidcan/internal/space"
+	"pidcan/internal/vector"
+)
+
+// RangeQueryAll implements INSCAN-RQ (§III.A): the exhaustive
+// delay-bounded range query that first routes to the boundary-corner
+// duty node and then floods every responsible node whose zone
+// overlaps the query range [demand, cmax], collecting *all*
+// qualified records. Query delay is bounded by 2·log2 n but traffic
+// is log2 n + N − 1 messages for N responsible nodes — the overhead
+// PID-CAN's single-message design avoids. Exposed for the traffic
+// ablation (DESIGN.md A1) and the library range-query example.
+func (p *PIDCAN) RangeQueryAll(requester overlay.NodeID, demand vector.Vec, done func(proto.QueryResult)) {
+	if !p.env.Alive(requester) {
+		done(proto.QueryResult{})
+		return
+	}
+	nw := p.env.Overlay()
+	lo := p.point(demand)
+	hi := make(space.Point, nw.Dim())
+	for i := range hi {
+		hi[i] = 1
+	}
+	if p.cfg.VirtualDim {
+		// The virtual dimension carries no range semantics: cover it
+		// entirely.
+		lo[len(lo)-1] = 0
+	}
+
+	hops := 0
+	var found []proto.Record
+
+	path, err := nw.Route(requester, lo)
+	if err != nil {
+		done(proto.QueryResult{})
+		return
+	}
+	duty := path.Dest()
+	if duty == overlay.NoNode {
+		duty = requester
+	}
+	hops += len(path.Hops)
+
+	flood := func() {
+		responsible := nw.RangeOwners(lo, hi)
+		now := p.env.Engine().Now()
+		pending := 0
+		finished := false
+		finishIfDone := func() {
+			if pending == 0 && !finished {
+				finished = true
+				done(proto.QueryResult{
+					Candidates: proto.DedupeCandidates(found),
+					Hops:       hops,
+				})
+			}
+		}
+		for _, id := range responsible {
+			if id == duty {
+				if st := p.state(duty); st != nil {
+					found = append(found, st.cache.Qualified(demand, now, 0)...)
+				}
+				continue
+			}
+			id := id
+			pending++
+			hops++
+			p.env.Send(duty, id, metrics.MsgDutyQuery, proto.SizeQuery, func() {
+				if st := p.state(id); st != nil {
+					phi := st.cache.Qualified(demand, p.env.Engine().Now(), 0)
+					if len(phi) > 0 {
+						found = append(found, phi...)
+						hops++
+						p.env.Send(id, requester, metrics.MsgFoundNotify,
+							proto.SizeNotify+proto.SizeRecord*len(phi), func() {}, nil)
+					}
+				}
+				pending--
+				finishIfDone()
+			}, func() {
+				pending--
+				finishIfDone()
+			})
+		}
+		finishIfDone()
+	}
+
+	if len(path.Hops) == 0 {
+		flood()
+		return
+	}
+	p.env.SendPath(requester, path.Hops, metrics.MsgDutyQuery, proto.SizeQuery,
+		flood,
+		func() { done(proto.QueryResult{Hops: hops}) })
+}

@@ -1,0 +1,235 @@
+package experiment
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"pidcan/internal/sim"
+)
+
+func TestRegistryComplete(t *testing.T) {
+	ids := IDs()
+	want := []string{"a2", "a3", "aC", "aD", "aK", "aP", "aS", "fig4a", "fig4b", "fig5", "fig6", "fig7", "fig8", "t3"}
+	if len(ids) != len(want) {
+		t.Fatalf("IDs = %v", ids)
+	}
+	for i := range want {
+		if ids[i] != want[i] {
+			t.Fatalf("IDs = %v, want %v", ids, want)
+		}
+	}
+}
+
+func TestGetValidatesAllFigures(t *testing.T) {
+	for _, id := range IDs() {
+		f, err := Get(id, 1, 0.1)
+		if err != nil {
+			t.Fatalf("Get(%s): %v", id, err)
+		}
+		if f.ID != id {
+			t.Errorf("figure %s has ID %s", id, f.ID)
+		}
+		if len(f.Runs) == 0 || f.Title == "" {
+			t.Errorf("figure %s degenerate: %+v", id, f)
+		}
+		for _, r := range f.Runs {
+			if err := r.Cfg.Validate(); err != nil {
+				t.Errorf("figure %s run %q invalid: %v", id, r.Label, err)
+			}
+		}
+	}
+}
+
+func TestGetErrors(t *testing.T) {
+	if _, err := Get("nope", 1, 0.5); err == nil {
+		t.Error("unknown ID accepted")
+	}
+	if _, err := Get("fig5", 1, 0); err == nil {
+		t.Error("zero scale accepted")
+	}
+	if _, err := Get("fig5", 1, 1.5); err == nil {
+		t.Error("over-scale accepted")
+	}
+}
+
+func TestScaleFloorsNodes(t *testing.T) {
+	f, err := Get("fig5", 1, 0.001)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range f.Runs {
+		if r.Cfg.Nodes < 64 {
+			t.Errorf("run %q has %d nodes, floor is 64", r.Label, r.Cfg.Nodes)
+		}
+	}
+}
+
+func TestFigureContents(t *testing.T) {
+	f, _ := Get("fig4a", 1, 0.1)
+	if len(f.Runs) != 3 {
+		t.Errorf("fig4a runs = %d", len(f.Runs))
+	}
+	if f.Runs[0].Cfg.Lambda != 0.84 {
+		t.Errorf("fig4a lambda = %v", f.Runs[0].Cfg.Lambda)
+	}
+	f, _ = Get("fig4b", 1, 0.1)
+	if f.Runs[0].Cfg.Lambda != 0.25 {
+		t.Errorf("fig4b lambda = %v", f.Runs[0].Cfg.Lambda)
+	}
+	f, _ = Get("fig6", 1, 0.1)
+	if len(f.Runs) != 6 || f.Runs[0].Cfg.Lambda != 0.5 {
+		t.Errorf("fig6 = %+v", f)
+	}
+	f, _ = Get("t3", 1, 0.1)
+	if len(f.Runs) != 6 || f.Kind != "table3" {
+		t.Errorf("t3 = %+v", f)
+	}
+	// Scaled node counts keep the 1:2:…:6 progression shape.
+	if f.Runs[5].Cfg.Nodes <= f.Runs[0].Cfg.Nodes {
+		t.Error("t3 scales not increasing")
+	}
+	f, _ = Get("fig8", 1, 0.1)
+	if len(f.Runs) != 5 {
+		t.Errorf("fig8 runs = %d", len(f.Runs))
+	}
+	if f.Runs[0].Cfg.Churn.Degree != 0 || f.Runs[4].Cfg.Churn.Degree != 0.95 {
+		t.Error("fig8 churn degrees wrong")
+	}
+}
+
+func TestExecuteAndRenderSmallFigure(t *testing.T) {
+	f, err := Get("fig4b", 3, 0.05)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f = f.ShortenFor(2 * sim.Hour)
+	fr, err := Execute(f, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fr.Results) != 3 {
+		t.Fatalf("results = %d", len(fr.Results))
+	}
+	for i, res := range fr.Results {
+		if res.Rec.Generated == 0 {
+			t.Errorf("run %d generated nothing", i)
+		}
+	}
+	var b strings.Builder
+	fr.Render(&b)
+	out := b.String()
+	for _, want := range []string{"T-Ratio", "F-Ratio", "Fairness", "Newscast", "SID-CAN", "KHDN-CAN"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("render missing %q:\n%s", want, out)
+		}
+	}
+	if fr.Summary() == "" {
+		t.Error("empty summary")
+	}
+}
+
+func TestExecuteTable3Render(t *testing.T) {
+	f, err := Get("t3", 3, 0.03)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f = f.ShortenFor(1 * sim.Hour)
+	// Trim to two scales for test speed.
+	f.Runs = f.Runs[:2]
+	fr, err := Execute(f, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var b strings.Builder
+	fr.Render(&b)
+	out := b.String()
+	for _, want := range []string{"throughput ratio", "failed task ratio", "fairness index", "msg delivery cost"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("table3 render missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestExecutePropagatesErrors(t *testing.T) {
+	f, _ := Get("fig8", 1, 0.05)
+	f.Runs[0].Cfg.Nodes = 1 // invalid
+	if _, err := Execute(f, 0); err == nil {
+		t.Error("invalid run config did not surface")
+	}
+}
+
+// Determinism across parallel execution: run order must not affect
+// results (each run is hermetic).
+func TestParallelDeterminism(t *testing.T) {
+	build := func() Figure {
+		f, _ := Get("fig4b", 5, 0.05)
+		return f.ShortenFor(1 * sim.Hour)
+	}
+	fr1, err := Execute(build(), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fr2, err := Execute(build(), 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range fr1.Results {
+		a, b := fr1.Results[i].Rec, fr2.Results[i].Rec
+		if a.Generated != b.Generated || a.Finished != b.Finished || a.MessageTotal() != b.MessageTotal() {
+			t.Errorf("run %d diverged across pool widths", i)
+		}
+	}
+}
+
+func TestExecuteReplicated(t *testing.T) {
+	build := func(seed uint64) (Figure, error) {
+		f, err := Get("fig4b", seed, 0.05)
+		if err != nil {
+			return Figure{}, err
+		}
+		return f.ShortenFor(1 * sim.Hour), nil
+	}
+	rep, err := ExecuteReplicated(build, []uint64{1, 2, 3}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.PerSeed) != 3 || len(rep.PerSeed[0]) != 3 {
+		t.Fatalf("shape = %dx%d", len(rep.PerSeed), len(rep.PerSeed[0]))
+	}
+	// Different seeds must yield different workloads.
+	if rep.PerSeed[0][0].Rec.Generated == rep.PerSeed[1][0].Rec.Generated &&
+		rep.PerSeed[0][0].Rec.MessageTotal() == rep.PerSeed[1][0].Rec.MessageTotal() {
+		t.Error("seed replications look identical")
+	}
+	var b strings.Builder
+	rep.Render(&b)
+	if !strings.Contains(b.String(), "±") || !strings.Contains(b.String(), "3 seed replications") {
+		t.Errorf("render missing stats:\n%s", b.String())
+	}
+	// Error paths.
+	if _, err := ExecuteReplicated(build, nil, 0); err == nil {
+		t.Error("no seeds accepted")
+	}
+	badBuild := func(seed uint64) (Figure, error) {
+		f, _ := build(seed)
+		f.Runs[0].Cfg.Nodes = 1
+		return f, nil
+	}
+	if _, err := ExecuteReplicated(badBuild, []uint64{1}, 0); err == nil {
+		t.Error("invalid config not surfaced")
+	}
+}
+
+func TestMeanStd(t *testing.T) {
+	m, s := meanStd([]float64{2, 4, 6})
+	if m != 4 || math.Abs(s-2) > 1e-12 {
+		t.Errorf("meanStd = %v, %v", m, s)
+	}
+	if m, s := meanStd(nil); m != 0 || s != 0 {
+		t.Error("empty meanStd wrong")
+	}
+	if m, s := meanStd([]float64{5}); m != 5 || s != 0 {
+		t.Error("single meanStd wrong")
+	}
+}

@@ -1,0 +1,326 @@
+// Package experiment regenerates every table and figure of the
+// paper's evaluation (§IV): it builds the run matrix behind each
+// figure, executes the runs in parallel across CPU cores (each run
+// is an independent deterministic simulation), and renders the same
+// rows/series the paper reports.
+//
+// Scale: figures can be generated at a fraction of the paper's node
+// count. A scale of 1 is the paper's setting (n = 2000 … 12000, one
+// simulated day); benches default to smaller scales so the whole
+// suite completes on a laptop. Shapes — protocol ordering, λ trends,
+// churn robustness — are stable across scales (n ≳ 300); absolute
+// values drift, which EXPERIMENTS.md quantifies.
+package experiment
+
+import (
+	"fmt"
+	"sort"
+
+	"pidcan/internal/cloud"
+	"pidcan/internal/sim"
+)
+
+// Run is one simulation of a figure's run matrix.
+type Run struct {
+	Label string
+	Cfg   cloud.Config
+}
+
+// Figure is a regenerable table or figure of the paper.
+type Figure struct {
+	ID    string
+	Title string
+	// Kind selects the renderer: "series" (T/F/fairness over time),
+	// "table3" (scalability table) or "ablation".
+	Kind string
+	Runs []Run
+}
+
+// scaleNodes applies the node-count scale with a floor that keeps
+// the index structure meaningful.
+func scaleNodes(n int, scale float64) int {
+	s := int(float64(n) * scale)
+	if s < 64 {
+		s = 64
+	}
+	return s
+}
+
+// fig457Protocols is the six-protocol matrix of Figs. 5–7.
+var fig457Protocols = []cloud.Protocol{
+	cloud.SIDCAN, cloud.HIDCAN, cloud.SIDCANSoS, cloud.HIDCANSoS,
+	cloud.SIDCANVD, cloud.Newscast,
+}
+
+// Fig4 builds Fig. 4 (a: λ=0.84, b: λ=0.25): Newscast vs SID-CAN vs
+// KHDN-CAN throughput ratio over one day.
+func Fig4(sub string, seed uint64, scale float64) Figure {
+	lambda := 0.84
+	if sub == "b" {
+		lambda = 0.25
+	}
+	f := Figure{
+		ID:    "fig4" + sub,
+		Title: fmt.Sprintf("Fig. 4(%s): T-Ratio under demand ratio %.2f (Newscast vs SID-CAN vs KHDN-CAN)", sub, lambda),
+		Kind:  "series",
+	}
+	for _, p := range []cloud.Protocol{cloud.Newscast, cloud.SIDCAN, cloud.KHDNCAN} {
+		cfg := cloud.DefaultConfig(p, scaleNodes(2000, scale), lambda)
+		cfg.Seed = seed
+		f.Runs = append(f.Runs, Run{Label: p.String(), Cfg: cfg})
+	}
+	return f
+}
+
+// Fig567 builds Figs. 5, 6 and 7: the six-protocol comparison at
+// λ = 1, 0.5 and 0.25 over throughput ratio, failed-task ratio and
+// fairness.
+func Fig567(fig int, seed uint64, scale float64) Figure {
+	var lambda float64
+	switch fig {
+	case 5:
+		lambda = 1
+	case 6:
+		lambda = 0.5
+	case 7:
+		lambda = 0.25
+	default:
+		panic(fmt.Sprintf("experiment: Fig567(%d)", fig))
+	}
+	f := Figure{
+		ID:    fmt.Sprintf("fig%d", fig),
+		Title: fmt.Sprintf("Fig. %d: discovery protocols at λ=%.2g (T-Ratio / F-Ratio / fairness)", fig, lambda),
+		Kind:  "series",
+	}
+	for _, p := range fig457Protocols {
+		cfg := cloud.DefaultConfig(p, scaleNodes(2000, scale), lambda)
+		cfg.Seed = seed
+		f.Runs = append(f.Runs, Run{Label: p.String(), Cfg: cfg})
+	}
+	return f
+}
+
+// Table3 builds Table III: HID-CAN scalability at λ=0.5 across
+// system scales 2000 … 12000.
+func Table3(seed uint64, scale float64) Figure {
+	f := Figure{
+		ID:    "t3",
+		Title: "Table III: system scalability of HID-CAN (λ=0.5)",
+		Kind:  "table3",
+	}
+	for _, n := range []int{2000, 4000, 6000, 8000, 10000, 12000} {
+		cfg := cloud.DefaultConfig(cloud.HIDCAN, scaleNodes(n, scale), 0.5)
+		cfg.Seed = seed
+		f.Runs = append(f.Runs, Run{Label: fmt.Sprintf("%d", cfg.Nodes), Cfg: cfg})
+	}
+	return f
+}
+
+// Fig8 builds Fig. 8: HID-CAN under node churn (dynamic degree 0,
+// 25%, 50%, 75%, 95%) at λ=0.5.
+func Fig8(seed uint64, scale float64) Figure {
+	f := Figure{
+		ID:    "fig8",
+		Title: "Fig. 8: HID-CAN under different node churning rates (λ=0.5)",
+		Kind:  "series",
+	}
+	for _, deg := range []float64{0, 0.25, 0.50, 0.75, 0.95} {
+		cfg := cloud.DefaultConfig(cloud.HIDCAN, scaleNodes(2000, scale), 0.5)
+		cfg.Seed = seed
+		cfg.Churn.Degree = deg
+		label := "static"
+		if deg > 0 {
+			label = fmt.Sprintf("dynamic %.0f%%", deg*100)
+		}
+		f.Runs = append(f.Runs, Run{Label: label, Cfg: cfg})
+	}
+	return f
+}
+
+// AblationL builds ablation A2: diffusion fan-out L ∈ {1,2,3} for
+// both diffusion methods at λ=0.5.
+func AblationL(seed uint64, scale float64) Figure {
+	f := Figure{
+		ID:    "a2",
+		Title: "Ablation A2: index-diffusion fan-out L and method (λ=0.5)",
+		Kind:  "ablation",
+	}
+	for _, p := range []cloud.Protocol{cloud.HIDCAN, cloud.SIDCAN} {
+		for _, l := range []int{1, 2, 3} {
+			cfg := cloud.DefaultConfig(p, scaleNodes(1000, scale), 0.5)
+			cfg.Seed = seed
+			cfg.Core.L = l
+			f.Runs = append(f.Runs, Run{Label: fmt.Sprintf("%s L=%d", p, l), Cfg: cfg})
+		}
+	}
+	return f
+}
+
+// AblationSelection builds ablation A3: candidate selection policy.
+func AblationSelection(seed uint64, scale float64) Figure {
+	f := Figure{
+		ID:    "a3",
+		Title: "Ablation A3: best-fit vs first-fit vs max-share selection (HID-CAN, λ=0.5)",
+		Kind:  "ablation",
+	}
+	for _, pol := range []cloud.SelectionPolicy{cloud.BestFit, cloud.FirstFit, cloud.MaxShare} {
+		cfg := cloud.DefaultConfig(cloud.HIDCAN, scaleNodes(1000, scale), 0.5)
+		cfg.Seed = seed
+		cfg.Selection = pol
+		f.Runs = append(f.Runs, Run{Label: pol.String(), Cfg: cfg})
+	}
+	return f
+}
+
+// AblationKHDN builds the KHDN hop-radius sweep referenced from
+// khdn.Default.
+func AblationKHDN(seed uint64, scale float64) Figure {
+	f := Figure{
+		ID:    "aK",
+		Title: "Ablation: KHDN-CAN hop radius K (λ=0.25)",
+		Kind:  "ablation",
+	}
+	for _, k := range []int{1, 2, 3, 4} {
+		cfg := cloud.DefaultConfig(cloud.KHDNCAN, scaleNodes(1000, scale), 0.25)
+		cfg.Seed = seed
+		cfg.KHDN.K = k
+		f.Runs = append(f.Runs, Run{Label: fmt.Sprintf("K=%d", k), Cfg: cfg})
+	}
+	return f
+}
+
+// AblationPlacement builds the placement-semantics ablation: the
+// paper's dispatch-and-dilute model vs host-side re-validation.
+func AblationPlacement(seed uint64, scale float64) Figure {
+	f := Figure{
+		ID:    "aP",
+		Title: "Ablation: placement semantics (dispatch vs re-validate, HID-CAN λ=0.5)",
+		Kind:  "ablation",
+	}
+	for _, validate := range []bool{true, false} {
+		cfg := cloud.DefaultConfig(cloud.HIDCAN, scaleNodes(1000, scale), 0.5)
+		cfg.Seed = seed
+		cfg.ValidatePlacement = validate
+		label := "re-validate (default)"
+		if !validate {
+			label = "dispatch-and-dilute"
+		}
+		f.Runs = append(f.Runs, Run{Label: label, Cfg: cfg})
+	}
+	return f
+}
+
+// AblationDutyCache builds the duty-cache interpretation ablation:
+// the repaired Algorithm 3 (local γ search) vs the literal
+// pseudo-code.
+func AblationDutyCache(seed uint64, scale float64) Figure {
+	f := Figure{
+		ID:    "aD",
+		Title: "Ablation: duty-node cache search (repaired vs literal Alg. 3, HID-CAN λ=0.5)",
+		Kind:  "ablation",
+	}
+	for _, skip := range []bool{false, true} {
+		cfg := cloud.DefaultConfig(cloud.HIDCAN, scaleNodes(1000, scale), 0.5)
+		cfg.Seed = seed
+		cfg.Core.SkipDutyCache = skip
+		label := "search duty γ (repaired)"
+		if skip {
+			label = "skip duty γ (literal)"
+		}
+		f.Runs = append(f.Runs, Run{Label: label, Cfg: cfg})
+	}
+	return f
+}
+
+// AblationCheckpoint builds the §VI future-work ablation: HID-CAN
+// under 50% churn with and without checkpoint-based task recovery.
+func AblationCheckpoint(seed uint64, scale float64) Figure {
+	f := Figure{
+		ID:    "aC",
+		Title: "Ablation: checkpoint fault-tolerance under 50% churn (HID-CAN, λ=0.5)",
+		Kind:  "ablation",
+	}
+	for _, ckpt := range []float64{0, 600} {
+		cfg := cloud.DefaultConfig(cloud.HIDCAN, scaleNodes(1000, scale), 0.5)
+		cfg.Seed = seed
+		cfg.Churn.Degree = 0.5
+		cfg.CheckpointSec = ckpt
+		label := "no checkpointing"
+		if ckpt > 0 {
+			label = fmt.Sprintf("checkpoint %.0fs", ckpt)
+		}
+		f.Runs = append(f.Runs, Run{Label: label, Cfg: cfg})
+	}
+	return f
+}
+
+// AblationAggregate builds the SoS cmax-source ablation: the static
+// Table-I maximum versus the gossip-aggregated per-node estimate of
+// paper ref [23].
+func AblationAggregate(seed uint64, scale float64) Figure {
+	f := Figure{
+		ID:    "aS",
+		Title: "Ablation: SoS slack bound — static cmax vs gossip-aggregated estimate (HID-CAN+SoS, λ=0.5)",
+		Kind:  "ablation",
+	}
+	for _, agg := range []bool{false, true} {
+		cfg := cloud.DefaultConfig(cloud.HIDCANSoS, scaleNodes(1000, scale), 0.5)
+		cfg.Seed = seed
+		cfg.AggregatedCMax = agg
+		label := "static cmax"
+		if agg {
+			label = "aggregated cmax"
+		}
+		f.Runs = append(f.Runs, Run{Label: label, Cfg: cfg})
+	}
+	return f
+}
+
+// builders maps figure IDs to constructors.
+var builders = map[string]func(seed uint64, scale float64) Figure{
+	"fig4a": func(s uint64, sc float64) Figure { return Fig4("a", s, sc) },
+	"fig4b": func(s uint64, sc float64) Figure { return Fig4("b", s, sc) },
+	"fig5":  func(s uint64, sc float64) Figure { return Fig567(5, s, sc) },
+	"fig6":  func(s uint64, sc float64) Figure { return Fig567(6, s, sc) },
+	"fig7":  func(s uint64, sc float64) Figure { return Fig567(7, s, sc) },
+	"t3":    Table3,
+	"fig8":  Fig8,
+	"a2":    AblationL,
+	"a3":    AblationSelection,
+	"aK":    AblationKHDN,
+	"aP":    AblationPlacement,
+	"aD":    AblationDutyCache,
+	"aC":    AblationCheckpoint,
+	"aS":    AblationAggregate,
+}
+
+// IDs returns all known figure IDs in stable order.
+func IDs() []string {
+	out := make([]string, 0, len(builders))
+	for id := range builders {
+		out = append(out, id)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Get builds the figure with the given ID.
+func Get(id string, seed uint64, scale float64) (Figure, error) {
+	b, ok := builders[id]
+	if !ok {
+		return Figure{}, fmt.Errorf("experiment: unknown figure %q (have %v)", id, IDs())
+	}
+	if scale <= 0 || scale > 1 {
+		return Figure{}, fmt.Errorf("experiment: scale %v outside (0,1]", scale)
+	}
+	return b(seed, scale), nil
+}
+
+// ShortenFor reduces every run's duration (used by unit tests and
+// smoke benches; the paper's day-long duration stays the default).
+func (f Figure) ShortenFor(d sim.Time) Figure {
+	for i := range f.Runs {
+		f.Runs[i].Cfg.Duration = d
+	}
+	return f
+}

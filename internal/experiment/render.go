@@ -1,0 +1,100 @@
+package experiment
+
+import (
+	"fmt"
+	"io"
+	"strings"
+
+	"pidcan/internal/metrics"
+)
+
+// Render writes the figure's data in the paper's presentation:
+// per-protocol hourly series for the figures, the metric×scale grid
+// for Table III, and a summary grid for ablations.
+func (fr *FigureResult) Render(w io.Writer) {
+	fmt.Fprintf(w, "== %s ==\n", fr.Title)
+	switch fr.Kind {
+	case "table3":
+		fr.renderTable3(w)
+	case "ablation":
+		fr.renderSummary(w)
+	default:
+		fr.renderSeries(w, "T-Ratio", func(s metrics.Sample) float64 { return s.TRatio })
+		fr.renderSeries(w, "F-Ratio", func(s metrics.Sample) float64 { return s.FRatio })
+		fr.renderSeries(w, "Fairness", func(s metrics.Sample) float64 { return s.Fairness })
+		fr.renderSummary(w)
+	}
+}
+
+// renderSeries prints one metric as rows of hourly values, one row
+// per run — the textual equivalent of the paper's line plots.
+func (fr *FigureResult) renderSeries(w io.Writer, name string, pick func(metrics.Sample) float64) {
+	fmt.Fprintf(w, "-- %s over time (hours) --\n", name)
+	// Header from the first run's sample times.
+	if len(fr.Results) == 0 {
+		return
+	}
+	ref := fr.Results[0].Rec.Series()
+	fmt.Fprintf(w, "%-18s", "protocol\\hour")
+	for _, s := range ref {
+		fmt.Fprintf(w, "%7.0f", s.At.Hours())
+	}
+	fmt.Fprintln(w)
+	for i, res := range fr.Results {
+		fmt.Fprintf(w, "%-18s", fr.Runs[i].Label)
+		for _, s := range res.Rec.Series() {
+			fmt.Fprintf(w, "%7.3f", pick(s))
+		}
+		fmt.Fprintln(w)
+	}
+}
+
+// renderTable3 prints Table III's grid: metrics down, scales across.
+func (fr *FigureResult) renderTable3(w io.Writer) {
+	fmt.Fprintf(w, "%-20s", "metric\\scale")
+	for i := range fr.Results {
+		fmt.Fprintf(w, "%10s", fr.Runs[i].Label)
+	}
+	fmt.Fprintln(w)
+	row := func(name string, f func(i int) string) {
+		fmt.Fprintf(w, "%-20s", name)
+		for i := range fr.Results {
+			fmt.Fprintf(w, "%10s", f(i))
+		}
+		fmt.Fprintln(w)
+	}
+	row("throughput ratio", func(i int) string {
+		return fmt.Sprintf("%.3f", fr.Results[i].Rec.TRatio())
+	})
+	row("failed task ratio", func(i int) string {
+		return fmt.Sprintf("%.1f%%", fr.Results[i].Rec.FRatio()*100)
+	})
+	row("fairness index", func(i int) string {
+		return fmt.Sprintf("%.3f", fr.Results[i].Rec.Fairness())
+	})
+	row("msg delivery cost", func(i int) string {
+		n := fr.Results[i].FinalNodes
+		return fmt.Sprintf("%.0f", fr.Results[i].Rec.DeliveryCostPerNode(n))
+	})
+}
+
+// renderSummary prints the end-of-run scalars for every run.
+func (fr *FigureResult) renderSummary(w io.Writer) {
+	fmt.Fprintf(w, "-- end-of-run summary --\n")
+	fmt.Fprintf(w, "%-22s %8s %8s %9s %9s %9s %9s %10s %11s\n",
+		"run", "T-Ratio", "F-Ratio", "unplaced", "fairness", "msg/node", "tasks", "hops/query", "delay-p95/s")
+	for i, res := range fr.Results {
+		rec := res.Rec
+		fmt.Fprintf(w, "%-22s %8.3f %8.4f %9.3f %9.3f %9.0f %9d %10.1f %11.2f\n",
+			fr.Runs[i].Label, rec.TRatio(), rec.FRatio(), rec.UnplacedRatio(), rec.Fairness(),
+			rec.DeliveryCostPerNode(res.FinalNodes), rec.Generated, rec.MeanQueryHops(),
+			rec.QueryDelayStats().P95)
+	}
+}
+
+// Summary returns the end-of-run scalars as a string (bench output).
+func (fr *FigureResult) Summary() string {
+	var b strings.Builder
+	fr.renderSummary(&b)
+	return b.String()
+}

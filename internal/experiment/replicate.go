@@ -1,0 +1,130 @@
+package experiment
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"runtime"
+	"sync"
+
+	"pidcan/internal/cloud"
+)
+
+// Replicated holds per-run statistics across seed replications.
+type Replicated struct {
+	Figure
+	// Seeds are the replication seeds, in order.
+	Seeds []uint64
+	// PerSeed[s][r] is the result of run r under seed s.
+	PerSeed [][]*cloud.Result
+}
+
+// ExecuteReplicated runs the figure once per seed (each replication
+// re-derives every run's config with that seed) on a shared worker
+// pool and returns all results for statistical summaries. Replicated
+// figures quantify the run-to-run variance that a single-seed figure
+// hides.
+func ExecuteReplicated(build func(seed uint64) (Figure, error), seeds []uint64, workers int) (*Replicated, error) {
+	if len(seeds) == 0 {
+		return nil, fmt.Errorf("experiment: no seeds")
+	}
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	first, err := build(seeds[0])
+	if err != nil {
+		return nil, err
+	}
+	rep := &Replicated{
+		Figure:  first,
+		Seeds:   append([]uint64(nil), seeds...),
+		PerSeed: make([][]*cloud.Result, len(seeds)),
+	}
+	type job struct{ s, r int }
+	var jobs []job
+	figs := make([]Figure, len(seeds))
+	for si, seed := range seeds {
+		f, err := build(seed)
+		if err != nil {
+			return nil, err
+		}
+		if len(f.Runs) != len(first.Runs) {
+			return nil, fmt.Errorf("experiment: replication %d has %d runs, want %d", si, len(f.Runs), len(first.Runs))
+		}
+		figs[si] = f
+		rep.PerSeed[si] = make([]*cloud.Result, len(f.Runs))
+		for ri := range f.Runs {
+			jobs = append(jobs, job{si, ri})
+		}
+	}
+	errs := make([]error, len(jobs))
+	sem := make(chan struct{}, workers)
+	var wg sync.WaitGroup
+	for ji, j := range jobs {
+		ji, j := ji, j
+		wg.Add(1)
+		sem <- struct{}{}
+		go func() {
+			defer wg.Done()
+			defer func() { <-sem }()
+			s, err := cloud.New(figs[j.s].Runs[j.r].Cfg)
+			if err != nil {
+				errs[ji] = err
+				return
+			}
+			rep.PerSeed[j.s][j.r] = s.Run()
+			if err := s.CheckInvariants(); err != nil {
+				errs[ji] = err
+			}
+		}()
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return rep, nil
+}
+
+// meanStd returns the mean and sample standard deviation of xs.
+func meanStd(xs []float64) (mean, std float64) {
+	if len(xs) == 0 {
+		return 0, 0
+	}
+	for _, x := range xs {
+		mean += x
+	}
+	mean /= float64(len(xs))
+	if len(xs) < 2 {
+		return mean, 0
+	}
+	for _, x := range xs {
+		std += (x - mean) * (x - mean)
+	}
+	return mean, math.Sqrt(std / float64(len(xs)-1))
+}
+
+// Render writes per-run mean ± sd of the headline metrics across the
+// replications.
+func (rep *Replicated) Render(w io.Writer) {
+	fmt.Fprintf(w, "== %s — %d seed replications ==\n", rep.Title, len(rep.Seeds))
+	fmt.Fprintf(w, "%-22s %17s %17s %17s %17s\n",
+		"run", "T-Ratio", "F-Ratio", "unplaced", "fairness")
+	for ri := range rep.Runs {
+		var ts, fs, us, js []float64
+		for si := range rep.Seeds {
+			rec := rep.PerSeed[si][ri].Rec
+			ts = append(ts, rec.TRatio())
+			fs = append(fs, rec.FRatio())
+			us = append(us, rec.UnplacedRatio())
+			js = append(js, rec.Fairness())
+		}
+		cell := func(xs []float64) string {
+			m, s := meanStd(xs)
+			return fmt.Sprintf("%.3f ± %.3f", m, s)
+		}
+		fmt.Fprintf(w, "%-22s %17s %17s %17s %17s\n",
+			rep.Runs[ri].Label, cell(ts), cell(fs), cell(us), cell(js))
+	}
+}

@@ -1,0 +1,54 @@
+package experiment
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+
+	"pidcan/internal/cloud"
+)
+
+// FigureResult couples a figure with its executed runs.
+type FigureResult struct {
+	Figure
+	Results []*cloud.Result
+}
+
+// Execute runs the figure's simulations on a worker pool of the
+// given width (<= 0 means GOMAXPROCS). Each simulation is fully
+// independent — its own engine, RNG streams and overlay — so the
+// fan-out is embarrassingly parallel; results land in run order.
+func Execute(f Figure, workers int) (*FigureResult, error) {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	results := make([]*cloud.Result, len(f.Runs))
+	errs := make([]error, len(f.Runs))
+	sem := make(chan struct{}, workers)
+	var wg sync.WaitGroup
+	for i := range f.Runs {
+		i := i
+		wg.Add(1)
+		sem <- struct{}{}
+		go func() {
+			defer wg.Done()
+			defer func() { <-sem }()
+			s, err := cloud.New(f.Runs[i].Cfg)
+			if err != nil {
+				errs[i] = fmt.Errorf("run %q: %w", f.Runs[i].Label, err)
+				return
+			}
+			results[i] = s.Run()
+			if err := s.CheckInvariants(); err != nil {
+				errs[i] = fmt.Errorf("run %q: %w", f.Runs[i].Label, err)
+			}
+		}()
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return &FigureResult{Figure: f, Results: results}, nil
+}

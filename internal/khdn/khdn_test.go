@@ -1,0 +1,274 @@
+package khdn
+
+import (
+	"testing"
+
+	"pidcan/internal/metrics"
+	"pidcan/internal/proto"
+	"pidcan/internal/prototest"
+	"pidcan/internal/sim"
+	"pidcan/internal/vector"
+)
+
+func runKHDN(t testing.TB, n int, seed uint64) (*prototest.Env, *KHDN) {
+	t.Helper()
+	cmax := vector.Of(10, 10)
+	env := prototest.New(2, n, cmax, seed)
+	nodes := env.Net.Nodes()
+	for i, id := range nodes {
+		f := 1 + 8*float64(i)/float64(len(nodes))
+		env.Avail[id] = vector.Of(f, f)
+	}
+	k, err := New(env, Default())
+	if err != nil {
+		t.Fatal(err)
+	}
+	k.Start()
+	env.Eng.Run(30 * sim.Minute)
+	return env, k
+}
+
+func TestConfigValidate(t *testing.T) {
+	if err := Default().Validate(); err != nil {
+		t.Errorf("default invalid: %v", err)
+	}
+	if err := (Config{K: 0, StateCycle: sim.Second, StateTTL: sim.Second}).Validate(); err == nil {
+		t.Error("K=0 validated")
+	}
+	if err := (Config{K: 1, StateCycle: 0, StateTTL: sim.Second}).Validate(); err == nil {
+		t.Error("zero cycle validated")
+	}
+	if _, err := New(prototest.New(2, 2, vector.Of(1, 1), 1), Config{}); err == nil {
+		t.Error("New accepted invalid config")
+	}
+	if (&KHDN{}).Name() != "KHDN-CAN" {
+		t.Error("Name wrong")
+	}
+}
+
+func TestStateReplication(t *testing.T) {
+	env, k := runKHDN(t, 64, 1)
+	// Records must be replicated: total cached records exceed the
+	// number of alive nodes (each record sits on > 1 cache).
+	total := 0
+	for _, id := range env.Net.Nodes() {
+		total += k.CacheLen(id)
+	}
+	if total <= len(env.Net.Nodes()) {
+		t.Errorf("only %d cached records for %d nodes — no replication", total, len(env.Net.Nodes()))
+	}
+	if env.Rec.MessageCount(metrics.MsgStateUpdate) == 0 {
+		t.Error("no state messages")
+	}
+}
+
+func TestQueryFindsQualified(t *testing.T) {
+	env, k := runKHDN(t, 128, 2)
+	var res proto.QueryResult
+	got := false
+	k.Query(env.Net.Nodes()[0], vector.Of(5, 5), 2, func(r proto.QueryResult) {
+		res = r
+		got = true
+	})
+	env.Eng.Run(env.Eng.Now() + 5*sim.Minute)
+	if !got {
+		t.Fatal("query never resolved")
+	}
+	if len(res.Candidates) == 0 {
+		t.Fatal("no candidates found")
+	}
+	for _, c := range res.Candidates {
+		if !c.Avail.Dominates(vector.Of(5, 5)) {
+			t.Errorf("unqualified candidate %+v", c)
+		}
+	}
+	if res.Hops == 0 {
+		t.Error("query consumed no messages")
+	}
+}
+
+func TestQueryImpossibleDemand(t *testing.T) {
+	env, k := runKHDN(t, 64, 3)
+	got := false
+	k.Query(env.Net.Nodes()[1], vector.Of(9.9, 9.9), 2, func(r proto.QueryResult) {
+		got = true
+		if len(r.Candidates) != 0 {
+			t.Errorf("impossible demand matched: %+v", r.Candidates)
+		}
+	})
+	env.Eng.Run(env.Eng.Now() + 5*sim.Minute)
+	if !got {
+		t.Fatal("query never resolved")
+	}
+}
+
+func TestQueryBudgetBounded(t *testing.T) {
+	env, k := runKHDN(t, 128, 4)
+	got := false
+	k.Query(env.Net.Nodes()[0], vector.Of(9.7, 9.7), 8, func(r proto.QueryResult) {
+		got = true
+		// Routing (≈log n) + probe budget (K·d·2 = 8) + notify.
+		if r.Hops > 40 {
+			t.Errorf("query used %d hops — probe budget not enforced", r.Hops)
+		}
+	})
+	env.Eng.Run(env.Eng.Now() + 5*sim.Minute)
+	if !got {
+		t.Fatal("query never resolved")
+	}
+}
+
+func TestQueryNeverReturnsRequester(t *testing.T) {
+	env, k := runKHDN(t, 64, 5)
+	for _, id := range env.Net.Nodes()[:6] {
+		got := false
+		k.Query(id, vector.Of(4, 4), 3, func(r proto.QueryResult) {
+			got = true
+			for _, c := range r.Candidates {
+				if c.Node == id {
+					t.Errorf("query returned requester %d", id)
+				}
+			}
+		})
+		env.Eng.Run(env.Eng.Now() + 5*sim.Minute)
+		if !got {
+			t.Fatal("query never resolved")
+		}
+	}
+}
+
+func TestNodeLeftCleansCache(t *testing.T) {
+	env, k := runKHDN(t, 32, 6)
+	id := env.Net.Nodes()[4]
+	env.Kill(id)
+	k.NodeLeft(id)
+	if k.CacheLen(id) != 0 {
+		t.Error("cache survived NodeLeft")
+	}
+	k.NodeLeft(id) // idempotent
+	// Queries still resolve.
+	got := false
+	k.Query(env.AliveNodes()[0], vector.Of(5, 5), 2, func(proto.QueryResult) { got = true })
+	env.Eng.Run(env.Eng.Now() + 5*sim.Minute)
+	if !got {
+		t.Fatal("query after departure never resolved")
+	}
+}
+
+func TestDeadRequester(t *testing.T) {
+	env, k := runKHDN(t, 32, 7)
+	id := env.Net.Nodes()[3]
+	env.Kill(id)
+	k.NodeLeft(id)
+	got := false
+	k.Query(id, vector.Of(5, 5), 1, func(r proto.QueryResult) {
+		got = true
+		if len(r.Candidates) != 0 {
+			t.Error("dead requester got candidates")
+		}
+	})
+	if !got {
+		t.Fatal("dead-requester query must resolve synchronously")
+	}
+}
+
+func BenchmarkKHDNQuery(b *testing.B) {
+	cmax := vector.Of(10, 10)
+	env := prototest.New(2, 256, cmax, 8)
+	nodes := env.Net.Nodes()
+	for i, id := range nodes {
+		f := 1 + 8*float64(i)/float64(len(nodes))
+		env.Avail[id] = vector.Of(f, f)
+	}
+	k, err := New(env, Default())
+	if err != nil {
+		b.Fatal(err)
+	}
+	k.Start()
+	env.Eng.Run(30 * sim.Minute)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		done := false
+		k.Query(nodes[i%len(nodes)], vector.Of(5, 5), 3, func(proto.QueryResult) { done = true })
+		env.Eng.Run(env.Eng.Now() + 5*sim.Minute)
+		if !done {
+			b.Fatal("query did not resolve")
+		}
+	}
+}
+
+func TestReplicationChainStaysNegative(t *testing.T) {
+	// Replicas must only ever land on nodes in the negative
+	// direction of the record's duty zone along some dimension
+	// chain; verify by planting one record and inspecting who holds
+	// copies.
+	cmax := vector.Of(10, 10)
+	env := prototest.New(2, 64, cmax, 11)
+	k, err := New(env, Default())
+	if err != nil {
+		t.Fatal(err)
+	}
+	k.Start()
+	// One distinctive node announces; everyone else stays at the
+	// default availability (cmax/2 → same duty zone for all).
+	env.Avail[5] = vector.Of(9.5, 2.5)
+	k.stateUpdate(5)
+	env.Eng.Run(10 * sim.Second)
+	holders := 0
+	for _, id := range env.Net.Nodes() {
+		if c, ok := k.caches[id]; ok {
+			for _, r := range c.Records(env.Eng.Now()) {
+				if r.Node == 5 {
+					holders++
+				}
+			}
+		}
+	}
+	if holders < 2 {
+		t.Errorf("record replicated to %d holders, want >= 2 (duty + chain)", holders)
+	}
+}
+
+func TestQueryBudgetScalesWithK(t *testing.T) {
+	cmax := vector.Of(10, 10)
+	env := prototest.New(2, 64, cmax, 12)
+	cfg := Default()
+	cfg.K = 1
+	k, err := New(env, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	k.Start()
+	env.Eng.Run(20 * sim.Minute)
+	got := false
+	k.Query(env.Net.Nodes()[0], vector.Of(9.9, 9.9), 3, func(r proto.QueryResult) {
+		got = true
+		// K=1, d=2 → probe budget 4 plus routing and notify.
+		if r.Hops > 25 {
+			t.Errorf("K=1 query used %d hops", r.Hops)
+		}
+	})
+	env.Eng.Run(env.Eng.Now() + 5*sim.Minute)
+	if !got {
+		t.Fatal("query never resolved")
+	}
+}
+
+func TestChurnDuringQuery(t *testing.T) {
+	env, k := runKHDN(t, 64, 13)
+	// Kill half the nodes, then query: drop paths must be taken and
+	// the query still resolves.
+	nodes := env.Net.Nodes()
+	for i, id := range nodes {
+		if i%2 == 1 && len(env.AliveNodes()) > 4 {
+			env.Kill(id)
+			k.NodeLeft(id)
+		}
+	}
+	got := false
+	k.Query(env.AliveNodes()[0], vector.Of(5, 5), 2, func(proto.QueryResult) { got = true })
+	env.Eng.Run(env.Eng.Now() + 5*sim.Minute)
+	if !got {
+		t.Fatal("query never resolved after churn")
+	}
+}

@@ -1,0 +1,59 @@
+package metrics
+
+import (
+	"math"
+	"sort"
+
+	"pidcan/internal/sim"
+)
+
+// DelayStats summarizes a latency distribution in seconds.
+type DelayStats struct {
+	Count         int
+	Mean          float64
+	P50, P95, P99 float64
+	Max           float64
+}
+
+// ObserveQueryDelay records the wall time one discovery query took
+// from submission to resolution — the "query delay" the paper bounds
+// to O(log2 n) network hops.
+func (r *Recorder) ObserveQueryDelay(d sim.Time) {
+	r.queryDelays = append(r.queryDelays, d.Seconds())
+}
+
+// QueryDelayStats summarizes the recorded query delays.
+func (r *Recorder) QueryDelayStats() DelayStats {
+	return summarize(r.queryDelays)
+}
+
+func summarize(xs []float64) DelayStats {
+	if len(xs) == 0 {
+		return DelayStats{}
+	}
+	s := make([]float64, len(xs))
+	copy(s, xs)
+	sort.Float64s(s)
+	sum := 0.0
+	for _, x := range s {
+		sum += x
+	}
+	pct := func(p float64) float64 {
+		i := int(math.Ceil(p*float64(len(s)))) - 1
+		if i < 0 {
+			i = 0
+		}
+		if i >= len(s) {
+			i = len(s) - 1
+		}
+		return s[i]
+	}
+	return DelayStats{
+		Count: len(s),
+		Mean:  sum / float64(len(s)),
+		P50:   pct(0.50),
+		P95:   pct(0.95),
+		P99:   pct(0.99),
+		Max:   s[len(s)-1],
+	}
+}

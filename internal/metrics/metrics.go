@@ -1,0 +1,288 @@
+// Package metrics implements the paper's evaluation metrics (§II and
+// §IV.A): throughput ratio T-Ratio(t), failed task ratio F-Ratio(t),
+// Jain's fairness index over task execution efficiencies (Eq. 4),
+// and the per-node message delivery cost used by Table III.
+package metrics
+
+import (
+	"fmt"
+	"sort"
+
+	"pidcan/internal/sim"
+)
+
+// MsgKind classifies protocol messages for the delivery-cost metric.
+type MsgKind int
+
+// Message kinds counted by the recorder. The paper's "message
+// delivery cost" sums all kinds per node (§IV.B: "the summed number
+// of various messages (including state-update message, duty-query
+// message, index-jump message, index-agent message, etc.)
+// sent/forwarded per node").
+const (
+	MsgStateUpdate MsgKind = iota
+	MsgDutyQuery
+	MsgIndexAgent
+	MsgIndexJump
+	MsgIndexDiffusion
+	MsgFoundNotify
+	MsgGossip
+	MsgMaintenance
+	MsgPlacement
+	MsgAggregate
+	numMsgKinds
+)
+
+var msgKindNames = [...]string{
+	"state-update",
+	"duty-query",
+	"index-agent",
+	"index-jump",
+	"index-diffusion",
+	"found-notify",
+	"gossip",
+	"maintenance",
+	"placement",
+	"aggregate",
+}
+
+func (k MsgKind) String() string {
+	if k < 0 || int(k) >= len(msgKindNames) {
+		return fmt.Sprintf("msgkind(%d)", int(k))
+	}
+	return msgKindNames[k]
+}
+
+// Jain computes Jain's fairness index of xs: (Σx)²/(n·Σx²). The
+// optional denominator count n overrides len(xs) when the paper's
+// formula divides by the number of *generated* tasks rather than the
+// number of finished ones. Jain of an empty sample is 0.
+func Jain(xs []float64, n int) float64 {
+	if n <= 0 {
+		n = len(xs)
+	}
+	if n == 0 || len(xs) == 0 {
+		return 0
+	}
+	var sum, sumSq float64
+	for _, x := range xs {
+		sum += x
+		sumSq += x * x
+	}
+	if sumSq == 0 {
+		return 0
+	}
+	return sum * sum / (float64(n) * sumSq)
+}
+
+// Sample is one point of an hourly time series.
+type Sample struct {
+	At       sim.Time
+	TRatio   float64 // finished / generated
+	FRatio   float64 // unmatchable / generated
+	Fairness float64 // Jain index per Eq. (4)
+}
+
+// Recorder accumulates task outcomes and message counts during a run
+// and produces the paper's metrics. One recorder per simulation run;
+// not safe for concurrent use (runs are single-goroutine).
+type Recorder struct {
+	Generated int64 // tasks submitted
+	Finished  int64 // tasks completed
+	Failed    int64 // tasks that found no qualified node (F-Ratio numerator)
+	Lost      int64 // tasks killed by churn (not failed, not finished)
+	// Unplaced counts tasks whose discovery DID return qualified
+	// records but whose placement was rejected (stale records,
+	// admission races) until the retry budget ran out. The paper's
+	// F-Ratio explicitly counts only tasks that "cannot find any
+	// qualified nodes", so unplaced tasks depress T-Ratio but are
+	// not query failures.
+	Unplaced int64
+	// Recovered counts checkpoint recoveries: tasks whose execution
+	// node churned away and that were re-queued with their residual
+	// work (the §VI fault-tolerance extension). A recovered task is
+	// still pending and later counts as finished/failed/… normally.
+	Recovered int64
+
+	// EmptyQueries counts resolved queries that returned no
+	// candidates; PlacementAttempts/PlacementRejects count
+	// placement requests and Inequality-(2) re-validation failures
+	// (the contention signal).
+	EmptyQueries      int64
+	PlacementAttempts int64
+	PlacementRejects  int64
+
+	efficiencies []float64 // e_ij per finished task
+	queryDelays  []float64 // seconds per resolved query
+	msgs         [numMsgKinds]int64
+	queryHops    int64 // total routing hops spent by resolved queries
+	queries      int64 // resolved queries (for mean hop count)
+	series       []Sample
+}
+
+// NewRecorder returns an empty recorder.
+func NewRecorder() *Recorder { return &Recorder{} }
+
+// TaskGenerated records a task submission.
+func (r *Recorder) TaskGenerated() { r.Generated++ }
+
+// TaskFinished records a completed task with execution efficiency
+// e_ij = expected execution time / real completion time.
+func (r *Recorder) TaskFinished(efficiency float64) {
+	r.Finished++
+	r.efficiencies = append(r.efficiencies, efficiency)
+}
+
+// TaskFailed records a task for which discovery found no qualified
+// node (after retries). This is the F-Ratio numerator.
+func (r *Recorder) TaskFailed() { r.Failed++ }
+
+// TaskLost records a task killed because its execution node churned
+// away. Lost tasks lower T-Ratio but are not query failures.
+func (r *Recorder) TaskLost() { r.Lost++ }
+
+// TaskUnplaced records a task that found qualified records but could
+// not be admitted anywhere within the retry budget.
+func (r *Recorder) TaskUnplaced() { r.Unplaced++ }
+
+// TaskRecovered records a checkpoint recovery.
+func (r *Recorder) TaskRecovered() { r.Recovered++ }
+
+// UnplacedRatio returns unplaced / generated.
+func (r *Recorder) UnplacedRatio() float64 {
+	if r.Generated == 0 {
+		return 0
+	}
+	return float64(r.Unplaced) / float64(r.Generated)
+}
+
+// Message records one sent/forwarded message of the given kind.
+func (r *Recorder) Message(kind MsgKind) { r.msgs[kind]++ }
+
+// Messages records n sent/forwarded messages of the given kind.
+func (r *Recorder) Messages(kind MsgKind, n int64) { r.msgs[kind] += n }
+
+// QueryResolved records that one query finished after the given
+// number of network hops (successful or not).
+func (r *Recorder) QueryResolved(hops int) {
+	r.queries++
+	r.queryHops += int64(hops)
+}
+
+// TRatio returns the current throughput ratio.
+func (r *Recorder) TRatio() float64 {
+	if r.Generated == 0 {
+		return 0
+	}
+	return float64(r.Finished) / float64(r.Generated)
+}
+
+// FRatio returns the current failed-task ratio.
+func (r *Recorder) FRatio() float64 {
+	if r.Generated == 0 {
+		return 0
+	}
+	return float64(r.Failed) / float64(r.Generated)
+}
+
+// Fairness returns Jain's index over the execution efficiencies of
+// finished tasks — the quantity the paper's fairness figures plot.
+// Eq. (4) as printed divides by the number of *generated* tasks, but
+// that form is bounded above by T-Ratio (Cauchy–Schwarz), which the
+// reported curves exceed (e.g. fairness ≈ 0.9 with T ≈ 0.74 in Fig.
+// 7), so the plotted quantity must be the standard finished-task
+// Jain index. The literal form is available as FairnessEq4.
+func (r *Recorder) Fairness() float64 {
+	return Jain(r.efficiencies, 0)
+}
+
+// FairnessEq4 returns the literal Eq. (4) value with the
+// generated-task denominator (≤ T-Ratio by Cauchy–Schwarz).
+func (r *Recorder) FairnessEq4() float64 {
+	return Jain(r.efficiencies, int(r.Generated))
+}
+
+// MessageTotal returns the total number of messages of all kinds.
+func (r *Recorder) MessageTotal() int64 {
+	var t int64
+	for _, c := range r.msgs {
+		t += c
+	}
+	return t
+}
+
+// MessageCount returns the count for one kind.
+func (r *Recorder) MessageCount(kind MsgKind) int64 { return r.msgs[kind] }
+
+// MessageBreakdown returns kind→count for all non-zero kinds, sorted
+// by kind, for reports.
+func (r *Recorder) MessageBreakdown() []struct {
+	Kind  MsgKind
+	Count int64
+} {
+	var out []struct {
+		Kind  MsgKind
+		Count int64
+	}
+	for k := MsgKind(0); k < numMsgKinds; k++ {
+		if r.msgs[k] > 0 {
+			out = append(out, struct {
+				Kind  MsgKind
+				Count int64
+			}{k, r.msgs[k]})
+		}
+	}
+	return out
+}
+
+// DeliveryCostPerNode returns MessageTotal()/n — Table III's "msg
+// delivery cost" (messages sent/forwarded per node over the run).
+func (r *Recorder) DeliveryCostPerNode(n int) float64 {
+	if n == 0 {
+		return 0
+	}
+	return float64(r.MessageTotal()) / float64(n)
+}
+
+// MeanQueryHops returns the average routing hops per resolved query.
+func (r *Recorder) MeanQueryHops() float64 {
+	if r.queries == 0 {
+		return 0
+	}
+	return float64(r.queryHops) / float64(r.queries)
+}
+
+// Queries returns the number of resolved queries.
+func (r *Recorder) Queries() int64 { return r.queries }
+
+// Snapshot appends a time-series sample at the given simulation time.
+func (r *Recorder) Snapshot(at sim.Time) {
+	r.series = append(r.series, Sample{
+		At:       at,
+		TRatio:   r.TRatio(),
+		FRatio:   r.FRatio(),
+		Fairness: r.Fairness(),
+	})
+}
+
+// Series returns the recorded samples in time order.
+func (r *Recorder) Series() []Sample {
+	out := make([]Sample, len(r.series))
+	copy(out, r.series)
+	sort.Slice(out, func(i, j int) bool { return out[i].At < out[j].At })
+	return out
+}
+
+// Efficiencies returns a copy of the recorded per-task efficiencies.
+func (r *Recorder) Efficiencies() []float64 {
+	out := make([]float64, len(r.efficiencies))
+	copy(out, r.efficiencies)
+	return out
+}
+
+// Accounted returns finished+failed+lost+unplaced — used by
+// conservation checks (accounted ≤ generated; the remainder is
+// queued/running).
+func (r *Recorder) Accounted() int64 {
+	return r.Finished + r.Failed + r.Lost + r.Unplaced
+}

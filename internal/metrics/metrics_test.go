@@ -1,0 +1,227 @@
+package metrics
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"pidcan/internal/sim"
+)
+
+func TestJainBasics(t *testing.T) {
+	if got := Jain(nil, 0); got != 0 {
+		t.Errorf("Jain(nil) = %v", got)
+	}
+	if got := Jain([]float64{1, 1, 1, 1}, 0); math.Abs(got-1) > 1e-12 {
+		t.Errorf("Jain(equal) = %v, want 1", got)
+	}
+	// Classic example: one user hogging => 1/n.
+	if got := Jain([]float64{1, 0, 0, 0}, 0); math.Abs(got-0.25) > 1e-12 {
+		t.Errorf("Jain(hog) = %v, want 0.25", got)
+	}
+	// Denominator override (paper Eq. 4 uses generated count).
+	if got := Jain([]float64{1, 1}, 4); math.Abs(got-0.5) > 1e-12 {
+		t.Errorf("Jain override = %v, want 0.5", got)
+	}
+	if got := Jain([]float64{0, 0}, 0); got != 0 {
+		t.Errorf("Jain(zeros) = %v", got)
+	}
+}
+
+// Property: Jain index lies in (0, 1] for positive samples and is
+// scale-invariant.
+func TestJainProperties(t *testing.T) {
+	cfg := &quick.Config{MaxCount: 300}
+	inRange := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 1 + r.Intn(40)
+		xs := make([]float64, n)
+		for i := range xs {
+			xs[i] = r.Float64() + 1e-9
+		}
+		j := Jain(xs, 0)
+		return j > 0 && j <= 1+1e-12
+	}
+	if err := quick.Check(inRange, cfg); err != nil {
+		t.Error(err)
+	}
+	scaleInv := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 1 + r.Intn(40)
+		xs := make([]float64, n)
+		ys := make([]float64, n)
+		s := r.Float64()*10 + 0.1
+		for i := range xs {
+			xs[i] = r.Float64() + 1e-9
+			ys[i] = xs[i] * s
+		}
+		return math.Abs(Jain(xs, 0)-Jain(ys, 0)) < 1e-9
+	}
+	if err := quick.Check(scaleInv, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRecorderRatios(t *testing.T) {
+	r := NewRecorder()
+	if r.TRatio() != 0 || r.FRatio() != 0 {
+		t.Error("empty recorder ratios should be 0")
+	}
+	for i := 0; i < 10; i++ {
+		r.TaskGenerated()
+	}
+	for i := 0; i < 4; i++ {
+		r.TaskFinished(1.0)
+	}
+	r.TaskFailed()
+	r.TaskFailed()
+	r.TaskLost()
+	if got := r.TRatio(); got != 0.4 {
+		t.Errorf("TRatio = %v", got)
+	}
+	if got := r.FRatio(); got != 0.2 {
+		t.Errorf("FRatio = %v", got)
+	}
+	if got := r.Accounted(); got != 7 {
+		t.Errorf("Accounted = %v", got)
+	}
+	if r.Generated != 10 || r.Finished != 4 || r.Failed != 2 || r.Lost != 1 {
+		t.Error("counters wrong")
+	}
+}
+
+func TestFairnessVariants(t *testing.T) {
+	r := NewRecorder()
+	for i := 0; i < 4; i++ {
+		r.TaskGenerated()
+	}
+	r.TaskFinished(1.0)
+	r.TaskFinished(1.0)
+	// Literal Eq. (4): (2)^2 / (4 * 2) = 0.5.
+	if got := r.FairnessEq4(); math.Abs(got-0.5) > 1e-12 {
+		t.Errorf("FairnessEq4 = %v, want 0.5", got)
+	}
+	// Plotted (finished-denominator) form: (2)^2 / (2 * 2) = 1.
+	if got := r.Fairness(); math.Abs(got-1) > 1e-12 {
+		t.Errorf("Fairness = %v, want 1", got)
+	}
+	effs := r.Efficiencies()
+	if len(effs) != 2 {
+		t.Fatalf("Efficiencies = %v", effs)
+	}
+	effs[0] = 99 // must not alias internal state
+	if r.Efficiencies()[0] == 99 {
+		t.Error("Efficiencies aliases internal slice")
+	}
+}
+
+func TestMessageAccounting(t *testing.T) {
+	r := NewRecorder()
+	r.Message(MsgStateUpdate)
+	r.Message(MsgStateUpdate)
+	r.Messages(MsgIndexJump, 5)
+	r.Message(MsgGossip)
+	if got := r.MessageTotal(); got != 8 {
+		t.Errorf("MessageTotal = %d", got)
+	}
+	if got := r.MessageCount(MsgIndexJump); got != 5 {
+		t.Errorf("MessageCount(jump) = %d", got)
+	}
+	if got := r.DeliveryCostPerNode(4); got != 2 {
+		t.Errorf("DeliveryCostPerNode = %v", got)
+	}
+	if got := r.DeliveryCostPerNode(0); got != 0 {
+		t.Errorf("DeliveryCostPerNode(0) = %v", got)
+	}
+	bd := r.MessageBreakdown()
+	if len(bd) != 3 {
+		t.Fatalf("breakdown = %v", bd)
+	}
+	if bd[0].Kind != MsgStateUpdate || bd[0].Count != 2 {
+		t.Errorf("breakdown[0] = %+v", bd[0])
+	}
+}
+
+func TestQueryHops(t *testing.T) {
+	r := NewRecorder()
+	if r.MeanQueryHops() != 0 {
+		t.Error("empty mean hops should be 0")
+	}
+	r.QueryResolved(4)
+	r.QueryResolved(8)
+	if got := r.MeanQueryHops(); got != 6 {
+		t.Errorf("MeanQueryHops = %v", got)
+	}
+	if r.Queries() != 2 {
+		t.Errorf("Queries = %d", r.Queries())
+	}
+}
+
+func TestSnapshotSeries(t *testing.T) {
+	r := NewRecorder()
+	r.TaskGenerated()
+	r.Snapshot(1 * sim.Hour)
+	r.TaskFinished(1)
+	r.Snapshot(2 * sim.Hour)
+	s := r.Series()
+	if len(s) != 2 {
+		t.Fatalf("series len = %d", len(s))
+	}
+	if s[0].At != 1*sim.Hour || s[0].TRatio != 0 {
+		t.Errorf("s[0] = %+v", s[0])
+	}
+	if s[1].At != 2*sim.Hour || s[1].TRatio != 1 {
+		t.Errorf("s[1] = %+v", s[1])
+	}
+}
+
+func TestMsgKindString(t *testing.T) {
+	if MsgStateUpdate.String() != "state-update" {
+		t.Errorf("String = %q", MsgStateUpdate.String())
+	}
+	if MsgKind(99).String() == "" {
+		t.Error("out-of-range kind should still render")
+	}
+}
+
+func BenchmarkJain(b *testing.B) {
+	xs := make([]float64, 10000)
+	r := rand.New(rand.NewSource(1))
+	for i := range xs {
+		xs[i] = r.Float64()
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = Jain(xs, 0)
+	}
+}
+
+func TestQueryDelayStats(t *testing.T) {
+	r := NewRecorder()
+	if got := r.QueryDelayStats(); got.Count != 0 || got.Mean != 0 {
+		t.Errorf("empty stats = %+v", got)
+	}
+	for i := 1; i <= 100; i++ {
+		r.ObserveQueryDelay(sim.Time(i) * sim.Second)
+	}
+	st := r.QueryDelayStats()
+	if st.Count != 100 {
+		t.Errorf("Count = %d", st.Count)
+	}
+	if math.Abs(st.Mean-50.5) > 1e-9 {
+		t.Errorf("Mean = %v", st.Mean)
+	}
+	if st.P50 != 50 || st.P95 != 95 || st.P99 != 99 || st.Max != 100 {
+		t.Errorf("stats = %+v", st)
+	}
+}
+
+func TestDelayStatsSingle(t *testing.T) {
+	r := NewRecorder()
+	r.ObserveQueryDelay(3 * sim.Second)
+	st := r.QueryDelayStats()
+	if st.P50 != 3 || st.P99 != 3 || st.Max != 3 || st.Count != 1 {
+		t.Errorf("stats = %+v", st)
+	}
+}

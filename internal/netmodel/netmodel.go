@@ -1,0 +1,122 @@
+// Package netmodel simulates the Internet underneath the SOC overlay
+// per the paper's experimental setting (§IV.A, Table I): nodes are
+// grouped into LANs; two nodes in the same LAN communicate at LAN
+// bandwidth/latency, nodes in different LANs communicate over the
+// WAN ("each network delay takes about 200 milliseconds on the WAN").
+package netmodel
+
+import (
+	"fmt"
+
+	"pidcan/internal/sim"
+)
+
+// Config parameterizes the network model. Zero fields are filled by
+// Default().
+type Config struct {
+	// LANSize is the average number of nodes per LAN group.
+	LANSize int
+	// Bandwidth ranges in Mbps (uniform draws), per Table I.
+	LANBandwidthMbps [2]float64
+	WANBandwidthMbps [2]float64
+	// Propagation latency ranges.
+	LANLatency [2]sim.Time
+	WANLatency [2]sim.Time
+}
+
+// Default returns the paper's Table I network setting.
+func Default() Config {
+	return Config{
+		LANSize:          50,
+		LANBandwidthMbps: [2]float64{5, 10},
+		WANBandwidthMbps: [2]float64{0.2, 2},
+		LANLatency:       [2]sim.Time{500 * sim.Microsecond, 5 * sim.Millisecond},
+		WANLatency:       [2]sim.Time{50 * sim.Millisecond, 200 * sim.Millisecond},
+	}
+}
+
+// Model assigns nodes to LANs and samples per-message delivery
+// delays. It is driven by the run's network RNG stream, so delays
+// are deterministic per seed.
+type Model struct {
+	cfg   Config
+	rng   *sim.RNG
+	lanOf []int // node index -> LAN id
+	lanBW []float64
+	nLAN  int
+}
+
+// New builds a model for n initial nodes. More nodes can join later
+// via AddNode (churn).
+func New(cfg Config, n int, rng *sim.RNG) *Model {
+	if cfg.LANSize <= 0 {
+		panic("netmodel: LANSize must be positive")
+	}
+	m := &Model{cfg: cfg, rng: rng}
+	m.nLAN = (n + cfg.LANSize - 1) / cfg.LANSize
+	if m.nLAN == 0 {
+		m.nLAN = 1
+	}
+	for l := 0; l < m.nLAN; l++ {
+		m.lanBW = append(m.lanBW, rng.Uniform(cfg.LANBandwidthMbps[0], cfg.LANBandwidthMbps[1]))
+	}
+	m.lanOf = make([]int, n)
+	for i := range m.lanOf {
+		m.lanOf[i] = rng.IntN(m.nLAN)
+	}
+	return m
+}
+
+// AddNode assigns a LAN to a newly joined node and returns its index.
+func (m *Model) AddNode() int {
+	id := len(m.lanOf)
+	m.lanOf = append(m.lanOf, m.rng.IntN(m.nLAN))
+	return id
+}
+
+// Nodes returns the number of nodes the model knows about.
+func (m *Model) Nodes() int { return len(m.lanOf) }
+
+// LANCount returns the number of LAN groups.
+func (m *Model) LANCount() int { return m.nLAN }
+
+// LANOf returns the LAN group of node i.
+func (m *Model) LANOf(i int) int {
+	m.check(i)
+	return m.lanOf[i]
+}
+
+// SameLAN reports whether a and b share a LAN.
+func (m *Model) SameLAN(a, b int) bool {
+	m.check(a)
+	m.check(b)
+	return m.lanOf[a] == m.lanOf[b]
+}
+
+func (m *Model) check(i int) {
+	if i < 0 || i >= len(m.lanOf) {
+		panic(fmt.Sprintf("netmodel: unknown node %d (have %d)", i, len(m.lanOf)))
+	}
+}
+
+// Latency samples the end-to-end delivery delay of a sizeBytes
+// message from a to b: propagation latency plus transmission time at
+// the path bandwidth. Loopback (a == b) is free.
+func (m *Model) Latency(a, b, sizeBytes int) sim.Time {
+	if a == b {
+		return 0
+	}
+	var prop sim.Time
+	var bwMbps float64
+	if m.SameLAN(a, b) {
+		prop = sim.Time(m.rng.Uniform(float64(m.cfg.LANLatency[0]), float64(m.cfg.LANLatency[1])))
+		bwMbps = m.lanBW[m.lanOf[a]]
+	} else {
+		prop = sim.Time(m.rng.Uniform(float64(m.cfg.WANLatency[0]), float64(m.cfg.WANLatency[1])))
+		bwMbps = m.rng.Uniform(m.cfg.WANBandwidthMbps[0], m.cfg.WANBandwidthMbps[1])
+	}
+	// Mbps -> bytes/µs: 1 Mbps = 0.125 bytes/µs.
+	bytesPerUs := bwMbps * 0.125
+	tx := sim.Time(float64(sizeBytes) / bytesPerUs)
+	return prop + tx
+}

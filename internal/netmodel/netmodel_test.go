@@ -1,0 +1,134 @@
+package netmodel
+
+import (
+	"testing"
+
+	"pidcan/internal/sim"
+)
+
+func newTestModel(n int) *Model {
+	return New(Default(), n, sim.NewRNG(1, sim.StreamNetwork))
+}
+
+func TestLANAssignment(t *testing.T) {
+	m := newTestModel(200)
+	if m.Nodes() != 200 {
+		t.Fatalf("Nodes = %d", m.Nodes())
+	}
+	if m.LANCount() != 4 {
+		t.Errorf("LANCount = %d, want 4", m.LANCount())
+	}
+	for i := 0; i < 200; i++ {
+		if l := m.LANOf(i); l < 0 || l >= m.LANCount() {
+			t.Fatalf("LANOf(%d) = %d", i, l)
+		}
+	}
+}
+
+func TestSameLANConsistency(t *testing.T) {
+	m := newTestModel(100)
+	for i := 0; i < 100; i++ {
+		if !m.SameLAN(i, i) {
+			t.Fatal("node not in same LAN as itself")
+		}
+	}
+	if m.SameLAN(0, 1) != (m.LANOf(0) == m.LANOf(1)) {
+		t.Error("SameLAN inconsistent with LANOf")
+	}
+}
+
+func TestLatencyBounds(t *testing.T) {
+	m := newTestModel(300)
+	cfg := Default()
+	var sawLAN, sawWAN bool
+	for a := 0; a < 50; a++ {
+		for b := 50; b < 100; b++ {
+			lat := m.Latency(a, b, 256)
+			if lat <= 0 {
+				t.Fatalf("non-positive latency between distinct nodes: %v", lat)
+			}
+			if m.SameLAN(a, b) {
+				sawLAN = true
+				if lat < cfg.LANLatency[0] {
+					t.Errorf("LAN latency %v below floor", lat)
+				}
+				// Propagation cap + generous transmission allowance.
+				if lat > cfg.LANLatency[1]+10*sim.Millisecond {
+					t.Errorf("LAN latency %v too large", lat)
+				}
+			} else {
+				sawWAN = true
+				if lat < cfg.WANLatency[0] {
+					t.Errorf("WAN latency %v below floor", lat)
+				}
+				if lat > cfg.WANLatency[1]+100*sim.Millisecond {
+					t.Errorf("WAN latency %v too large", lat)
+				}
+			}
+		}
+	}
+	if !sawLAN || !sawWAN {
+		t.Skipf("degenerate LAN assignment (LAN=%v WAN=%v)", sawLAN, sawWAN)
+	}
+}
+
+func TestLoopbackFree(t *testing.T) {
+	m := newTestModel(10)
+	if m.Latency(3, 3, 1<<20) != 0 {
+		t.Error("loopback should be free")
+	}
+}
+
+func TestTransmissionGrowsWithSize(t *testing.T) {
+	m := newTestModel(100)
+	// Average over many samples to beat jitter.
+	var small, large sim.Time
+	for i := 0; i < 500; i++ {
+		small += m.Latency(0, 1, 100)
+	}
+	for i := 0; i < 500; i++ {
+		large += m.Latency(0, 1, 1<<20)
+	}
+	if large <= small {
+		t.Errorf("1MB avg latency %v not larger than 100B avg %v", large/500, small/500)
+	}
+}
+
+func TestAddNode(t *testing.T) {
+	m := newTestModel(10)
+	id := m.AddNode()
+	if id != 10 {
+		t.Errorf("AddNode id = %d", id)
+	}
+	if m.Nodes() != 11 {
+		t.Errorf("Nodes = %d", m.Nodes())
+	}
+	_ = m.LANOf(id) // must not panic
+}
+
+func TestUnknownNodePanics(t *testing.T) {
+	m := newTestModel(5)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	m.LANOf(99)
+}
+
+func TestDeterminism(t *testing.T) {
+	a := New(Default(), 50, sim.NewRNG(9, sim.StreamNetwork))
+	b := New(Default(), 50, sim.NewRNG(9, sim.StreamNetwork))
+	for i := 0; i < 200; i++ {
+		if a.Latency(i%50, (i*7)%50, 512) != b.Latency(i%50, (i*7)%50, 512) {
+			t.Fatal("equal seeds produced different latencies")
+		}
+	}
+}
+
+func BenchmarkLatency(b *testing.B) {
+	m := newTestModel(2000)
+	for i := 0; i < b.N; i++ {
+		_ = m.Latency(i%2000, (i*13)%2000, 512)
+	}
+}

@@ -1,0 +1,431 @@
+// Package overlay implements the CAN overlay network of the paper
+// (§III.A) extended with INSCAN index links: every node owns a zone
+// of the bounded d-dimensional space, knows its adjacent neighbors,
+// and additionally links to the nodes 2^k zone-hops away along every
+// dimension and direction (k = 0 … ⌊log2 n^{1/d}⌋), which gives
+// O(log2 n) greedy routing instead of CAN's O(n^{1/d}).
+//
+// The overlay is the ground-truth structural substrate shared by all
+// protocols of the evaluation: PID-CAN (internal/core), KHDN-CAN
+// (internal/khdn) and INSCAN-RQ all route on it; Newscast
+// (internal/gossip) ignores it by design.
+//
+// Zone bookkeeping uses the binary partition tree in internal/space;
+// joins split the zone containing a random point, departures trigger
+// the paper's zone-reassignment keeping node↔zone strictly 1:1.
+// Neighbor and index-link lookups are answered from the live tree,
+// which models CAN's periodically refreshed neighbor state; the
+// *application-level* soft state that the paper's churn experiments
+// stress — cached resource records and diffused PIList indexes — is
+// modelled with genuine staleness in internal/core.
+package overlay
+
+import (
+	"fmt"
+	"math"
+
+	"pidcan/internal/sim"
+	"pidcan/internal/space"
+)
+
+// NodeID identifies an overlay node. It doubles as the space.OwnerID
+// of the node's zone.
+type NodeID = space.OwnerID
+
+// NoNode is the absent-node sentinel.
+const NoNode NodeID = space.NoOwner
+
+// Network is the CAN/INSCAN overlay. It is not safe for concurrent
+// mutation; each simulation run drives it from one goroutine.
+type Network struct {
+	dim  int
+	tree *space.Tree
+	rng  *sim.RNG
+}
+
+// New creates an overlay of dimensionality dim whose first node
+// (owning the whole space) is first. The RNG drives join-point
+// selection and must be a dedicated overlay stream for determinism.
+func New(dim int, first NodeID, rng *sim.RNG) *Network {
+	return &Network{dim: dim, tree: space.NewTree(dim, first), rng: rng}
+}
+
+// Dim returns the dimensionality of the coordinate space.
+func (nw *Network) Dim() int { return nw.dim }
+
+// Size returns the number of nodes in the overlay.
+func (nw *Network) Size() int { return nw.tree.Len() }
+
+// Contains reports whether id is currently in the overlay.
+func (nw *Network) Contains(id NodeID) bool { return nw.tree.Contains(id) }
+
+// Nodes returns all node IDs in ascending order.
+func (nw *Network) Nodes() []NodeID { return nw.tree.Owners() }
+
+// ZoneOf returns the zone owned by id.
+func (nw *Network) ZoneOf(id NodeID) (space.Zone, bool) { return nw.tree.ZoneOf(id) }
+
+// OwnerAt returns the node whose zone contains p.
+func (nw *Network) OwnerAt(p space.Point) NodeID { return nw.tree.OwnerAt(p) }
+
+// RandomPoint draws a uniform point of the space.
+func (nw *Network) RandomPoint() space.Point {
+	p := make(space.Point, nw.dim)
+	for i := range p {
+		p[i] = nw.rng.Float64()
+	}
+	return p
+}
+
+// Join adds id to the overlay at a uniformly random point, splitting
+// the zone that contains it (the CAN join). It returns the previous
+// owner of the split zone — the joiner's bootstrap contact — so the
+// caller can account maintenance traffic.
+func (nw *Network) Join(id NodeID) (contact NodeID, err error) {
+	return nw.JoinAt(id, nw.RandomPoint())
+}
+
+// JoinAt is Join with an explicit join point.
+func (nw *Network) JoinAt(id NodeID, p space.Point) (contact NodeID, err error) {
+	return nw.tree.Split(p, id)
+}
+
+// Leave removes id, merging or reassigning zones per the binary
+// partition tree (paper §IV.B). The returned reassignment names the
+// absorber and the relocated node (if any) for traffic accounting
+// and record invalidation.
+func (nw *Network) Leave(id NodeID) (space.Reassignment, error) {
+	return nw.tree.Remove(id)
+}
+
+// Neighbors returns id's adjacent neighbors with adjacency metadata.
+func (nw *Network) Neighbors(id NodeID) []space.Neighbor {
+	return nw.tree.Neighbors(id)
+}
+
+// NeighborsAlong returns the adjacent neighbors of id along one
+// dimension and direction (positive neighbors when positive is true).
+func (nw *Network) NeighborsAlong(id NodeID, dim int, positive bool) []NodeID {
+	var out []NodeID
+	for _, nb := range nw.tree.Neighbors(id) {
+		if nb.Adj.Dim == dim && nb.Adj.Positive == positive {
+			out = append(out, nb.Owner)
+		}
+	}
+	return out
+}
+
+// MaxIndexExponent returns K = ⌊log2 n^{1/d}⌋, the largest k for
+// which 2^k-hop index links are maintained (paper §III.B), never
+// below 0.
+func (nw *Network) MaxIndexExponent() int {
+	n := float64(nw.Size())
+	if n < 2 {
+		return 0
+	}
+	k := int(math.Floor(math.Log2(math.Pow(n, 1/float64(nw.dim)))))
+	if k < 0 {
+		k = 0
+	}
+	return k
+}
+
+// Hop is one index link: the node reached after walking Dist zone
+// hops from the link's origin.
+type Hop struct {
+	ID   NodeID
+	Dist int // 2^k for some k, or fewer if the walk hit the space edge
+}
+
+// Links holds a node's index links: Pos[dim] and Neg[dim] list the
+// 2^k-hop targets along each dimension in increasing distance (the
+// 2^0 entry is the adjacent neighbor on the walk latitude).
+type Links struct {
+	Pos [][]Hop
+	Neg [][]Hop
+}
+
+// IndexLinks computes id's current index links by walking adjacent
+// zones at the latitude of id's zone center — the INSCAN structure
+// each node refreshes periodically. Walks stop at the space edge, so
+// edge nodes simply have fewer links (the space is not a torus).
+func (nw *Network) IndexLinks(id NodeID) (Links, bool) {
+	z, ok := nw.tree.ZoneOf(id)
+	if !ok {
+		return Links{}, false
+	}
+	k := nw.MaxIndexExponent()
+	maxDist := 1 << uint(k)
+	at := z.Center()
+	links := Links{
+		Pos: make([][]Hop, nw.dim),
+		Neg: make([][]Hop, nw.dim),
+	}
+	for dim := 0; dim < nw.dim; dim++ {
+		links.Pos[dim] = nw.walkPowers(z, dim, true, at, maxDist)
+		links.Neg[dim] = nw.walkPowers(z, dim, false, at, maxDist)
+	}
+	return links, true
+}
+
+// walkPowers walks up to maxDist adjacent-zone hops along (dim,
+// positive) at the fixed latitude, recording the nodes at hop
+// distances 1, 2, 4, …, maxDist.
+func (nw *Network) walkPowers(z space.Zone, dim int, positive bool, at space.Point, maxDist int) []Hop {
+	var out []Hop
+	cur := z
+	steps := 0
+	nextPow := 1
+	for steps < maxDist {
+		id, nz, ok := nw.tree.AdjacentLeafAcross(cur, dim, positive, at)
+		if !ok {
+			break // space edge
+		}
+		cur = nz
+		steps++
+		if steps == nextPow {
+			out = append(out, Hop{ID: id, Dist: steps})
+			nextPow <<= 1
+		}
+	}
+	return out
+}
+
+// RandomWalkDim walks up to steps zone hops from id along (dim,
+// positive), choosing uniformly among the adjacent neighbors on that
+// face at every hop. Unlike the fixed-latitude WalkDim (which the
+// 2^k routing links use), the random walk samples the whole
+// d-1-dimensional cross-section — this is what makes repeated
+// index-diffusion rounds reach *different* 2^k-hop index nodes
+// (§III.B "the negative-index nodes … are randomly selected").
+func (nw *Network) RandomWalkDim(id NodeID, dim int, positive bool, steps int, rng *sim.RNG) (NodeID, int) {
+	if !nw.tree.Contains(id) {
+		return NoNode, 0
+	}
+	cur := id
+	taken := 0
+	for taken < steps {
+		nbs := nw.NeighborsAlong(cur, dim, positive)
+		if len(nbs) == 0 {
+			break
+		}
+		cur = nbs[rng.IntN(len(nbs))]
+		taken++
+	}
+	if taken == 0 {
+		return NoNode, 0
+	}
+	return cur, taken
+}
+
+// WalkDim walks exactly steps zone hops from id along (dim,
+// positive) at id's center latitude and returns the node reached and
+// the hops actually taken (fewer if the edge intervened).
+func (nw *Network) WalkDim(id NodeID, dim int, positive bool, steps int) (NodeID, int) {
+	z, ok := nw.tree.ZoneOf(id)
+	if !ok {
+		return NoNode, 0
+	}
+	at := z.Center()
+	cur := z
+	reached := NoNode
+	taken := 0
+	for taken < steps {
+		nid, nz, ok := nw.tree.AdjacentLeafAcross(cur, dim, positive, at)
+		if !ok {
+			break
+		}
+		cur, reached = nz, nid
+		taken++
+	}
+	return reached, taken
+}
+
+// Path is the outcome of a routing operation: the sequence of nodes
+// visited after the origin (the destination is the last entry).
+type Path struct {
+	Hops []NodeID
+}
+
+// Len returns the number of network hops (= messages) on the path.
+func (p Path) Len() int { return len(p.Hops) }
+
+// Dest returns the final node of the path, or NoNode for an empty
+// path (origin already owned the target point).
+func (p Path) Dest() NodeID {
+	if len(p.Hops) == 0 {
+		return NoNode
+	}
+	return p.Hops[len(p.Hops)-1]
+}
+
+// intervalDistSq returns the squared Euclidean distance from t to
+// zone z (0 inside).
+func intervalDistSq(z space.Zone, t space.Point) float64 {
+	s := 0.0
+	for k := range t {
+		var d float64
+		switch {
+		case t[k] < z.Lo[k]:
+			d = z.Lo[k] - t[k]
+		case t[k] >= z.Hi[k]:
+			d = t[k] - z.Hi[k]
+		}
+		s += d * d
+	}
+	return s
+}
+
+// clampInto returns t clamped into z (using the closed lower and the
+// open upper bound; the upper clamp stays strictly inside).
+func clampInto(t space.Point, z space.Zone) space.Point {
+	p := t.Clone()
+	for k := range p {
+		if p[k] < z.Lo[k] {
+			p[k] = z.Lo[k]
+		} else if p[k] >= z.Hi[k] {
+			// Strictly inside the half-open zone.
+			p[k] = z.Lo[k] + (z.Hi[k]-z.Lo[k])*0.999999
+		}
+	}
+	return p
+}
+
+// Route greedily routes from origin to the node owning target using
+// index links with binary lifting, falling back to adjacent-zone
+// steps toward the target latitude. Adjacent steps strictly decrease
+// the cursor's distance to the target (see the termination argument
+// in DESIGN.md), so routing always terminates; index links are taken
+// only when they also strictly decrease the zone distance, which
+// yields the O(log2 n) hop bound of Theorem 1 in the regular case.
+func (nw *Network) Route(origin NodeID, target space.Point) (Path, error) {
+	return nw.route(origin, target, true)
+}
+
+// RouteAdjacent routes using only adjacent neighbors — the original
+// CAN greedy routing with O(n^{1/d}) hops, used by baselines and by
+// the routing-cost ablation.
+func (nw *Network) RouteAdjacent(origin NodeID, target space.Point) (Path, error) {
+	return nw.route(origin, target, false)
+}
+
+func (nw *Network) route(origin NodeID, target space.Point, useLinks bool) (Path, error) {
+	if len(target) != nw.dim {
+		return Path{}, fmt.Errorf("overlay: target dimension %d, want %d", len(target), nw.dim)
+	}
+	z, ok := nw.tree.ZoneOf(origin)
+	if !ok {
+		return Path{}, fmt.Errorf("overlay: origin %d not in overlay", origin)
+	}
+	var path Path
+	cur := origin
+	hopCap := nw.Size() + 4 // adjacent stepping visits each zone at most once
+	for hop := 0; hop < hopCap; hop++ {
+		if z.Contains(target) {
+			return path, nil
+		}
+		next := NoNode
+		var nz space.Zone
+		if useLinks {
+			next, nz = nw.bestLinkJump(cur, z, target)
+		}
+		if next == NoNode {
+			// Adjacent step toward the target along the dimension
+			// with the largest gap, at the target's latitude.
+			p := clampInto(target, z)
+			bestDim, bestGap := -1, 0.0
+			positive := false
+			for k := range target {
+				var gap float64
+				var pos bool
+				if target[k] >= z.Hi[k] {
+					gap, pos = target[k]-z.Hi[k], true
+				} else if target[k] < z.Lo[k] {
+					gap, pos = z.Lo[k]-target[k], false
+				}
+				// The gap can be zero when t[k] == z.Hi[k] (half-open
+				// boundary); still a valid crossing dimension.
+				if (target[k] >= z.Hi[k] || target[k] < z.Lo[k]) && (bestDim == -1 || gap > bestGap) {
+					bestDim, bestGap, positive = k, gap, pos
+				}
+			}
+			if bestDim == -1 {
+				return path, fmt.Errorf("overlay: routing stuck at node %d zone %v target %v", cur, z, target)
+			}
+			id, zz, ok := nw.tree.AdjacentLeafAcross(z, bestDim, positive, p)
+			if !ok {
+				return path, fmt.Errorf("overlay: routing hit space edge at node %d toward %v", cur, target)
+			}
+			next, nz = id, zz
+		}
+		cur, z = next, nz
+		path.Hops = append(path.Hops, cur)
+	}
+	return path, fmt.Errorf("overlay: hop cap exceeded routing to %v", target)
+}
+
+// bestLinkJump returns the farthest index link of cur that strictly
+// decreases the zone distance to target, or NoNode when no link
+// qualifies (adjacent fallback will run).
+func (nw *Network) bestLinkJump(cur NodeID, z space.Zone, target space.Point) (NodeID, space.Zone) {
+	curDist := intervalDistSq(z, target)
+	// Choose the dimension with the largest gap and jump as far as
+	// possible along it without overshooting the target coordinate.
+	bestDim, bestGap := -1, -1.0
+	positive := false
+	for k := range target {
+		var gap float64
+		var pos bool
+		switch {
+		case target[k] >= z.Hi[k]:
+			gap, pos = target[k]-z.Hi[k], true
+		case target[k] < z.Lo[k]:
+			gap, pos = z.Lo[k]-target[k], false
+		default:
+			continue
+		}
+		if gap > bestGap {
+			bestDim, bestGap, positive = k, gap, pos
+		}
+	}
+	if bestDim == -1 {
+		return NoNode, space.Zone{}
+	}
+	links, _ := nw.IndexLinks(cur)
+	hops := links.Pos[bestDim]
+	if !positive {
+		hops = links.Neg[bestDim]
+	}
+	// Scan from the farthest link down; accept the first whose zone
+	// does not overshoot along bestDim and strictly improves the
+	// distance. Skip the 2^0 link — the fallback handles adjacency
+	// at the proper latitude.
+	for i := len(hops) - 1; i >= 0; i-- {
+		if hops[i].Dist <= 1 {
+			break
+		}
+		lz, ok := nw.tree.ZoneOf(hops[i].ID)
+		if !ok {
+			continue
+		}
+		if positive && lz.Lo[bestDim] > target[bestDim] {
+			continue // overshoot
+		}
+		if !positive && lz.Hi[bestDim] <= target[bestDim] {
+			continue
+		}
+		if intervalDistSq(lz, target) < curDist {
+			return hops[i].ID, lz
+		}
+	}
+	return NoNode, space.Zone{}
+}
+
+// Validate checks the underlying partition tree invariants.
+func (nw *Network) Validate() error { return nw.tree.Validate() }
+
+// RangeOwners returns the nodes responsible for any part of the
+// closed range [lo, hi] — the flooding set of INSCAN-RQ.
+func (nw *Network) RangeOwners(lo, hi space.Point) []NodeID {
+	return nw.tree.RangeOwners(lo, hi)
+}

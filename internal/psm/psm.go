@@ -1,0 +1,338 @@
+// Package psm emulates the proportional-share model (PSM) host of
+// the paper's Self-Organizing Cloud (§II) — the "emulated credit
+// scheduler built in accordance with the design of Xen" of §IV.A.
+//
+// Each host owns a capacity vector c. Running tasks carry expectation
+// vectors e(t); the aggregated load is l = Σ e(t). Equation (1)
+// allocates each task the share
+//
+//	r(t) = e(t)/l · c   (componentwise),
+//
+// so every task's share scales with c_k/l_k: under-loaded dimensions
+// hand out surplus proportionally, over-loaded ones degrade everyone
+// proportionally. Inequality (2) — availability a = c−l ⪰ e — is the
+// admission test that discovery must satisfy.
+//
+// The first WorkDims dimensions are rate-like (computation, I/O,
+// network: work divided by allocated rate gives time; §IV.A "its
+// execution time is only related to the first three resource
+// types"); the remaining dimensions are space-like (disk, memory:
+// occupancy only). Per-VM maintenance overhead follows the paper's
+// constants (processor 5%, I/O 10%, network 5%, memory 5 MB per VM).
+package psm
+
+import (
+	"fmt"
+	"math"
+
+	"pidcan/internal/sim"
+	"pidcan/internal/vector"
+)
+
+// TaskID identifies a task across the simulation.
+type TaskID int64
+
+// Overhead is the per-VM-instance maintenance cost (§IV.A, from the
+// virtualization comparison in the paper's ref [5]).
+type Overhead struct {
+	// Frac[k] is the fraction of capacity dimension k lost per
+	// running VM instance (e.g. 0.05 for the CPU dimension).
+	Frac vector.Vec
+	// Abs[k] is the absolute amount of dimension k lost per VM
+	// (e.g. 5 MB of memory).
+	Abs vector.Vec
+}
+
+// DefaultOverhead returns the paper's overhead constants for the
+// standard 5-dimensional layout {CPU, I/O, net, disk, memory}.
+func DefaultOverhead() Overhead {
+	return Overhead{
+		Frac: vector.Of(0.05, 0.10, 0.05, 0, 0),
+		Abs:  vector.Of(0, 0, 0, 0, 5),
+	}
+}
+
+// ZeroOverhead returns a no-cost overhead for d dimensions.
+func ZeroOverhead(d int) Overhead {
+	return Overhead{Frac: vector.New(d), Abs: vector.New(d)}
+}
+
+// Task is one running (or runnable) task.
+type Task struct {
+	ID     TaskID
+	Expect vector.Vec // e(t): minimal demand per dimension
+	// Work[k] is the remaining work on rate dimension k, in
+	// resource-units·seconds; zero for space dimensions and for
+	// rate dimensions the task does not use.
+	Work vector.Vec
+	// NominalSeconds is the duration the task would take at exactly
+	// its expected share — the baseline for execution efficiency.
+	NominalSeconds float64
+	Submitted      sim.Time
+	Started        sim.Time
+}
+
+// NewTask builds a task demanding e that would run nominalSeconds at
+// exactly its expected share: Work[k] = e[k]·nominalSeconds on each
+// of the first workDims dimensions.
+func NewTask(id TaskID, e vector.Vec, nominalSeconds float64, workDims int, submitted sim.Time) *Task {
+	w := vector.New(e.Dim())
+	for k := 0; k < workDims && k < e.Dim(); k++ {
+		w[k] = e[k] * nominalSeconds
+	}
+	return &Task{
+		ID:             id,
+		Expect:         e.Clone(),
+		Work:           w,
+		NominalSeconds: nominalSeconds,
+		Submitted:      submitted,
+	}
+}
+
+// Host is one PSM machine. It is driven by the single-threaded
+// simulation loop and therefore does no locking.
+type Host struct {
+	Cap      vector.Vec // c: raw capacity
+	WorkDims int        // leading rate-like dimensions
+	OH       Overhead
+
+	tasks   map[TaskID]*Task
+	order   []TaskID // insertion order, for deterministic iteration
+	load    vector.Vec
+	lastAdv sim.Time
+}
+
+// NewHost creates a host with capacity c. workDims is the count of
+// leading rate-like dimensions (3 in the paper's layout).
+func NewHost(c vector.Vec, workDims int, oh Overhead) *Host {
+	if workDims < 0 || workDims > c.Dim() {
+		panic(fmt.Sprintf("psm: workDims %d out of range for dim %d", workDims, c.Dim()))
+	}
+	if oh.Frac.Dim() != c.Dim() || oh.Abs.Dim() != c.Dim() {
+		panic("psm: overhead dimensionality mismatch")
+	}
+	return &Host{
+		Cap:      c.Clone(),
+		WorkDims: workDims,
+		OH:       oh,
+		tasks:    make(map[TaskID]*Task),
+		load:     vector.New(c.Dim()),
+	}
+}
+
+// Len returns the number of running tasks.
+func (h *Host) Len() int { return len(h.tasks) }
+
+// Tasks returns the running task IDs in insertion order.
+func (h *Host) Tasks() []TaskID {
+	out := make([]TaskID, len(h.order))
+	copy(out, h.order)
+	return out
+}
+
+// Task returns the running task with the given ID, or nil.
+func (h *Host) Task(id TaskID) *Task { return h.tasks[id] }
+
+// Load returns l = Σ e(t) over running tasks (a copy).
+func (h *Host) Load() vector.Vec { return h.load.Clone() }
+
+// MaxFracLoss caps the total fractional capacity loss from VM
+// maintenance overhead. Per-VM costs do not stack to a full
+// blackout on a real hypervisor; the cap also guarantees rate-like
+// dimensions keep a positive rate, so overloaded tasks crawl instead
+// of deadlocking.
+const MaxFracLoss = 0.9
+
+// EffectiveCapacity returns capacity after per-VM overhead for k
+// running VM instances, clamped non-negative:
+// c_eff = c·(1 − min(Frac·k, MaxFracLoss)) − Abs·k.
+func (h *Host) EffectiveCapacity(k int) vector.Vec {
+	out := make(vector.Vec, h.Cap.Dim())
+	for i := range out {
+		loss := h.OH.Frac[i] * float64(k)
+		if loss > MaxFracLoss {
+			loss = MaxFracLoss
+		}
+		out[i] = h.Cap[i]*(1-loss) - h.OH.Abs[i]*float64(k)
+		if out[i] < 0 {
+			out[i] = 0
+		}
+	}
+	return out
+}
+
+// Availability returns the vector the node advertises in its
+// state-update messages: a = c_eff(k+1) − l, the capacity actually
+// grantable to one more task. Using the marginal effective capacity
+// (including the overhead the new VM instance itself would add)
+// keeps the advertisement consistent with CanAdmit: any record that
+// qualifies a demand would also pass admission, were it fresh.
+func (h *Host) Availability() vector.Vec {
+	return h.EffectiveCapacity(len(h.tasks) + 1).Sub(h.load).ClampNonNegative()
+}
+
+// CanAdmit reports whether admitting a task demanding e would keep
+// Inequality (2) satisfiable: availability computed against the
+// effective capacity *after* adding the new VM instance must
+// dominate e.
+func (h *Host) CanAdmit(e vector.Vec) bool {
+	eff := h.EffectiveCapacity(len(h.tasks) + 1)
+	return eff.Sub(h.load).Dominates(e)
+}
+
+// Rate returns the current allocation r(t) for the given task per
+// Equation (1), using effective capacity. Dimensions with zero
+// demand get a zero rate.
+func (h *Host) Rate(id TaskID) vector.Vec {
+	t, ok := h.tasks[id]
+	if !ok {
+		return nil
+	}
+	eff := h.EffectiveCapacity(len(h.tasks))
+	r := make(vector.Vec, h.Cap.Dim())
+	for k := range r {
+		if t.Expect[k] <= 0 || h.load[k] <= 0 {
+			continue
+		}
+		r[k] = t.Expect[k] / h.load[k] * eff[k]
+	}
+	return r
+}
+
+// Advance progresses all running tasks' remaining work to time now
+// at their current rates. It must be called before any membership
+// change and before reading completion times.
+func (h *Host) Advance(now sim.Time) {
+	if now < h.lastAdv {
+		panic(fmt.Sprintf("psm: Advance to %v before %v", now, h.lastAdv))
+	}
+	dt := (now - h.lastAdv).Seconds()
+	h.lastAdv = now
+	if dt == 0 || len(h.tasks) == 0 {
+		return
+	}
+	eff := h.EffectiveCapacity(len(h.tasks))
+	for _, id := range h.order {
+		t := h.tasks[id]
+		for k := 0; k < h.WorkDims; k++ {
+			if t.Work[k] <= 0 || t.Expect[k] <= 0 || h.load[k] <= 0 {
+				continue
+			}
+			rate := t.Expect[k] / h.load[k] * eff[k]
+			t.Work[k] -= rate * dt
+			if t.Work[k] < 0 {
+				t.Work[k] = 0
+			}
+		}
+	}
+}
+
+// Add admits the task at time now. It returns false (and leaves the
+// host unchanged) when Inequality (2) would be violated — the
+// placement-time re-validation of the discovery pipeline. Call only
+// after Advance(now).
+func (h *Host) Add(t *Task, now sim.Time, force bool) bool {
+	if _, dup := h.tasks[t.ID]; dup {
+		panic(fmt.Sprintf("psm: duplicate task %d", t.ID))
+	}
+	if !force && !h.CanAdmit(t.Expect) {
+		return false
+	}
+	h.Advance(now)
+	t.Started = now
+	h.tasks[t.ID] = t
+	h.order = append(h.order, t.ID)
+	h.load.AddInPlace(t.Expect)
+	return true
+}
+
+// Remove deletes the task at time now (completion or churn kill) and
+// returns it. Call only after Advance(now).
+func (h *Host) Remove(id TaskID, now sim.Time) *Task {
+	t, ok := h.tasks[id]
+	if !ok {
+		return nil
+	}
+	h.Advance(now)
+	delete(h.tasks, id)
+	for i, o := range h.order {
+		if o == id {
+			h.order = append(h.order[:i], h.order[i+1:]...)
+			break
+		}
+	}
+	h.load.SubInPlace(t.Expect)
+	// Guard against float drift: clamp tiny negatives.
+	for k := range h.load {
+		if h.load[k] < 0 && h.load[k] > -1e-9 {
+			h.load[k] = 0
+		}
+	}
+	return t
+}
+
+// RemainingSeconds returns how long the task needs at current rates:
+// max over rate dimensions of Work/rate. It returns +Inf for a
+// stalled task (positive work on a dimension with zero rate) and 0
+// for a task with no remaining work.
+func (h *Host) RemainingSeconds(id TaskID) float64 {
+	t, ok := h.tasks[id]
+	if !ok {
+		return math.Inf(1)
+	}
+	eff := h.EffectiveCapacity(len(h.tasks))
+	rem := 0.0
+	for k := 0; k < h.WorkDims; k++ {
+		if t.Work[k] <= 0 {
+			continue
+		}
+		if t.Expect[k] <= 0 || h.load[k] <= 0 || eff[k] <= 0 {
+			return math.Inf(1)
+		}
+		rate := t.Expect[k] / h.load[k] * eff[k]
+		s := t.Work[k] / rate
+		if s > rem {
+			rem = s
+		}
+	}
+	return rem
+}
+
+// NextCompletion returns the running task that will finish first at
+// current rates and the absolute completion time. ok is false when
+// no task can finish (empty host or all stalled).
+func (h *Host) NextCompletion() (id TaskID, at sim.Time, ok bool) {
+	best := math.Inf(1)
+	for _, tid := range h.order {
+		s := h.RemainingSeconds(tid)
+		if s < best {
+			best = s
+			id = tid
+		}
+	}
+	if math.IsInf(best, 1) {
+		return 0, 0, false
+	}
+	// Ceil to the engine's microsecond grid (plus one tick) so that
+	// advancing to the returned time always drains the work within
+	// the Done epsilon despite float rounding.
+	at = h.lastAdv + sim.Time(math.Ceil(best*float64(sim.Second))) + 1
+	return id, at, true
+}
+
+// Done reports whether the task's work is exhausted (within epsilon).
+func (h *Host) Done(id TaskID) bool {
+	t, ok := h.tasks[id]
+	if !ok {
+		return false
+	}
+	for k := 0; k < h.WorkDims; k++ {
+		if t.Work[k] > 1e-4 {
+			return false
+		}
+	}
+	return true
+}
+
+// LastAdvance returns the host-local clock.
+func (h *Host) LastAdvance() sim.Time { return h.lastAdv }

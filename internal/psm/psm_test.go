@@ -1,0 +1,427 @@
+package psm
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"pidcan/internal/sim"
+	"pidcan/internal/vector"
+)
+
+// The paper's worked example (§II): three tasks expecting
+// {2 GFlops, 100 M}, {3, 200}, {4, 300} on capacity {13.5, 1200}
+// actually receive {3, 200}, {4.5, 400}, {6, 600}.
+func TestPaperExampleAllocation(t *testing.T) {
+	h := NewHost(vector.Of(13.5, 1200), 1, ZeroOverhead(2))
+	tasks := []*Task{
+		NewTask(1, vector.Of(2, 100), 100, 1, 0),
+		NewTask(2, vector.Of(3, 200), 100, 1, 0),
+		NewTask(3, vector.Of(4, 300), 100, 1, 0),
+	}
+	for _, task := range tasks {
+		if !h.Add(task, 0, false) {
+			t.Fatalf("task %d rejected", task.ID)
+		}
+	}
+	want := []vector.Vec{
+		vector.Of(3, 200),
+		vector.Of(4.5, 400),
+		vector.Of(6, 600),
+	}
+	for i, task := range tasks {
+		got := h.Rate(task.ID)
+		for k := range got {
+			if math.Abs(got[k]-want[i][k]) > 1e-9 {
+				t.Errorf("task %d rate = %v, want %v", task.ID, got, want[i])
+			}
+		}
+	}
+}
+
+func TestAdmissionControl(t *testing.T) {
+	h := NewHost(vector.Of(10, 100), 1, ZeroOverhead(2))
+	if !h.CanAdmit(vector.Of(10, 100)) {
+		t.Error("exact-fit task should be admittable")
+	}
+	if !h.Add(NewTask(1, vector.Of(6, 50), 10, 1, 0), 0, false) {
+		t.Fatal("first task rejected")
+	}
+	if h.CanAdmit(vector.Of(6, 20)) {
+		t.Error("CPU-overcommitting task should be rejected")
+	}
+	if h.Add(NewTask(2, vector.Of(6, 20), 10, 1, 0), 0, false) {
+		t.Error("Add must enforce Inequality (2)")
+	}
+	if h.Len() != 1 {
+		t.Errorf("Len = %d", h.Len())
+	}
+	// force bypasses admission (placement race modelling).
+	if !h.Add(NewTask(3, vector.Of(6, 20), 10, 1, 0), 0, true) {
+		t.Error("forced add rejected")
+	}
+	if h.Len() != 2 {
+		t.Errorf("Len = %d", h.Len())
+	}
+}
+
+func TestAvailabilityAndOverhead(t *testing.T) {
+	oh := Overhead{Frac: vector.Of(0.05, 0), Abs: vector.Of(0, 5)}
+	h := NewHost(vector.Of(10, 100), 1, oh)
+	// Advertised availability is the marginal grantable capacity:
+	// idle host advertises eff(1) = {10·0.95, 100−5}.
+	a0 := h.Availability()
+	if !a0.Equal(vector.Of(9.5, 95)) {
+		t.Errorf("idle availability = %v", a0)
+	}
+	h.Add(NewTask(1, vector.Of(2, 10), 10, 1, 0), 0, false)
+	// One VM running: eff(2) − load = {9−2, 90−10}.
+	a1 := h.Availability()
+	if !a1.Equal(vector.Of(7, 80)) {
+		t.Errorf("availability after 1 task = %v", a1)
+	}
+	eff := h.EffectiveCapacity(2)
+	if !eff.Equal(vector.Of(9, 90)) {
+		t.Errorf("EffectiveCapacity(2) = %v", eff)
+	}
+	// Overhead can never push capacity negative.
+	eff = h.EffectiveCapacity(1000)
+	if !eff.IsNonNegative() {
+		t.Errorf("EffectiveCapacity clamp failed: %v", eff)
+	}
+}
+
+func TestSingleTaskGetsWholeCapacity(t *testing.T) {
+	// PSM: a lone task receives the full effective capacity, so it
+	// finishes nominalSeconds * e/c faster.
+	h := NewHost(vector.Of(10), 1, ZeroOverhead(1))
+	task := NewTask(1, vector.Of(2), 100, 1, 0) // work = 200 unit·s
+	h.Add(task, 0, false)
+	r := h.Rate(1)
+	if !r.Equal(vector.Of(10)) {
+		t.Errorf("lone task rate = %v, want full capacity", r)
+	}
+	if got := h.RemainingSeconds(1); math.Abs(got-20) > 1e-9 {
+		t.Errorf("RemainingSeconds = %v, want 20", got)
+	}
+	id, at, ok := h.NextCompletion()
+	if !ok || id != 1 || at < sim.Seconds(20) || at > sim.Seconds(20)+2*sim.Microsecond {
+		t.Errorf("NextCompletion = %v, %v, %v", id, at, ok)
+	}
+}
+
+func TestAdvanceAndCompletion(t *testing.T) {
+	h := NewHost(vector.Of(10), 1, ZeroOverhead(1))
+	h.Add(NewTask(1, vector.Of(5), 100, 1, 0), 0, false) // work 500
+	h.Add(NewTask(2, vector.Of(5), 40, 1, 0), 0, false)  // work 200
+	// Both get rate 5 (load 10 = cap 10).
+	h.Advance(sim.Seconds(40))
+	if !h.Done(2) {
+		t.Error("task 2 should be done after 40s at rate 5")
+	}
+	if h.Done(1) {
+		t.Error("task 1 must not be done yet")
+	}
+	removed := h.Remove(2, sim.Seconds(40))
+	if removed == nil || removed.ID != 2 {
+		t.Fatalf("Remove = %v", removed)
+	}
+	// Task 1 now gets the whole node: remaining work 500-200=300 at
+	// rate 10 → 30 more seconds.
+	if got := h.RemainingSeconds(1); math.Abs(got-30) > 1e-9 {
+		t.Errorf("RemainingSeconds = %v, want 30", got)
+	}
+	_, at, ok := h.NextCompletion()
+	if !ok || at < sim.Seconds(70) || at > sim.Seconds(70)+2*sim.Microsecond {
+		t.Errorf("NextCompletion at %v, want ≈70s", at)
+	}
+}
+
+func TestOverloadDegradesProportionally(t *testing.T) {
+	h := NewHost(vector.Of(10), 1, ZeroOverhead(1))
+	h.Add(NewTask(1, vector.Of(8), 10, 1, 0), 0, false)
+	h.Add(NewTask(2, vector.Of(8), 10, 1, 0), 0, true) // forced overload
+	r1, r2 := h.Rate(1), h.Rate(2)
+	if math.Abs(r1[0]-5) > 1e-9 || math.Abs(r2[0]-5) > 1e-9 {
+		t.Errorf("overload rates = %v, %v, want 5 each", r1, r2)
+	}
+	// Each task has 80 units of work at rate 5 → 16 s, not 10.
+	if got := h.RemainingSeconds(1); math.Abs(got-16) > 1e-9 {
+		t.Errorf("RemainingSeconds = %v, want 16", got)
+	}
+}
+
+func TestStalledTask(t *testing.T) {
+	// Absolute overhead can exhaust a dimension completely (two VMs
+	// at 5 units each on capacity 10); the task stalls.
+	oh := Overhead{Frac: vector.Of(0), Abs: vector.Of(5)}
+	h := NewHost(vector.Of(10), 1, oh)
+	h.Add(NewTask(1, vector.Of(1), 10, 1, 0), 0, true)
+	h.Add(NewTask(2, vector.Of(1), 10, 1, 0), 0, true)
+	if !math.IsInf(h.RemainingSeconds(1), 1) {
+		t.Error("expected stalled task")
+	}
+	if _, _, ok := h.NextCompletion(); ok {
+		t.Error("NextCompletion should report no completable task")
+	}
+	// Removing one task revives the other.
+	h.Remove(2, 0)
+	if math.IsInf(h.RemainingSeconds(1), 1) {
+		t.Error("task should be revived after overhead drops")
+	}
+}
+
+func TestFractionalOverheadSaturates(t *testing.T) {
+	// Fractional per-VM losses are floored at MaxFracLoss, so rate
+	// dimensions keep a positive trickle no matter how many VMs run.
+	oh := Overhead{Frac: vector.Of(0.5), Abs: vector.Of(0)}
+	h := NewHost(vector.Of(10), 1, oh)
+	eff := h.EffectiveCapacity(100)
+	want := 10 * (1 - MaxFracLoss)
+	if math.Abs(eff[0]-want) > 1e-9 {
+		t.Errorf("EffectiveCapacity(100) = %v, want %v", eff[0], want)
+	}
+	h.Add(NewTask(1, vector.Of(1), 10, 1, 0), 0, true)
+	h.Add(NewTask(2, vector.Of(1), 10, 1, 0), 0, true)
+	if math.IsInf(h.RemainingSeconds(1), 1) {
+		t.Error("task stalled despite the saturation floor")
+	}
+}
+
+func TestZeroDemandDimension(t *testing.T) {
+	h := NewHost(vector.Of(10, 10), 2, ZeroOverhead(2))
+	// Task uses only dim 0.
+	task := NewTask(1, vector.Of(5, 0), 10, 2, 0)
+	h.Add(task, 0, false)
+	r := h.Rate(1)
+	if r[1] != 0 {
+		t.Errorf("zero-demand dim rate = %v", r[1])
+	}
+	if got := h.RemainingSeconds(1); math.IsInf(got, 1) {
+		t.Error("task with zero-demand dim must not stall")
+	}
+}
+
+func TestRemoveUnknown(t *testing.T) {
+	h := NewHost(vector.Of(10), 1, ZeroOverhead(1))
+	if h.Remove(42, 0) != nil {
+		t.Error("removing unknown task should return nil")
+	}
+	if h.Task(42) != nil {
+		t.Error("Task(42) should be nil")
+	}
+	if !math.IsInf(h.RemainingSeconds(42), 1) {
+		t.Error("RemainingSeconds of unknown task should be +Inf")
+	}
+}
+
+func TestDuplicateAddPanics(t *testing.T) {
+	h := NewHost(vector.Of(10), 1, ZeroOverhead(1))
+	h.Add(NewTask(1, vector.Of(1), 10, 1, 0), 0, false)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	h.Add(NewTask(1, vector.Of(1), 10, 1, 0), 0, false)
+}
+
+func TestAdvanceBackwardsPanics(t *testing.T) {
+	h := NewHost(vector.Of(10), 1, ZeroOverhead(1))
+	h.Advance(sim.Seconds(10))
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	h.Advance(sim.Seconds(5))
+}
+
+func TestTasksOrderDeterministic(t *testing.T) {
+	h := NewHost(vector.Of(100), 1, ZeroOverhead(1))
+	for i := 1; i <= 5; i++ {
+		h.Add(NewTask(TaskID(i), vector.Of(1), 10, 1, 0), 0, false)
+	}
+	ids := h.Tasks()
+	for i, id := range ids {
+		if id != TaskID(i+1) {
+			t.Fatalf("Tasks order = %v", ids)
+		}
+	}
+	h.Remove(3, 0)
+	ids = h.Tasks()
+	want := []TaskID{1, 2, 4, 5}
+	for i := range want {
+		if ids[i] != want[i] {
+			t.Fatalf("Tasks after remove = %v", ids)
+		}
+	}
+}
+
+// Property (Eq. 1 ↔ Ineq. 2): every admitted task's rate dominates
+// its expectation, exactly because Add enforces l ⪯ c_eff.
+func TestAdmittedTasksGetAtLeastExpectation(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		d := 1 + r.Intn(4)
+		wd := 1 + r.Intn(d)
+		cap := make(vector.Vec, d)
+		for k := range cap {
+			cap[k] = 10 + r.Float64()*90
+		}
+		h := NewHost(cap, wd, ZeroOverhead(d))
+		for i := 0; i < 12; i++ {
+			e := make(vector.Vec, d)
+			for k := range e {
+				e[k] = r.Float64() * 30
+			}
+			h.Add(NewTask(TaskID(i), e, 10+r.Float64()*100, wd, 0), 0, false)
+		}
+		if h.Len() == 0 {
+			return true
+		}
+		for _, id := range h.Tasks() {
+			task := h.Task(id)
+			rate := h.Rate(id)
+			for k := range rate {
+				if task.Expect[k] > 0 && rate[k] < task.Expect[k]-1e-9 {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: allocation exactly exhausts effective capacity on every
+// dimension that at least one task demands (Σ r = c_eff).
+func TestAllocationSumsToCapacity(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		d := 1 + r.Intn(4)
+		cap := make(vector.Vec, d)
+		for k := range cap {
+			cap[k] = 10 + r.Float64()*90
+		}
+		h := NewHost(cap, d, ZeroOverhead(d))
+		n := 1 + r.Intn(6)
+		for i := 0; i < n; i++ {
+			e := make(vector.Vec, d)
+			for k := range e {
+				e[k] = 0.1 + r.Float64()*5
+			}
+			h.Add(NewTask(TaskID(i), e, 10, d, 0), 0, true)
+		}
+		sum := vector.New(d)
+		for _, id := range h.Tasks() {
+			sum.AddInPlace(h.Rate(id))
+		}
+		eff := h.EffectiveCapacity(h.Len())
+		for k := range sum {
+			if math.Abs(sum[k]-eff[k]) > 1e-6*eff[k] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: Advance conserves work exactly — after advancing in two
+// steps the remaining work equals advancing in one step.
+func TestAdvanceComposition(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		build := func() *Host {
+			h := NewHost(vector.Of(10, 20), 2, ZeroOverhead(2))
+			rr := rand.New(rand.NewSource(seed))
+			for i := 0; i < 4; i++ {
+				e := vector.Of(0.5+rr.Float64()*2, 0.5+rr.Float64()*4)
+				h.Add(NewTask(TaskID(i), e, 50+rr.Float64()*50, 2, 0), 0, false)
+			}
+			return h
+		}
+		h1, h2 := build(), build()
+		t1 := sim.Seconds(1 + r.Float64()*10)
+		t2 := t1 + sim.Seconds(1+r.Float64()*10)
+		h1.Advance(t2)
+		h2.Advance(t1)
+		h2.Advance(t2)
+		for _, id := range h1.Tasks() {
+			w1, w2 := h1.Task(id).Work, h2.Task(id).Work
+			for k := range w1 {
+				if math.Abs(w1[k]-w2[k]) > 1e-6 {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: tasks always eventually finish when rates are positive —
+// simulate completions in order and verify total drained.
+func TestDrainHost(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		h := NewHost(vector.Of(20, 20, 20), 3, ZeroOverhead(3))
+		n := 1 + r.Intn(8)
+		for i := 0; i < n; i++ {
+			e := vector.Of(0.2+r.Float64(), 0.2+r.Float64(), 0.2+r.Float64())
+			h.Add(NewTask(TaskID(i), e, 5+r.Float64()*20, 3, 0), 0, false)
+		}
+		admitted := h.Len()
+		finished := 0
+		for h.Len() > 0 {
+			id, at, ok := h.NextCompletion()
+			if !ok {
+				return false
+			}
+			h.Advance(at)
+			if !h.Done(id) {
+				return false
+			}
+			h.Remove(id, at)
+			finished++
+			if finished > admitted {
+				return false
+			}
+		}
+		return finished == admitted
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func BenchmarkRateRecompute(b *testing.B) {
+	h := NewHost(vector.Of(100, 100, 100, 100, 100), 3, DefaultOverhead())
+	for i := 0; i < 10; i++ {
+		h.Add(NewTask(TaskID(i), vector.Of(1, 1, 1, 1, 1), 100, 3, 0), 0, true)
+	}
+	ids := h.Tasks()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = h.Rate(ids[i%len(ids)])
+	}
+}
+
+func BenchmarkAdvance(b *testing.B) {
+	h := NewHost(vector.Of(100, 100, 100, 100, 100), 3, DefaultOverhead())
+	for i := 0; i < 10; i++ {
+		h.Add(NewTask(TaskID(i), vector.Of(0.001, 0.001, 0.001, 1, 1), 1e12, 3, 0), 0, true)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		h.Advance(sim.Time(i+1) * sim.Millisecond)
+	}
+}

@@ -1,0 +1,97 @@
+package sim
+
+import (
+	"math"
+	"math/rand/v2"
+)
+
+// RNG is a deterministic random stream (PCG). Experiments derive one
+// stream per concern — workload, network, protocol, churn — from the
+// run seed, so that, e.g., changing a protocol's random choices never
+// perturbs the workload draws of a comparison run.
+type RNG struct {
+	r *rand.Rand
+}
+
+// Stream identifiers for the standard per-run streams.
+const (
+	StreamWorkload uint64 = 1
+	StreamNetwork  uint64 = 2
+	StreamProtocol uint64 = 3
+	StreamChurn    uint64 = 4
+	StreamOverlay  uint64 = 5
+)
+
+// NewRNG returns the deterministic stream (seed, stream).
+func NewRNG(seed, stream uint64) *RNG {
+	return &RNG{r: rand.New(rand.NewPCG(seed, stream))}
+}
+
+// Float64 returns a uniform draw from [0,1).
+func (g *RNG) Float64() float64 { return g.r.Float64() }
+
+// IntN returns a uniform draw from [0,n). It panics if n <= 0.
+func (g *RNG) IntN(n int) int { return g.r.IntN(n) }
+
+// Uint64 returns a uniform 64-bit draw.
+func (g *RNG) Uint64() uint64 { return g.r.Uint64() }
+
+// Uniform returns a uniform draw from [lo, hi).
+func (g *RNG) Uniform(lo, hi float64) float64 {
+	return lo + (hi-lo)*g.r.Float64()
+}
+
+// Exponential returns an exponential draw with the given mean —
+// the inter-arrival law of the paper's Poisson task generator.
+func (g *RNG) Exponential(mean float64) float64 {
+	// Inverse CDF; 1-Float64() avoids log(0).
+	return -mean * math.Log(1-g.r.Float64())
+}
+
+// Bool returns true with probability p.
+func (g *RNG) Bool(p float64) bool { return g.r.Float64() < p }
+
+// Choice returns a uniform element index of a slice of length n.
+// It panics if n <= 0; callers must guard empty sets.
+func (g *RNG) Choice(n int) int { return g.r.IntN(n) }
+
+// Pick returns a uniform element of xs. It panics on empty input.
+func Pick[T any](g *RNG, xs []T) T { return xs[g.r.IntN(len(xs))] }
+
+// PickValue returns a uniform element of the given values.
+func PickValue[T any](g *RNG, xs ...T) T { return xs[g.r.IntN(len(xs))] }
+
+// Shuffle permutes xs in place.
+func Shuffle[T any](g *RNG, xs []T) {
+	g.r.Shuffle(len(xs), func(i, j int) { xs[i], xs[j] = xs[j], xs[i] })
+}
+
+// Sample returns k distinct uniform elements of xs (or all of xs if
+// k >= len(xs)), in random order, without mutating xs.
+func Sample[T any](g *RNG, xs []T, k int) []T {
+	n := len(xs)
+	if k >= n {
+		out := make([]T, n)
+		copy(out, xs)
+		Shuffle(g, out)
+		return out
+	}
+	// Partial Fisher–Yates over an index array.
+	idx := make([]int, n)
+	for i := range idx {
+		idx[i] = i
+	}
+	out := make([]T, 0, k)
+	for i := 0; i < k; i++ {
+		j := i + g.r.IntN(n-i)
+		idx[i], idx[j] = idx[j], idx[i]
+		out = append(out, xs[idx[i]])
+	}
+	return out
+}
+
+// Jitter returns d scaled by a uniform factor in [1-f, 1+f]; used to
+// de-synchronize periodic protocol cycles across nodes.
+func (g *RNG) Jitter(d Time, f float64) Time {
+	return Time(float64(d) * g.Uniform(1-f, 1+f))
+}

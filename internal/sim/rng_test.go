@@ -1,0 +1,167 @@
+package sim
+
+import (
+	"math"
+	"testing"
+)
+
+func TestRNGDeterminism(t *testing.T) {
+	a := NewRNG(42, StreamWorkload)
+	b := NewRNG(42, StreamWorkload)
+	for i := 0; i < 100; i++ {
+		if a.Float64() != b.Float64() {
+			t.Fatal("equal seeds diverged")
+		}
+	}
+	c := NewRNG(42, StreamNetwork)
+	d := NewRNG(42, StreamWorkload)
+	same := true
+	for i := 0; i < 16; i++ {
+		if c.Float64() != d.Float64() {
+			same = false
+		}
+	}
+	if same {
+		t.Error("distinct streams produced identical sequences")
+	}
+}
+
+func TestUniformRange(t *testing.T) {
+	g := NewRNG(1, 1)
+	for i := 0; i < 1000; i++ {
+		x := g.Uniform(2, 5)
+		if x < 2 || x >= 5 {
+			t.Fatalf("Uniform out of range: %v", x)
+		}
+	}
+}
+
+func TestExponentialMean(t *testing.T) {
+	g := NewRNG(7, 1)
+	const n = 200000
+	sum := 0.0
+	for i := 0; i < n; i++ {
+		x := g.Exponential(3000)
+		if x < 0 {
+			t.Fatalf("negative exponential draw %v", x)
+		}
+		sum += x
+	}
+	mean := sum / n
+	if math.Abs(mean-3000) > 60 { // ~4 sigma of the sample mean
+		t.Errorf("exponential mean = %v, want ≈3000", mean)
+	}
+}
+
+func TestBoolProbability(t *testing.T) {
+	g := NewRNG(9, 1)
+	const n = 100000
+	hits := 0
+	for i := 0; i < n; i++ {
+		if g.Bool(0.3) {
+			hits++
+		}
+	}
+	p := float64(hits) / n
+	if math.Abs(p-0.3) > 0.01 {
+		t.Errorf("Bool(0.3) frequency = %v", p)
+	}
+}
+
+func TestPickAndSample(t *testing.T) {
+	g := NewRNG(3, 1)
+	xs := []int{10, 20, 30, 40, 50}
+	seen := map[int]bool{}
+	for i := 0; i < 200; i++ {
+		seen[Pick(g, xs)] = true
+	}
+	if len(seen) != 5 {
+		t.Errorf("Pick did not cover all elements: %v", seen)
+	}
+	if v := PickValue(g, 1, 2, 3); v < 1 || v > 3 {
+		t.Errorf("PickValue = %v", v)
+	}
+
+	s := Sample(g, xs, 3)
+	if len(s) != 3 {
+		t.Fatalf("Sample len = %d", len(s))
+	}
+	distinct := map[int]bool{}
+	for _, v := range s {
+		distinct[v] = true
+	}
+	if len(distinct) != 3 {
+		t.Errorf("Sample returned duplicates: %v", s)
+	}
+	// k >= len returns a permutation of everything.
+	all := Sample(g, xs, 10)
+	if len(all) != 5 {
+		t.Errorf("Sample over-length = %v", all)
+	}
+	// Original slice unchanged.
+	if xs[0] != 10 || xs[4] != 50 {
+		t.Error("Sample mutated input")
+	}
+}
+
+func TestSampleUniformCoverage(t *testing.T) {
+	g := NewRNG(17, 1)
+	xs := []int{0, 1, 2, 3, 4, 5, 6, 7}
+	counts := make([]int, len(xs))
+	const rounds = 20000
+	for i := 0; i < rounds; i++ {
+		for _, v := range Sample(g, xs, 2) {
+			counts[v]++
+		}
+	}
+	want := float64(rounds) * 2 / float64(len(xs))
+	for v, c := range counts {
+		if math.Abs(float64(c)-want) > want*0.1 {
+			t.Errorf("element %d sampled %d times, want ≈%.0f", v, c, want)
+		}
+	}
+}
+
+func TestShuffle(t *testing.T) {
+	g := NewRNG(5, 1)
+	xs := []int{1, 2, 3, 4, 5, 6, 7, 8}
+	sum := 0
+	Shuffle(g, xs)
+	for _, v := range xs {
+		sum += v
+	}
+	if sum != 36 {
+		t.Error("Shuffle changed multiset")
+	}
+}
+
+func TestJitter(t *testing.T) {
+	g := NewRNG(8, 1)
+	base := 400 * Second
+	for i := 0; i < 1000; i++ {
+		j := g.Jitter(base, 0.1)
+		if j < Time(float64(base)*0.9) || j > Time(float64(base)*1.1) {
+			t.Fatalf("Jitter out of band: %v", j)
+		}
+	}
+}
+
+func TestIntNAndChoice(t *testing.T) {
+	g := NewRNG(2, 1)
+	for i := 0; i < 100; i++ {
+		if v := g.IntN(7); v < 0 || v >= 7 {
+			t.Fatalf("IntN out of range: %d", v)
+		}
+		if v := g.Choice(3); v < 0 || v >= 3 {
+			t.Fatalf("Choice out of range: %d", v)
+		}
+	}
+	_ = g.Uint64()
+}
+
+func BenchmarkExponential(b *testing.B) {
+	g := NewRNG(1, 1)
+	for i := 0; i < b.N; i++ {
+		_ = g.Exponential(3000)
+	}
+}

@@ -1,0 +1,219 @@
+// Package task generates the paper's synthetic workload (§IV.A):
+// node capacity vectors per Table I, task demand vectors per Table
+// II scaled by the demand ratio λ, task durations with a 3000-second
+// mean, and Poisson arrivals with 3000-second mean inter-arrival per
+// node.
+//
+// Dimension layout (5 dimensions, the first 3 rate-like):
+//
+//	0: CPU rate        (processors × per-processor rate, ≤ 25.6)
+//	1: I/O speed       (≤ 80 MbPS)
+//	2: network bw      (≤ 10 Mbps, the node's LAN bandwidth)
+//	3: disk size       (≤ 240 GB)
+//	4: memory size     (≤ 4096 MB)
+package task
+
+import (
+	"fmt"
+
+	"pidcan/internal/psm"
+	"pidcan/internal/sim"
+	"pidcan/internal/vector"
+)
+
+// Dims is the standard dimensionality of the SOC resource model.
+const Dims = 5
+
+// WorkDims is the number of leading rate-like dimensions ("execution
+// time is only related to the first three resource types").
+const WorkDims = 3
+
+// CMax returns the system-wide maximum capacity vector — the scale
+// that embeds resource amounts into the CAN unit cube and the cmax
+// of the Slack-on-Submission bound (Formula 3).
+func CMax() vector.Vec {
+	return vector.Of(25.6, 80, 10, 240, 4096)
+}
+
+// Table I attribute sets.
+var (
+	processorCounts = []float64{1, 2, 4, 8}
+	processorRates  = []float64{1, 2, 2.4, 3.2}
+	ioSpeeds        = []float64{20, 40, 60, 80}
+	diskSizes       = []float64{20, 60, 120, 240}
+	memorySizes     = []float64{512, 1024, 2048, 4096}
+)
+
+// Table II demand bounds: demand_k ~ U(λ·lo_k, λ·hi_k).
+var (
+	demandLo = vector.Of(1, 20, 0.1, 20, 512)
+	demandHi = vector.Of(25.6, 80, 10, 240, 4096)
+)
+
+// GenConfig parameterizes the generator.
+type GenConfig struct {
+	// DemandRatio is the paper's λ ∈ {1, 0.84, 0.5, 0.25, …}.
+	DemandRatio float64
+	// MeanInterarrivalSec is the per-node Poisson mean (3000 s).
+	MeanInterarrivalSec float64
+	// MeanDurationSec is the mean nominal execution time (3000 s).
+	MeanDurationSec float64
+	// DurationSpread draws durations uniformly from
+	// [1−spread, 1+spread]·mean; 0 < spread < 1.
+	DurationSpread float64
+}
+
+// DefaultGenConfig returns the paper's §IV.A setting at the given λ.
+func DefaultGenConfig(lambda float64) GenConfig {
+	return GenConfig{
+		DemandRatio:         lambda,
+		MeanInterarrivalSec: 3000,
+		MeanDurationSec:     3000,
+		DurationSpread:      0.5,
+	}
+}
+
+// Validate reports configuration errors.
+func (c GenConfig) Validate() error {
+	if c.DemandRatio <= 0 || c.DemandRatio > 1 {
+		return fmt.Errorf("task: demand ratio %v outside (0,1]", c.DemandRatio)
+	}
+	if c.MeanInterarrivalSec <= 0 {
+		return fmt.Errorf("task: non-positive mean inter-arrival %v", c.MeanInterarrivalSec)
+	}
+	if c.MeanDurationSec <= 0 {
+		return fmt.Errorf("task: non-positive mean duration %v", c.MeanDurationSec)
+	}
+	if c.DurationSpread < 0 || c.DurationSpread >= 1 {
+		return fmt.Errorf("task: duration spread %v outside [0,1)", c.DurationSpread)
+	}
+	return nil
+}
+
+// Spec is one generated task before placement.
+type Spec struct {
+	ID             psm.TaskID
+	Origin         int // index of the submitting node
+	Demand         vector.Vec
+	NominalSeconds float64
+	Submitted      sim.Time
+	// Remaining, when non-nil, is the residual work vector of a task
+	// recovered from a checkpoint after its execution node churned
+	// away (the paper's §VI future-work extension). NewPSMTask uses
+	// it instead of the full Demand·NominalSeconds work.
+	Remaining vector.Vec
+}
+
+// Generator draws capacities, demands, durations and inter-arrival
+// gaps from the run's workload RNG stream.
+type Generator struct {
+	cfg    GenConfig
+	rng    *sim.RNG
+	nextID psm.TaskID
+}
+
+// NewGenerator builds a generator. The config must validate.
+func NewGenerator(cfg GenConfig, rng *sim.RNG) (*Generator, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	return &Generator{cfg: cfg, rng: rng, nextID: 1}, nil
+}
+
+// Config returns the generator's configuration.
+func (g *Generator) Config() GenConfig { return g.cfg }
+
+// Capacity draws a node capacity vector per Table I. The network
+// bandwidth dimension is the node's LAN bandwidth, uniform in
+// [5, 10] Mbps.
+func (g *Generator) Capacity() vector.Vec {
+	cpu := sim.Pick(g.rng, processorCounts) * sim.Pick(g.rng, processorRates)
+	return vector.Of(
+		cpu,
+		sim.Pick(g.rng, ioSpeeds),
+		g.rng.Uniform(5, 10),
+		sim.Pick(g.rng, diskSizes),
+		sim.Pick(g.rng, memorySizes),
+	)
+}
+
+// Demand draws a task expectation vector per Table II at the
+// configured λ: componentwise uniform in [λ·lo, λ·hi].
+func (g *Generator) Demand() vector.Vec {
+	d := make(vector.Vec, Dims)
+	for k := 0; k < Dims; k++ {
+		d[k] = g.rng.Uniform(demandLo[k]*g.cfg.DemandRatio, demandHi[k]*g.cfg.DemandRatio)
+	}
+	return d
+}
+
+// Duration draws a nominal task duration in seconds.
+func (g *Generator) Duration() float64 {
+	s := g.cfg.DurationSpread
+	return g.cfg.MeanDurationSec * g.rng.Uniform(1-s, 1+s)
+}
+
+// Interarrival draws the next Poisson gap in simulation time.
+func (g *Generator) Interarrival() sim.Time {
+	return sim.Seconds(g.rng.Exponential(g.cfg.MeanInterarrivalSec))
+}
+
+// Next builds the next task submitted by origin at the given time.
+func (g *Generator) Next(origin int, at sim.Time) *Spec {
+	id := g.nextID
+	g.nextID++
+	return &Spec{
+		ID:             id,
+		Origin:         origin,
+		Demand:         g.Demand(),
+		NominalSeconds: g.Duration(),
+		Submitted:      at,
+	}
+}
+
+// Generated returns how many tasks have been drawn so far.
+func (g *Generator) Generated() int64 { return int64(g.nextID - 1) }
+
+// InitialWork returns the task's full work vector
+// (Demand·NominalSeconds on the rate dimensions).
+func (s *Spec) InitialWork() vector.Vec {
+	w := vector.New(s.Demand.Dim())
+	for k := 0; k < WorkDims && k < s.Demand.Dim(); k++ {
+		w[k] = s.Demand[k] * s.NominalSeconds
+	}
+	return w
+}
+
+// NewPSMTask converts a spec into a runnable PSM task. A recovered
+// spec resumes from its checkpointed remaining work.
+func (s *Spec) NewPSMTask() *psm.Task {
+	t := psm.NewTask(s.ID, s.Demand, s.NominalSeconds, WorkDims, s.Submitted)
+	if s.Remaining != nil {
+		t.Work = s.Remaining.Clone()
+	}
+	return t
+}
+
+// ExpectedSeconds estimates the task's expected execution time per
+// the paper's fairness definition: "estimated using its load amount
+// and the system-wide average node capacity" — the time the task's
+// work would take at avgCap shares: max_k work_k / avgCap_k over
+// rate dimensions. The work amount is Demand·NominalSeconds.
+func (s *Spec) ExpectedSeconds(avgCap vector.Vec) float64 {
+	exp := 0.0
+	for k := 0; k < WorkDims; k++ {
+		if s.Demand[k] <= 0 {
+			continue
+		}
+		if avgCap[k] <= 0 {
+			return s.NominalSeconds
+		}
+		if t := s.Demand[k] * s.NominalSeconds / avgCap[k]; t > exp {
+			exp = t
+		}
+	}
+	if exp == 0 {
+		return s.NominalSeconds
+	}
+	return exp
+}

@@ -1,0 +1,199 @@
+package task
+
+import (
+	"math"
+	"testing"
+
+	"pidcan/internal/sim"
+	"pidcan/internal/vector"
+)
+
+func newGen(t *testing.T, lambda float64) *Generator {
+	t.Helper()
+	g, err := NewGenerator(DefaultGenConfig(lambda), sim.NewRNG(1, sim.StreamWorkload))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+func TestConfigValidate(t *testing.T) {
+	good := DefaultGenConfig(0.5)
+	if err := good.Validate(); err != nil {
+		t.Errorf("default config invalid: %v", err)
+	}
+	bad := []GenConfig{
+		{DemandRatio: 0, MeanInterarrivalSec: 1, MeanDurationSec: 1},
+		{DemandRatio: 1.5, MeanInterarrivalSec: 1, MeanDurationSec: 1},
+		{DemandRatio: 0.5, MeanInterarrivalSec: 0, MeanDurationSec: 1},
+		{DemandRatio: 0.5, MeanInterarrivalSec: 1, MeanDurationSec: 0},
+		{DemandRatio: 0.5, MeanInterarrivalSec: 1, MeanDurationSec: 1, DurationSpread: 1},
+	}
+	for i, cfg := range bad {
+		if err := cfg.Validate(); err == nil {
+			t.Errorf("bad config %d validated", i)
+		}
+	}
+	if _, err := NewGenerator(bad[0], sim.NewRNG(1, 1)); err == nil {
+		t.Error("NewGenerator accepted invalid config")
+	}
+}
+
+func TestCapacityWithinTableI(t *testing.T) {
+	g := newGen(t, 1)
+	cmax := CMax()
+	for i := 0; i < 500; i++ {
+		c := g.Capacity()
+		if c.Dim() != Dims {
+			t.Fatalf("capacity dim = %d", c.Dim())
+		}
+		if !cmax.Dominates(c) {
+			t.Fatalf("capacity %v exceeds cmax %v", c, cmax)
+		}
+		if !c.IsNonNegative() || c[0] < 1 || c[1] < 20 || c[2] < 5 || c[3] < 20 || c[4] < 512 {
+			t.Fatalf("capacity %v below Table I minima", c)
+		}
+	}
+}
+
+func TestCapacityHitsDiscreteLevels(t *testing.T) {
+	g := newGen(t, 1)
+	mems := map[float64]bool{}
+	for i := 0; i < 2000; i++ {
+		mems[g.Capacity()[4]] = true
+	}
+	for _, m := range []float64{512, 1024, 2048, 4096} {
+		if !mems[m] {
+			t.Errorf("memory level %v never drawn", m)
+		}
+	}
+	if len(mems) != 4 {
+		t.Errorf("unexpected memory levels: %v", mems)
+	}
+}
+
+func TestDemandScalesWithLambda(t *testing.T) {
+	for _, lambda := range []float64{1, 0.5, 0.25} {
+		g := newGen(t, lambda)
+		cmaxScaled := CMax().Scale(lambda)
+		for i := 0; i < 300; i++ {
+			d := g.Demand()
+			if !cmaxScaled.Dominates(d) {
+				t.Fatalf("λ=%v: demand %v exceeds λ·cmax %v", lambda, d, cmaxScaled)
+			}
+			for k := range d {
+				if d[k] < demandLo[k]*lambda {
+					t.Fatalf("λ=%v: demand %v below Table II lower bound", lambda, d)
+				}
+			}
+		}
+	}
+}
+
+func TestDurationStatistics(t *testing.T) {
+	g := newGen(t, 1)
+	sum := 0.0
+	const n = 20000
+	for i := 0; i < n; i++ {
+		d := g.Duration()
+		if d < 1500 || d > 4500 {
+			t.Fatalf("duration %v outside [1500,4500]", d)
+		}
+		sum += d
+	}
+	if mean := sum / n; math.Abs(mean-3000) > 30 {
+		t.Errorf("duration mean = %v, want ≈3000", mean)
+	}
+}
+
+func TestInterarrivalMean(t *testing.T) {
+	g := newGen(t, 1)
+	var sum sim.Time
+	const n = 20000
+	for i := 0; i < n; i++ {
+		sum += g.Interarrival()
+	}
+	mean := (sum / n).Seconds()
+	if math.Abs(mean-3000) > 60 {
+		t.Errorf("inter-arrival mean = %v s, want ≈3000", mean)
+	}
+}
+
+func TestNextAssignsSequentialIDs(t *testing.T) {
+	g := newGen(t, 0.5)
+	s1 := g.Next(3, 10*sim.Second)
+	s2 := g.Next(4, 20*sim.Second)
+	if s1.ID != 1 || s2.ID != 2 {
+		t.Errorf("IDs = %d, %d", s1.ID, s2.ID)
+	}
+	if s1.Origin != 3 || s1.Submitted != 10*sim.Second {
+		t.Errorf("spec = %+v", s1)
+	}
+	if g.Generated() != 2 {
+		t.Errorf("Generated = %d", g.Generated())
+	}
+}
+
+func TestNewPSMTask(t *testing.T) {
+	g := newGen(t, 0.5)
+	s := g.Next(0, 0)
+	pt := s.NewPSMTask()
+	if pt.ID != s.ID || !pt.Expect.Equal(s.Demand) {
+		t.Error("psm task does not match spec")
+	}
+	// Work is demand·duration on the first WorkDims dims, zero after.
+	for k := 0; k < WorkDims; k++ {
+		want := s.Demand[k] * s.NominalSeconds
+		if math.Abs(pt.Work[k]-want) > 1e-9 {
+			t.Errorf("work[%d] = %v, want %v", k, pt.Work[k], want)
+		}
+	}
+	for k := WorkDims; k < Dims; k++ {
+		if pt.Work[k] != 0 {
+			t.Errorf("space dim %d has work %v", k, pt.Work[k])
+		}
+	}
+}
+
+func TestExpectedSeconds(t *testing.T) {
+	s := &Spec{
+		Demand:         vector.Of(10, 20, 1, 100, 1024),
+		NominalSeconds: 3000,
+	}
+	avg := vector.Of(10, 40, 5, 120, 2048)
+	// max(10/10, 20/40, 1/5)·3000 = 3000.
+	if got := s.ExpectedSeconds(avg); math.Abs(got-3000) > 1e-9 {
+		t.Errorf("ExpectedSeconds = %v", got)
+	}
+	// Bigger average capacity → smaller expected time.
+	avg2 := vector.Of(20, 80, 10, 120, 2048)
+	if got := s.ExpectedSeconds(avg2); math.Abs(got-1500) > 1e-9 {
+		t.Errorf("ExpectedSeconds = %v", got)
+	}
+	// Degenerate average falls back to the nominal duration.
+	if got := s.ExpectedSeconds(vector.New(5)); got != 3000 {
+		t.Errorf("degenerate ExpectedSeconds = %v", got)
+	}
+	zero := &Spec{Demand: vector.New(5), NominalSeconds: 100}
+	if got := zero.ExpectedSeconds(avg); got != 100 {
+		t.Errorf("zero-demand ExpectedSeconds = %v", got)
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	a := newGen(t, 0.5)
+	g2, _ := NewGenerator(DefaultGenConfig(0.5), sim.NewRNG(1, sim.StreamWorkload))
+	for i := 0; i < 50; i++ {
+		if !a.Demand().Equal(g2.Demand()) {
+			t.Fatal("equal seeds diverged")
+		}
+	}
+}
+
+func BenchmarkDemand(b *testing.B) {
+	g, _ := NewGenerator(DefaultGenConfig(0.5), sim.NewRNG(1, sim.StreamWorkload))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = g.Demand()
+	}
+}

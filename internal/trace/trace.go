@@ -1,0 +1,173 @@
+// Package trace is a bounded structured event log for simulation
+// runs: the cloud layer emits task-lifecycle and membership events
+// into a ring buffer that tools and tests can filter, count and
+// export. Tracing is opt-in (cloud.Config.TraceCapacity) and costs
+// nothing when disabled.
+package trace
+
+import (
+	"fmt"
+	"io"
+
+	"pidcan/internal/overlay"
+	"pidcan/internal/psm"
+	"pidcan/internal/sim"
+)
+
+// Kind classifies an event.
+type Kind int
+
+// Event kinds emitted by the cloud layer.
+const (
+	TaskSubmitted Kind = iota
+	QueryResolved
+	TaskPlaced
+	PlacementRejected
+	TaskFinished
+	TaskFailed
+	TaskUnplaced
+	TaskLost
+	TaskRecovered
+	NodeJoined
+	NodeLeft
+	numKinds
+)
+
+var kindNames = [...]string{
+	"submitted", "query-resolved", "placed", "rejected", "finished",
+	"failed", "unplaced", "lost", "recovered", "node-joined", "node-left",
+}
+
+func (k Kind) String() string {
+	if k < 0 || int(k) >= len(kindNames) {
+		return fmt.Sprintf("kind(%d)", int(k))
+	}
+	return kindNames[k]
+}
+
+// Event is one recorded occurrence.
+type Event struct {
+	At   sim.Time
+	Kind Kind
+	Node overlay.NodeID // the node the event happened at (or joined/left)
+	Task psm.TaskID     // 0 for membership events
+	// Arg carries a kind-specific number: candidates for
+	// QueryResolved, the executing node for TaskPlaced, the dynamic
+	// count for membership events.
+	Arg int64
+}
+
+func (e Event) String() string {
+	return fmt.Sprintf("%10.1fs %-14s node=%d task=%d arg=%d",
+		e.At.Seconds(), e.Kind, e.Node, e.Task, e.Arg)
+}
+
+// Log is a fixed-capacity ring buffer of events with per-kind
+// counters. The zero value is a disabled log that drops everything;
+// use New for a recording log. Not safe for concurrent use (runs are
+// single-goroutine).
+type Log struct {
+	buf    []Event
+	next   int
+	filled bool
+	counts [numKinds]int64
+}
+
+// New returns a log holding the most recent capacity events.
+func New(capacity int) *Log {
+	if capacity <= 0 {
+		return &Log{}
+	}
+	return &Log{buf: make([]Event, capacity)}
+}
+
+// Enabled reports whether the log records anything.
+func (l *Log) Enabled() bool { return l != nil && len(l.buf) > 0 }
+
+// Record stores an event (dropping the oldest beyond capacity).
+func (l *Log) Record(ev Event) {
+	if l == nil {
+		return
+	}
+	if ev.Kind >= 0 && ev.Kind < numKinds {
+		l.counts[ev.Kind]++
+	}
+	if len(l.buf) == 0 {
+		return
+	}
+	l.buf[l.next] = ev
+	l.next++
+	if l.next == len(l.buf) {
+		l.next = 0
+		l.filled = true
+	}
+}
+
+// Count returns how many events of the kind were recorded over the
+// whole run (including ones evicted from the ring).
+func (l *Log) Count(kind Kind) int64 {
+	if l == nil || kind < 0 || kind >= numKinds {
+		return 0
+	}
+	return l.counts[kind]
+}
+
+// Len returns the number of retained events.
+func (l *Log) Len() int {
+	if l == nil {
+		return 0
+	}
+	if l.filled {
+		return len(l.buf)
+	}
+	return l.next
+}
+
+// Events returns the retained events in chronological order.
+func (l *Log) Events() []Event {
+	if l == nil {
+		return nil
+	}
+	out := make([]Event, 0, l.Len())
+	if l.filled {
+		out = append(out, l.buf[l.next:]...)
+	}
+	out = append(out, l.buf[:l.next]...)
+	return out
+}
+
+// Filter returns the retained events of one kind, in order.
+func (l *Log) Filter(kind Kind) []Event {
+	var out []Event
+	for _, ev := range l.Events() {
+		if ev.Kind == kind {
+			out = append(out, ev)
+		}
+	}
+	return out
+}
+
+// TaskHistory returns the retained events of one task, in order.
+func (l *Log) TaskHistory(id psm.TaskID) []Event {
+	var out []Event
+	for _, ev := range l.Events() {
+		if ev.Task == id {
+			out = append(out, ev)
+		}
+	}
+	return out
+}
+
+// WriteTSV exports the retained events as tab-separated values.
+func (l *Log) WriteTSV(w io.Writer) error {
+	if _, err := fmt.Fprintln(w, "seconds\tkind\tnode\ttask\targ"); err != nil {
+		return err
+	}
+	for _, ev := range l.Events() {
+		if _, err := fmt.Fprintf(w, "%.3f\t%s\t%d\t%d\t%d\n",
+			ev.At.Seconds(), ev.Kind, ev.Node, ev.Task, ev.Arg); err != nil {
+			return err
+		}
+	}
+	return nil
+}

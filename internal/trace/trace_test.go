@@ -1,0 +1,105 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+
+	"pidcan/internal/psm"
+	"pidcan/internal/sim"
+)
+
+func TestDisabledLog(t *testing.T) {
+	var l *Log
+	l.Record(Event{Kind: TaskSubmitted}) // nil-safe
+	if l.Enabled() || l.Len() != 0 || l.Count(TaskSubmitted) != 0 {
+		t.Error("nil log should be inert")
+	}
+	zero := &Log{}
+	zero.Record(Event{Kind: TaskSubmitted})
+	if zero.Enabled() || zero.Len() != 0 {
+		t.Error("zero log should retain nothing")
+	}
+	if zero.Count(TaskSubmitted) != 1 {
+		t.Error("zero log should still count")
+	}
+	if New(0).Enabled() {
+		t.Error("New(0) should be disabled")
+	}
+}
+
+func TestRecordAndOrder(t *testing.T) {
+	l := New(10)
+	if !l.Enabled() {
+		t.Fatal("log disabled")
+	}
+	for i := 0; i < 5; i++ {
+		l.Record(Event{At: sim.Time(i) * sim.Second, Kind: TaskSubmitted, Task: psm.TaskID(i)})
+	}
+	evs := l.Events()
+	if len(evs) != 5 {
+		t.Fatalf("Len = %d", len(evs))
+	}
+	for i := 1; i < len(evs); i++ {
+		if evs[i].At < evs[i-1].At {
+			t.Fatal("events out of order")
+		}
+	}
+}
+
+func TestRingEviction(t *testing.T) {
+	l := New(4)
+	for i := 0; i < 10; i++ {
+		l.Record(Event{At: sim.Time(i) * sim.Second, Kind: TaskFinished, Task: psm.TaskID(i)})
+	}
+	if l.Len() != 4 {
+		t.Fatalf("Len = %d, want 4", l.Len())
+	}
+	evs := l.Events()
+	// Retains the most recent four, chronological.
+	if evs[0].Task != 6 || evs[3].Task != 9 {
+		t.Errorf("retained = %+v", evs)
+	}
+	// Counters see everything.
+	if l.Count(TaskFinished) != 10 {
+		t.Errorf("Count = %d", l.Count(TaskFinished))
+	}
+}
+
+func TestFilterAndHistory(t *testing.T) {
+	l := New(16)
+	l.Record(Event{At: 1 * sim.Second, Kind: TaskSubmitted, Task: 7, Node: 3})
+	l.Record(Event{At: 2 * sim.Second, Kind: QueryResolved, Task: 7, Node: 3, Arg: 2})
+	l.Record(Event{At: 3 * sim.Second, Kind: TaskPlaced, Task: 7, Node: 3, Arg: 9})
+	l.Record(Event{At: 4 * sim.Second, Kind: TaskSubmitted, Task: 8, Node: 4})
+	l.Record(Event{At: 5 * sim.Second, Kind: TaskFinished, Task: 7, Node: 9})
+
+	if got := l.Filter(TaskSubmitted); len(got) != 2 {
+		t.Errorf("Filter(submitted) = %d", len(got))
+	}
+	hist := l.TaskHistory(7)
+	if len(hist) != 4 {
+		t.Fatalf("history = %+v", hist)
+	}
+	if hist[0].Kind != TaskSubmitted || hist[3].Kind != TaskFinished {
+		t.Errorf("history order wrong: %+v", hist)
+	}
+}
+
+func TestWriteTSVAndStrings(t *testing.T) {
+	l := New(8)
+	l.Record(Event{At: sim.Second, Kind: TaskPlaced, Task: 1, Node: 2, Arg: 5})
+	var b strings.Builder
+	if err := l.WriteTSV(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	if !strings.Contains(out, "placed") || !strings.Contains(out, "seconds\tkind") {
+		t.Errorf("TSV = %q", out)
+	}
+	if s := (Event{Kind: TaskLost}).String(); !strings.Contains(s, "lost") {
+		t.Errorf("Event.String = %q", s)
+	}
+	if Kind(99).String() == "" || TaskRecovered.String() != "recovered" {
+		t.Error("kind names wrong")
+	}
+}

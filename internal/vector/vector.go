@@ -1,0 +1,331 @@
+// Package vector implements the d-dimensional resource vectors used
+// throughout the Self-Organizing Cloud model: capacity vectors c_i,
+// availability vectors a_i = c_i - l_i, task expectation vectors e(t),
+// and the componentwise ("dominance") order ⪰ from Inequality (2) of
+// the paper.
+//
+// A Vec is an ordinary []float64; the package functions treat vectors
+// of equal length only and panic on length mismatch, because a length
+// mismatch is always a programming error in this codebase (dimensions
+// are fixed per simulation).
+package vector
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// Vec is a d-dimensional resource vector. Component k holds the
+// amount of resource type k (e.g. CPU rate, I/O rate, network
+// bandwidth, disk size, memory size).
+type Vec []float64
+
+// New returns a zero vector of dimensionality d.
+func New(d int) Vec { return make(Vec, d) }
+
+// Of returns a vector with the given components.
+func Of(xs ...float64) Vec { return Vec(xs) }
+
+// Uniform returns a d-dimensional vector with every component x.
+func Uniform(d int, x float64) Vec {
+	v := make(Vec, d)
+	for i := range v {
+		v[i] = x
+	}
+	return v
+}
+
+// Dim returns the dimensionality of v.
+func (v Vec) Dim() int { return len(v) }
+
+// Clone returns a copy of v that shares no storage with it.
+func (v Vec) Clone() Vec {
+	w := make(Vec, len(v))
+	copy(w, v)
+	return w
+}
+
+func checkDim(a, b Vec) {
+	if len(a) != len(b) {
+		panic(fmt.Sprintf("vector: dimension mismatch %d vs %d", len(a), len(b)))
+	}
+}
+
+// Dominates reports whether v ⪰ w, i.e. v[k] >= w[k] for every k.
+// This is the qualification test of Inequality (2): a host with
+// availability v can admit a task demanding w iff v.Dominates(w).
+func (v Vec) Dominates(w Vec) bool {
+	checkDim(v, w)
+	for i := range v {
+		if v[i] < w[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// StrictlyDominates reports whether v[k] > w[k] for every k.
+func (v Vec) StrictlyDominates(w Vec) bool {
+	checkDim(v, w)
+	for i := range v {
+		if v[i] <= w[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Equal reports whether v and w have identical components.
+func (v Vec) Equal(w Vec) bool {
+	if len(v) != len(w) {
+		return false
+	}
+	for i := range v {
+		if v[i] != w[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Add returns v + w.
+func (v Vec) Add(w Vec) Vec {
+	checkDim(v, w)
+	out := make(Vec, len(v))
+	for i := range v {
+		out[i] = v[i] + w[i]
+	}
+	return out
+}
+
+// AddInPlace sets v = v + w and returns v.
+func (v Vec) AddInPlace(w Vec) Vec {
+	checkDim(v, w)
+	for i := range v {
+		v[i] += w[i]
+	}
+	return v
+}
+
+// Sub returns v - w.
+func (v Vec) Sub(w Vec) Vec {
+	checkDim(v, w)
+	out := make(Vec, len(v))
+	for i := range v {
+		out[i] = v[i] - w[i]
+	}
+	return out
+}
+
+// SubInPlace sets v = v - w and returns v.
+func (v Vec) SubInPlace(w Vec) Vec {
+	checkDim(v, w)
+	for i := range v {
+		v[i] -= w[i]
+	}
+	return v
+}
+
+// Scale returns s·v.
+func (v Vec) Scale(s float64) Vec {
+	out := make(Vec, len(v))
+	for i := range v {
+		out[i] = v[i] * s
+	}
+	return out
+}
+
+// Mul returns the componentwise (Hadamard) product v ∘ w.
+func (v Vec) Mul(w Vec) Vec {
+	checkDim(v, w)
+	out := make(Vec, len(v))
+	for i := range v {
+		out[i] = v[i] * w[i]
+	}
+	return out
+}
+
+// Div returns the componentwise quotient v / w. Components where
+// w[k] == 0 yield +Inf (or NaN if v[k] is also 0), matching IEEE-754;
+// callers in the PSM layer guard against zero loads before dividing.
+func (v Vec) Div(w Vec) Vec {
+	checkDim(v, w)
+	out := make(Vec, len(v))
+	for i := range v {
+		out[i] = v[i] / w[i]
+	}
+	return out
+}
+
+// Min returns the componentwise minimum of v and w.
+func (v Vec) Min(w Vec) Vec {
+	checkDim(v, w)
+	out := make(Vec, len(v))
+	for i := range v {
+		out[i] = math.Min(v[i], w[i])
+	}
+	return out
+}
+
+// Max returns the componentwise maximum of v and w.
+func (v Vec) Max(w Vec) Vec {
+	checkDim(v, w)
+	out := make(Vec, len(v))
+	for i := range v {
+		out[i] = math.Max(v[i], w[i])
+	}
+	return out
+}
+
+// Clamp returns v with every component clamped into [lo[k], hi[k]].
+func (v Vec) Clamp(lo, hi Vec) Vec {
+	checkDim(v, lo)
+	checkDim(v, hi)
+	out := make(Vec, len(v))
+	for i := range v {
+		out[i] = math.Min(math.Max(v[i], lo[i]), hi[i])
+	}
+	return out
+}
+
+// ClampNonNegative returns v with negative components replaced by 0.
+// Availability vectors can transiently dip below zero under
+// proportional-share overload; the overlay stores them clamped.
+func (v Vec) ClampNonNegative() Vec {
+	out := make(Vec, len(v))
+	for i := range v {
+		out[i] = math.Max(v[i], 0)
+	}
+	return out
+}
+
+// Sum returns Σ_k v[k].
+func (v Vec) Sum() float64 {
+	s := 0.0
+	for _, x := range v {
+		s += x
+	}
+	return s
+}
+
+// MinComponent returns the smallest component of v and its index.
+// It panics on the empty vector.
+func (v Vec) MinComponent() (float64, int) {
+	if len(v) == 0 {
+		panic("vector: MinComponent of empty vector")
+	}
+	mi, m := 0, v[0]
+	for i, x := range v {
+		if x < m {
+			m, mi = x, i
+		}
+	}
+	return m, mi
+}
+
+// MaxComponent returns the largest component of v and its index.
+// It panics on the empty vector.
+func (v Vec) MaxComponent() (float64, int) {
+	if len(v) == 0 {
+		panic("vector: MaxComponent of empty vector")
+	}
+	mi, m := 0, v[0]
+	for i, x := range v {
+		if x > m {
+			m, mi = x, i
+		}
+	}
+	return m, mi
+}
+
+// Norm2 returns the Euclidean norm of v.
+func (v Vec) Norm2() float64 {
+	s := 0.0
+	for _, x := range v {
+		s += x * x
+	}
+	return math.Sqrt(s)
+}
+
+// Dist2 returns the Euclidean distance between v and w.
+func (v Vec) Dist2(w Vec) float64 { return v.Sub(w).Norm2() }
+
+// IsNonNegative reports whether every component of v is >= 0.
+func (v Vec) IsNonNegative() bool {
+	for _, x := range v {
+		if x < 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// IsFinite reports whether every component is a finite number.
+func (v Vec) IsFinite() bool {
+	for _, x := range v {
+		if math.IsNaN(x) || math.IsInf(x, 0) {
+			return false
+		}
+	}
+	return true
+}
+
+// Normalize maps v componentwise onto [0,1] by dividing by the
+// system-wide maximum capacity vector cmax. This is how resource
+// amounts are embedded as points of the CAN coordinate space.
+// Components are clamped into [0,1] so that transiently out-of-range
+// measurements still map inside the space.
+func (v Vec) Normalize(cmax Vec) Vec {
+	checkDim(v, cmax)
+	out := make(Vec, len(v))
+	for i := range v {
+		if cmax[i] <= 0 {
+			out[i] = 0
+			continue
+		}
+		out[i] = math.Min(math.Max(v[i]/cmax[i], 0), 1)
+	}
+	return out
+}
+
+// Denormalize is the inverse of Normalize: it maps a point of the
+// unit cube back to resource amounts under capacity scale cmax.
+func (v Vec) Denormalize(cmax Vec) Vec {
+	checkDim(v, cmax)
+	out := make(Vec, len(v))
+	for i := range v {
+		out[i] = v[i] * cmax[i]
+	}
+	return out
+}
+
+// Surplus returns Σ_k (v[k]-w[k])/scale[k] — the normalized slack of
+// availability v over demand w. The best-fit selection policy picks
+// the qualified candidate with the smallest surplus (closest fit).
+func (v Vec) Surplus(w, scale Vec) float64 {
+	checkDim(v, w)
+	checkDim(v, scale)
+	s := 0.0
+	for i := range v {
+		if scale[i] <= 0 {
+			continue
+		}
+		s += (v[i] - w[i]) / scale[i]
+	}
+	return s
+}
+
+// String renders v like "(1.5, 200, 0.3)" with compact formatting.
+func (v Vec) String() string {
+	var b strings.Builder
+	b.WriteByte('(')
+	for i, x := range v {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		fmt.Fprintf(&b, "%.4g", x)
+	}
+	b.WriteByte(')')
+	return b.String()
+}

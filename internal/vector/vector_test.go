@@ -1,0 +1,349 @@
+package vector
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewAndUniform(t *testing.T) {
+	v := New(5)
+	if v.Dim() != 5 {
+		t.Fatalf("Dim = %d, want 5", v.Dim())
+	}
+	for i, x := range v {
+		if x != 0 {
+			t.Errorf("New component %d = %v, want 0", i, x)
+		}
+	}
+	u := Uniform(3, 2.5)
+	for i, x := range u {
+		if x != 2.5 {
+			t.Errorf("Uniform component %d = %v, want 2.5", i, x)
+		}
+	}
+}
+
+func TestCloneIndependence(t *testing.T) {
+	v := Of(1, 2, 3)
+	w := v.Clone()
+	w[0] = 99
+	if v[0] != 1 {
+		t.Fatal("Clone shares storage with original")
+	}
+}
+
+func TestDominates(t *testing.T) {
+	cases := []struct {
+		a, b Vec
+		want bool
+	}{
+		{Of(1, 2, 3), Of(1, 2, 3), true},
+		{Of(2, 3, 4), Of(1, 2, 3), true},
+		{Of(1, 2, 2), Of(1, 2, 3), false},
+		{Of(0, 5), Of(1, 1), false},
+		{Of(), Of(), true},
+	}
+	for i, c := range cases {
+		if got := c.a.Dominates(c.b); got != c.want {
+			t.Errorf("case %d: %v ⪰ %v = %v, want %v", i, c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestStrictlyDominates(t *testing.T) {
+	if Of(1, 2).StrictlyDominates(Of(1, 1)) {
+		t.Error("equal component should not strictly dominate")
+	}
+	if !Of(2, 3).StrictlyDominates(Of(1, 2)) {
+		t.Error("expected strict dominance")
+	}
+}
+
+func TestDominatesPanicsOnMismatch(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on dimension mismatch")
+		}
+	}()
+	Of(1, 2).Dominates(Of(1))
+}
+
+func TestArithmetic(t *testing.T) {
+	a, b := Of(1, 2, 3), Of(4, 5, 6)
+	if got := a.Add(b); !got.Equal(Of(5, 7, 9)) {
+		t.Errorf("Add = %v", got)
+	}
+	if got := b.Sub(a); !got.Equal(Of(3, 3, 3)) {
+		t.Errorf("Sub = %v", got)
+	}
+	if got := a.Scale(2); !got.Equal(Of(2, 4, 6)) {
+		t.Errorf("Scale = %v", got)
+	}
+	if got := a.Mul(b); !got.Equal(Of(4, 10, 18)) {
+		t.Errorf("Mul = %v", got)
+	}
+	if got := b.Div(a); !got.Equal(Of(4, 2.5, 2)) {
+		t.Errorf("Div = %v", got)
+	}
+}
+
+func TestInPlaceArithmetic(t *testing.T) {
+	a := Of(1, 2)
+	a.AddInPlace(Of(1, 1))
+	if !a.Equal(Of(2, 3)) {
+		t.Errorf("AddInPlace = %v", a)
+	}
+	a.SubInPlace(Of(2, 2))
+	if !a.Equal(Of(0, 1)) {
+		t.Errorf("SubInPlace = %v", a)
+	}
+}
+
+func TestMinMax(t *testing.T) {
+	a, b := Of(1, 5, 3), Of(2, 4, 3)
+	if got := a.Min(b); !got.Equal(Of(1, 4, 3)) {
+		t.Errorf("Min = %v", got)
+	}
+	if got := a.Max(b); !got.Equal(Of(2, 5, 3)) {
+		t.Errorf("Max = %v", got)
+	}
+}
+
+func TestClamp(t *testing.T) {
+	v := Of(-1, 0.5, 2)
+	got := v.Clamp(Uniform(3, 0), Uniform(3, 1))
+	if !got.Equal(Of(0, 0.5, 1)) {
+		t.Errorf("Clamp = %v", got)
+	}
+	if got := Of(-1, 1).ClampNonNegative(); !got.Equal(Of(0, 1)) {
+		t.Errorf("ClampNonNegative = %v", got)
+	}
+}
+
+func TestSumMinMaxComponent(t *testing.T) {
+	v := Of(3, 1, 2)
+	if v.Sum() != 6 {
+		t.Errorf("Sum = %v", v.Sum())
+	}
+	if m, i := v.MinComponent(); m != 1 || i != 1 {
+		t.Errorf("MinComponent = %v, %d", m, i)
+	}
+	if m, i := v.MaxComponent(); m != 3 || i != 0 {
+		t.Errorf("MaxComponent = %v, %d", m, i)
+	}
+}
+
+func TestMinComponentPanicsOnEmpty(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	Vec{}.MinComponent()
+}
+
+func TestNorms(t *testing.T) {
+	v := Of(3, 4)
+	if v.Norm2() != 5 {
+		t.Errorf("Norm2 = %v", v.Norm2())
+	}
+	if d := Of(0, 0).Dist2(Of(3, 4)); d != 5 {
+		t.Errorf("Dist2 = %v", d)
+	}
+}
+
+func TestPredicates(t *testing.T) {
+	if !Of(0, 1).IsNonNegative() || Of(-0.1, 1).IsNonNegative() {
+		t.Error("IsNonNegative wrong")
+	}
+	if !Of(1, 2).IsFinite() {
+		t.Error("finite vector reported non-finite")
+	}
+	if Of(math.NaN()).IsFinite() || Of(math.Inf(1)).IsFinite() {
+		t.Error("non-finite vector reported finite")
+	}
+}
+
+func TestNormalizeDenormalize(t *testing.T) {
+	cmax := Of(10, 100)
+	v := Of(5, 25)
+	n := v.Normalize(cmax)
+	if !n.Equal(Of(0.5, 0.25)) {
+		t.Errorf("Normalize = %v", n)
+	}
+	back := n.Denormalize(cmax)
+	if !back.Equal(v) {
+		t.Errorf("Denormalize = %v", back)
+	}
+	// Out-of-range values clamp into the unit cube.
+	if got := Of(-5, 200).Normalize(cmax); !got.Equal(Of(0, 1)) {
+		t.Errorf("Normalize clamp = %v", got)
+	}
+	// Zero scale maps to 0 rather than dividing by zero.
+	if got := Of(5).Normalize(Of(0)); !got.Equal(Of(0)) {
+		t.Errorf("Normalize zero-scale = %v", got)
+	}
+}
+
+func TestSurplus(t *testing.T) {
+	avail := Of(8, 4)
+	demand := Of(4, 2)
+	scale := Of(8, 8)
+	want := (8.0-4.0)/8 + (4.0-2.0)/8
+	if got := avail.Surplus(demand, scale); math.Abs(got-want) > 1e-12 {
+		t.Errorf("Surplus = %v, want %v", got, want)
+	}
+	// Zero-scale components are skipped.
+	if got := Of(1).Surplus(Of(0), Of(0)); got != 0 {
+		t.Errorf("Surplus with zero scale = %v", got)
+	}
+}
+
+func TestString(t *testing.T) {
+	if s := Of(1, 2.5).String(); s != "(1, 2.5)" {
+		t.Errorf("String = %q", s)
+	}
+}
+
+// --- property-based tests -------------------------------------------------
+
+func randVec(r *rand.Rand, d int) Vec {
+	v := make(Vec, d)
+	for i := range v {
+		v[i] = r.Float64() * 100
+	}
+	return v
+}
+
+// Dominance must be reflexive, antisymmetric (up to equality) and
+// transitive — a partial order.
+func TestDominancePartialOrder(t *testing.T) {
+	cfg := &quick.Config{MaxCount: 500}
+	reflexive := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		v := randVec(r, 1+r.Intn(6))
+		return v.Dominates(v)
+	}
+	if err := quick.Check(reflexive, cfg); err != nil {
+		t.Error(err)
+	}
+	antisym := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		d := 1 + r.Intn(6)
+		a, b := randVec(r, d), randVec(r, d)
+		if a.Dominates(b) && b.Dominates(a) {
+			return a.Equal(b)
+		}
+		return true
+	}
+	if err := quick.Check(antisym, cfg); err != nil {
+		t.Error(err)
+	}
+	transitive := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		d := 1 + r.Intn(6)
+		a := randVec(r, d)
+		b := a.Sub(Uniform(d, r.Float64()))
+		c := b.Sub(Uniform(d, r.Float64()))
+		return a.Dominates(b) && b.Dominates(c) && a.Dominates(c)
+	}
+	if err := quick.Check(transitive, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+// Add/Sub must be inverses; Min/Max must bracket both arguments.
+func TestArithmeticProperties(t *testing.T) {
+	cfg := &quick.Config{MaxCount: 500}
+	addSub := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		d := 1 + r.Intn(6)
+		a, b := randVec(r, d), randVec(r, d)
+		got := a.Add(b).Sub(b)
+		for i := range got {
+			if math.Abs(got[i]-a[i]) > 1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(addSub, cfg); err != nil {
+		t.Error(err)
+	}
+	bracket := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		d := 1 + r.Intn(6)
+		a, b := randVec(r, d), randVec(r, d)
+		lo, hi := a.Min(b), a.Max(b)
+		return hi.Dominates(a) && hi.Dominates(b) && a.Dominates(lo) && b.Dominates(lo)
+	}
+	if err := quick.Check(bracket, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+// Normalize must land in the unit cube and round-trip in range.
+func TestNormalizeProperties(t *testing.T) {
+	cfg := &quick.Config{MaxCount: 500}
+	inCube := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		d := 1 + r.Intn(6)
+		v := randVec(r, d)
+		cmax := randVec(r, d).Add(Uniform(d, 1)) // strictly positive
+		n := v.Normalize(cmax)
+		return n.Dominates(New(d)) && Uniform(d, 1).Dominates(n)
+	}
+	if err := quick.Check(inCube, cfg); err != nil {
+		t.Error(err)
+	}
+	roundTrip := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		d := 1 + r.Intn(6)
+		cmax := randVec(r, d).Add(Uniform(d, 1))
+		v := randVec(r, d).Min(cmax) // in range
+		back := v.Normalize(cmax).Denormalize(cmax)
+		for i := range back {
+			if math.Abs(back[i]-v[i]) > 1e-9*cmax[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(roundTrip, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSurplusNonNegativeWhenDominating(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		d := 1 + r.Intn(6)
+		demand := randVec(r, d)
+		avail := demand.Add(randVec(r, d)) // dominates demand
+		scale := randVec(r, d).Add(Uniform(d, 1))
+		return avail.Surplus(demand, scale) >= 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+func BenchmarkDominates(b *testing.B) {
+	r := rand.New(rand.NewSource(1))
+	v, w := randVec(r, 5), randVec(r, 5)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = v.Dominates(w)
+	}
+}
+
+func BenchmarkAdd(b *testing.B) {
+	r := rand.New(rand.NewSource(1))
+	v, w := randVec(r, 5), randVec(r, 5)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = v.Add(w)
+	}
+}

@@ -1,0 +1,150 @@
+// Package pidcan is a Go implementation of PID-CAN — the
+// Proactive Index-Diffusion CAN protocol for probabilistic best-fit
+// multi-dimensional range queries in a Self-Organizing Cloud (Di,
+// Wang, Zhang, Cheng; ICPP 2011) — together with the full simulation
+// apparatus of the paper's evaluation: the CAN/INSCAN overlay, the
+// proportional-share host model, the synthetic SOC workload, the
+// Newscast and KHDN-CAN baselines, node churn, and the metrics
+// (T-Ratio, F-Ratio, Jain fairness, message delivery cost).
+//
+// Two entry points:
+//
+//   - Run executes a complete Self-Organizing Cloud simulation — the
+//     unit behind every figure and table of the paper — and returns
+//     its metrics.
+//
+//   - NewCluster exposes the protocol itself as a reusable
+//     in-process component: a deterministic simulated cluster whose
+//     nodes publish availability vectors and answer best-fit
+//     multi-dimensional range queries, without the cloud workload on
+//     top. This is the API to use when embedding the index in other
+//     simulations.
+//
+// Everything is deterministic per seed and uses only the standard
+// library.
+package pidcan
+
+import (
+	"pidcan/internal/cloud"
+	"pidcan/internal/core"
+	"pidcan/internal/metrics"
+	"pidcan/internal/overlay"
+	"pidcan/internal/proto"
+	"pidcan/internal/psm"
+	"pidcan/internal/sim"
+	"pidcan/internal/task"
+	"pidcan/internal/trace"
+	"pidcan/internal/vector"
+)
+
+// Vec is a d-dimensional resource vector (CPU, I/O, network, disk,
+// memory in the standard layout).
+type Vec = vector.Vec
+
+// Time is a simulation timestamp/duration in microseconds.
+type Time = sim.Time
+
+// Time unit re-exports.
+const (
+	Millisecond = sim.Millisecond
+	Second      = sim.Second
+	Minute      = sim.Minute
+	Hour        = sim.Hour
+	Day         = sim.Day
+)
+
+// NodeID identifies a node of the overlay.
+type NodeID = overlay.NodeID
+
+// Record is a resource-state record: a node's advertised
+// availability with freshness bounds.
+type Record = proto.Record
+
+// Config parameterizes a full SOC simulation run.
+type Config = cloud.Config
+
+// Result is the outcome of a simulation run.
+type Result = cloud.Result
+
+// Protocol selects the discovery protocol under test.
+type Protocol = cloud.Protocol
+
+// Discovery protocols of the paper's evaluation.
+const (
+	HIDCAN    = cloud.HIDCAN
+	SIDCAN    = cloud.SIDCAN
+	HIDCANSoS = cloud.HIDCANSoS
+	SIDCANSoS = cloud.SIDCANSoS
+	SIDCANVD  = cloud.SIDCANVD
+	Newscast  = cloud.Newscast
+	KHDNCAN   = cloud.KHDNCAN
+)
+
+// SelectionPolicy picks among qualified candidates.
+type SelectionPolicy = cloud.SelectionPolicy
+
+// Candidate selection policies.
+const (
+	BestFit  = cloud.BestFit
+	FirstFit = cloud.FirstFit
+	MaxShare = cloud.MaxShare
+)
+
+// CoreConfig tunes the PID-CAN protocol itself.
+type CoreConfig = core.Config
+
+// DiffusionMode selects hopping (HID) or spreading (SID) diffusion.
+type DiffusionMode = core.DiffusionMode
+
+// Index-diffusion methods.
+const (
+	Hopping   = core.Hopping
+	Spreading = core.Spreading
+)
+
+// MsgKind classifies counted protocol messages.
+type MsgKind = metrics.MsgKind
+
+// Recorder accumulates run metrics.
+type Recorder = metrics.Recorder
+
+// MetricSample is one point of the hourly metric series.
+type MetricSample = metrics.Sample
+
+// TraceLog is the structured event log of a traced run.
+type TraceLog = trace.Log
+
+// TraceEvent is one recorded trace event.
+type TraceEvent = trace.Event
+
+// TraceKind classifies trace events.
+type TraceKind = trace.Kind
+
+// DefaultConfig returns the paper's §IV.A setting for protocol p
+// with n nodes at demand ratio lambda.
+func DefaultConfig(p Protocol, n int, lambda float64) Config {
+	return cloud.DefaultConfig(p, n, lambda)
+}
+
+// Run executes one Self-Organizing Cloud simulation to completion.
+// Equal configs (including Seed) reproduce results bit-for-bit.
+func Run(cfg Config) (*Result, error) {
+	s, err := cloud.New(cfg)
+	if err != nil {
+		return nil, err
+	}
+	return s.Run(), nil
+}
+
+// CMax returns the system-wide maximum capacity vector of the
+// standard five-dimensional resource layout (Table I).
+func CMax() Vec { return task.CMax() }
+
+// Dims is the standard resource dimensionality.
+const Dims = task.Dims
+
+// WorkDims is the number of leading rate-like dimensions.
+const WorkDims = task.WorkDims
+
+// DefaultOverhead returns the paper's per-VM maintenance overhead.
+func DefaultOverhead() psm.Overhead { return psm.DefaultOverhead() }
