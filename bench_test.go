@@ -11,11 +11,16 @@
 package pidcan
 
 import (
+	"encoding/json"
 	"fmt"
+	"math/rand/v2"
 	"os"
 	"strconv"
 	"strings"
+	"sync"
+	"sync/atomic"
 	"testing"
+	"time"
 
 	"pidcan/internal/experiment"
 	"pidcan/internal/vector"
@@ -205,4 +210,175 @@ func BenchmarkSimulationThroughput(b *testing.B) {
 	}
 	b.ReportMetric(float64(events)/float64(b.N), "events/run")
 	fmt.Fprintf(os.Stderr, "")
+}
+
+// --- serving-engine benchmarks (internal/serve) ------------------------------
+
+// serveBenchResult is one line of BENCH_serve.json (JSONL), emitted
+// when PIDCAN_BENCH_SERVE_JSON names a file (scripts/bench_serve.sh
+// sets it). It records the serving-engine perf trajectory across
+// PRs.
+type serveBenchResult struct {
+	Bench      string  `json:"bench"`
+	Shards     int     `json:"shards"`
+	Clients    int     `json:"clients"`
+	Ops        int     `json:"ops"`
+	ElapsedSec float64 `json:"elapsed_sec"`
+	QPS        float64 `json:"qps"`
+}
+
+func emitServeBench(b *testing.B, r serveBenchResult) {
+	b.Helper()
+	path := os.Getenv("PIDCAN_BENCH_SERVE_JSON")
+	if path == "" {
+		return
+	}
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_APPEND|os.O_WRONLY, 0o644)
+	if err != nil {
+		b.Logf("emitServeBench: %v", err)
+		return
+	}
+	defer f.Close()
+	if err := json.NewEncoder(f).Encode(r); err != nil {
+		b.Logf("emitServeBench: %v", err)
+	}
+}
+
+// newBenchEngine builds an engine with nodes/shards chosen so the
+// TOTAL population stays constant across shard counts — shard
+// scaling then measures parallelism, not index size.
+func newBenchEngine(b *testing.B, shards, totalNodes int) *Engine {
+	b.Helper()
+	eng, err := NewEngine(EngineConfig{
+		Shards:        shards,
+		NodesPerShard: totalNodes / shards,
+		Seed:          11,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(func() { eng.Close() })
+	cmax := eng.Config().CMax
+	rng := rand.New(rand.NewPCG(11, 0xbe7c4))
+	for _, id := range eng.Nodes() {
+		avail := make(Vec, cmax.Dim())
+		for k := range avail {
+			avail[k] = cmax[k] * (0.2 + 0.8*rng.Float64())
+		}
+		if err := eng.Update(id, avail, false); err != nil {
+			b.Fatal(err)
+		}
+	}
+	return eng
+}
+
+// benchDemands precomputes a deterministic demand working set.
+func benchDemands(eng *Engine, n int) []Vec {
+	cmax := eng.Config().CMax
+	rng := rand.New(rand.NewPCG(23, 0xd311a))
+	out := make([]Vec, n)
+	for i := range out {
+		d := make(Vec, cmax.Dim())
+		for k := range d {
+			d[k] = cmax[k] * rng.Float64() * 0.6
+		}
+		out[i] = d
+	}
+	return out
+}
+
+// runServeBench drives fn from the given client count until b.N ops
+// complete and reports sustained throughput as the "qps" metric.
+func runServeBench(b *testing.B, shards, clients int, fn func(client, i int)) {
+	b.Helper()
+	b.ResetTimer()
+	start := time.Now()
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= b.N {
+					return
+				}
+				fn(c, i)
+			}
+		}(c)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+	b.StopTimer()
+	qps := float64(b.N) / elapsed.Seconds()
+	b.ReportMetric(qps, "qps")
+	emitServeBench(b, serveBenchResult{
+		Bench: b.Name(), Shards: shards, Clients: clients,
+		Ops: b.N, ElapsedSec: elapsed.Seconds(), QPS: qps,
+	})
+}
+
+// BenchmarkServeQuery measures the full read path (query cache +
+// lock-free snapshot scan) across shard counts and client
+// concurrency. The demand working set revisits quantization cells,
+// so the cache carries its realistic share of the load.
+func BenchmarkServeQuery(b *testing.B) {
+	for _, shards := range []int{1, 4, 8} {
+		for _, clients := range []int{1, 8, 32} {
+			b.Run(fmt.Sprintf("shards=%d/clients=%d", shards, clients), func(b *testing.B) {
+				eng := newBenchEngine(b, shards, 128)
+				demands := benchDemands(eng, 512)
+				runServeBench(b, shards, clients, func(c, i int) {
+					if _, err := eng.Query(QueryRequest{Demand: demands[(i+c)%len(demands)], K: 3}); err != nil {
+						b.Error(err)
+					}
+				})
+			})
+		}
+	}
+}
+
+// BenchmarkServeQueryNoCache isolates the snapshot scan: every query
+// walks all shards' records, qualifies and ranks them.
+func BenchmarkServeQueryNoCache(b *testing.B) {
+	for _, shards := range []int{1, 4, 8} {
+		b.Run(fmt.Sprintf("shards=%d/clients=8", shards), func(b *testing.B) {
+			eng := newBenchEngine(b, shards, 128)
+			demands := benchDemands(eng, 512)
+			runServeBench(b, shards, 8, func(c, i int) {
+				if _, err := eng.Query(QueryRequest{Demand: demands[(i+c)%len(demands)], K: 3, NoCache: true}); err != nil {
+					b.Error(err)
+				}
+			})
+		})
+	}
+}
+
+// BenchmarkServeMixed is the shard-scaling workload: 85% snapshot
+// queries, 15% availability updates from 32 clients. Updates
+// serialize per shard (each shard applies batches on its own
+// goroutine), so throughput should grow with the shard count at
+// constant total population.
+func BenchmarkServeMixed(b *testing.B) {
+	for _, shards := range []int{1, 4, 8} {
+		b.Run(fmt.Sprintf("shards=%d/clients=32", shards), func(b *testing.B) {
+			eng := newBenchEngine(b, shards, 128)
+			demands := benchDemands(eng, 512)
+			nodes := eng.Nodes()
+			cmax := eng.Config().CMax
+			runServeBench(b, shards, 32, func(c, i int) {
+				if i%7 == 0 {
+					id := nodes[(i*31+c)%len(nodes)]
+					if err := eng.Update(id, cmax.Scale(0.2+0.7*float64(i%10)/10), false); err != nil {
+						b.Error(err)
+					}
+					return
+				}
+				if _, err := eng.Query(QueryRequest{Demand: demands[(i+c)%len(demands)], K: 3, NoCache: true}); err != nil {
+					b.Error(err)
+				}
+			})
+		})
+	}
 }

@@ -1,0 +1,540 @@
+// Command pidcan-loadgen drives cmd/pidcan-serve with an open-loop
+// arrival process and reports sustained throughput and latency
+// percentiles.
+//
+// Open-loop means arrivals are scheduled by the target rate, not by
+// response times (DEPAS-style): when the server lags, requests queue
+// and latency percentiles show it — the generator never slows down
+// to flatter the system under test.
+//
+//	pidcan-loadgen -url http://localhost:8080 -rate 20000 -duration 10s
+//	pidcan-loadgen -url http://localhost:8080 -arrivals bursty -burst 4
+//
+// The traffic mix is query-dominated by default; tune with
+// -mix query=90,update=6,join=2,leave=2.
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"math"
+	"math/rand/v2"
+	"net/http"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+)
+
+type opClass int
+
+const (
+	clQuery opClass = iota
+	clUpdate
+	clJoin
+	clLeave
+	numClasses
+)
+
+var classNames = [numClasses]string{"query", "update", "join", "leave"}
+
+type job struct {
+	class opClass
+	due   time.Time
+}
+
+type sample struct {
+	class opClass
+	lat   time.Duration
+	err   bool
+}
+
+func main() {
+	var (
+		baseURL  = flag.String("url", "http://localhost:8080", "pidcan-serve base URL")
+		rate     = flag.Float64("rate", 20000, "target arrival rate (requests/sec)")
+		duration = flag.Duration("duration", 10*time.Second, "generation window")
+		workers  = flag.Int("workers", 64, "concurrent request workers")
+		arrivals = flag.String("arrivals", "poisson", "arrival process: poisson|bursty|uniform")
+		burst    = flag.Float64("burst", 4, "bursty mode: on-period rate multiplier")
+		period   = flag.Duration("period", 500*time.Millisecond, "bursty mode: mean on/off period")
+		mix      = flag.String("mix", "query=92,update=5,join=2,leave=1", "traffic mix weights")
+		k        = flag.Int("k", 3, "candidates per query")
+		profiles = flag.Int("profiles", 64, "distinct demand profiles (0 = every query draws a fresh random demand)")
+		consist  = flag.Float64("consistent", 0, "fraction of queries routed through the PID-CAN protocol instead of the snapshot path")
+		seed     = flag.Uint64("seed", 1, "generator seed")
+		jsonOut  = flag.String("json", "", "also write the summary as JSON to this file")
+	)
+	flag.Parse()
+
+	weights, err := parseMix(*mix)
+	if err != nil {
+		log.Fatal(err)
+	}
+	client := &http.Client{Transport: &http.Transport{
+		MaxIdleConns:        *workers * 2,
+		MaxIdleConnsPerHost: *workers * 2,
+	}}
+	cmax, err := fetchCMax(client, *baseURL)
+	if err != nil {
+		log.Fatalf("cannot reach %s: %v", *baseURL, err)
+	}
+	nodes, err := fetchNodes(client, *baseURL)
+	if err != nil {
+		log.Fatal(err)
+	}
+	log.Printf("target %s: %d nodes, %d dims; offering %.0f req/s (%s) for %v with %d workers",
+		*baseURL, len(nodes), len(cmax), *rate, *arrivals, *duration, *workers)
+
+	// Query bodies for the demand profiles are marshaled once:
+	// recurring demand shapes are what real tenants issue, and they
+	// are what makes the server's quantized query cache earn its
+	// keep.
+	var queryBodies, consistentBodies [][]byte
+	if *profiles > 0 {
+		rng := rand.New(rand.NewPCG(*seed, 0xf0f))
+		for i := 0; i < *profiles; i++ {
+			demand := randVec(rng, cmax, 0, 0.6)
+			body, err := json.Marshal(struct {
+				Demand []float64 `json:"demand"`
+				K      int       `json:"k"`
+			}{demand, *k})
+			if err != nil {
+				log.Fatal(err)
+			}
+			queryBodies = append(queryBodies, body)
+			body, err = json.Marshal(struct {
+				Demand     []float64 `json:"demand"`
+				K          int       `json:"k"`
+				Consistent bool      `json:"consistent"`
+			}{demand, *k, true})
+			if err != nil {
+				log.Fatal(err)
+			}
+			consistentBodies = append(consistentBodies, body)
+		}
+	}
+
+	// Open-loop arrival schedule feeding a worker pool. The queue is
+	// deep so a lagging server delays service (visible as latency),
+	// not arrivals; only a pathological backlog sheds load. Pacing
+	// is batched: the dispatcher sleeps only once it is >1ms ahead
+	// of schedule, so high rates do not burn a core on micro-sleeps.
+	// A rate <= 0 means closed-loop: workers fire back to back, which
+	// measures the server's ceiling instead of a fixed offered load.
+	closedLoop := *rate <= 0
+	deadline := time.Now().Add(*duration)
+	jobs := make(chan job, 1<<16)
+	var shed int
+	go func() {
+		defer close(jobs)
+		if closedLoop {
+			rng := rand.New(rand.NewPCG(*seed, 0xa11))
+			for time.Now().Before(deadline) {
+				for i := 0; i < 256; i++ {
+					jobs <- job{class: pickClass(rng, weights)} // zero due: closed loop
+				}
+			}
+			return
+		}
+		rng := rand.New(rand.NewPCG(*seed, 0xa11))
+		next := time.Now()
+		burstOn, burstFlip := true, next.Add(expDur(rng, *period))
+		for next.Before(deadline) {
+			r := *rate
+			switch *arrivals {
+			case "bursty":
+				for !next.Before(burstFlip) {
+					burstOn = !burstOn
+					burstFlip = burstFlip.Add(expDur(rng, *period))
+				}
+				if burstOn {
+					r *= *burst
+				} else {
+					r *= 0.1
+				}
+				fallthrough
+			case "poisson":
+				next = next.Add(expDur(rng, time.Duration(float64(time.Second)/r)))
+			case "uniform":
+				next = next.Add(time.Duration(float64(time.Second) / r))
+			default:
+				log.Fatalf("unknown arrival process %q", *arrivals)
+			}
+			if d := time.Until(next); d > time.Millisecond {
+				time.Sleep(d)
+			}
+			j := job{class: pickClass(rng, weights), due: next}
+			select {
+			case jobs <- j:
+			default:
+				shed++
+			}
+		}
+	}()
+
+	var (
+		mu      sync.Mutex
+		samples []sample
+		joined  []uint64 // nodes this run added, eligible for leave
+	)
+	start := time.Now()
+	var wg sync.WaitGroup
+	for w := 0; w < *workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewPCG(*seed, uint64(w)+0xbee))
+			local := make([]sample, 0, 4096)
+			for j := range jobs {
+				if closedLoop && !time.Now().Before(deadline) {
+					break
+				}
+				// Open-loop latency runs from the scheduled arrival,
+				// so time spent queued behind a lagging server is
+				// part of the measurement, as it must be. (The
+				// dispatcher can run up to ~1ms ahead of schedule;
+				// hold the job until its arrival time.)
+				t0 := time.Now()
+				if !j.due.IsZero() {
+					if d := time.Until(j.due); d > 0 {
+						time.Sleep(d)
+					}
+					t0 = j.due
+				}
+				s := sample{class: j.class}
+				switch j.class {
+				case clQuery:
+					bodies := queryBodies
+					if *consist > 0 && rng.Float64() < *consist {
+						bodies = consistentBodies
+					}
+					if len(bodies) > 0 {
+						s.err = postRaw(client, *baseURL+"/query", bodies[rng.IntN(len(bodies))]) != nil
+					} else {
+						s.err = doQuery(client, *baseURL, rng, cmax, *k) != nil
+					}
+				case clUpdate:
+					id := nodes[rng.IntN(len(nodes))]
+					s.err = doUpdate(client, *baseURL, rng, cmax, id) != nil
+				case clJoin:
+					id, err := doJoin(client, *baseURL, rng, cmax)
+					if err != nil {
+						s.err = true
+					} else {
+						mu.Lock()
+						joined = append(joined, id)
+						mu.Unlock()
+					}
+				case clLeave:
+					mu.Lock()
+					var id uint64
+					ok := len(joined) > 0
+					if ok {
+						id = joined[len(joined)-1]
+						joined = joined[:len(joined)-1]
+					}
+					mu.Unlock()
+					if !ok {
+						continue // nothing safe to remove yet
+					}
+					s.err = doLeave(client, *baseURL, id) != nil
+				}
+				s.lat = time.Since(t0)
+				local = append(local, s)
+			}
+			mu.Lock()
+			samples = append(samples, local...)
+			mu.Unlock()
+		}(w)
+	}
+	wg.Wait()
+	report(samples, time.Since(start), *rate, shed, *jsonOut)
+}
+
+func parseMix(s string) ([numClasses]float64, error) {
+	var w [numClasses]float64
+	for _, part := range strings.Split(s, ",") {
+		name, val, ok := strings.Cut(strings.TrimSpace(part), "=")
+		if !ok {
+			return w, fmt.Errorf("bad mix element %q", part)
+		}
+		x, err := strconv.ParseFloat(val, 64)
+		if err != nil || x < 0 {
+			return w, fmt.Errorf("bad mix weight %q", part)
+		}
+		found := false
+		for c, n := range classNames {
+			if n == name {
+				w[c] = x
+				found = true
+			}
+		}
+		if !found {
+			return w, fmt.Errorf("unknown mix class %q", name)
+		}
+	}
+	total := 0.0
+	for _, x := range w {
+		total += x
+	}
+	if total <= 0 {
+		return w, fmt.Errorf("mix %q has no positive weight", s)
+	}
+	return w, nil
+}
+
+func pickClass(rng *rand.Rand, w [numClasses]float64) opClass {
+	total := 0.0
+	for _, x := range w {
+		total += x
+	}
+	r := rng.Float64() * total
+	for c, x := range w {
+		if r < x {
+			return opClass(c)
+		}
+		r -= x
+	}
+	return clQuery
+}
+
+func expDur(rng *rand.Rand, mean time.Duration) time.Duration {
+	return time.Duration(rng.ExpFloat64() * float64(mean))
+}
+
+// --- HTTP ops ---------------------------------------------------------------
+
+// postRaw posts a pre-marshaled body and drains the response.
+func postRaw(client *http.Client, url string, body []byte) error {
+	r, err := client.Post(url, "application/json", bytes.NewReader(body))
+	if err != nil {
+		return err
+	}
+	defer r.Body.Close()
+	io.Copy(io.Discard, r.Body)
+	if r.StatusCode != http.StatusOK {
+		return fmt.Errorf("%s: %s", url, r.Status)
+	}
+	return nil
+}
+
+func post(client *http.Client, url string, req, resp any) error {
+	body, err := json.Marshal(req)
+	if err != nil {
+		return err
+	}
+	r, err := client.Post(url, "application/json", bytes.NewReader(body))
+	if err != nil {
+		return err
+	}
+	defer r.Body.Close()
+	if r.StatusCode != http.StatusOK {
+		var e struct {
+			Error string `json:"error"`
+		}
+		json.NewDecoder(r.Body).Decode(&e)
+		return fmt.Errorf("%s: %s (%s)", url, r.Status, e.Error)
+	}
+	if resp != nil {
+		return json.NewDecoder(r.Body).Decode(resp)
+	}
+	// Drain so the connection goes back to the keep-alive pool.
+	io.Copy(io.Discard, r.Body)
+	return nil
+}
+
+func fetchCMax(client *http.Client, base string) ([]float64, error) {
+	r, err := client.Get(base + "/stats")
+	if err != nil {
+		return nil, err
+	}
+	defer r.Body.Close()
+	var st struct {
+		CMax []float64 `json:"cmax"`
+	}
+	if err := json.NewDecoder(r.Body).Decode(&st); err != nil {
+		return nil, err
+	}
+	if len(st.CMax) == 0 {
+		return nil, fmt.Errorf("%s/stats returned no cmax", base)
+	}
+	return st.CMax, nil
+}
+
+func fetchNodes(client *http.Client, base string) ([]uint64, error) {
+	r, err := client.Get(base + "/nodes")
+	if err != nil {
+		return nil, err
+	}
+	defer r.Body.Close()
+	var out struct {
+		Nodes []uint64 `json:"nodes"`
+	}
+	if err := json.NewDecoder(r.Body).Decode(&out); err != nil {
+		return nil, err
+	}
+	if len(out.Nodes) == 0 {
+		return nil, fmt.Errorf("%s/nodes returned no nodes", base)
+	}
+	return out.Nodes, nil
+}
+
+func randVec(rng *rand.Rand, cmax []float64, lo, hi float64) []float64 {
+	v := make([]float64, len(cmax))
+	for i, c := range cmax {
+		v[i] = c * (lo + (hi-lo)*rng.Float64())
+	}
+	return v
+}
+
+func doQuery(client *http.Client, base string, rng *rand.Rand, cmax []float64, k int) error {
+	req := struct {
+		Demand []float64 `json:"demand"`
+		K      int       `json:"k"`
+	}{randVec(rng, cmax, 0, 0.6), k}
+	return post(client, base+"/query", req, nil)
+}
+
+func doUpdate(client *http.Client, base string, rng *rand.Rand, cmax []float64, node uint64) error {
+	req := struct {
+		Node     uint64    `json:"node"`
+		Avail    []float64 `json:"avail"`
+		Announce bool      `json:"announce"`
+	}{node, randVec(rng, cmax, 0.1, 1), rng.IntN(4) == 0}
+	return post(client, base+"/update", req, nil)
+}
+
+func doJoin(client *http.Client, base string, rng *rand.Rand, cmax []float64) (uint64, error) {
+	var resp struct {
+		Node uint64 `json:"node"`
+	}
+	req := struct {
+		Avail []float64 `json:"avail"`
+	}{randVec(rng, cmax, 0.1, 1)}
+	if err := post(client, base+"/join", req, &resp); err != nil {
+		return 0, err
+	}
+	return resp.Node, nil
+}
+
+func doLeave(client *http.Client, base string, node uint64) error {
+	req := struct {
+		Node uint64 `json:"node"`
+	}{node}
+	return post(client, base+"/leave", req, nil)
+}
+
+// --- reporting --------------------------------------------------------------
+
+type classSummary struct {
+	Count  int     `json:"count"`
+	Errors int     `json:"errors"`
+	P50ms  float64 `json:"p50_ms"`
+	P90ms  float64 `json:"p90_ms"`
+	P99ms  float64 `json:"p99_ms"`
+	P999ms float64 `json:"p999_ms"`
+	MaxMs  float64 `json:"max_ms"`
+}
+
+type summary struct {
+	OfferedQPS  float64                 `json:"offered_qps"`
+	AchievedQPS float64                 `json:"achieved_qps"`
+	DurationSec float64                 `json:"duration_sec"`
+	Requests    int                     `json:"requests"`
+	Errors      int                     `json:"errors"`
+	Shed        int                     `json:"shed"`
+	Classes     map[string]classSummary `json:"classes"`
+}
+
+func percentile(sorted []time.Duration, p float64) time.Duration {
+	if len(sorted) == 0 {
+		return 0
+	}
+	idx := int(math.Ceil(p*float64(len(sorted)))) - 1
+	if idx < 0 {
+		idx = 0
+	}
+	if idx >= len(sorted) {
+		idx = len(sorted) - 1
+	}
+	return sorted[idx]
+}
+
+func summarize(lats []time.Duration, count, errs int) classSummary {
+	sort.Slice(lats, func(i, j int) bool { return lats[i] < lats[j] })
+	ms := func(d time.Duration) float64 { return float64(d) / float64(time.Millisecond) }
+	var max time.Duration
+	if len(lats) > 0 {
+		max = lats[len(lats)-1]
+	}
+	return classSummary{
+		Count:  count,
+		Errors: errs,
+		P50ms:  ms(percentile(lats, 0.50)),
+		P90ms:  ms(percentile(lats, 0.90)),
+		P99ms:  ms(percentile(lats, 0.99)),
+		P999ms: ms(percentile(lats, 0.999)),
+		MaxMs:  ms(max),
+	}
+}
+
+func report(samples []sample, elapsed time.Duration, offered float64, shed int, jsonOut string) {
+	var all []time.Duration
+	perClass := map[opClass][]time.Duration{}
+	counts := map[opClass]int{}
+	errsPer := map[opClass]int{}
+	errs := 0
+	for _, s := range samples {
+		counts[s.class]++
+		if s.err {
+			errs++
+			errsPer[s.class]++
+			continue
+		}
+		all = append(all, s.lat)
+		perClass[s.class] = append(perClass[s.class], s.lat)
+	}
+	sum := summary{
+		OfferedQPS:  offered,
+		AchievedQPS: float64(len(samples)) / elapsed.Seconds(),
+		DurationSec: elapsed.Seconds(),
+		Requests:    len(samples),
+		Errors:      errs,
+		Shed:        shed,
+		Classes:     map[string]classSummary{},
+	}
+	overall := summarize(all, len(samples), errs)
+	sum.Classes["all"] = overall
+	for c, lats := range perClass {
+		sum.Classes[classNames[c]] = summarize(lats, counts[c], errsPer[c])
+	}
+
+	fmt.Printf("\n%d requests in %.2fs: %.0f req/s achieved (%.0f offered), %d errors, %d shed\n",
+		sum.Requests, sum.DurationSec, sum.AchievedQPS, sum.OfferedQPS, sum.Errors, sum.Shed)
+	fmt.Printf("%-8s %10s %8s %9s %9s %9s %9s %9s\n",
+		"class", "count", "errors", "p50", "p90", "p99", "p99.9", "max")
+	order := []string{"all", "query", "update", "join", "leave"}
+	for _, name := range order {
+		cs, ok := sum.Classes[name]
+		if !ok {
+			continue
+		}
+		fmt.Printf("%-8s %10d %8d %8.2fms %8.2fms %8.2fms %8.2fms %8.2fms\n",
+			name, cs.Count, cs.Errors, cs.P50ms, cs.P90ms, cs.P99ms, cs.P999ms, cs.MaxMs)
+	}
+
+	if jsonOut != "" {
+		data, _ := json.MarshalIndent(sum, "", "  ")
+		if err := os.WriteFile(jsonOut, append(data, '\n'), 0o644); err != nil {
+			log.Fatal(err)
+		}
+		log.Printf("wrote %s", jsonOut)
+	}
+}

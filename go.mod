@@ -1,0 +1,3 @@
+module pidcan
+
+go 1.24

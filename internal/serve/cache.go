@@ -1,0 +1,114 @@
+package serve
+
+import (
+	"math"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"pidcan/internal/vector"
+)
+
+// queryCache memoizes recent query responses keyed by the quantized
+// demand vector and k. Entries are valid for one freshness window
+// (TTL); under heavy traffic this collapses bursts of equivalent
+// demands into one snapshot scan per window. Staleness is bounded by
+// the TTL — a freshly joined or updated node can be missing from (or
+// over-represented in) cached responses for at most that long, which
+// mirrors the staleness the paper's index already tolerates between
+// state-update cycles.
+type queryCache struct {
+	ttl     time.Duration
+	quantum float64
+	inv     vector.Vec // 1/(quantum*cmax[k]), 0 for zero-capacity dims
+	max     int
+
+	mu sync.RWMutex
+	m  map[string]cacheEntry
+
+	hits   atomic.Uint64
+	misses atomic.Uint64
+	resets atomic.Uint64
+}
+
+type cacheEntry struct {
+	resp QueryResponse
+	at   time.Time
+}
+
+func newQueryCache(cfg Config) *queryCache {
+	inv := make(vector.Vec, cfg.CMax.Dim())
+	for i, c := range cfg.CMax {
+		if c > 0 {
+			inv[i] = 1 / (cfg.CacheQuantum * c)
+		}
+	}
+	return &queryCache{
+		ttl:     cfg.CacheTTL,
+		quantum: cfg.CacheQuantum,
+		inv:     inv,
+		max:     cfg.CacheSize,
+		m:       make(map[string]cacheEntry),
+	}
+}
+
+// quantize maps demand onto the cache grid: it returns the cache key
+// for (demand, k) and the cell's upper-bound demand. Responses
+// shared through the cache are computed against that upper bound, so
+// every demand landing in the cell receives candidates that dominate
+// it — conservative (a candidate may be skipped near a cell edge),
+// never the reverse.
+func (qc *queryCache) quantize(demand vector.Vec, k int) (string, vector.Vec) {
+	buf := make([]byte, 0, 8+8*len(demand))
+	ub := make(vector.Vec, len(demand))
+	for i, d := range demand {
+		if qc.inv[i] == 0 {
+			// Zero-capacity dimension: no grid; exact-match bucket.
+			ub[i] = d
+			buf = strconv.AppendUint(buf, math.Float64bits(d), 36)
+			buf = append(buf, '|')
+			continue
+		}
+		cell := int64(math.Ceil(d * qc.inv[i]))
+		ub[i] = float64(cell) / qc.inv[i]
+		buf = strconv.AppendInt(buf, cell, 36)
+		buf = append(buf, '|')
+	}
+	buf = strconv.AppendInt(buf, int64(k), 36)
+	return string(buf), ub
+}
+
+// get returns the cached response for the key if it is still fresh.
+func (qc *queryCache) get(key string, now time.Time) (QueryResponse, bool) {
+	qc.mu.RLock()
+	e, ok := qc.m[key]
+	qc.mu.RUnlock()
+	if !ok || now.Sub(e.at) > qc.ttl {
+		qc.misses.Add(1)
+		return QueryResponse{}, false
+	}
+	qc.hits.Add(1)
+	return e.resp, true
+}
+
+// put stores a response. When the cache is full it is reset
+// wholesale: entries all expire within one TTL anyway, so precise
+// eviction buys nothing over the occasional cheap rebuild.
+func (qc *queryCache) put(key string, resp QueryResponse, now time.Time) {
+	qc.mu.Lock()
+	if len(qc.m) >= qc.max {
+		qc.m = make(map[string]cacheEntry, qc.max/4)
+		qc.resets.Add(1)
+	}
+	qc.m[key] = cacheEntry{resp: resp, at: now}
+	qc.mu.Unlock()
+}
+
+// stats returns (hits, misses, resets, live entries).
+func (qc *queryCache) stats() (hits, misses, resets uint64, entries int) {
+	qc.mu.RLock()
+	n := len(qc.m)
+	qc.mu.RUnlock()
+	return qc.hits.Load(), qc.misses.Load(), qc.resets.Load(), n
+}

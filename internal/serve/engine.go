@@ -1,0 +1,352 @@
+package serve
+
+import (
+	"fmt"
+	"sync/atomic"
+	"time"
+
+	"pidcan/internal/sim"
+	"pidcan/internal/vector"
+)
+
+// Engine is the concurrent query-serving front of a sharded PID-CAN
+// deployment. All methods are safe for concurrent use; see the
+// package comment for the threading model.
+type Engine struct {
+	cfg    Config
+	shards []*shard
+	cache  *queryCache
+
+	nextShard atomic.Uint64 // round-robin join target
+
+	queries    atomic.Uint64
+	consistent atomic.Uint64
+	updates    atomic.Uint64
+	joins      atomic.Uint64
+	leaves     atomic.Uint64
+	errors     atomic.Uint64
+
+	closed atomic.Bool
+}
+
+// QueryRequest is one best-fit multi-dimensional range query: find
+// up to K nodes whose advertised availability dominates Demand,
+// ranked closest-fit first.
+type QueryRequest struct {
+	// Demand is the requested resource vector (cfg.CMax layout).
+	Demand vector.Vec `json:"demand"`
+	// K bounds the candidate count (default 1; <= 0 after default
+	// resolution means 1).
+	K int `json:"k,omitempty"`
+	// Consistent routes the query through a shard's write queue and
+	// the paper's three-phase protocol instead of the lock-free
+	// snapshot path. Slower, but observes every write applied before
+	// it on that shard.
+	Consistent bool `json:"consistent,omitempty"`
+	// NoCache bypasses the query cache (snapshot path only).
+	NoCache bool `json:"no_cache,omitempty"`
+}
+
+// QueryResponse is the outcome of one query.
+type QueryResponse struct {
+	// Candidates are the qualified nodes, best fit first.
+	Candidates []Candidate `json:"candidates"`
+	// Cached reports whether the response was served from the query
+	// cache.
+	Cached bool `json:"cached,omitempty"`
+	// Hops is the protocol message count (consistent path only; the
+	// snapshot path spends no protocol messages).
+	Hops int `json:"hops,omitempty"`
+}
+
+// ShardStats describes one shard in Stats.
+type ShardStats struct {
+	Shard           int      `json:"shard"`
+	Nodes           int      `json:"nodes"`
+	SnapshotVersion uint64   `json:"snapshot_version"`
+	SimNow          sim.Time `json:"sim_now_us"`
+	QueueDepth      int      `json:"queue_depth"`
+	OpsApplied      uint64   `json:"ops_applied"`
+	Batches         uint64   `json:"batches"`
+}
+
+// Stats is a point-in-time view of engine counters.
+type Stats struct {
+	Shards       []ShardStats `json:"shards"`
+	TotalNodes   int          `json:"total_nodes"`
+	Dims         int          `json:"dims"`
+	CMax         vector.Vec   `json:"cmax"`
+	Queries      uint64       `json:"queries"`
+	CacheHits    uint64       `json:"cache_hits"`
+	CacheMisses  uint64       `json:"cache_misses"`
+	CacheResets  uint64       `json:"cache_resets"`
+	CacheEntries int          `json:"cache_entries"`
+	Consistent   uint64       `json:"consistent_queries"`
+	Updates      uint64       `json:"updates"`
+	Joins        uint64       `json:"joins"`
+	Leaves       uint64       `json:"leaves"`
+	Errors       uint64       `json:"errors"`
+}
+
+// New builds an engine: the factory is invoked once per shard, each
+// backend is warmed up and snapshotted, then the shard goroutines
+// start. On any factory error the already-built shards are torn
+// down.
+func New(cfg Config, factory BackendFactory) (*Engine, error) {
+	cfg, err := cfg.withDefaults()
+	if err != nil {
+		return nil, err
+	}
+	e := &Engine{cfg: cfg, cache: newQueryCache(cfg)}
+	for i := 0; i < cfg.Shards; i++ {
+		be, err := factory(i, cfg)
+		if err != nil {
+			// No goroutine has started yet; nothing to tear down.
+			return nil, fmt.Errorf("serve: shard %d: %w", i, err)
+		}
+		e.shards = append(e.shards, newShard(i, cfg, be))
+	}
+	for _, s := range e.shards {
+		s.start()
+	}
+	return e, nil
+}
+
+// Config returns the resolved configuration.
+func (e *Engine) Config() Config { return e.cfg }
+
+// Close stops every shard goroutine. Queued but unapplied writes are
+// dropped; concurrent and subsequent calls fail with ErrClosed.
+func (e *Engine) Close() error {
+	if !e.closed.CompareAndSwap(false, true) {
+		return ErrClosed
+	}
+	for _, s := range e.shards {
+		s.halt()
+	}
+	return nil
+}
+
+func (e *Engine) checkDemand(demand vector.Vec) error {
+	if demand.Dim() != e.cfg.CMax.Dim() || !demand.IsFinite() || !demand.IsNonNegative() {
+		return fmt.Errorf("%w: %v (want %d non-negative finite dims)",
+			ErrBadDemand, demand, e.cfg.CMax.Dim())
+	}
+	return nil
+}
+
+// Query answers one best-fit range query. The default path reads
+// every shard's published snapshot lock-free, merges the qualified
+// records and ranks them by surplus; it consults the query cache
+// first unless the request opts out.
+func (e *Engine) Query(req QueryRequest) (QueryResponse, error) {
+	if e.closed.Load() {
+		return QueryResponse{}, ErrClosed
+	}
+	if err := e.checkDemand(req.Demand); err != nil {
+		e.errors.Add(1)
+		return QueryResponse{}, err
+	}
+	if req.K <= 0 {
+		req.K = 1
+	}
+	e.queries.Add(1)
+	if req.Consistent {
+		return e.consistentQuery(req)
+	}
+
+	// Cacheable queries are evaluated against their quantization
+	// cell's upper-bound demand, so the response is valid for every
+	// demand sharing the cell (dominance is preserved; near a cell
+	// edge a borderline candidate may be conservatively skipped).
+	useCache := !e.cfg.CacheDisabled && !req.NoCache
+	demand := req.Demand
+	var key string
+	if useCache {
+		key, demand = e.cache.quantize(req.Demand, req.K)
+		if resp, ok := e.cache.get(key, time.Now()); ok {
+			resp.Cached = true
+			return resp, nil
+		}
+	}
+
+	var cands []Candidate
+	for _, s := range e.shards {
+		snap := s.snapshot()
+		cands = snap.collect(cands, demand, e.cfg.CMax, snap.Taken)
+	}
+	resp := QueryResponse{Candidates: bestFit(cands, req.K)}
+	if useCache {
+		e.cache.put(key, resp, time.Now())
+	}
+	return resp, nil
+}
+
+// consistentQuery routes the query through one shard's write queue
+// and the PID-CAN protocol itself. The shard is chosen round-robin;
+// a consistent query therefore sees one shard's index, like any
+// single querying node of the paper would.
+func (e *Engine) consistentQuery(req QueryRequest) (QueryResponse, error) {
+	e.consistent.Add(1)
+	s := e.shards[e.nextShard.Add(1)%uint64(len(e.shards))]
+	res, err := s.submit(op{
+		kind:   opQuery,
+		node:   -1,
+		demand: req.Demand.Clone(),
+		k:      req.K,
+		reply:  make(chan opResult, 1),
+	})
+	if err != nil {
+		return QueryResponse{}, err
+	}
+	if res.err != nil {
+		e.errors.Add(1)
+		return QueryResponse{}, res.err
+	}
+	cands := make([]Candidate, 0, len(res.recs))
+	for _, r := range res.recs {
+		cands = append(cands, Candidate{
+			Node:    Global(s.idx, r.Node),
+			Avail:   r.Avail,
+			Surplus: r.Avail.Surplus(req.Demand, e.cfg.CMax),
+		})
+	}
+	return QueryResponse{Candidates: bestFit(cands, req.K), Hops: res.hops}, nil
+}
+
+// Update publishes a node's availability vector through its shard's
+// write queue and waits for it to be applied. When announce is set
+// the node also pushes an out-of-cycle state update into the index.
+func (e *Engine) Update(node GlobalID, avail vector.Vec, announce bool) error {
+	if e.closed.Load() {
+		return ErrClosed
+	}
+	if err := e.checkDemand(avail); err != nil {
+		e.errors.Add(1)
+		return err
+	}
+	si := node.Shard()
+	if si >= len(e.shards) {
+		e.errors.Add(1)
+		return fmt.Errorf("serve: no shard %d (node %v)", si, node)
+	}
+	res, err := e.shards[si].submit(op{
+		kind:     opUpdate,
+		node:     node.Local(),
+		avail:    avail.Clone(),
+		announce: announce,
+		reply:    make(chan opResult, 1),
+	})
+	if err == nil && res.err != nil {
+		// Backend errors name the shard-local id; callers know the
+		// global one.
+		err = fmt.Errorf("serve: node %v: %w", node, res.err)
+	}
+	if err != nil {
+		e.errors.Add(1)
+		return err
+	}
+	e.updates.Add(1)
+	return nil
+}
+
+// Join adds a node to the least-recently-targeted shard
+// (round-robin) and returns its global id. A non-nil avail is
+// published and announced as the node's initial availability.
+func (e *Engine) Join(avail vector.Vec) (GlobalID, error) {
+	if e.closed.Load() {
+		return 0, ErrClosed
+	}
+	if avail != nil {
+		if err := e.checkDemand(avail); err != nil {
+			e.errors.Add(1)
+			return 0, err
+		}
+		avail = avail.Clone()
+	}
+	si := int(e.nextShard.Add(1) % uint64(len(e.shards)))
+	res, err := e.shards[si].submit(op{
+		kind:  opJoin,
+		avail: avail,
+		reply: make(chan opResult, 1),
+	})
+	if err == nil {
+		err = res.err
+	}
+	if err != nil {
+		e.errors.Add(1)
+		return 0, err
+	}
+	e.joins.Add(1)
+	return Global(si, res.node), nil
+}
+
+// Leave removes a node; its records and indexes die with it.
+func (e *Engine) Leave(node GlobalID) error {
+	if e.closed.Load() {
+		return ErrClosed
+	}
+	si := node.Shard()
+	if si >= len(e.shards) {
+		e.errors.Add(1)
+		return fmt.Errorf("serve: no shard %d (node %v)", si, node)
+	}
+	res, err := e.shards[si].submit(op{
+		kind:  opLeave,
+		node:  node.Local(),
+		reply: make(chan opResult, 1),
+	})
+	if err == nil && res.err != nil {
+		err = fmt.Errorf("serve: node %v: %w", node, res.err)
+	}
+	if err != nil {
+		e.errors.Add(1)
+		return err
+	}
+	e.leaves.Add(1)
+	return nil
+}
+
+// Nodes returns the global ids of every node visible in the current
+// snapshots, ascending.
+func (e *Engine) Nodes() []GlobalID {
+	var out []GlobalID
+	for _, s := range e.shards {
+		for _, r := range s.snapshot().Records {
+			out = append(out, Global(s.idx, r.Node))
+		}
+	}
+	return out
+}
+
+// Snapshot returns shard i's current published snapshot.
+func (e *Engine) Snapshot(i int) *Snapshot { return e.shards[i].snapshot() }
+
+// Stats assembles a point-in-time view of all counters.
+func (e *Engine) Stats() Stats {
+	st := Stats{
+		Dims:       e.cfg.CMax.Dim(),
+		CMax:       e.cfg.CMax,
+		Queries:    e.queries.Load(),
+		Consistent: e.consistent.Load(),
+		Updates:    e.updates.Load(),
+		Joins:      e.joins.Load(),
+		Leaves:     e.leaves.Load(),
+		Errors:     e.errors.Load(),
+	}
+	st.CacheHits, st.CacheMisses, st.CacheResets, st.CacheEntries = e.cache.stats()
+	for _, s := range e.shards {
+		snap := s.snapshot()
+		st.Shards = append(st.Shards, ShardStats{
+			Shard:           s.idx,
+			Nodes:           len(snap.Records),
+			SnapshotVersion: snap.Version,
+			SimNow:          snap.Taken,
+			QueueDepth:      len(s.ops),
+			OpsApplied:      s.applied.Load(),
+			Batches:         s.batches.Load(),
+		})
+		st.TotalNodes += len(snap.Records)
+	}
+	return st
+}

@@ -1,0 +1,122 @@
+package serve
+
+import (
+	"encoding/json"
+	"errors"
+	"net/http"
+
+	"pidcan/internal/vector"
+)
+
+// NewHandler exposes an Engine over HTTP with a JSON API:
+//
+//	POST /query  {"demand":[...],"k":3,"consistent":false,"no_cache":false}
+//	             -> QueryResponse
+//	POST /update {"node":N,"avail":[...],"announce":true} -> {"ok":true}
+//	POST /join   {"avail":[...]}                          -> {"node":N}
+//	POST /leave  {"node":N}                               -> {"ok":true}
+//	GET  /nodes  -> {"nodes":[N,...]}
+//	GET  /stats  -> Stats
+//	GET  /healthz -> {"ok":true}
+//
+// Node ids on the wire are GlobalIDs (shard in the high 32 bits).
+// Errors come back as {"error":"..."} with status 400 (bad input),
+// 409 (rejected operation) or 503 (engine closed).
+func NewHandler(e *Engine) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /query", func(w http.ResponseWriter, r *http.Request) {
+		var req QueryRequest
+		if !decode(w, r, &req) {
+			return
+		}
+		resp, err := e.Query(req)
+		if err != nil {
+			writeErr(w, err)
+			return
+		}
+		writeJSON(w, http.StatusOK, resp)
+	})
+	mux.HandleFunc("POST /update", func(w http.ResponseWriter, r *http.Request) {
+		var req struct {
+			Node     GlobalID   `json:"node"`
+			Avail    vector.Vec `json:"avail"`
+			Announce bool       `json:"announce"`
+		}
+		if !decode(w, r, &req) {
+			return
+		}
+		if err := e.Update(req.Node, req.Avail, req.Announce); err != nil {
+			writeErr(w, err)
+			return
+		}
+		writeJSON(w, http.StatusOK, map[string]bool{"ok": true})
+	})
+	mux.HandleFunc("POST /join", func(w http.ResponseWriter, r *http.Request) {
+		var req struct {
+			Avail vector.Vec `json:"avail"`
+		}
+		if !decode(w, r, &req) {
+			return
+		}
+		id, err := e.Join(req.Avail)
+		if err != nil {
+			writeErr(w, err)
+			return
+		}
+		writeJSON(w, http.StatusOK, map[string]GlobalID{"node": id})
+	})
+	mux.HandleFunc("POST /leave", func(w http.ResponseWriter, r *http.Request) {
+		var req struct {
+			Node GlobalID `json:"node"`
+		}
+		if !decode(w, r, &req) {
+			return
+		}
+		if err := e.Leave(req.Node); err != nil {
+			writeErr(w, err)
+			return
+		}
+		writeJSON(w, http.StatusOK, map[string]bool{"ok": true})
+	})
+	mux.HandleFunc("GET /nodes", func(w http.ResponseWriter, r *http.Request) {
+		nodes := e.Nodes()
+		if nodes == nil {
+			nodes = []GlobalID{}
+		}
+		writeJSON(w, http.StatusOK, map[string][]GlobalID{"nodes": nodes})
+	})
+	mux.HandleFunc("GET /stats", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, e.Stats())
+	})
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, map[string]bool{"ok": true})
+	})
+	return mux
+}
+
+func decode(w http.ResponseWriter, r *http.Request, dst any) bool {
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(dst); err != nil {
+		writeJSON(w, http.StatusBadRequest, map[string]string{"error": "bad request: " + err.Error()})
+		return false
+	}
+	return true
+}
+
+func writeErr(w http.ResponseWriter, err error) {
+	status := http.StatusConflict
+	switch {
+	case errors.Is(err, ErrClosed):
+		status = http.StatusServiceUnavailable
+	case errors.Is(err, ErrBadDemand):
+		status = http.StatusBadRequest
+	}
+	writeJSON(w, status, map[string]string{"error": err.Error()})
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(v)
+}

@@ -1,0 +1,155 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+)
+
+func newTestServer(t *testing.T, shards int) (*Engine, *httptest.Server) {
+	t.Helper()
+	e := newTestEngine(t, testConfig(shards))
+	ts := httptest.NewServer(NewHandler(e))
+	t.Cleanup(ts.Close)
+	return e, ts
+}
+
+func postJSON(t *testing.T, url string, req any) (*http.Response, map[string]any) {
+	t.Helper()
+	body, err := json.Marshal(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(url, "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var out map[string]any
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		t.Fatalf("%s: decoding response: %v", url, err)
+	}
+	return resp, out
+}
+
+func TestHTTPQueryUpdateRoundTrip(t *testing.T) {
+	e, ts := newTestServer(t, 2)
+	id := e.Nodes()[0]
+
+	resp, out := postJSON(t, ts.URL+"/update",
+		map[string]any{"node": id, "avail": []float64{6, 6}, "announce": true})
+	if resp.StatusCode != http.StatusOK || out["ok"] != true {
+		t.Fatalf("update: %d %v", resp.StatusCode, out)
+	}
+
+	resp, out = postJSON(t, ts.URL+"/query",
+		map[string]any{"demand": []float64{2, 2}, "k": 5})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("query: %d %v", resp.StatusCode, out)
+	}
+	cands, ok := out["candidates"].([]any)
+	if !ok || len(cands) != 1 {
+		t.Fatalf("query response: %v", out)
+	}
+	c := cands[0].(map[string]any)
+	if GlobalID(c["node"].(float64)) != id {
+		t.Fatalf("candidate: %v, want node %v", c, id)
+	}
+}
+
+func TestHTTPJoinLeaveNodesStats(t *testing.T) {
+	_, ts := newTestServer(t, 2)
+
+	resp, out := postJSON(t, ts.URL+"/join", map[string]any{"avail": []float64{9, 9}})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("join: %d %v", resp.StatusCode, out)
+	}
+	id := uint64(out["node"].(float64))
+
+	r, err := http.Get(ts.URL + "/nodes")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var nodes struct {
+		Nodes []uint64 `json:"nodes"`
+	}
+	if err := json.NewDecoder(r.Body).Decode(&nodes); err != nil {
+		t.Fatal(err)
+	}
+	r.Body.Close()
+	if len(nodes.Nodes) != 9 {
+		t.Fatalf("/nodes: got %d, want 9 (%v)", len(nodes.Nodes), nodes.Nodes)
+	}
+
+	resp, out = postJSON(t, ts.URL+"/leave", map[string]any{"node": id})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("leave: %d %v", resp.StatusCode, out)
+	}
+	// Leaving again must be a 409, not a 500.
+	resp, out = postJSON(t, ts.URL+"/leave", map[string]any{"node": id})
+	if resp.StatusCode != http.StatusConflict {
+		t.Fatalf("double leave: %d %v", resp.StatusCode, out)
+	}
+
+	r, err = http.Get(ts.URL + "/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var st Stats
+	if err := json.NewDecoder(r.Body).Decode(&st); err != nil {
+		t.Fatal(err)
+	}
+	r.Body.Close()
+	if st.Joins != 1 || st.Leaves != 1 || len(st.Shards) != 2 {
+		t.Fatalf("stats: %+v", st)
+	}
+	if len(st.CMax) != 2 {
+		t.Fatalf("stats cmax: %+v", st.CMax)
+	}
+}
+
+func TestHTTPBadRequests(t *testing.T) {
+	_, ts := newTestServer(t, 1)
+	for _, tc := range []struct {
+		path string
+		body map[string]any
+		want int
+	}{
+		{"/query", map[string]any{"demand": []float64{1}}, http.StatusBadRequest},
+		{"/query", map[string]any{"demand": []float64{-1, 1}}, http.StatusBadRequest},
+		{"/query", map[string]any{"unknown_field": 1}, http.StatusBadRequest},
+		{"/update", map[string]any{"node": 1 << 40, "avail": []float64{1, 1}}, http.StatusConflict},
+		{"/leave", map[string]any{"node": 99}, http.StatusConflict},
+	} {
+		resp, out := postJSON(t, ts.URL+tc.path, tc.body)
+		if resp.StatusCode != tc.want {
+			t.Errorf("%s %v: got %d %v, want %d", tc.path, tc.body, resp.StatusCode, out, tc.want)
+		}
+		if _, ok := out["error"]; !ok {
+			t.Errorf("%s %v: no error field in %v", tc.path, tc.body, out)
+		}
+	}
+	// GET on a POST route is a 405.
+	resp, err := http.Get(ts.URL + "/query")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Fatalf("GET /query: %d", resp.StatusCode)
+	}
+}
+
+func TestHTTPHealthz(t *testing.T) {
+	_, ts := newTestServer(t, 1)
+	r, err := http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	r.Body.Close()
+	if r.StatusCode != http.StatusOK {
+		t.Fatalf("healthz: %d", r.StatusCode)
+	}
+}

@@ -1,0 +1,212 @@
+// Package serve turns the deterministic, single-goroutine PID-CAN
+// cluster (the embedding API of the root package) into a concurrent,
+// shard-parallel query service.
+//
+// The design keeps the paper's determinism intact where it matters:
+// every Cluster stays single-goroutine, owned exclusively by one
+// shard goroutine that applies batched writes and advances the
+// shard-local simulation clock. Concurrency lives strictly above the
+// clusters:
+//
+//   - Each shard publishes an immutable copy-on-write Snapshot of its
+//     record index through an atomic pointer, so best-fit
+//     multi-dimensional range queries run lock-free on the read path
+//     and never touch a cluster or a mutex.
+//
+//   - Availability updates, announcements, joins and leaves flow
+//     through per-shard write queues and are applied in batches; each
+//     batch steps the shard's simulation so the protocol's own
+//     state-update and index-diffusion machinery keeps running.
+//
+//   - Recent query results are cached keyed by quantized demand
+//     vector with freshness-bound invalidation, so repeated
+//     equivalent demands under heavy traffic cost one snapshot scan
+//     per freshness window instead of one per request.
+//
+// The Engine is wired to real clusters by pidcan.NewEngine; the HTTP
+// front-end lives in http.go (served by cmd/pidcan-serve) and the
+// open-loop load generator in cmd/pidcan-loadgen.
+package serve
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"pidcan/internal/core"
+	"pidcan/internal/netmodel"
+	"pidcan/internal/overlay"
+	"pidcan/internal/proto"
+	"pidcan/internal/sim"
+	"pidcan/internal/task"
+	"pidcan/internal/vector"
+)
+
+// Errors returned by the engine.
+var (
+	// ErrClosed is returned by every operation after Close.
+	ErrClosed = errors.New("serve: engine closed")
+	// ErrBadDemand is returned for demand vectors of the wrong
+	// dimensionality or with non-finite/negative components.
+	ErrBadDemand = errors.New("serve: invalid demand vector")
+)
+
+// GlobalID addresses a node across shards: the shard index in the
+// high 32 bits, the shard-local overlay.NodeID in the low 32.
+type GlobalID uint64
+
+// Global packs a shard index and a shard-local node id.
+func Global(shard int, local overlay.NodeID) GlobalID {
+	return GlobalID(uint64(uint32(shard))<<32 | uint64(uint32(local)))
+}
+
+// Shard returns the shard index of the id.
+func (g GlobalID) Shard() int { return int(uint32(g >> 32)) }
+
+// Local returns the shard-local node id.
+func (g GlobalID) Local() overlay.NodeID { return overlay.NodeID(uint32(g)) }
+
+func (g GlobalID) String() string { return fmt.Sprintf("%d/%d", g.Shard(), g.Local()) }
+
+// Backend is the shard-local cluster a shard goroutine owns. It is
+// implemented by *pidcan.Cluster (and by fakes in tests). A Backend
+// is single-goroutine: after New hands it to its shard, only that
+// shard's goroutine may touch it.
+type Backend interface {
+	// Nodes returns the alive node ids in ascending order.
+	Nodes() []overlay.NodeID
+	// Availability returns a copy of the node's current availability.
+	Availability(id overlay.NodeID) vector.Vec
+	// SetAvailability publishes a node's availability vector.
+	SetAvailability(id overlay.NodeID, avail vector.Vec) error
+	// Announce pushes the node's availability into the index now.
+	Announce(id overlay.NodeID) error
+	// Join adds a node and returns its shard-local id.
+	Join() (overlay.NodeID, error)
+	// Leave removes a node.
+	Leave(id overlay.NodeID) error
+	// Query runs the protocol's probabilistic best-fit range query.
+	Query(from overlay.NodeID, demand vector.Vec, k int) ([]proto.Record, int, error)
+	// Step advances the shard-local simulation clock.
+	Step(d sim.Time)
+	// Now returns the shard-local simulation clock.
+	Now() sim.Time
+	// Size returns the alive population.
+	Size() int
+}
+
+// BackendFactory builds the backend for one shard. cfg is the
+// resolved (defaults applied) engine configuration.
+type BackendFactory func(shard int, cfg Config) (Backend, error)
+
+// Config parameterizes an Engine. Zero fields take the documented
+// defaults.
+type Config struct {
+	// Shards is the number of independent cluster shards (default 1).
+	Shards int
+	// NodesPerShard is the initial population per shard (default 64).
+	NodesPerShard int
+	// Seed drives all randomness; shard i derives its own stream.
+	Seed uint64
+	// CMax scales resource vectors; its length sets the
+	// dimensionality (default: the paper's Table-I cmax).
+	CMax vector.Vec
+	// Core tunes the PID-CAN protocol (default: paper's setting).
+	Core core.Config
+	// Net is the LAN/WAN latency model (default: Table I).
+	Net netmodel.Config
+
+	// QueueDepth bounds each shard's write queue (default 1024).
+	QueueDepth int
+	// MaxBatch bounds how many queued ops one batch applies
+	// (default 256).
+	MaxBatch int
+	// FlushInterval is the idle cadence at which a shard advances
+	// its simulation and republishes its snapshot even without
+	// writes (default 100ms of wall time).
+	FlushInterval time.Duration
+	// StepQuantum is the simulated time a shard advances per applied
+	// batch or idle flush (default 1s of simulated time).
+	StepQuantum sim.Time
+	// RecordTTL, when positive, is the paper's state-record TTL
+	// applied to the serving path: a node whose last explicit
+	// availability write (Update/Join) is older than RecordTTL of
+	// shard-simulated time is filtered from snapshot-path query
+	// results until it writes again. 0 (the default) never expires
+	// records: an alive node's availability is read live from the
+	// cluster at every snapshot, so it is fresh by construction.
+	RecordTTL sim.Time
+	// Warmup is simulated time each shard runs before serving, so
+	// state updates and index diffusion settle (default 0).
+	Warmup sim.Time
+
+	// CacheTTL is the freshness bound of cached query results
+	// (default 25ms). CacheDisabled turns the cache off.
+	CacheTTL      time.Duration
+	CacheDisabled bool
+	// CacheQuantum is the demand-quantization granularity as a
+	// fraction of cmax per dimension (default 0.05, i.e. demands are
+	// bucketed into a 20-level grid before cache lookup).
+	CacheQuantum float64
+	// CacheSize bounds the number of cached entries (default 4096).
+	CacheSize int
+}
+
+// withDefaults returns cfg with zero fields resolved.
+func (c Config) withDefaults() (Config, error) {
+	if c.Shards == 0 {
+		c.Shards = 1
+	}
+	if c.Shards < 1 {
+		return c, fmt.Errorf("serve: Shards %d < 1", c.Shards)
+	}
+	if c.NodesPerShard == 0 {
+		c.NodesPerShard = 64
+	}
+	if c.NodesPerShard < 2 {
+		return c, fmt.Errorf("serve: NodesPerShard %d < 2", c.NodesPerShard)
+	}
+	if c.CMax == nil {
+		c.CMax = task.CMax()
+	}
+	if !c.CMax.IsNonNegative() || c.CMax.Sum() == 0 {
+		return c, fmt.Errorf("serve: invalid CMax %v", c.CMax)
+	}
+	if c.Core.L == 0 {
+		c.Core = core.Default()
+	}
+	if err := c.Core.Validate(); err != nil {
+		return c, err
+	}
+	if c.Net.LANSize == 0 {
+		c.Net = netmodel.Default()
+	}
+	if c.QueueDepth <= 0 {
+		c.QueueDepth = 1024
+	}
+	if c.MaxBatch <= 0 {
+		c.MaxBatch = 256
+	}
+	if c.FlushInterval <= 0 {
+		c.FlushInterval = 100 * time.Millisecond
+	}
+	if c.StepQuantum <= 0 {
+		c.StepQuantum = sim.Second
+	}
+	if c.RecordTTL < 0 {
+		c.RecordTTL = 0
+	}
+	if c.Warmup < 0 {
+		c.Warmup = 0
+	}
+	if c.CacheTTL <= 0 {
+		c.CacheTTL = 25 * time.Millisecond
+	}
+	if c.CacheQuantum <= 0 || c.CacheQuantum > 1 {
+		c.CacheQuantum = 0.05
+	}
+	if c.CacheSize <= 0 {
+		c.CacheSize = 4096
+	}
+	return c, nil
+}

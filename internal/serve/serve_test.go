@@ -1,0 +1,529 @@
+package serve
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+	"time"
+
+	"pidcan/internal/overlay"
+	"pidcan/internal/proto"
+	"pidcan/internal/sim"
+	"pidcan/internal/vector"
+)
+
+// fakeBackend is a minimal deterministic Backend for engine tests:
+// a flat map of availabilities with a trivial scan query.
+type fakeBackend struct {
+	now   sim.Time
+	next  overlay.NodeID
+	live  map[overlay.NodeID]bool
+	avail map[overlay.NodeID]vector.Vec
+	dims  int
+
+	announced int
+	queries   int
+}
+
+func newFake(nodes, dims int) *fakeBackend {
+	f := &fakeBackend{
+		live:  map[overlay.NodeID]bool{},
+		avail: map[overlay.NodeID]vector.Vec{},
+		dims:  dims,
+	}
+	for i := 0; i < nodes; i++ {
+		f.live[overlay.NodeID(i)] = true
+		f.avail[overlay.NodeID(i)] = vector.New(dims)
+	}
+	f.next = overlay.NodeID(nodes)
+	return f
+}
+
+func (f *fakeBackend) Nodes() []overlay.NodeID {
+	var out []overlay.NodeID
+	for id := overlay.NodeID(0); id < f.next; id++ {
+		if f.live[id] {
+			out = append(out, id)
+		}
+	}
+	return out
+}
+
+func (f *fakeBackend) Availability(id overlay.NodeID) vector.Vec { return f.avail[id].Clone() }
+
+func (f *fakeBackend) SetAvailability(id overlay.NodeID, v vector.Vec) error {
+	if !f.live[id] {
+		return fmt.Errorf("fake: node %d not live", id)
+	}
+	f.avail[id] = v.Clone()
+	return nil
+}
+
+func (f *fakeBackend) Announce(id overlay.NodeID) error {
+	if !f.live[id] {
+		return fmt.Errorf("fake: node %d not live", id)
+	}
+	f.announced++
+	return nil
+}
+
+func (f *fakeBackend) Join() (overlay.NodeID, error) {
+	id := f.next
+	f.next++
+	f.live[id] = true
+	f.avail[id] = vector.New(f.dims)
+	return id, nil
+}
+
+func (f *fakeBackend) Leave(id overlay.NodeID) error {
+	if !f.live[id] {
+		return fmt.Errorf("fake: node %d not live", id)
+	}
+	delete(f.live, id)
+	delete(f.avail, id)
+	return nil
+}
+
+func (f *fakeBackend) Query(from overlay.NodeID, demand vector.Vec, k int) ([]proto.Record, int, error) {
+	f.queries++
+	var recs []proto.Record
+	for _, id := range f.Nodes() {
+		if f.avail[id].Dominates(demand) {
+			recs = append(recs, proto.Record{Node: id, Avail: f.avail[id].Clone(), Expires: f.now + sim.Minute})
+			if len(recs) >= k {
+				break
+			}
+		}
+	}
+	return recs, len(recs), nil
+}
+
+func (f *fakeBackend) Step(d sim.Time) { f.now += d }
+func (f *fakeBackend) Now() sim.Time   { return f.now }
+func (f *fakeBackend) Size() int       { return len(f.Nodes()) }
+
+// testConfig returns a fast small config over a 2-dim unit cmax.
+func testConfig(shards int) Config {
+	return Config{
+		Shards:        shards,
+		NodesPerShard: 4,
+		CMax:          vector.Of(10, 10),
+		FlushInterval: 5 * time.Millisecond,
+		CacheTTL:      50 * time.Millisecond,
+	}
+}
+
+func newTestEngine(t *testing.T, cfg Config) *Engine {
+	t.Helper()
+	e, err := New(cfg, func(i int, rc Config) (Backend, error) {
+		return newFake(rc.NodesPerShard, rc.CMax.Dim()), nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { e.Close() })
+	return e
+}
+
+func TestGlobalIDRoundTrip(t *testing.T) {
+	for _, tc := range []struct {
+		shard int
+		local overlay.NodeID
+	}{{0, 0}, {3, 17}, {255, 1 << 30}} {
+		g := Global(tc.shard, tc.local)
+		if g.Shard() != tc.shard || g.Local() != tc.local {
+			t.Fatalf("Global(%d,%d) round-tripped to (%d,%d)",
+				tc.shard, tc.local, g.Shard(), g.Local())
+		}
+	}
+}
+
+func TestQueryBestFitOrdering(t *testing.T) {
+	e := newTestEngine(t, testConfig(1))
+	// Three nodes qualify with different surpluses; best fit first.
+	nodes := e.Nodes()
+	if len(nodes) != 4 {
+		t.Fatalf("got %d nodes, want 4", len(nodes))
+	}
+	for i, a := range []vector.Vec{
+		vector.Of(9, 9), // big surplus
+		vector.Of(5, 5), // closest fit
+		vector.Of(7, 6),
+		vector.Of(1, 1), // does not qualify
+	} {
+		if err := e.Update(nodes[i], a, false); err != nil {
+			t.Fatal(err)
+		}
+	}
+	resp, err := e.Query(QueryRequest{Demand: vector.Of(4, 4), K: 10, NoCache: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(resp.Candidates) != 3 {
+		t.Fatalf("got %d candidates, want 3: %+v", len(resp.Candidates), resp.Candidates)
+	}
+	want := []GlobalID{nodes[1], nodes[2], nodes[0]}
+	for i, c := range resp.Candidates {
+		if c.Node != want[i] {
+			t.Fatalf("candidate %d = %v, want %v (resp %+v)", i, c.Node, want[i], resp)
+		}
+	}
+	if resp.Candidates[0].Surplus >= resp.Candidates[1].Surplus {
+		t.Fatalf("surpluses not ascending: %+v", resp.Candidates)
+	}
+}
+
+func TestQueryKTruncation(t *testing.T) {
+	e := newTestEngine(t, testConfig(2))
+	for _, id := range e.Nodes() {
+		if err := e.Update(id, vector.Of(8, 8), false); err != nil {
+			t.Fatal(err)
+		}
+	}
+	resp, err := e.Query(QueryRequest{Demand: vector.Of(1, 1), K: 3, NoCache: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(resp.Candidates) != 3 {
+		t.Fatalf("got %d candidates, want 3", len(resp.Candidates))
+	}
+	// K defaults to 1.
+	resp, err = e.Query(QueryRequest{Demand: vector.Of(1, 1), NoCache: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(resp.Candidates) != 1 {
+		t.Fatalf("default K: got %d candidates, want 1", len(resp.Candidates))
+	}
+}
+
+func TestQueryMergesAcrossShards(t *testing.T) {
+	e := newTestEngine(t, testConfig(3))
+	nodes := e.Nodes()
+	if len(nodes) != 12 {
+		t.Fatalf("got %d nodes, want 12", len(nodes))
+	}
+	// One qualifying node per shard.
+	seen := map[int]bool{}
+	for _, id := range nodes {
+		if !seen[id.Shard()] {
+			seen[id.Shard()] = true
+			if err := e.Update(id, vector.Of(6, 6), false); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	resp, err := e.Query(QueryRequest{Demand: vector.Of(2, 2), K: 10, NoCache: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	shards := map[int]bool{}
+	for _, c := range resp.Candidates {
+		shards[c.Node.Shard()] = true
+	}
+	if len(shards) != 3 {
+		t.Fatalf("candidates span %d shards, want 3: %+v", len(shards), resp.Candidates)
+	}
+}
+
+func TestQueryCacheHitAndExpiry(t *testing.T) {
+	cfg := testConfig(1)
+	cfg.CacheTTL = 40 * time.Millisecond
+	e := newTestEngine(t, cfg)
+	if err := e.Update(e.Nodes()[0], vector.Of(5, 5), false); err != nil {
+		t.Fatal(err)
+	}
+	demand := vector.Of(1.8, 1.8)
+	first, err := e.Query(QueryRequest{Demand: demand, K: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if first.Cached {
+		t.Fatal("first query reported cached")
+	}
+	second, err := e.Query(QueryRequest{Demand: demand, K: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !second.Cached {
+		t.Fatal("second query not served from cache")
+	}
+	// Nearby demand in the same quantization cell (cell size is
+	// CacheQuantum·cmax = 0.5 here) also hits.
+	near := vector.Of(1.9, 1.9)
+	third, err := e.Query(QueryRequest{Demand: near, K: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !third.Cached {
+		t.Fatal("quantization-equivalent demand missed the cache")
+	}
+	time.Sleep(cfg.CacheTTL + 20*time.Millisecond)
+	fourth, err := e.Query(QueryRequest{Demand: demand, K: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fourth.Cached {
+		t.Fatal("stale cache entry served after TTL")
+	}
+	if st := e.Stats(); st.CacheHits < 2 {
+		t.Fatalf("stats report %d cache hits, want >= 2", st.CacheHits)
+	}
+}
+
+func TestCachedResponsesNeverViolateDominance(t *testing.T) {
+	e := newTestEngine(t, testConfig(1))
+	nodes := e.Nodes()
+	// One node strictly inside a cache cell (cell size 0.5 here),
+	// one safely above the cell's upper bound.
+	if err := e.Update(nodes[0], vector.Of(1.85, 1.85), false); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Update(nodes[1], vector.Of(3, 3), false); err != nil {
+		t.Fatal(err)
+	}
+	// Two demands sharing the (1.5, 2.0] cell; the second is served
+	// from the cache. Whatever comes back must dominate the demand
+	// actually requested — the in-cell node (1.85 < 1.9) must never
+	// be handed to the 1.9 query via the 1.8 query's cache entry.
+	for _, demand := range []vector.Vec{vector.Of(1.8, 1.8), vector.Of(1.9, 1.9)} {
+		resp, err := e.Query(QueryRequest{Demand: demand, K: 5})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, c := range resp.Candidates {
+			if !c.Avail.Dominates(demand) {
+				t.Fatalf("candidate %v (avail %v) does not dominate demand %v (cached=%v)",
+					c.Node, c.Avail, demand, resp.Cached)
+			}
+		}
+		// The clearly-sufficient node is always found.
+		found := false
+		for _, c := range resp.Candidates {
+			found = found || c.Node == nodes[1]
+		}
+		if !found {
+			t.Fatalf("node above the cell bound missing for demand %v: %+v", demand, resp.Candidates)
+		}
+	}
+}
+
+func TestUpdateVisibleInSnapshot(t *testing.T) {
+	e := newTestEngine(t, testConfig(1))
+	id := e.Nodes()[2]
+	if err := e.Update(id, vector.Of(7, 3), false); err != nil {
+		t.Fatal(err)
+	}
+	resp, err := e.Query(QueryRequest{Demand: vector.Of(6, 2), K: 5, NoCache: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(resp.Candidates) != 1 || resp.Candidates[0].Node != id {
+		t.Fatalf("update not visible: %+v", resp.Candidates)
+	}
+}
+
+func TestJoinLeaveLifecycle(t *testing.T) {
+	e := newTestEngine(t, testConfig(2))
+	before := len(e.Nodes())
+	id, err := e.Join(vector.Of(9, 9))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := e.Query(QueryRequest{Demand: vector.Of(8.5, 8.5), K: 5, NoCache: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(resp.Candidates) != 1 || resp.Candidates[0].Node != id {
+		t.Fatalf("joined node not serving: %+v", resp.Candidates)
+	}
+	if got := len(e.Nodes()); got != before+1 {
+		t.Fatalf("population %d after join, want %d", got, before+1)
+	}
+	if err := e.Leave(id); err != nil {
+		t.Fatal(err)
+	}
+	resp, err = e.Query(QueryRequest{Demand: vector.Of(8.5, 8.5), K: 5, NoCache: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(resp.Candidates) != 0 {
+		t.Fatalf("departed node still serving: %+v", resp.Candidates)
+	}
+	if err := e.Leave(id); err == nil {
+		t.Fatal("double leave succeeded")
+	}
+}
+
+func TestConsistentQueryRoutesThroughShard(t *testing.T) {
+	e := newTestEngine(t, testConfig(2))
+	for _, id := range e.Nodes() {
+		if err := e.Update(id, vector.Of(6, 6), false); err != nil {
+			t.Fatal(err)
+		}
+	}
+	resp, err := e.Query(QueryRequest{Demand: vector.Of(1, 1), K: 2, Consistent: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(resp.Candidates) == 0 {
+		t.Fatalf("consistent query found nothing: %+v", resp)
+	}
+	if st := e.Stats(); st.Consistent != 1 {
+		t.Fatalf("stats report %d consistent queries, want 1", st.Consistent)
+	}
+}
+
+func TestBadInputs(t *testing.T) {
+	e := newTestEngine(t, testConfig(1))
+	if _, err := e.Query(QueryRequest{Demand: vector.Of(1)}); !errors.Is(err, ErrBadDemand) {
+		t.Fatalf("wrong-dim demand: got %v", err)
+	}
+	if _, err := e.Query(QueryRequest{Demand: vector.Of(-1, 0)}); !errors.Is(err, ErrBadDemand) {
+		t.Fatalf("negative demand: got %v", err)
+	}
+	if err := e.Update(Global(9, 0), vector.Of(1, 1), false); err == nil {
+		t.Fatal("update on unknown shard succeeded")
+	}
+	if err := e.Update(e.Nodes()[0], vector.Of(1, 2, 3), false); !errors.Is(err, ErrBadDemand) {
+		t.Fatalf("wrong-dim avail: got %v", err)
+	}
+}
+
+func TestCloseRejectsOps(t *testing.T) {
+	cfg := testConfig(2)
+	e, err := New(cfg, func(i int, rc Config) (Backend, error) {
+		return newFake(rc.NodesPerShard, rc.CMax.Dim()), nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	id := e.Nodes()[0]
+	if err := e.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Close(); !errors.Is(err, ErrClosed) {
+		t.Fatalf("second close: got %v", err)
+	}
+	if _, err := e.Query(QueryRequest{Demand: vector.Of(1, 1)}); !errors.Is(err, ErrClosed) {
+		t.Fatalf("query after close: got %v", err)
+	}
+	if err := e.Update(id, vector.Of(1, 1), false); !errors.Is(err, ErrClosed) {
+		t.Fatalf("update after close: got %v", err)
+	}
+	if _, err := e.Join(nil); !errors.Is(err, ErrClosed) {
+		t.Fatalf("join after close: got %v", err)
+	}
+}
+
+func TestStatsCounters(t *testing.T) {
+	e := newTestEngine(t, testConfig(2))
+	nodes := e.Nodes()
+	for i := 0; i < 3; i++ {
+		if err := e.Update(nodes[i], vector.Of(5, 5), true); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := e.Join(nil); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 4; i++ {
+		if _, err := e.Query(QueryRequest{Demand: vector.Of(1, 1), K: 1}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st := e.Stats()
+	if st.Updates != 3 || st.Joins != 1 || st.Queries != 4 {
+		t.Fatalf("counters: %+v", st)
+	}
+	if st.TotalNodes != 9 {
+		t.Fatalf("total nodes %d, want 9", st.TotalNodes)
+	}
+	if len(st.Shards) != 2 {
+		t.Fatalf("shard stats: %+v", st.Shards)
+	}
+	if st.Shards[0].SnapshotVersion == 0 {
+		t.Fatalf("snapshot never published: %+v", st.Shards[0])
+	}
+}
+
+func TestRecordTTLExpiresStaleNodes(t *testing.T) {
+	cfg := testConfig(1)
+	cfg.RecordTTL = 15 * sim.Second
+	cfg.StepQuantum = 10 * sim.Second
+	// No idle ticks during the test: only write batches (one op
+	// each, +10s apiece) advance the shard clock, so node ages are
+	// deterministic.
+	cfg.FlushInterval = time.Hour
+	e := newTestEngine(t, cfg)
+	nodes := e.Nodes()
+	// t=0: nodes[0] written (fresh), clock steps to 10s.
+	if err := e.Update(nodes[0], vector.Of(5, 5), false); err != nil {
+		t.Fatal(err)
+	}
+	// t=10s: nodes[1] written, clock steps to 20s. nodes[0] is now
+	// 20s old (> TTL), nodes[1] 10s old (fresh).
+	if err := e.Update(nodes[1], vector.Of(6, 6), false); err != nil {
+		t.Fatal(err)
+	}
+	resp, err := e.Query(QueryRequest{Demand: vector.Of(4, 4), K: 5, NoCache: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(resp.Candidates) != 1 || resp.Candidates[0].Node != nodes[1] {
+		t.Fatalf("want only fresh node %v, got %+v", nodes[1], resp.Candidates)
+	}
+	// A fresh write revives the stale node.
+	if err := e.Update(nodes[0], vector.Of(5, 5), false); err != nil {
+		t.Fatal(err)
+	}
+	resp, err = e.Query(QueryRequest{Demand: vector.Of(4, 4), K: 5, NoCache: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(resp.Candidates) != 1 || resp.Candidates[0].Node != nodes[0] {
+		// nodes[1] is now 20s old and expired; nodes[0] just wrote.
+		t.Fatalf("want only re-freshed node %v, got %+v", nodes[0], resp.Candidates)
+	}
+}
+
+func TestRecordTTLZeroNeverExpires(t *testing.T) {
+	cfg := testConfig(1) // RecordTTL 0: the default, no expiry
+	cfg.StepQuantum = 30 * sim.Second
+	e := newTestEngine(t, cfg)
+	if err := e.Update(e.Nodes()[0], vector.Of(5, 5), false); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 5; i++ { // push the clock far past any plausible TTL
+		if err := e.Update(e.Nodes()[1], vector.Of(1, 1), false); err != nil {
+			t.Fatal(err)
+		}
+	}
+	resp, err := e.Query(QueryRequest{Demand: vector.Of(4, 4), K: 5, NoCache: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(resp.Candidates) != 1 || resp.Candidates[0].Node != e.Nodes()[0] {
+		t.Fatalf("record expired with RecordTTL=0: %+v", resp.Candidates)
+	}
+}
+
+func TestConfigDefaultsAndValidation(t *testing.T) {
+	cfg, err := Config{}.withDefaults()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.Shards != 1 || cfg.NodesPerShard != 64 || cfg.CMax == nil ||
+		cfg.QueueDepth <= 0 || cfg.CacheTTL <= 0 || cfg.RecordTTL != 0 {
+		t.Fatalf("defaults not resolved: %+v", cfg)
+	}
+	if _, err := (Config{Shards: -1}).withDefaults(); err == nil {
+		t.Fatal("negative Shards accepted")
+	}
+	if _, err := (Config{NodesPerShard: 1}).withDefaults(); err == nil {
+		t.Fatal("NodesPerShard=1 accepted")
+	}
+	if _, err := (Config{CMax: vector.Of(0, 0)}).withDefaults(); err == nil {
+		t.Fatal("zero CMax accepted")
+	}
+}

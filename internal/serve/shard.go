@@ -1,0 +1,245 @@
+package serve
+
+import (
+	"sync/atomic"
+	"time"
+
+	"pidcan/internal/overlay"
+	"pidcan/internal/proto"
+	"pidcan/internal/sim"
+	"pidcan/internal/vector"
+)
+
+// opKind enumerates the write-queue operations.
+type opKind int
+
+const (
+	opUpdate opKind = iota // SetAvailability (+ optional Announce)
+	opJoin                 // Join (+ optional initial availability)
+	opLeave                // Leave
+	opQuery                // protocol-routed ("consistent") query
+)
+
+// op is one queued shard operation. reply, when non-nil, receives
+// exactly one opResult (the channel must have capacity 1).
+type op struct {
+	kind     opKind
+	node     overlay.NodeID
+	avail    vector.Vec
+	announce bool
+	demand   vector.Vec
+	k        int
+	reply    chan opResult
+}
+
+type opResult struct {
+	node overlay.NodeID
+	recs []proto.Record
+	hops int
+	err  error
+}
+
+// shard owns one Backend. All Backend access happens on the shard's
+// goroutine (loop); the rest of the engine communicates through the
+// ops queue and reads the published snapshot.
+type shard struct {
+	idx  int
+	cfg  Config
+	be   Backend
+	ops  chan op
+	stop chan struct{}
+	done chan struct{}
+
+	// fresh records the shard-local time of each node's last
+	// explicit availability write; it backs RecordTTL expiry.
+	// Owned by the shard goroutine (initialized before start).
+	fresh map[overlay.NodeID]sim.Time
+
+	snap    atomic.Pointer[Snapshot]
+	version atomic.Uint64
+	applied atomic.Uint64
+	batches atomic.Uint64
+}
+
+func newShard(idx int, cfg Config, be Backend) *shard {
+	s := &shard{
+		idx:   idx,
+		cfg:   cfg,
+		be:    be,
+		ops:   make(chan op, cfg.QueueDepth),
+		stop:  make(chan struct{}),
+		done:  make(chan struct{}),
+		fresh: make(map[overlay.NodeID]sim.Time),
+	}
+	if cfg.Warmup > 0 {
+		be.Step(cfg.Warmup)
+	}
+	for _, id := range be.Nodes() {
+		s.fresh[id] = be.Now()
+	}
+	s.publish() // initial snapshot, before the goroutine starts
+	return s
+}
+
+// start launches the shard goroutine. The Backend is handed over
+// here: the constructor goroutine must not touch it afterwards.
+func (s *shard) start() { go s.loop() }
+
+// halt asks the loop to exit and waits for it.
+func (s *shard) halt() {
+	close(s.stop)
+	<-s.done
+}
+
+// loop is the shard goroutine: batch writes, advance the shard-local
+// simulation, republish the snapshot. The idle ticker keeps the
+// simulation clock (and therefore record freshness and the
+// protocol's periodic machinery) moving under read-only traffic.
+func (s *shard) loop() {
+	defer close(s.done)
+	idle := time.NewTicker(s.cfg.FlushInterval)
+	defer idle.Stop()
+	for {
+		select {
+		case <-s.stop:
+			return
+		case o := <-s.ops:
+			batch := s.drain(o)
+			results := s.applyBatch(batch)
+			s.be.Step(s.cfg.StepQuantum)
+			s.publish()
+			// Replies go out only after the new snapshot is live, so
+			// a caller whose write returned reads its own write.
+			for i, o := range batch {
+				if o.reply != nil {
+					o.reply <- results[i]
+				}
+			}
+		case <-idle.C:
+			s.be.Step(s.cfg.StepQuantum)
+			s.publish()
+		}
+	}
+}
+
+// drain gathers up to MaxBatch queued ops without blocking.
+func (s *shard) drain(first op) []op {
+	batch := make([]op, 1, 16)
+	batch[0] = first
+	for len(batch) < s.cfg.MaxBatch {
+		select {
+		case o := <-s.ops:
+			batch = append(batch, o)
+		default:
+			return batch
+		}
+	}
+	return batch
+}
+
+func (s *shard) applyBatch(batch []op) []opResult {
+	results := make([]opResult, len(batch))
+	for i, o := range batch {
+		var res opResult
+		switch o.kind {
+		case opUpdate:
+			res.err = s.be.SetAvailability(o.node, o.avail)
+			if res.err == nil && o.announce {
+				res.err = s.be.Announce(o.node)
+			}
+			if res.err == nil {
+				s.fresh[o.node] = s.be.Now()
+			}
+		case opJoin:
+			res.node, res.err = s.be.Join()
+			if res.err == nil && o.avail != nil {
+				res.err = s.be.SetAvailability(res.node, o.avail)
+				if res.err == nil {
+					res.err = s.be.Announce(res.node)
+				}
+			}
+			if res.err == nil {
+				s.fresh[res.node] = s.be.Now()
+			}
+		case opLeave:
+			res.err = s.be.Leave(o.node)
+			if res.err == nil {
+				delete(s.fresh, o.node)
+			}
+		case opQuery:
+			from := o.node
+			if from < 0 {
+				// Caller left the entry point open: use the
+				// lowest-id alive node as the querying agent.
+				if nodes := s.be.Nodes(); len(nodes) > 0 {
+					from = nodes[0]
+				}
+			}
+			res.recs, res.hops, res.err = s.be.Query(from, o.demand, o.k)
+		}
+		results[i] = res
+	}
+	s.applied.Add(uint64(len(batch)))
+	s.batches.Add(1)
+	return results
+}
+
+// publish builds and atomically installs a fresh immutable snapshot
+// of the shard's record index.
+func (s *shard) publish() {
+	now := s.be.Now()
+	nodes := s.be.Nodes()
+	recs := make([]proto.Record, 0, len(nodes))
+	for _, id := range nodes {
+		stored, ok := s.fresh[id]
+		if !ok {
+			stored = now
+		}
+		expires := sim.Time(1<<63 - 1) // RecordTTL 0: never expires
+		if s.cfg.RecordTTL > 0 {
+			expires = stored + s.cfg.RecordTTL
+		}
+		recs = append(recs, proto.Record{
+			Node:    id,
+			Avail:   s.be.Availability(id), // already a copy
+			Stored:  stored,
+			Expires: expires,
+		})
+	}
+	s.snap.Store(&Snapshot{
+		Shard:   s.idx,
+		Version: s.version.Add(1),
+		Taken:   now,
+		Records: recs,
+	})
+}
+
+// snapshot returns the current published snapshot (never nil after
+// newShard).
+func (s *shard) snapshot() *Snapshot { return s.snap.Load() }
+
+// submit enqueues o and, when o.reply is set, waits for the result.
+// It fails with ErrClosed once the shard goroutine has exited.
+func (s *shard) submit(o op) (opResult, error) {
+	select {
+	case s.ops <- o:
+	case <-s.done:
+		return opResult{}, ErrClosed
+	}
+	if o.reply == nil {
+		return opResult{}, nil
+	}
+	select {
+	case r := <-o.reply:
+		return r, nil
+	case <-s.done:
+		// The loop may have applied the op right before exiting;
+		// prefer the real result if it is already buffered.
+		select {
+		case r := <-o.reply:
+			return r, nil
+		default:
+			return opResult{}, ErrClosed
+		}
+	}
+}

@@ -1,0 +1,72 @@
+package serve
+
+import (
+	"sort"
+
+	"pidcan/internal/proto"
+	"pidcan/internal/sim"
+	"pidcan/internal/vector"
+)
+
+// Snapshot is an immutable copy-on-write view of one shard's record
+// index: every alive node's advertised availability with freshness
+// bounds, taken at a point of the shard's simulation clock. Shards
+// publish snapshots through an atomic pointer; readers never lock,
+// never mutate, and never observe a partially built snapshot.
+type Snapshot struct {
+	// Shard is the owning shard's index.
+	Shard int
+	// Version increments with every publication.
+	Version uint64
+	// Taken is the shard-local simulation time of the snapshot.
+	Taken sim.Time
+	// Records holds one record per alive node, ascending by node id.
+	// Records, their Avail vectors, and everything reachable from
+	// them are shared and must not be mutated.
+	Records []proto.Record
+}
+
+// Candidate is one qualified node of a query response.
+type Candidate struct {
+	// Node is the cross-shard global id.
+	Node GlobalID `json:"node"`
+	// Avail is the advertised availability behind the match.
+	Avail vector.Vec `json:"avail"`
+	// Surplus is the normalized slack of Avail over the demand the
+	// response was evaluated for (for cacheable queries, the
+	// quantization cell's upper bound); the best fit is the
+	// smallest surplus.
+	Surplus float64 `json:"surplus"`
+}
+
+// collect appends to dst a candidate for every unexpired record that
+// dominates demand, computing the best-fit surplus against scale.
+func (s *Snapshot) collect(dst []Candidate, demand, scale vector.Vec, now sim.Time) []Candidate {
+	for _, r := range s.Records {
+		if r.Expired(now) || !r.Avail.Dominates(demand) {
+			continue
+		}
+		dst = append(dst, Candidate{
+			Node:    Global(s.Shard, r.Node),
+			Avail:   r.Avail,
+			Surplus: r.Avail.Surplus(demand, scale),
+		})
+	}
+	return dst
+}
+
+// bestFit sorts candidates by ascending surplus (ties broken by
+// global id, for deterministic responses) and truncates to k.
+// k <= 0 means no limit.
+func bestFit(cands []Candidate, k int) []Candidate {
+	sort.Slice(cands, func(i, j int) bool {
+		if cands[i].Surplus != cands[j].Surplus {
+			return cands[i].Surplus < cands[j].Surplus
+		}
+		return cands[i].Node < cands[j].Node
+	})
+	if k > 0 && len(cands) > k {
+		cands = cands[:k]
+	}
+	return cands
+}

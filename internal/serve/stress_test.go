@@ -1,0 +1,197 @@
+package serve_test
+
+// Stress test over the real thing: an Engine whose shards are
+// genuine PID-CAN Clusters (wired by pidcan.NewEngine), hammered by
+// concurrent clients issuing mixed Query/Update/Join/Leave traffic.
+// Run it with -race; that is the whole point — it exercises the
+// snapshot read path, the write queues and the query cache across
+// shard goroutines at once.
+
+import (
+	"errors"
+	"math/rand/v2"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"pidcan"
+	"pidcan/internal/vector"
+)
+
+func TestStressConcurrentMixedTraffic(t *testing.T) {
+	const (
+		shards  = 4
+		clients = 32
+		opsEach = 150
+	)
+	eng, err := pidcan.NewEngine(pidcan.EngineConfig{
+		Shards:        shards,
+		NodesPerShard: 12,
+		Seed:          42,
+		FlushInterval: 2 * time.Millisecond,
+		CacheTTL:      5 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer eng.Close()
+
+	cmax := eng.Config().CMax
+	baseNodes := eng.Nodes()
+	if len(baseNodes) != shards*12 {
+		t.Fatalf("population %d, want %d", len(baseNodes), shards*12)
+	}
+	for _, id := range baseNodes {
+		if err := eng.Update(id, cmax.Scale(0.5), true); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	var (
+		queries, hits, updates, joins, leaves atomic.Uint64
+		wg                                    sync.WaitGroup
+	)
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewPCG(uint64(c), 0x57e55))
+			var mine []pidcan.GlobalNodeID // nodes this client joined
+			demand := func() vector.Vec {
+				d := make(vector.Vec, cmax.Dim())
+				for i := range d {
+					d[i] = cmax[i] * rng.Float64() * 0.6
+				}
+				return d
+			}
+			for i := 0; i < opsEach; i++ {
+				switch p := rng.Float64(); {
+				case p < 0.55: // lock-free snapshot query
+					resp, err := eng.Query(pidcan.QueryRequest{Demand: demand(), K: 3})
+					if err != nil {
+						t.Errorf("client %d query: %v", c, err)
+						return
+					}
+					queries.Add(1)
+					if resp.Cached {
+						hits.Add(1)
+					}
+				case p < 0.65: // protocol-routed query
+					if _, err := eng.Query(pidcan.QueryRequest{
+						Demand: demand(), K: 2, Consistent: true,
+					}); err != nil {
+						t.Errorf("client %d consistent query: %v", c, err)
+						return
+					}
+					queries.Add(1)
+				case p < 0.85: // availability update
+					id := baseNodes[rng.IntN(len(baseNodes))]
+					// Base nodes are never removed (clients only
+					// leave nodes they joined themselves), so every
+					// update must succeed.
+					if err := eng.Update(id, cmax.Scale(0.2+0.8*rng.Float64()), rng.IntN(4) == 0); err != nil {
+						t.Errorf("client %d update %v: %v", c, id, err)
+						return
+					}
+					updates.Add(1)
+				case p < 0.95: // join
+					id, err := eng.Join(cmax.Scale(0.3 + 0.7*rng.Float64()))
+					if err != nil {
+						t.Errorf("client %d join: %v", c, err)
+						return
+					}
+					mine = append(mine, id)
+					joins.Add(1)
+				default: // leave (only nodes this client joined)
+					if len(mine) == 0 {
+						continue
+					}
+					id := mine[len(mine)-1]
+					mine = mine[:len(mine)-1]
+					if err := eng.Leave(id); err != nil {
+						t.Errorf("client %d leave %v: %v", c, id, err)
+						return
+					}
+					leaves.Add(1)
+				}
+			}
+		}(c)
+	}
+	wg.Wait()
+
+	st := eng.Stats()
+	t.Logf("stress: %d queries (%d cached), %d updates, %d joins, %d leaves; engine stats: %d queries, %d cache hits, %d errors",
+		queries.Load(), hits.Load(), updates.Load(), joins.Load(), leaves.Load(),
+		st.Queries, st.CacheHits, st.Errors)
+	if st.Queries < queries.Load() {
+		t.Fatalf("engine counted %d queries, clients issued %d", st.Queries, queries.Load())
+	}
+	// The engine must still be fully functional afterwards.
+	resp, err := eng.Query(pidcan.QueryRequest{Demand: cmax.Scale(0.1), K: 5, NoCache: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(resp.Candidates) == 0 {
+		t.Fatal("no candidates after stress run")
+	}
+	if got := st.TotalNodes; got != shards*12+int(st.Joins-st.Leaves) {
+		// Snapshot totals may trail queued ops briefly; settle first.
+		time.Sleep(50 * time.Millisecond)
+		st = eng.Stats()
+		if got = st.TotalNodes; got != shards*12+int(st.Joins-st.Leaves) {
+			t.Fatalf("population %d, want %d (+%d joins -%d leaves)",
+				got, shards*12, st.Joins, st.Leaves)
+		}
+	}
+}
+
+// TestStressCloseWhileBusy closes the engine under fire: in-flight
+// operations must either complete or fail with ErrEngineClosed, and
+// nothing may hang or race.
+func TestStressCloseWhileBusy(t *testing.T) {
+	eng, err := pidcan.NewEngine(pidcan.EngineConfig{
+		Shards:        4,
+		NodesPerShard: 8,
+		Seed:          7,
+		FlushInterval: 2 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cmax := eng.Config().CMax
+	nodes := eng.Nodes()
+
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	for c := 0; c < 16; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewPCG(uint64(c), 99))
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				var err error
+				if rng.IntN(2) == 0 {
+					_, err = eng.Query(pidcan.QueryRequest{Demand: cmax.Scale(0.2), K: 2})
+				} else {
+					err = eng.Update(nodes[rng.IntN(len(nodes))], cmax.Scale(0.5), false)
+				}
+				if err != nil && !errors.Is(err, pidcan.ErrEngineClosed) {
+					t.Errorf("client %d: unexpected error %v", c, err)
+					return
+				}
+			}
+		}(c)
+	}
+	time.Sleep(20 * time.Millisecond)
+	if err := eng.Close(); err != nil {
+		t.Fatal(err)
+	}
+	close(stop)
+	wg.Wait()
+}

@@ -25,12 +25,15 @@
 package pidcan
 
 import (
+	"net/http"
+
 	"pidcan/internal/cloud"
 	"pidcan/internal/core"
 	"pidcan/internal/metrics"
 	"pidcan/internal/overlay"
 	"pidcan/internal/proto"
 	"pidcan/internal/psm"
+	"pidcan/internal/serve"
 	"pidcan/internal/sim"
 	"pidcan/internal/task"
 	"pidcan/internal/trace"
@@ -148,3 +151,60 @@ const WorkDims = task.WorkDims
 
 // DefaultOverhead returns the paper's per-VM maintenance overhead.
 func DefaultOverhead() psm.Overhead { return psm.DefaultOverhead() }
+
+// --- concurrent serving engine (internal/serve) ------------------------------
+
+// Engine is the concurrent, shard-parallel query service built on
+// top of Cluster: per-shard goroutines apply batched writes while
+// best-fit range queries run lock-free on immutable copy-on-write
+// snapshots of the record index. See internal/serve and
+// examples/serving.
+type Engine = serve.Engine
+
+// EngineConfig parameterizes NewEngine.
+type EngineConfig = serve.Config
+
+// QueryRequest is one best-fit range query against an Engine.
+type QueryRequest = serve.QueryRequest
+
+// QueryResponse is the outcome of an Engine query.
+type QueryResponse = serve.QueryResponse
+
+// Candidate is one qualified node of a QueryResponse.
+type Candidate = serve.Candidate
+
+// GlobalNodeID addresses a node across Engine shards.
+type GlobalNodeID = serve.GlobalID
+
+// EngineStats is a point-in-time view of Engine counters.
+type EngineStats = serve.Stats
+
+// Engine errors.
+var (
+	ErrEngineClosed = serve.ErrClosed
+	ErrBadDemand    = serve.ErrBadDemand
+)
+
+// A Cluster is the shard backend of the serving engine.
+var _ serve.Backend = (*Cluster)(nil)
+
+// NewEngine builds a serving engine whose shards are independent
+// PID-CAN Clusters (shard i runs on seed Seed⊕mix(i), so shards stay
+// deterministic per seed but mutually uncorrelated) and starts the
+// shard goroutines. Callers must Close the engine when done.
+func NewEngine(cfg EngineConfig) (*Engine, error) {
+	return serve.New(cfg, func(i int, rc serve.Config) (serve.Backend, error) {
+		return NewCluster(ClusterConfig{
+			Nodes: rc.NodesPerShard,
+			CMax:  rc.CMax,
+			Seed:  rc.Seed ^ (uint64(i+1) * 0x9e3779b97f4a7c15),
+			Core:  rc.Core,
+			Net:   rc.Net,
+		})
+	})
+}
+
+// NewEngineHandler exposes an Engine over HTTP (the JSON API of
+// cmd/pidcan-serve): POST /query, /update, /join, /leave and GET
+// /nodes, /stats, /healthz.
+func NewEngineHandler(e *Engine) http.Handler { return serve.NewHandler(e) }
