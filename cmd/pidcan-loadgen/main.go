@@ -11,7 +11,10 @@
 //	pidcan-loadgen -url http://localhost:8080 -arrivals bursty -burst 4
 //
 // The traffic mix is query-dominated by default; tune with
-// -mix query=90,update=6,join=2,leave=2.
+// -mix query=90,update=6,join=2,leave=2. A -consistent fraction of
+// queries routes through the PID-CAN protocol itself;
+// -consistent-scope picks between the scatter-gather merge of every
+// shard ("all") and the paper-faithful single shard ("one").
 package main
 
 import (
@@ -68,6 +71,7 @@ func main() {
 		k        = flag.Int("k", 3, "candidates per query")
 		profiles = flag.Int("profiles", 64, "distinct demand profiles (0 = every query draws a fresh random demand)")
 		consist  = flag.Float64("consistent", 0, "fraction of queries routed through the PID-CAN protocol instead of the snapshot path")
+		conScope = flag.String("consistent-scope", "all", "consistent-query scope: all (scatter-gather every shard) or one (single shard)")
 		seed     = flag.Uint64("seed", 1, "generator seed")
 		jsonOut  = flag.String("json", "", "also write the summary as JSON to this file")
 	)
@@ -113,7 +117,8 @@ func main() {
 				Demand     []float64 `json:"demand"`
 				K          int       `json:"k"`
 				Consistent bool      `json:"consistent"`
-			}{demand, *k, true})
+				Scope      string    `json:"scope,omitempty"`
+			}{demand, *k, true, *conScope})
 			if err != nil {
 				log.Fatal(err)
 			}
@@ -211,14 +216,17 @@ func main() {
 				s := sample{class: j.class}
 				switch j.class {
 				case clQuery:
+					consistent := *consist > 0 && rng.Float64() < *consist
 					bodies := queryBodies
-					if *consist > 0 && rng.Float64() < *consist {
+					if consistent {
 						bodies = consistentBodies
 					}
 					if len(bodies) > 0 {
 						s.err = postRaw(client, *baseURL+"/query", bodies[rng.IntN(len(bodies))]) != nil
 					} else {
-						s.err = doQuery(client, *baseURL, rng, cmax, *k) != nil
+						// -profiles 0: fresh random demand per query,
+						// honoring the consistent fraction and scope.
+						s.err = doQuery(client, *baseURL, rng, cmax, *k, consistent, *conScope) != nil
 					}
 				case clUpdate:
 					id := nodes[rng.IntN(len(nodes))]
@@ -394,11 +402,16 @@ func randVec(rng *rand.Rand, cmax []float64, lo, hi float64) []float64 {
 	return v
 }
 
-func doQuery(client *http.Client, base string, rng *rand.Rand, cmax []float64, k int) error {
+func doQuery(client *http.Client, base string, rng *rand.Rand, cmax []float64, k int, consistent bool, scope string) error {
 	req := struct {
-		Demand []float64 `json:"demand"`
-		K      int       `json:"k"`
-	}{randVec(rng, cmax, 0, 0.6), k}
+		Demand     []float64 `json:"demand"`
+		K          int       `json:"k"`
+		Consistent bool      `json:"consistent,omitempty"`
+		Scope      string    `json:"scope,omitempty"`
+	}{randVec(rng, cmax, 0, 0.6), k, consistent, ""}
+	if consistent {
+		req.Scope = scope
+	}
 	return post(client, base+"/query", req, nil)
 }
 

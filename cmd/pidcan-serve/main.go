@@ -5,8 +5,11 @@
 //	pidcan-serve -addr :8080 -shards 4 -nodes 64 -seed 1
 //
 // Endpoints: POST /query /update /join /leave, GET /nodes /stats
-// /healthz. Drive it with cmd/pidcan-loadgen to measure sustained
-// throughput and latency percentiles.
+// /healthz. Consistent queries ({"consistent":true}) scatter-gather
+// through every shard's protocol by default; {"scope":"one"} keeps
+// the paper-faithful single-shard routing. Drive it with
+// cmd/pidcan-loadgen to measure sustained throughput and latency
+// percentiles.
 package main
 
 import (
@@ -35,17 +38,19 @@ func main() {
 		cacheTTL = flag.Duration("cache-ttl", 25*time.Millisecond, "query-cache freshness bound")
 		noCache  = flag.Bool("no-cache", false, "disable the query cache")
 		populate = flag.Bool("populate", true, "publish a random initial availability per node")
+		scatter  = flag.Duration("scatter-timeout", 5*time.Second, "per-shard deadline of scatter-gather consistent queries")
 	)
 	flag.Parse()
 
 	cfg := pidcan.EngineConfig{
-		Shards:        *shards,
-		NodesPerShard: *nodes,
-		Seed:          *seed,
-		Warmup:        pidcan.Time(warmup.Microseconds()),
-		FlushInterval: *flush,
-		CacheTTL:      *cacheTTL,
-		CacheDisabled: *noCache,
+		Shards:         *shards,
+		NodesPerShard:  *nodes,
+		Seed:           *seed,
+		Warmup:         pidcan.Time(warmup.Microseconds()),
+		FlushInterval:  *flush,
+		CacheTTL:       *cacheTTL,
+		CacheDisabled:  *noCache,
+		ScatterTimeout: *scatter,
 	}
 	log.Printf("building engine: %d shard(s) x %d nodes, seed %d", *shards, *nodes, *seed)
 	start := time.Now()

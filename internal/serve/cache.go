@@ -80,16 +80,32 @@ func (qc *queryCache) quantize(demand vector.Vec, k int) (string, vector.Vec) {
 }
 
 // get returns the cached response for the key if it is still fresh.
+// The response's Candidates slice is a private copy — callers may
+// re-rank or otherwise mutate it without corrupting the cache. An
+// expired entry is deleted on lookup, so stats never count dead
+// entries the next put would overwrite anyway.
 func (qc *queryCache) get(key string, now time.Time) (QueryResponse, bool) {
 	qc.mu.RLock()
 	e, ok := qc.m[key]
 	qc.mu.RUnlock()
-	if !ok || now.Sub(e.at) > qc.ttl {
+	if ok && now.Sub(e.at) > qc.ttl {
+		qc.mu.Lock()
+		// Re-check under the write lock: a concurrent put may have
+		// refreshed the key since the read above.
+		if cur, live := qc.m[key]; live && now.Sub(cur.at) > qc.ttl {
+			delete(qc.m, key)
+		}
+		qc.mu.Unlock()
+		ok = false
+	}
+	if !ok {
 		qc.misses.Add(1)
 		return QueryResponse{}, false
 	}
 	qc.hits.Add(1)
-	return e.resp, true
+	resp := e.resp
+	resp.Candidates = append([]Candidate(nil), e.resp.Candidates...)
+	return resp, true
 }
 
 // put stores a response. When the cache is full it is reset

@@ -5,6 +5,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"pidcan/internal/proto"
 	"pidcan/internal/sim"
 	"pidcan/internal/vector"
 )
@@ -18,6 +19,7 @@ type Engine struct {
 	cache  *queryCache
 
 	nextShard atomic.Uint64 // round-robin join target
+	nextQuery atomic.Uint64 // round-robin ScopeOne consistent-query target
 
 	queries    atomic.Uint64
 	consistent atomic.Uint64
@@ -38,11 +40,17 @@ type QueryRequest struct {
 	// K bounds the candidate count (default 1; <= 0 after default
 	// resolution means 1).
 	K int `json:"k,omitempty"`
-	// Consistent routes the query through a shard's write queue and
-	// the paper's three-phase protocol instead of the lock-free
+	// Consistent routes the query through the shards' write queues
+	// and the paper's three-phase protocol instead of the lock-free
 	// snapshot path. Slower, but observes every write applied before
-	// it on that shard.
+	// it on the queried shard(s).
 	Consistent bool `json:"consistent,omitempty"`
+	// Scope selects how many shards a consistent query consults:
+	// ScopeAll (the default, also "") scatter-gathers through every
+	// shard's protocol and merges the partial views; ScopeOne keeps
+	// the paper-faithful single-shard behavior. Ignored on the
+	// snapshot path, which always merges every shard's snapshot.
+	Scope string `json:"scope,omitempty"`
 	// NoCache bypasses the query cache (snapshot path only).
 	NoCache bool `json:"no_cache,omitempty"`
 }
@@ -54,9 +62,18 @@ type QueryResponse struct {
 	// Cached reports whether the response was served from the query
 	// cache.
 	Cached bool `json:"cached,omitempty"`
-	// Hops is the protocol message count (consistent path only; the
-	// snapshot path spends no protocol messages).
+	// Hops is the total protocol message count summed across every
+	// shard leg (consistent path only; the snapshot path spends no
+	// protocol messages).
 	Hops int `json:"hops,omitempty"`
+	// HopsMax is the largest single-shard protocol message count of
+	// the legs behind this response — the scatter's critical path
+	// (consistent path only).
+	HopsMax int `json:"hops_max,omitempty"`
+	// ShardsQueried counts the shards whose protocol answered this
+	// query: Config.Shards (minus halted or timed-out legs) under
+	// ScopeAll, 1 under ScopeOne (consistent path only).
+	ShardsQueried int `json:"shards_queried,omitempty"`
 }
 
 // ShardStats describes one shard in Stats.
@@ -90,8 +107,9 @@ type Stats struct {
 
 // New builds an engine: the factory is invoked once per shard, each
 // backend is warmed up and snapshotted, then the shard goroutines
-// start. On any factory error the already-built shards are torn
-// down.
+// start. On a factory error New returns without teardown: no shard
+// goroutine has started yet, so the already-built backends hold no
+// resources beyond memory and are left to the garbage collector.
 func New(cfg Config, factory BackendFactory) (*Engine, error) {
 	cfg, err := cfg.withDefaults()
 	if err != nil {
@@ -147,6 +165,13 @@ func (e *Engine) Query(req QueryRequest) (QueryResponse, error) {
 		e.errors.Add(1)
 		return QueryResponse{}, err
 	}
+	switch req.Scope {
+	case "", ScopeAll, ScopeOne:
+	default:
+		e.errors.Add(1)
+		return QueryResponse{}, fmt.Errorf("%w: %q (want %q or %q)",
+			ErrBadScope, req.Scope, ScopeAll, ScopeOne)
+	}
 	if req.K <= 0 {
 		req.K = 1
 	}
@@ -156,39 +181,138 @@ func (e *Engine) Query(req QueryRequest) (QueryResponse, error) {
 	}
 
 	// Cacheable queries are evaluated against their quantization
-	// cell's upper-bound demand, so the response is valid for every
-	// demand sharing the cell (dominance is preserved; near a cell
-	// edge a borderline candidate may be conservatively skipped).
+	// cell's upper-bound demand, so the cached candidate set is valid
+	// for every demand sharing the cell (dominance is preserved; near
+	// a cell edge a borderline candidate may be conservatively
+	// skipped). The surpluses handed back, however, are always
+	// recomputed against the caller's true demand — the cache holds
+	// only the cell-evaluated candidate set.
 	useCache := !e.cfg.CacheDisabled && !req.NoCache
-	demand := req.Demand
-	var key string
-	if useCache {
-		key, demand = e.cache.quantize(req.Demand, req.K)
-		if resp, ok := e.cache.get(key, time.Now()); ok {
-			resp.Cached = true
-			return resp, nil
+	if !useCache {
+		var cands []Candidate
+		for _, s := range e.shards {
+			snap := s.snapshot()
+			cands = snap.collect(cands, req.Demand, e.cfg.CMax, snap.Taken)
 		}
+		return QueryResponse{Candidates: bestFit(cands, req.K)}, nil
 	}
-
-	var cands []Candidate
-	for _, s := range e.shards {
-		snap := s.snapshot()
-		cands = snap.collect(cands, demand, e.cfg.CMax, snap.Taken)
+	key, cellDemand := e.cache.quantize(req.Demand, req.K)
+	resp, hit := e.cache.get(key, time.Now()) // Candidates already a private copy
+	if !hit {
+		var cands []Candidate
+		for _, s := range e.shards {
+			snap := s.snapshot()
+			cands = snap.collect(cands, cellDemand, e.cfg.CMax, snap.Taken)
+		}
+		cached := QueryResponse{Candidates: bestFit(cands, req.K)}
+		e.cache.put(key, cached, time.Now())
+		resp = QueryResponse{Candidates: append([]Candidate(nil), cached.Candidates...)}
 	}
-	resp := QueryResponse{Candidates: bestFit(cands, req.K)}
-	if useCache {
-		e.cache.put(key, resp, time.Now())
-	}
+	resp.Cached = hit
+	resp.Candidates = rescore(resp.Candidates, req.Demand, e.cfg.CMax, req.K)
 	return resp, nil
 }
 
-// consistentQuery routes the query through one shard's write queue
-// and the PID-CAN protocol itself. The shard is chosen round-robin;
-// a consistent query therefore sees one shard's index, like any
-// single querying node of the paper would.
+// rescore recomputes every candidate's surplus against demand and
+// re-ranks. Candidates entering here were qualified against a demand
+// their avail dominates (the quantization cell's upper bound, which
+// itself dominates the caller's demand), so none is disqualified —
+// only its reported slack changes.
+func rescore(cands []Candidate, demand, scale vector.Vec, k int) []Candidate {
+	for i := range cands {
+		cands[i].Surplus = cands[i].Avail.Surplus(demand, scale)
+	}
+	return bestFit(cands, k)
+}
+
+// scatterLeg is one shard's contribution to a scatter-gather
+// consistent query.
+type scatterLeg struct {
+	shard int
+	recs  []proto.Record
+	hops  int
+	err   error
+}
+
+// consistentQuery routes the query through the PID-CAN protocol
+// itself. Under ScopeOne it consults a single shard's index chosen
+// round-robin, like any one querying node of the paper would. Under
+// ScopeAll (the default) it scatters one protocol query to every
+// shard's write queue concurrently, gathers the partial views on a
+// fan-in channel and merges them best-fit first — the decentralized
+// merge-partial-views shape of ART/DEPAS lifted above the shards. A
+// shard halting mid-scatter fails only its own leg (ErrClosed);
+// legs slower than Config.ScatterTimeout are dropped from the merge.
+// The query fails only when no leg succeeds.
 func (e *Engine) consistentQuery(req QueryRequest) (QueryResponse, error) {
 	e.consistent.Add(1)
-	s := e.shards[e.nextShard.Add(1)%uint64(len(e.shards))]
+	if req.Scope == ScopeOne {
+		s := e.shards[e.nextQuery.Add(1)%uint64(len(e.shards))]
+		leg := e.queryLeg(s, req)
+		if leg.err != nil {
+			e.errors.Add(1)
+			return QueryResponse{}, leg.err
+		}
+		cands := legCandidates(nil, leg.shard, leg.recs, req.Demand, e.cfg.CMax)
+		return QueryResponse{
+			Candidates:    bestFit(cands, req.K),
+			Hops:          leg.hops,
+			HopsMax:       leg.hops,
+			ShardsQueried: 1,
+		}, nil
+	}
+
+	// Scatter: one protocol query per shard, each on its own
+	// goroutine so a deep write queue on one shard does not serialize
+	// the others. The fan-in channel is buffered to the shard count,
+	// so abandoned legs (timeout) never block their senders.
+	legs := make(chan scatterLeg, len(e.shards))
+	for _, s := range e.shards {
+		go func(s *shard) { legs <- e.queryLeg(s, req) }(s)
+	}
+	timeout := time.NewTimer(e.cfg.ScatterTimeout)
+	defer timeout.Stop()
+	var (
+		cands    []Candidate
+		resp     QueryResponse
+		firstErr error
+	)
+gather:
+	for pending := len(e.shards); pending > 0; pending-- {
+		select {
+		case leg := <-legs:
+			if leg.err != nil {
+				if firstErr == nil {
+					firstErr = leg.err
+				}
+				continue
+			}
+			resp.ShardsQueried++
+			resp.Hops += leg.hops
+			if leg.hops > resp.HopsMax {
+				resp.HopsMax = leg.hops
+			}
+			cands = legCandidates(cands, leg.shard, leg.recs, req.Demand, e.cfg.CMax)
+		case <-timeout.C:
+			if firstErr == nil {
+				firstErr = fmt.Errorf("serve: consistent scatter timed out after %v (%d of %d legs gathered)",
+					e.cfg.ScatterTimeout, resp.ShardsQueried, len(e.shards))
+			}
+			break gather
+		}
+	}
+	if resp.ShardsQueried == 0 {
+		e.errors.Add(1)
+		return QueryResponse{}, firstErr
+	}
+	resp.Candidates = bestFit(cands, req.K)
+	return resp, nil
+}
+
+// queryLeg runs one protocol query through s's write queue and
+// packages the outcome as that shard's leg. The demand is cloned per
+// leg, so concurrent shard goroutines never share a vector.
+func (e *Engine) queryLeg(s *shard, req QueryRequest) scatterLeg {
 	res, err := s.submit(op{
 		kind:   opQuery,
 		node:   -1,
@@ -196,22 +320,23 @@ func (e *Engine) consistentQuery(req QueryRequest) (QueryResponse, error) {
 		k:      req.K,
 		reply:  make(chan opResult, 1),
 	})
-	if err != nil {
-		return QueryResponse{}, err
+	if err == nil {
+		err = res.err
 	}
-	if res.err != nil {
-		e.errors.Add(1)
-		return QueryResponse{}, res.err
-	}
-	cands := make([]Candidate, 0, len(res.recs))
-	for _, r := range res.recs {
-		cands = append(cands, Candidate{
-			Node:    Global(s.idx, r.Node),
+	return scatterLeg{shard: s.idx, recs: res.recs, hops: res.hops, err: err}
+}
+
+// legCandidates converts one shard leg's protocol records into
+// global candidates scored against the caller's demand.
+func legCandidates(dst []Candidate, shard int, recs []proto.Record, demand, scale vector.Vec) []Candidate {
+	for _, r := range recs {
+		dst = append(dst, Candidate{
+			Node:    Global(shard, r.Node),
 			Avail:   r.Avail,
-			Surplus: r.Avail.Surplus(req.Demand, e.cfg.CMax),
+			Surplus: r.Avail.Surplus(demand, scale),
 		})
 	}
-	return QueryResponse{Candidates: bestFit(cands, req.K), Hops: res.hops}, nil
+	return dst
 }
 
 // Update publishes a node's availability vector through its shard's
@@ -228,7 +353,7 @@ func (e *Engine) Update(node GlobalID, avail vector.Vec, announce bool) error {
 	si := node.Shard()
 	if si >= len(e.shards) {
 		e.errors.Add(1)
-		return fmt.Errorf("serve: no shard %d (node %v)", si, node)
+		return fmt.Errorf("%w: shard %d (node %v)", ErrNoShard, si, node)
 	}
 	res, err := e.shards[si].submit(op{
 		kind:     opUpdate,
@@ -250,9 +375,11 @@ func (e *Engine) Update(node GlobalID, avail vector.Vec, announce bool) error {
 	return nil
 }
 
-// Join adds a node to the least-recently-targeted shard
-// (round-robin) and returns its global id. A non-nil avail is
-// published and announced as the node's initial availability.
+// Join adds a node to the least-recently-joined shard (round-robin
+// on a counter joins alone advance, so interleaved consistent
+// queries cannot skew shard populations) and returns its global id.
+// A non-nil avail is published and announced as the node's initial
+// availability.
 func (e *Engine) Join(avail vector.Vec) (GlobalID, error) {
 	if e.closed.Load() {
 		return 0, ErrClosed
@@ -289,7 +416,7 @@ func (e *Engine) Leave(node GlobalID) error {
 	si := node.Shard()
 	if si >= len(e.shards) {
 		e.errors.Add(1)
-		return fmt.Errorf("serve: no shard %d (node %v)", si, node)
+		return fmt.Errorf("%w: shard %d (node %v)", ErrNoShard, si, node)
 	}
 	res, err := e.shards[si].submit(op{
 		kind:  opLeave,

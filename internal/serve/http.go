@@ -3,6 +3,7 @@ package serve
 import (
 	"encoding/json"
 	"errors"
+	"fmt"
 	"net/http"
 
 	"pidcan/internal/vector"
@@ -10,7 +11,8 @@ import (
 
 // NewHandler exposes an Engine over HTTP with a JSON API:
 //
-//	POST /query  {"demand":[...],"k":3,"consistent":false,"no_cache":false}
+//	POST /query  {"demand":[...],"k":3,"consistent":false,
+//	              "scope":"all|one","no_cache":false}
 //	             -> QueryResponse
 //	POST /update {"node":N,"avail":[...],"announce":true} -> {"ok":true}
 //	POST /join   {"avail":[...]}                          -> {"node":N}
@@ -20,8 +22,10 @@ import (
 //	GET  /healthz -> {"ok":true}
 //
 // Node ids on the wire are GlobalIDs (shard in the high 32 bits).
-// Errors come back as {"error":"..."} with status 400 (bad input),
-// 409 (rejected operation) or 503 (engine closed).
+// Request bodies are capped at 1 MiB. Errors come back as
+// {"error":"..."} with status 400 (bad input, including oversized
+// bodies), 404 (no such shard), 409 (rejected operation) or 503
+// (engine closed).
 func NewHandler(e *Engine) http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /query", func(w http.ResponseWriter, r *http.Request) {
@@ -94,11 +98,21 @@ func NewHandler(e *Engine) http.Handler {
 	return mux
 }
 
+// maxRequestBody caps decoded request bodies; anything larger is
+// rejected with 400 before it can balloon the decoder's allocations.
+const maxRequestBody = 1 << 20 // 1 MiB
+
 func decode(w http.ResponseWriter, r *http.Request, dst any) bool {
+	r.Body = http.MaxBytesReader(w, r.Body, maxRequestBody)
 	dec := json.NewDecoder(r.Body)
 	dec.DisallowUnknownFields()
 	if err := dec.Decode(dst); err != nil {
-		writeJSON(w, http.StatusBadRequest, map[string]string{"error": "bad request: " + err.Error()})
+		msg := "bad request: " + err.Error()
+		var mbe *http.MaxBytesError
+		if errors.As(err, &mbe) {
+			msg = fmt.Sprintf("bad request: body exceeds %d bytes", mbe.Limit)
+		}
+		writeJSON(w, http.StatusBadRequest, map[string]string{"error": msg})
 		return false
 	}
 	return true
@@ -109,8 +123,10 @@ func writeErr(w http.ResponseWriter, err error) {
 	switch {
 	case errors.Is(err, ErrClosed):
 		status = http.StatusServiceUnavailable
-	case errors.Is(err, ErrBadDemand):
+	case errors.Is(err, ErrBadDemand), errors.Is(err, ErrBadScope):
 		status = http.StatusBadRequest
+	case errors.Is(err, ErrNoShard):
+		status = http.StatusNotFound
 	}
 	writeJSON(w, status, map[string]string{"error": err.Error()})
 }

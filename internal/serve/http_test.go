@@ -5,7 +5,10 @@ import (
 	"encoding/json"
 	"net/http"
 	"net/http/httptest"
+	"strings"
 	"testing"
+
+	"pidcan/internal/vector"
 )
 
 func newTestServer(t *testing.T, shards int) (*Engine, *httptest.Server) {
@@ -120,7 +123,11 @@ func TestHTTPBadRequests(t *testing.T) {
 		{"/query", map[string]any{"demand": []float64{1}}, http.StatusBadRequest},
 		{"/query", map[string]any{"demand": []float64{-1, 1}}, http.StatusBadRequest},
 		{"/query", map[string]any{"unknown_field": 1}, http.StatusBadRequest},
-		{"/update", map[string]any{"node": 1 << 40, "avail": []float64{1, 1}}, http.StatusConflict},
+		{"/query", map[string]any{"demand": []float64{1, 1}, "consistent": true, "scope": "bogus"}, http.StatusBadRequest},
+		// Unknown shard indexes are 404s, not generic conflicts.
+		{"/update", map[string]any{"node": 1 << 40, "avail": []float64{1, 1}}, http.StatusNotFound},
+		{"/leave", map[string]any{"node": 5 << 32}, http.StatusNotFound},
+		// A known shard rejecting the node stays a 409.
 		{"/leave", map[string]any{"node": 99}, http.StatusConflict},
 	} {
 		resp, out := postJSON(t, ts.URL+tc.path, tc.body)
@@ -139,6 +146,72 @@ func TestHTTPBadRequests(t *testing.T) {
 	resp.Body.Close()
 	if resp.StatusCode != http.StatusMethodNotAllowed {
 		t.Fatalf("GET /query: %d", resp.StatusCode)
+	}
+}
+
+// TestHTTPOversizedBodyRejected pins the request-body cap: a body
+// larger than 1 MiB is cut off mid-decode and answered with 400.
+func TestHTTPOversizedBodyRejected(t *testing.T) {
+	_, ts := newTestServer(t, 1)
+	// A syntactically valid but enormous demand array: the decoder
+	// hits the MaxBytesReader limit while still reading elements.
+	body := "{\"demand\":[0" + strings.Repeat(",0", 1<<19) + "]}"
+	if len(body) <= maxRequestBody {
+		t.Fatalf("test body only %d bytes", len(body))
+	}
+	resp, err := http.Post(ts.URL+"/query", "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var out map[string]string
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("oversized body: got %d %v, want 400", resp.StatusCode, out)
+	}
+	if !strings.Contains(out["error"], "exceeds") {
+		t.Fatalf("oversized body error %q does not name the cap", out["error"])
+	}
+	// The server survives and still answers within-limit requests.
+	r, out2 := postJSON(t, ts.URL+"/query", map[string]any{"demand": []float64{1, 1}})
+	if r.StatusCode != http.StatusOK {
+		t.Fatalf("follow-up query: %d %v", r.StatusCode, out2)
+	}
+}
+
+// TestHTTPConsistentScatterQuery drives the scatter-gather path over
+// the wire and checks the extended response fields.
+func TestHTTPConsistentScatterQuery(t *testing.T) {
+	e, ts := newTestServer(t, 3)
+	for _, id := range e.Nodes() {
+		if id.Local() == 0 {
+			if err := e.Update(id, vector.Of(6, 6), false); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	resp, out := postJSON(t, ts.URL+"/query",
+		map[string]any{"demand": []float64{2, 2}, "k": 8, "consistent": true})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("consistent query: %d %v", resp.StatusCode, out)
+	}
+	if got := out["shards_queried"].(float64); got != 3 {
+		t.Fatalf("shards_queried = %v, want 3 (%v)", got, out)
+	}
+	cands := out["candidates"].([]any)
+	shards := map[int]bool{}
+	for _, c := range cands {
+		shards[GlobalID(c.(map[string]any)["node"].(float64)).Shard()] = true
+	}
+	if len(shards) != 3 {
+		t.Fatalf("candidates span %d shards, want 3: %v", len(shards), out)
+	}
+	resp, out = postJSON(t, ts.URL+"/query",
+		map[string]any{"demand": []float64{2, 2}, "k": 8, "consistent": true, "scope": "one"})
+	if resp.StatusCode != http.StatusOK || out["shards_queried"].(float64) != 1 {
+		t.Fatalf("scope=one: %d %v", resp.StatusCode, out)
 	}
 }
 

@@ -21,7 +21,15 @@
 //   - Recent query results are cached keyed by quantized demand
 //     vector with freshness-bound invalidation, so repeated
 //     equivalent demands under heavy traffic cost one snapshot scan
-//     per freshness window instead of one per request.
+//     per freshness window instead of one per request. Cached
+//     candidate sets are re-scored against each caller's true demand
+//     before they return.
+//
+//   - Consistent queries route through the paper's three-phase
+//     protocol: by default one protocol query is scattered to every
+//     shard's write queue concurrently and the partial views are
+//     gathered and merged best-fit first (ScopeAll); ScopeOne keeps
+//     the paper-faithful single-shard behavior.
 //
 // The Engine is wired to real clusters by pidcan.NewEngine; the HTTP
 // front-end lives in http.go (served by cmd/pidcan-serve) and the
@@ -49,6 +57,23 @@ var (
 	// ErrBadDemand is returned for demand vectors of the wrong
 	// dimensionality or with non-finite/negative components.
 	ErrBadDemand = errors.New("serve: invalid demand vector")
+	// ErrBadScope is returned for a QueryRequest whose Scope is not
+	// one of "", ScopeAll or ScopeOne.
+	ErrBadScope = errors.New("serve: invalid query scope")
+	// ErrNoShard is returned for operations addressing a shard index
+	// the engine was not built with.
+	ErrNoShard = errors.New("serve: no such shard")
+)
+
+// Consistent-query scopes (QueryRequest.Scope).
+const (
+	// ScopeAll scatter-gathers a consistent query through every
+	// shard's protocol and merges the partial views (the default).
+	ScopeAll = "all"
+	// ScopeOne routes a consistent query through a single shard's
+	// protocol (round-robin), like any one querying node of the paper
+	// would — the paper-faithful single-index behavior.
+	ScopeOne = "one"
 )
 
 // GlobalID addresses a node across shards: the shard index in the
@@ -139,6 +164,10 @@ type Config struct {
 	// Warmup is simulated time each shard runs before serving, so
 	// state updates and index diffusion settle (default 0).
 	Warmup sim.Time
+	// ScatterTimeout bounds how long a scatter-gather consistent
+	// query waits for each shard's leg; legs that miss the deadline
+	// are dropped from the merge (default 5s of wall time).
+	ScatterTimeout time.Duration
 
 	// CacheTTL is the freshness bound of cached query results
 	// (default 25ms). CacheDisabled turns the cache off.
@@ -198,6 +227,9 @@ func (c Config) withDefaults() (Config, error) {
 	}
 	if c.Warmup < 0 {
 		c.Warmup = 0
+	}
+	if c.ScatterTimeout <= 0 {
+		c.ScatterTimeout = 5 * time.Second
 	}
 	if c.CacheTTL <= 0 {
 		c.CacheTTL = 25 * time.Millisecond

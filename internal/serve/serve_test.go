@@ -308,6 +308,103 @@ func TestCachedResponsesNeverViolateDominance(t *testing.T) {
 	}
 }
 
+// TestCachedSurplusUsesTrueDemand pins the cache-path scoring fix:
+// whether a response is computed fresh or served from the cache, the
+// surpluses it carries are for the demand the caller actually sent,
+// not the quantization cell's upper bound the candidate set was
+// evaluated against.
+func TestCachedSurplusUsesTrueDemand(t *testing.T) {
+	e := newTestEngine(t, testConfig(1))
+	avail := vector.Of(5, 5)
+	if err := e.Update(e.Nodes()[0], avail, false); err != nil {
+		t.Fatal(err)
+	}
+	cmax := e.Config().CMax
+	// (1.8, 1.8) and (1.9, 1.9) share the (1.5, 2.0] cell; the cell
+	// upper bound (2, 2) would yield surplus 0.60 for both.
+	for i, demand := range []vector.Vec{vector.Of(1.8, 1.8), vector.Of(1.9, 1.9), vector.Of(1.8, 1.8)} {
+		resp, err := e.Query(QueryRequest{Demand: demand, K: 2})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if i > 0 && !resp.Cached {
+			t.Fatalf("query %d not served from cache", i)
+		}
+		if len(resp.Candidates) != 1 {
+			t.Fatalf("query %d: %+v", i, resp.Candidates)
+		}
+		want := avail.Surplus(demand, cmax)
+		if got := resp.Candidates[0].Surplus; got != want {
+			t.Fatalf("query %d (cached=%v): surplus %v, want %v (true demand %v)",
+				i, resp.Cached, got, want, demand)
+		}
+	}
+}
+
+// TestCacheEntryNotAliased pins the aliasing fix: a caller mutating
+// its response must not corrupt the cached entry behind it.
+func TestCacheEntryNotAliased(t *testing.T) {
+	e := newTestEngine(t, testConfig(1))
+	if err := e.Update(e.Nodes()[0], vector.Of(5, 5), false); err != nil {
+		t.Fatal(err)
+	}
+	demand := vector.Of(1.8, 1.8)
+	first, err := e.Query(QueryRequest{Demand: demand, K: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(first.Candidates) != 1 {
+		t.Fatalf("first response: %+v", first.Candidates)
+	}
+	want := first.Candidates[0].Node
+	first.Candidates[0] = Candidate{Node: Global(7, 7), Surplus: -1}
+	second, err := e.Query(QueryRequest{Demand: demand, K: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !second.Cached {
+		t.Fatal("second query not served from cache")
+	}
+	if len(second.Candidates) != 1 || second.Candidates[0].Node != want {
+		t.Fatalf("cache corrupted by caller mutation: %+v", second.Candidates)
+	}
+	// And the same for mutations of a cache-hit response.
+	second.Candidates[0] = Candidate{Node: Global(8, 8)}
+	third, err := e.Query(QueryRequest{Demand: demand, K: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(third.Candidates) != 1 || third.Candidates[0].Node != want {
+		t.Fatalf("cache corrupted by hit-path mutation: %+v", third.Candidates)
+	}
+}
+
+// TestCacheExpiredEntryDeletedOnLookup exercises the queryCache
+// directly: looking up an entry past its TTL removes it, so the
+// entry count reported by Stats stops counting dead entries.
+func TestCacheExpiredEntryDeletedOnLookup(t *testing.T) {
+	cfg, err := testConfig(1).withDefaults()
+	if err != nil {
+		t.Fatal(err)
+	}
+	qc := newQueryCache(cfg)
+	t0 := time.Now()
+	qc.put("k1", QueryResponse{Candidates: []Candidate{{Node: 1}}}, t0)
+	qc.put("k2", QueryResponse{}, t0)
+	if _, _, _, n := qc.stats(); n != 2 {
+		t.Fatalf("entries = %d after two puts, want 2", n)
+	}
+	if _, ok := qc.get("k1", t0.Add(cfg.CacheTTL/2)); !ok {
+		t.Fatal("fresh entry missed")
+	}
+	if _, ok := qc.get("k1", t0.Add(cfg.CacheTTL+time.Second)); ok {
+		t.Fatal("expired entry served")
+	}
+	if _, _, _, n := qc.stats(); n != 1 {
+		t.Fatalf("entries = %d after expired lookup, want 1 (dead entry retained)", n)
+	}
+}
+
 func TestUpdateVisibleInSnapshot(t *testing.T) {
 	e := newTestEngine(t, testConfig(1))
 	id := e.Nodes()[2]
@@ -355,6 +452,162 @@ func TestJoinLeaveLifecycle(t *testing.T) {
 	}
 }
 
+// TestConsistentScatterSpansShards is the cross-shard acceptance
+// case: with one uniquely-identifiable qualifying node per shard, a
+// default-scope consistent query must merge candidates from every
+// shard's protocol, not just one.
+func TestConsistentScatterSpansShards(t *testing.T) {
+	const shards = 4
+	e := newTestEngine(t, testConfig(shards))
+	// Shard i's first node gets the unique availability (6+i, 6+i).
+	for _, id := range e.Nodes() {
+		if id.Local() == 0 {
+			f := 6 + float64(id.Shard())
+			if err := e.Update(id, vector.Of(f, f), false); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	resp, err := e.Query(QueryRequest{Demand: vector.Of(2, 2), K: 8, Consistent: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.ShardsQueried != shards {
+		t.Fatalf("ShardsQueried = %d, want %d", resp.ShardsQueried, shards)
+	}
+	seen := map[int]bool{}
+	for _, c := range resp.Candidates {
+		seen[c.Node.Shard()] = true
+		want := 6 + float64(c.Node.Shard())
+		if c.Avail[0] != want {
+			t.Fatalf("candidate %v avail %v does not carry its shard's unique availability %v",
+				c.Node, c.Avail, want)
+		}
+	}
+	if len(seen) < 2 {
+		t.Fatalf("candidates span %d shard(s), want >= 2: %+v", len(seen), resp.Candidates)
+	}
+	if len(seen) != shards {
+		t.Fatalf("candidates span %d shards, want %d: %+v", len(seen), shards, resp.Candidates)
+	}
+	if resp.HopsMax > resp.Hops || (resp.Hops > 0 && resp.HopsMax == 0) {
+		t.Fatalf("hops accounting inconsistent: total %d, max %d", resp.Hops, resp.HopsMax)
+	}
+	// Best-fit order: ascending surplus means ascending unique
+	// availability here, so shard 0's node leads.
+	if resp.Candidates[0].Node.Shard() != 0 {
+		t.Fatalf("best fit is %v, want shard 0's node: %+v", resp.Candidates[0].Node, resp.Candidates)
+	}
+}
+
+// TestConsistentScopeOneSingleShard pins the paper-faithful scope:
+// one shard's index, one leg, per-shard hops equal to the total.
+func TestConsistentScopeOneSingleShard(t *testing.T) {
+	e := newTestEngine(t, testConfig(4))
+	for _, id := range e.Nodes() {
+		if err := e.Update(id, vector.Of(6, 6), false); err != nil {
+			t.Fatal(err)
+		}
+	}
+	resp, err := e.Query(QueryRequest{Demand: vector.Of(1, 1), K: 16, Consistent: true, Scope: ScopeOne})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.ShardsQueried != 1 {
+		t.Fatalf("ShardsQueried = %d, want 1", resp.ShardsQueried)
+	}
+	if resp.Hops != resp.HopsMax {
+		t.Fatalf("single-shard query: hops %d != hops_max %d", resp.Hops, resp.HopsMax)
+	}
+	shards := map[int]bool{}
+	for _, c := range resp.Candidates {
+		shards[c.Node.Shard()] = true
+	}
+	if len(shards) != 1 {
+		t.Fatalf("scope=one candidates span %d shards: %+v", len(shards), resp.Candidates)
+	}
+}
+
+func TestConsistentScopeValidation(t *testing.T) {
+	e := newTestEngine(t, testConfig(2))
+	_, err := e.Query(QueryRequest{Demand: vector.Of(1, 1), Consistent: true, Scope: "bogus"})
+	if !errors.Is(err, ErrBadScope) {
+		t.Fatalf("bogus scope: got %v, want ErrBadScope", err)
+	}
+	// The explicit scopes and the empty default are all accepted.
+	for _, scope := range []string{"", ScopeAll, ScopeOne} {
+		if _, err := e.Query(QueryRequest{Demand: vector.Of(1, 1), Consistent: true, Scope: scope}); err != nil {
+			t.Fatalf("scope %q rejected: %v", scope, err)
+		}
+	}
+}
+
+// TestConsistentScatterToleratesHaltedShard pins the shutdown
+// semantics: a shard halting mid-scatter fails only its own leg; the
+// merge proceeds over the survivors, and only a fully halted engine
+// surfaces ErrClosed.
+func TestConsistentScatterToleratesHaltedShard(t *testing.T) {
+	e := newTestEngine(t, testConfig(4))
+	for _, id := range e.Nodes() {
+		if err := e.Update(id, vector.Of(6, 6), false); err != nil {
+			t.Fatal(err)
+		}
+	}
+	e.shards[2].halt()
+	resp, err := e.Query(QueryRequest{Demand: vector.Of(1, 1), K: 16, Consistent: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.ShardsQueried != 3 {
+		t.Fatalf("ShardsQueried = %d after one shard halted, want 3", resp.ShardsQueried)
+	}
+	for _, c := range resp.Candidates {
+		if c.Node.Shard() == 2 {
+			t.Fatalf("halted shard contributed candidate %v", c.Node)
+		}
+	}
+	// With every shard halted (engine still nominally open), the
+	// scatter has no surviving leg and reports ErrClosed.
+	for _, s := range e.shards {
+		s.halt()
+	}
+	if _, err := e.Query(QueryRequest{Demand: vector.Of(1, 1), Consistent: true}); !errors.Is(err, ErrClosed) {
+		t.Fatalf("all shards halted: got %v, want ErrClosed", err)
+	}
+}
+
+// TestJoinDistributionEvenUnderMixedTraffic pins the routing-counter
+// split: interleaved consistent queries (both scopes) must not skew
+// the join round-robin, so shard populations stay level.
+func TestJoinDistributionEvenUnderMixedTraffic(t *testing.T) {
+	const shards, joins = 4, 16
+	e := newTestEngine(t, testConfig(shards))
+	for i := 0; i < joins; i++ {
+		if _, err := e.Join(nil); err != nil {
+			t.Fatal(err)
+		}
+		// Consistent queries advance their own counter, never the
+		// join one — an uneven number per join stresses exactly that.
+		for j := 0; j <= i%3; j++ {
+			scope := ScopeOne
+			if j%2 == 0 {
+				scope = ScopeAll
+			}
+			if _, err := e.Query(QueryRequest{Demand: vector.Of(1, 1), Consistent: true, Scope: scope}); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	st := e.Stats()
+	for _, ss := range st.Shards {
+		want := testConfig(shards).NodesPerShard + joins/shards
+		if ss.Nodes != want {
+			t.Fatalf("shard %d holds %d nodes, want %d (join round-robin skewed): %+v",
+				ss.Shard, ss.Nodes, want, st.Shards)
+		}
+	}
+}
+
 func TestConsistentQueryRoutesThroughShard(t *testing.T) {
 	e := newTestEngine(t, testConfig(2))
 	for _, id := range e.Nodes() {
@@ -382,8 +635,11 @@ func TestBadInputs(t *testing.T) {
 	if _, err := e.Query(QueryRequest{Demand: vector.Of(-1, 0)}); !errors.Is(err, ErrBadDemand) {
 		t.Fatalf("negative demand: got %v", err)
 	}
-	if err := e.Update(Global(9, 0), vector.Of(1, 1), false); err == nil {
-		t.Fatal("update on unknown shard succeeded")
+	if err := e.Update(Global(9, 0), vector.Of(1, 1), false); !errors.Is(err, ErrNoShard) {
+		t.Fatalf("update on unknown shard: got %v, want ErrNoShard", err)
+	}
+	if err := e.Leave(Global(9, 0)); !errors.Is(err, ErrNoShard) {
+		t.Fatalf("leave on unknown shard: got %v, want ErrNoShard", err)
 	}
 	if err := e.Update(e.Nodes()[0], vector.Of(1, 2, 3), false); !errors.Is(err, ErrBadDemand) {
 		t.Fatalf("wrong-dim avail: got %v", err)

@@ -55,6 +55,7 @@ type shard struct {
 	// Owned by the shard goroutine (initialized before start).
 	fresh map[overlay.NodeID]sim.Time
 
+	halted  atomic.Bool
 	snap    atomic.Pointer[Snapshot]
 	version atomic.Uint64
 	applied atomic.Uint64
@@ -85,9 +86,13 @@ func newShard(idx int, cfg Config, be Backend) *shard {
 // here: the constructor goroutine must not touch it afterwards.
 func (s *shard) start() { go s.loop() }
 
-// halt asks the loop to exit and waits for it.
+// halt asks the loop to exit and waits for it. It is idempotent, so
+// a shard already halted individually (e.g. mid-scatter in tests)
+// survives the engine-wide Close.
 func (s *shard) halt() {
-	close(s.stop)
+	if s.halted.CompareAndSwap(false, true) {
+		close(s.stop)
+	}
 	<-s.done
 }
 

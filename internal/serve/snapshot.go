@@ -33,8 +33,8 @@ type Candidate struct {
 	// Avail is the advertised availability behind the match.
 	Avail vector.Vec `json:"avail"`
 	// Surplus is the normalized slack of Avail over the demand the
-	// response was evaluated for (for cacheable queries, the
-	// quantization cell's upper bound); the best fit is the
+	// caller actually sent (cached candidate sets are re-scored
+	// against it before the response returns); the best fit is the
 	// smallest surplus.
 	Surplus float64 `json:"surplus"`
 }

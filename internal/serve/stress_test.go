@@ -195,3 +195,78 @@ func TestStressCloseWhileBusy(t *testing.T) {
 	close(stop)
 	wg.Wait()
 }
+
+// TestStressScatterCloseUnderFire halts the shards while consistent
+// scatter-gather queries are in flight: Close tears shards down one
+// by one, so mid-scatter some legs land on halted shards and others
+// on live ones. Every query must either return a (possibly partial)
+// merge with at least one shard answering, or fail cleanly with
+// ErrEngineClosed — never hang, never race (run with -race).
+func TestStressScatterCloseUnderFire(t *testing.T) {
+	const shards = 4
+	eng, err := pidcan.NewEngine(pidcan.EngineConfig{
+		Shards:        shards,
+		NodesPerShard: 8,
+		Seed:          19,
+		FlushInterval: 2 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cmax := eng.Config().CMax
+	for _, id := range eng.Nodes() {
+		if err := eng.Update(id, cmax.Scale(0.6), true); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	var wg sync.WaitGroup
+	var partial, closedErrs atomic.Uint64
+	stop := make(chan struct{})
+	for c := 0; c < 16; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewPCG(uint64(c), 0x5ca77e7))
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				scope := pidcan.ScopeAll
+				if rng.IntN(4) == 0 {
+					scope = pidcan.ScopeOne
+				}
+				resp, err := eng.Query(pidcan.QueryRequest{
+					Demand:     cmax.Scale(0.2),
+					K:          3,
+					Consistent: true,
+					Scope:      scope,
+				})
+				switch {
+				case err == nil:
+					if resp.ShardsQueried < 1 {
+						t.Errorf("client %d: successful consistent query answered by %d shards", c, resp.ShardsQueried)
+						return
+					}
+					if scope == pidcan.ScopeAll && resp.ShardsQueried < shards {
+						partial.Add(1)
+					}
+				case errors.Is(err, pidcan.ErrEngineClosed):
+					closedErrs.Add(1)
+				default:
+					t.Errorf("client %d: unexpected error %v", c, err)
+					return
+				}
+			}
+		}(c)
+	}
+	time.Sleep(20 * time.Millisecond)
+	if err := eng.Close(); err != nil {
+		t.Fatal(err)
+	}
+	close(stop)
+	wg.Wait()
+	t.Logf("scatter close-under-fire: %d partial merges, %d ErrEngineClosed", partial.Load(), closedErrs.Load())
+}

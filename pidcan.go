@@ -170,6 +170,15 @@ type QueryRequest = serve.QueryRequest
 // QueryResponse is the outcome of an Engine query.
 type QueryResponse = serve.QueryResponse
 
+// Consistent-query scopes (QueryRequest.Scope): ScopeAll
+// scatter-gathers through every shard's protocol and merges the
+// partial views (the default); ScopeOne routes through a single
+// shard round-robin, the paper-faithful behavior.
+const (
+	ScopeAll = serve.ScopeAll
+	ScopeOne = serve.ScopeOne
+)
+
 // Candidate is one qualified node of a QueryResponse.
 type Candidate = serve.Candidate
 
@@ -183,6 +192,8 @@ type EngineStats = serve.Stats
 var (
 	ErrEngineClosed = serve.ErrClosed
 	ErrBadDemand    = serve.ErrBadDemand
+	ErrBadScope     = serve.ErrBadScope
+	ErrNoShard      = serve.ErrNoShard
 )
 
 // A Cluster is the shard backend of the serving engine.
