@@ -249,11 +249,18 @@ func emitServeBench(b *testing.B, r serveBenchResult) {
 // scaling then measures parallelism, not index size.
 func newBenchEngine(b *testing.B, shards, totalNodes int) *Engine {
 	b.Helper()
-	eng, err := NewEngine(EngineConfig{
+	return newBenchEngineCfg(b, EngineConfig{
 		Shards:        shards,
 		NodesPerShard: totalNodes / shards,
 		Seed:          11,
 	})
+}
+
+// newBenchEngineCfg is newBenchEngine with the full config exposed
+// (the rebalancing benchmark needs its own knobs).
+func newBenchEngineCfg(b *testing.B, cfg EngineConfig) *Engine {
+	b.Helper()
+	eng, err := NewEngine(cfg)
 	if err != nil {
 		b.Fatal(err)
 	}
@@ -404,6 +411,60 @@ func BenchmarkServeConsistentOne(b *testing.B) {
 					b.Error(err)
 				}
 			})
+		})
+	}
+}
+
+// BenchmarkServeRebalance measures serving under adaptive
+// rebalancing: 8 clients run 75% cached snapshot queries and 25%
+// join/leave churn with every join targeted at shard 0 — the
+// worst-case population skew — while the background rebalancer
+// migrates nodes away. Leaves go through ids handed out before the
+// node may have migrated, so the forwarding table sits on the churn
+// path. Metrics: sustained qps, migrations per 1000 ops, and the
+// last sampled max/min population imbalance — the rebalancer's move
+// cap is sized so migration capacity keeps up with the one-sided
+// join stream instead of drowning under it.
+func BenchmarkServeRebalance(b *testing.B) {
+	const clients = 8
+	for _, shards := range []int{4} {
+		b.Run(fmt.Sprintf("shards=%d/clients=%d", shards, clients), func(b *testing.B) {
+			eng := newBenchEngineCfg(b, EngineConfig{
+				Shards:            shards,
+				NodesPerShard:     128 / shards,
+				Seed:              11,
+				RebalanceInterval: 2 * time.Millisecond,
+				RebalanceMaxMoves: 32,
+			})
+			demands := benchDemands(eng, 512)
+			cmax := eng.Config().CMax
+			// Per-client join stacks: runServeBench drives fn(c, ...)
+			// from client c's goroutine only, so no locking needed.
+			joined := make([][]GlobalNodeID, clients)
+			runServeBench(b, shards, clients, func(c, i int) {
+				if i%4 == 3 {
+					id, err := eng.JoinOn(0, cmax.Scale(0.5))
+					if err != nil {
+						b.Error(err)
+						return
+					}
+					joined[c] = append(joined[c], id)
+					if len(joined[c]) > 8 {
+						old := joined[c][0]
+						joined[c] = joined[c][1:]
+						if err := eng.Leave(old); err != nil {
+							b.Error(err)
+						}
+					}
+					return
+				}
+				if _, err := eng.Query(QueryRequest{Demand: demands[(i+c)%len(demands)], K: 3}); err != nil {
+					b.Error(err)
+				}
+			})
+			st := eng.Stats()
+			b.ReportMetric(float64(st.Migrations)*1000/float64(b.N), "migrations/kop")
+			b.ReportMetric(st.LastImbalance, "imbalance")
 		})
 	}
 }

@@ -15,6 +15,18 @@
 // queries routes through the PID-CAN protocol itself;
 // -consistent-scope picks between the scatter-gather merge of every
 // shard ("all") and the paper-faithful single shard ("one").
+//
+// -skew Z (Z > 1) zipf-concentrates joins and updates onto a few
+// shards (exponent Z over the shard indexes, shard 0 hottest):
+// joins carry an explicit {"shard":S} target, and updates pick
+// their victim among the nodes originally homed on the skewed shard
+// (ids stay valid after the server migrates a node away — the write
+// then follows it, so update skew fades as rebalancing digests the
+// hot shard, which is the point). Point it at a server running with
+// -rebalance-interval to watch the adaptive rebalancer pull the
+// max/min shard-population ratio back down — the generator prints
+// the server's per-shard populations, migrations and last sampled
+// imbalance after the run.
 package main
 
 import (
@@ -72,11 +84,15 @@ func main() {
 		profiles = flag.Int("profiles", 64, "distinct demand profiles (0 = every query draws a fresh random demand)")
 		consist  = flag.Float64("consistent", 0, "fraction of queries routed through the PID-CAN protocol instead of the snapshot path")
 		conScope = flag.String("consistent-scope", "all", "consistent-query scope: all (scatter-gather every shard) or one (single shard)")
+		skew     = flag.Float64("skew", 0, "zipf exponent (> 1) concentrating joins and updates onto low shard indexes; 0 = uniform")
 		seed     = flag.Uint64("seed", 1, "generator seed")
 		jsonOut  = flag.String("json", "", "also write the summary as JSON to this file")
 	)
 	flag.Parse()
 
+	if *skew != 0 && *skew <= 1 {
+		log.Fatalf("-skew %v: zipf exponent must be > 1 (or 0 to disable)", *skew)
+	}
 	weights, err := parseMix(*mix)
 	if err != nil {
 		log.Fatal(err)
@@ -85,7 +101,7 @@ func main() {
 		MaxIdleConns:        *workers * 2,
 		MaxIdleConnsPerHost: *workers * 2,
 	}}
-	cmax, err := fetchCMax(client, *baseURL)
+	cmax, shardCount, err := fetchStats(client, *baseURL)
 	if err != nil {
 		log.Fatalf("cannot reach %s: %v", *baseURL, err)
 	}
@@ -93,8 +109,18 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	log.Printf("target %s: %d nodes, %d dims; offering %.0f req/s (%s) for %v with %d workers",
-		*baseURL, len(nodes), len(cmax), *rate, *arrivals, *duration, *workers)
+	// Nodes grouped by shard back the skewed-update victim pick.
+	nodesByShard := make([][]uint64, shardCount)
+	for _, id := range nodes {
+		if s := int(id >> 32); s < shardCount {
+			nodesByShard[s] = append(nodesByShard[s], id)
+		}
+	}
+	log.Printf("target %s: %d nodes on %d shard(s), %d dims; offering %.0f req/s (%s) for %v with %d workers",
+		*baseURL, len(nodes), shardCount, len(cmax), *rate, *arrivals, *duration, *workers)
+	if *skew > 1 {
+		log.Printf("zipf skew %.2f: joins target explicit shards, updates hit nodes originally homed there", *skew)
+	}
 
 	// Query bodies for the demand profiles are marshaled once:
 	// recurring demand shapes are what real tenants issue, and they
@@ -196,6 +222,10 @@ func main() {
 		go func(w int) {
 			defer wg.Done()
 			rng := rand.New(rand.NewPCG(*seed, uint64(w)+0xbee))
+			var zipf *rand.Zipf
+			if *skew > 1 && shardCount > 1 {
+				zipf = rand.NewZipf(rng, *skew, 1, uint64(shardCount-1))
+			}
 			local := make([]sample, 0, 4096)
 			for j := range jobs {
 				if closedLoop && !time.Now().Before(deadline) {
@@ -230,9 +260,18 @@ func main() {
 					}
 				case clUpdate:
 					id := nodes[rng.IntN(len(nodes))]
+					if zipf != nil {
+						if pool := nodesByShard[zipf.Uint64()]; len(pool) > 0 {
+							id = pool[rng.IntN(len(pool))]
+						}
+					}
 					s.err = doUpdate(client, *baseURL, rng, cmax, id) != nil
 				case clJoin:
-					id, err := doJoin(client, *baseURL, rng, cmax)
+					shard := -1
+					if zipf != nil {
+						shard = int(zipf.Uint64())
+					}
+					id, err := doJoin(client, *baseURL, rng, cmax, shard)
 					if err != nil {
 						s.err = true
 					} else {
@@ -264,6 +303,54 @@ func main() {
 	}
 	wg.Wait()
 	report(samples, time.Since(start), *rate, shed, *jsonOut)
+	if *skew > 1 {
+		reportBalance(client, *baseURL)
+	}
+}
+
+// reportBalance prints the server's per-shard populations and
+// rebalancer counters after a skewed run, so convergence (or the
+// lack of a rebalancer) is visible without a second tool.
+func reportBalance(client *http.Client, base string) {
+	r, err := client.Get(base + "/stats")
+	if err != nil {
+		log.Printf("post-run stats: %v", err)
+		return
+	}
+	defer r.Body.Close()
+	var st struct {
+		Shards []struct {
+			Shard int `json:"shard"`
+			Nodes int `json:"nodes"`
+		} `json:"shards"`
+		Migrations    uint64  `json:"migrations"`
+		Rebalances    uint64  `json:"rebalances"`
+		LastImbalance float64 `json:"last_imbalance"`
+	}
+	if err := json.NewDecoder(r.Body).Decode(&st); err != nil {
+		log.Printf("post-run stats: %v", err)
+		return
+	}
+	if len(st.Shards) == 0 {
+		return
+	}
+	min, max := st.Shards[0].Nodes, st.Shards[0].Nodes
+	var pops []string
+	for _, sh := range st.Shards {
+		pops = append(pops, strconv.Itoa(sh.Nodes))
+		if sh.Nodes < min {
+			min = sh.Nodes
+		}
+		if sh.Nodes > max {
+			max = sh.Nodes
+		}
+	}
+	ratio := math.Inf(1)
+	if min > 0 {
+		ratio = float64(max) / float64(min)
+	}
+	fmt.Printf("\nshard populations after run: [%s] (max/min %.2f); server ran %d rebalance passes, %d migrations (last sampled imbalance %.2f)\n",
+		strings.Join(pops, " "), ratio, st.Rebalances, st.Migrations, st.LastImbalance)
 }
 
 func parseMix(s string) ([numClasses]float64, error) {
@@ -358,22 +445,25 @@ func post(client *http.Client, url string, req, resp any) error {
 	return nil
 }
 
-func fetchCMax(client *http.Client, base string) ([]float64, error) {
+func fetchStats(client *http.Client, base string) (cmax []float64, shards int, err error) {
 	r, err := client.Get(base + "/stats")
 	if err != nil {
-		return nil, err
+		return nil, 0, err
 	}
 	defer r.Body.Close()
 	var st struct {
-		CMax []float64 `json:"cmax"`
+		CMax   []float64 `json:"cmax"`
+		Shards []struct {
+			Shard int `json:"shard"`
+		} `json:"shards"`
 	}
 	if err := json.NewDecoder(r.Body).Decode(&st); err != nil {
-		return nil, err
+		return nil, 0, err
 	}
 	if len(st.CMax) == 0 {
-		return nil, fmt.Errorf("%s/stats returned no cmax", base)
+		return nil, 0, fmt.Errorf("%s/stats returned no cmax", base)
 	}
-	return st.CMax, nil
+	return st.CMax, len(st.Shards), nil
 }
 
 func fetchNodes(client *http.Client, base string) ([]uint64, error) {
@@ -424,13 +514,20 @@ func doUpdate(client *http.Client, base string, rng *rand.Rand, cmax []float64, 
 	return post(client, base+"/update", req, nil)
 }
 
-func doJoin(client *http.Client, base string, rng *rand.Rand, cmax []float64) (uint64, error) {
+// doJoin joins a node; shard >= 0 targets that shard explicitly
+// (the skewed-traffic mode), -1 leaves placement to the server's
+// round-robin.
+func doJoin(client *http.Client, base string, rng *rand.Rand, cmax []float64, shard int) (uint64, error) {
 	var resp struct {
 		Node uint64 `json:"node"`
 	}
 	req := struct {
 		Avail []float64 `json:"avail"`
-	}{randVec(rng, cmax, 0.1, 1)}
+		Shard *int      `json:"shard,omitempty"`
+	}{Avail: randVec(rng, cmax, 0.1, 1)}
+	if shard >= 0 {
+		req.Shard = &shard
+	}
 	if err := post(client, base+"/join", req, &resp); err != nil {
 		return 0, err
 	}

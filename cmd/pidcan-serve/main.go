@@ -4,12 +4,16 @@
 //
 //	pidcan-serve -addr :8080 -shards 4 -nodes 64 -seed 1
 //
-// Endpoints: POST /query /update /join /leave, GET /nodes /stats
-// /healthz. Consistent queries ({"consistent":true}) scatter-gather
-// through every shard's protocol by default; {"scope":"one"} keeps
-// the paper-faithful single-shard routing. Drive it with
-// cmd/pidcan-loadgen to measure sustained throughput and latency
-// percentiles.
+// Endpoints: POST /query /update /join /leave /rebalance, GET
+// /nodes /stats /healthz. Consistent queries ({"consistent":true})
+// scatter-gather through every shard's protocol by default;
+// {"scope":"one"} keeps the paper-faithful single-shard routing.
+// With -rebalance-interval set, an adaptive rebalancer migrates
+// nodes between shards whenever populations skew past
+// -rebalance-threshold (joins targeted with {"shard":S} are how
+// skew happens on purpose). Drive it with cmd/pidcan-loadgen — its
+// -skew flag zipf-concentrates joins and updates onto a few shards
+// — to watch populations converge in /stats.
 package main
 
 import (
@@ -38,19 +42,25 @@ func main() {
 		cacheTTL = flag.Duration("cache-ttl", 25*time.Millisecond, "query-cache freshness bound")
 		noCache  = flag.Bool("no-cache", false, "disable the query cache")
 		populate = flag.Bool("populate", true, "publish a random initial availability per node")
-		scatter  = flag.Duration("scatter-timeout", 5*time.Second, "per-shard deadline of scatter-gather consistent queries")
+		scatter  = flag.Duration("scatter-timeout", 5*time.Second, "whole-gather deadline of scatter-gather consistent queries")
+		rebal    = flag.Duration("rebalance-interval", 0, "adaptive shard-rebalancer cadence (0 disables; POST /rebalance still triggers single passes)")
+		rebalThr = flag.Float64("rebalance-threshold", 1.25, "max/min shard-population ratio that triggers migration")
+		rebalMax = flag.Int("rebalance-moves", 8, "migration cap per rebalance pass")
 	)
 	flag.Parse()
 
 	cfg := pidcan.EngineConfig{
-		Shards:         *shards,
-		NodesPerShard:  *nodes,
-		Seed:           *seed,
-		Warmup:         pidcan.Time(warmup.Microseconds()),
-		FlushInterval:  *flush,
-		CacheTTL:       *cacheTTL,
-		CacheDisabled:  *noCache,
-		ScatterTimeout: *scatter,
+		Shards:             *shards,
+		NodesPerShard:      *nodes,
+		Seed:               *seed,
+		Warmup:             pidcan.Time(warmup.Microseconds()),
+		FlushInterval:      *flush,
+		CacheTTL:           *cacheTTL,
+		CacheDisabled:      *noCache,
+		ScatterTimeout:     *scatter,
+		RebalanceInterval:  *rebal,
+		RebalanceThreshold: *rebalThr,
+		RebalanceMaxMoves:  *rebalMax,
 	}
 	log.Printf("building engine: %d shard(s) x %d nodes, seed %d", *shards, *nodes, *seed)
 	start := time.Now()
@@ -60,6 +70,9 @@ func main() {
 	}
 	defer eng.Close()
 	log.Printf("engine up in %v", time.Since(start).Round(time.Millisecond))
+	if *rebal > 0 {
+		log.Printf("rebalancer on: every %v, threshold %.2f, <= %d moves/pass", *rebal, *rebalThr, *rebalMax)
+	}
 
 	if *populate {
 		if err := populateAvailability(eng, *seed); err != nil {

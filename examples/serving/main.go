@@ -16,6 +16,7 @@ import (
 	"log"
 	"net/http"
 	"net/http/httptest"
+	"strings"
 	"sync"
 
 	"pidcan"
@@ -134,6 +135,43 @@ func main() {
 		fmt.Printf("cache round %d: cached=%v\n", i, resp.Cached)
 	}
 
+	// Cross-shard node migration and adaptive rebalancing. Targeted
+	// joins pile population onto shard 0 — the skew a production
+	// deployment gets from hot tenants or uneven churn.
+	skewed, err := eng.JoinOn(0, vector.Of(8, 32, 250))
+	if err != nil {
+		log.Fatal(err)
+	}
+	for i := 0; i < 11; i++ {
+		if _, err := eng.JoinOn(0, vector.Of(8, 32, 250)); err != nil {
+			log.Fatal(err)
+		}
+	}
+	fmt.Printf("after 12 targeted joins: %s\n", shardPops(eng))
+	// Rebalance passes migrate nodes from the most- to the
+	// least-loaded shard (each pass caps its moves so serving never
+	// starves); with EngineConfig.RebalanceInterval set this runs in
+	// the background instead.
+	for {
+		res, err := eng.Rebalance()
+		if err != nil {
+			log.Fatal(err)
+		}
+		if res.Moved == 0 {
+			break
+		}
+		fmt.Printf("rebalance: imbalance %.2f, moved %d node(s) (worst pair: shard %d -> %d)\n",
+			res.Imbalance, res.Moved, res.From, res.To)
+	}
+	fmt.Printf("after rebalancing: %s\n", shardPops(eng))
+	// Migration is invisible to callers: the id JoinOn returned keeps
+	// working wherever the node now lives.
+	if err := eng.Update(skewed, vector.Of(9, 36, 260), true); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("update through the pre-migration id %v still lands (forwarded ids: %d, migrations: %d)\n",
+		skewed, eng.Stats().ForwardedIDs, eng.Stats().Migrations)
+
 	// The same engine behind HTTP: this handler is exactly what
 	// cmd/pidcan-serve listens with.
 	ts := httptest.NewServer(pidcan.NewEngineHandler(eng))
@@ -153,6 +191,14 @@ func main() {
 	st := eng.Stats()
 	fmt.Printf("stats: %d nodes on %d shards, %d queries (%d cache hits), %d updates, %d joins, %d leaves\n",
 		st.TotalNodes, len(st.Shards), st.Queries, st.CacheHits, st.Updates, st.Joins, st.Leaves)
+}
+
+func shardPops(eng *pidcan.Engine) string {
+	var pops []string
+	for _, sh := range eng.Stats().Shards {
+		pops = append(pops, fmt.Sprintf("shard %d: %d", sh.Shard, sh.Nodes))
+	}
+	return strings.Join(pops, ", ")
 }
 
 func describe(cands []pidcan.Candidate) string {

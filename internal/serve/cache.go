@@ -27,6 +27,11 @@ type queryCache struct {
 	mu sync.RWMutex
 	m  map[string]cacheEntry
 
+	// recheckHook, when set (tests only), runs between the read-locked
+	// lookup of a stale entry and the write-locked recheck — the
+	// window a concurrent put can refresh the key in.
+	recheckHook func()
+
 	hits   atomic.Uint64
 	misses atomic.Uint64
 	resets atomic.Uint64
@@ -89,14 +94,22 @@ func (qc *queryCache) get(key string, now time.Time) (QueryResponse, bool) {
 	e, ok := qc.m[key]
 	qc.mu.RUnlock()
 	if ok && now.Sub(e.at) > qc.ttl {
+		if qc.recheckHook != nil {
+			qc.recheckHook()
+		}
 		qc.mu.Lock()
 		// Re-check under the write lock: a concurrent put may have
-		// refreshed the key since the read above.
-		if cur, live := qc.m[key]; live && now.Sub(cur.at) > qc.ttl {
-			delete(qc.m, key)
+		// refreshed the key since the read above — then the live,
+		// fresh entry is the hit, not a forced rescan.
+		if cur, live := qc.m[key]; live && now.Sub(cur.at) <= qc.ttl {
+			e = cur
+		} else {
+			if live {
+				delete(qc.m, key)
+			}
+			ok = false
 		}
 		qc.mu.Unlock()
-		ok = false
 	}
 	if !ok {
 		qc.misses.Add(1)

@@ -2,6 +2,9 @@ package serve
 
 import (
 	"fmt"
+	"math"
+	"sort"
+	"sync"
 	"sync/atomic"
 	"time"
 
@@ -17,18 +20,25 @@ type Engine struct {
 	cfg    Config
 	shards []*shard
 	cache  *queryCache
+	fwd    *fwdTable // migrated-node id forwarding
 
 	nextShard atomic.Uint64 // round-robin join target
 	nextQuery atomic.Uint64 // round-robin ScopeOne consistent-query target
 
-	queries    atomic.Uint64
-	consistent atomic.Uint64
-	updates    atomic.Uint64
-	joins      atomic.Uint64
-	leaves     atomic.Uint64
-	errors     atomic.Uint64
+	queries       atomic.Uint64
+	consistent    atomic.Uint64
+	updates       atomic.Uint64
+	joins         atomic.Uint64
+	leaves        atomic.Uint64
+	migrations    atomic.Uint64
+	rebalances    atomic.Uint64
+	lastImbalance atomic.Uint64 // Float64bits of the last sampled max/min ratio
+	errors        atomic.Uint64
 
-	closed atomic.Bool
+	closed      atomic.Bool
+	stop        chan struct{} // closed by Close; aborts waits and the rebalancer
+	rebalDone   chan struct{} // non-nil iff the background rebalancer runs
+	rebalanceMu sync.Mutex    // serializes rebalance passes (manual vs background)
 }
 
 // QueryRequest is one best-fit multi-dimensional range query: find
@@ -102,7 +112,17 @@ type Stats struct {
 	Updates      uint64       `json:"updates"`
 	Joins        uint64       `json:"joins"`
 	Leaves       uint64       `json:"leaves"`
-	Errors       uint64       `json:"errors"`
+	// Migrations counts completed cross-shard node migrations;
+	// Rebalances counts rebalance passes run (background or manual).
+	Migrations uint64 `json:"migrations"`
+	Rebalances uint64 `json:"rebalances"`
+	// ForwardedIDs is the number of stale node ids the forwarding
+	// table keeps routable for migrated nodes.
+	ForwardedIDs int `json:"forwarded_ids"`
+	// LastImbalance is the max/min shard-population ratio sampled by
+	// the most recent rebalance pass (0 until one runs).
+	LastImbalance float64 `json:"last_imbalance"`
+	Errors        uint64  `json:"errors"`
 }
 
 // New builds an engine: the factory is invoked once per shard, each
@@ -115,7 +135,12 @@ func New(cfg Config, factory BackendFactory) (*Engine, error) {
 	if err != nil {
 		return nil, err
 	}
-	e := &Engine{cfg: cfg, cache: newQueryCache(cfg)}
+	e := &Engine{
+		cfg:   cfg,
+		cache: newQueryCache(cfg),
+		fwd:   newFwdTable(),
+		stop:  make(chan struct{}),
+	}
 	for i := 0; i < cfg.Shards; i++ {
 		be, err := factory(i, cfg)
 		if err != nil {
@@ -127,17 +152,26 @@ func New(cfg Config, factory BackendFactory) (*Engine, error) {
 	for _, s := range e.shards {
 		s.start()
 	}
+	if cfg.RebalanceInterval > 0 && cfg.Shards > 1 {
+		e.rebalDone = make(chan struct{})
+		go e.rebalanceLoop(cfg.RebalanceInterval)
+	}
 	return e, nil
 }
 
 // Config returns the resolved configuration.
 func (e *Engine) Config() Config { return e.cfg }
 
-// Close stops every shard goroutine. Queued but unapplied writes are
-// dropped; concurrent and subsequent calls fail with ErrClosed.
+// Close stops the rebalancer and every shard goroutine. Queued but
+// unapplied writes are dropped; concurrent and subsequent calls fail
+// with ErrClosed.
 func (e *Engine) Close() error {
 	if !e.closed.CompareAndSwap(false, true) {
 		return ErrClosed
+	}
+	close(e.stop)
+	if e.rebalDone != nil {
+		<-e.rebalDone
 	}
 	for _, s := range e.shards {
 		s.halt()
@@ -194,7 +228,7 @@ func (e *Engine) Query(req QueryRequest) (QueryResponse, error) {
 			snap := s.snapshot()
 			cands = snap.collect(cands, req.Demand, e.cfg.CMax, snap.Taken)
 		}
-		return QueryResponse{Candidates: bestFit(cands, req.K)}, nil
+		return QueryResponse{Candidates: e.externalize(bestFit(cands, req.K))}, nil
 	}
 	key, cellDemand := e.cache.quantize(req.Demand, req.K)
 	resp, hit := e.cache.get(key, time.Now()) // Candidates already a private copy
@@ -209,8 +243,27 @@ func (e *Engine) Query(req QueryRequest) (QueryResponse, error) {
 		resp = QueryResponse{Candidates: append([]Candidate(nil), cached.Candidates...)}
 	}
 	resp.Cached = hit
-	resp.Candidates = rescore(resp.Candidates, req.Demand, e.cfg.CMax, req.K)
+	resp.Candidates = e.externalize(rescore(resp.Candidates, req.Demand, e.cfg.CMax, req.K))
 	return resp, nil
+}
+
+// externalize rewrites candidate ids to their nodes' stable
+// external ids (in place; every candidate slice here is private), so
+// query responses and Nodes agree on identity for migrated nodes.
+// Cached entries keep physical-at-snapshot-time ids and are mapped
+// per hit, so the ids stay current however the node moves between
+// hits; any id handed out remains routable either way.
+func (e *Engine) externalize(cands []Candidate) []Candidate {
+	t := e.fwd
+	if t.entries.Load() == 0 { // no migrated node: nothing to map
+		return cands
+	}
+	t.mu.RLock()
+	for i := range cands {
+		cands[i].Node = t.externalLocked(cands[i].Node)
+	}
+	t.mu.RUnlock()
+	return cands
 }
 
 // rescore recomputes every candidate's surplus against demand and
@@ -241,21 +294,24 @@ type scatterLeg struct {
 // shard's write queue concurrently, gathers the partial views on a
 // fan-in channel and merges them best-fit first — the decentralized
 // merge-partial-views shape of ART/DEPAS lifted above the shards. A
-// shard halting mid-scatter fails only its own leg (ErrClosed);
-// legs slower than Config.ScatterTimeout are dropped from the merge.
-// The query fails only when no leg succeeds.
+// shard halting mid-scatter fails only its own leg (ErrClosed).
+// Config.ScatterTimeout is a whole-gather deadline: when it fires,
+// every leg still outstanding is abandoned (and unwinds through
+// submit's cancellation path) and the merge proceeds over the legs
+// already gathered. The query fails only when no leg succeeds; with
+// zero legs at the deadline the error is ErrScatterTimeout.
 func (e *Engine) consistentQuery(req QueryRequest) (QueryResponse, error) {
 	e.consistent.Add(1)
 	if req.Scope == ScopeOne {
-		s := e.shards[e.nextQuery.Add(1)%uint64(len(e.shards))]
-		leg := e.queryLeg(s, req)
+		s := e.shards[(e.nextQuery.Add(1)-1)%uint64(len(e.shards))]
+		leg := e.queryLeg(s, req, nil)
 		if leg.err != nil {
 			e.errors.Add(1)
 			return QueryResponse{}, leg.err
 		}
 		cands := legCandidates(nil, leg.shard, leg.recs, req.Demand, e.cfg.CMax)
 		return QueryResponse{
-			Candidates:    bestFit(cands, req.K),
+			Candidates:    e.externalize(bestFit(cands, req.K)),
 			Hops:          leg.hops,
 			HopsMax:       leg.hops,
 			ShardsQueried: 1,
@@ -265,13 +321,17 @@ func (e *Engine) consistentQuery(req QueryRequest) (QueryResponse, error) {
 	// Scatter: one protocol query per shard, each on its own
 	// goroutine so a deep write queue on one shard does not serialize
 	// the others. The fan-in channel is buffered to the shard count,
-	// so abandoned legs (timeout) never block their senders.
+	// so abandoned legs never block their senders, and the abandon
+	// channel unwinds legs still waiting on a full write queue once
+	// the gather returns.
 	legs := make(chan scatterLeg, len(e.shards))
+	abandon := make(chan struct{})
+	defer close(abandon)
 	for _, s := range e.shards {
-		go func(s *shard) { legs <- e.queryLeg(s, req) }(s)
+		go func(s *shard) { legs <- e.queryLeg(s, req, abandon) }(s)
 	}
-	timeout := time.NewTimer(e.cfg.ScatterTimeout)
-	defer timeout.Stop()
+	deadline := time.NewTimer(e.cfg.ScatterTimeout)
+	defer deadline.Stop()
 	var (
 		cands    []Candidate
 		resp     QueryResponse
@@ -293,10 +353,10 @@ gather:
 				resp.HopsMax = leg.hops
 			}
 			cands = legCandidates(cands, leg.shard, leg.recs, req.Demand, e.cfg.CMax)
-		case <-timeout.C:
+		case <-deadline.C:
 			if firstErr == nil {
-				firstErr = fmt.Errorf("serve: consistent scatter timed out after %v (%d of %d legs gathered)",
-					e.cfg.ScatterTimeout, resp.ShardsQueried, len(e.shards))
+				firstErr = fmt.Errorf("%w: after %v (%d of %d legs gathered)",
+					ErrScatterTimeout, e.cfg.ScatterTimeout, resp.ShardsQueried, len(e.shards))
 			}
 			break gather
 		}
@@ -305,21 +365,22 @@ gather:
 		e.errors.Add(1)
 		return QueryResponse{}, firstErr
 	}
-	resp.Candidates = bestFit(cands, req.K)
+	resp.Candidates = e.externalize(bestFit(cands, req.K))
 	return resp, nil
 }
 
 // queryLeg runs one protocol query through s's write queue and
 // packages the outcome as that shard's leg. The demand is cloned per
-// leg, so concurrent shard goroutines never share a vector.
-func (e *Engine) queryLeg(s *shard, req QueryRequest) scatterLeg {
+// leg, so concurrent shard goroutines never share a vector. cancel,
+// when non-nil, abandons a leg whose query has already returned.
+func (e *Engine) queryLeg(s *shard, req QueryRequest, cancel <-chan struct{}) scatterLeg {
 	res, err := s.submit(op{
 		kind:   opQuery,
 		node:   -1,
 		demand: req.Demand.Clone(),
 		k:      req.K,
 		reply:  make(chan opResult, 1),
-	})
+	}, cancel)
 	if err == nil {
 		err = res.err
 	}
@@ -339,9 +400,56 @@ func legCandidates(dst []Candidate, shard int, recs []proto.Record, demand, scal
 	return dst
 }
 
+// migrateRetries bounds how often a write chases a node across
+// migrations before giving up. Each retry follows the freshest
+// forwarding state, so exhausting it takes as many back-to-back
+// migrations of the same node interleaved exactly with the write.
+const migrateRetries = 8
+
+// submitResolved is the migration-chase protocol shared by Update
+// and Leave: resolve the id through the forwarding table, submit the
+// op built for the resolved physical id, and on a backend rejection
+// wait out a racing migration and retry against the node's new
+// shard. It returns the physical id the successful submit used.
+func (e *Engine) submitResolved(node GlobalID, mk func(phys GlobalID) op) (GlobalID, error) {
+	for attempt := 0; ; attempt++ {
+		phys := e.fwd.resolve(node)
+		si := phys.Shard()
+		if si >= len(e.shards) {
+			e.errors.Add(1)
+			return 0, fmt.Errorf("%w: shard %d (node %v)", ErrNoShard, si, node)
+		}
+		res, err := e.shards[si].submit(mk(phys), nil)
+		if err == nil && res.err == nil {
+			return phys, nil
+		}
+		if err == nil {
+			// The backend rejected the op — possibly because the node
+			// migrated out from under us between resolve and apply.
+			if attempt < migrateRetries && e.fwd.waitSettled(node, phys, e.stop) {
+				continue
+			}
+			if e.closed.Load() {
+				// Shutdown aborted the migration chase; the honest
+				// outcome is ErrClosed, not the transient backend
+				// state mid-teardown.
+				return 0, ErrClosed
+			}
+			// Backend errors name the shard-local id; callers know
+			// the global one.
+			err = fmt.Errorf("serve: node %v: %w", node, res.err)
+		}
+		e.errors.Add(1)
+		return 0, err
+	}
+}
+
 // Update publishes a node's availability vector through its shard's
 // write queue and waits for it to be applied. When announce is set
 // the node also pushes an out-of-cycle state update into the index.
+// Any id the node was ever known by (its original id or a former
+// physical id, see Migrate) is accepted; an update racing a
+// migration waits the move out and retries against the new shard.
 func (e *Engine) Update(node GlobalID, avail vector.Vec, announce bool) error {
 	if e.closed.Load() {
 		return ErrClosed
@@ -350,25 +458,15 @@ func (e *Engine) Update(node GlobalID, avail vector.Vec, announce bool) error {
 		e.errors.Add(1)
 		return err
 	}
-	si := node.Shard()
-	if si >= len(e.shards) {
-		e.errors.Add(1)
-		return fmt.Errorf("%w: shard %d (node %v)", ErrNoShard, si, node)
-	}
-	res, err := e.shards[si].submit(op{
-		kind:     opUpdate,
-		node:     node.Local(),
-		avail:    avail.Clone(),
-		announce: announce,
-		reply:    make(chan opResult, 1),
-	})
-	if err == nil && res.err != nil {
-		// Backend errors name the shard-local id; callers know the
-		// global one.
-		err = fmt.Errorf("serve: node %v: %w", node, res.err)
-	}
-	if err != nil {
-		e.errors.Add(1)
+	if _, err := e.submitResolved(node, func(phys GlobalID) op {
+		return op{
+			kind:     opUpdate,
+			node:     phys.Local(),
+			avail:    avail.Clone(),
+			announce: announce,
+			reply:    make(chan opResult, 1),
+		}
+	}); err != nil {
 		return err
 	}
 	e.updates.Add(1)
@@ -376,11 +474,27 @@ func (e *Engine) Update(node GlobalID, avail vector.Vec, announce bool) error {
 }
 
 // Join adds a node to the least-recently-joined shard (round-robin
-// on a counter joins alone advance, so interleaved consistent
-// queries cannot skew shard populations) and returns its global id.
-// A non-nil avail is published and announced as the node's initial
-// availability.
+// starting at shard 0, on a counter joins alone advance, so
+// interleaved consistent queries cannot skew shard populations) and
+// returns its global id. A non-nil avail is published and announced
+// as the node's initial availability.
 func (e *Engine) Join(avail vector.Vec) (GlobalID, error) {
+	return e.join(-1, avail)
+}
+
+// JoinOn is Join targeted at one shard, bypassing the round-robin
+// placement — the knob skewed deployments (and the rebalancing
+// tests/loadgen) use to pile population onto specific shards.
+func (e *Engine) JoinOn(shard int, avail vector.Vec) (GlobalID, error) {
+	if shard < 0 || shard >= len(e.shards) {
+		e.errors.Add(1)
+		return 0, fmt.Errorf("%w: shard %d (join target)", ErrNoShard, shard)
+	}
+	return e.join(shard, avail)
+}
+
+// join implements Join (si < 0: round-robin pick) and JoinOn.
+func (e *Engine) join(si int, avail vector.Vec) (GlobalID, error) {
 	if e.closed.Load() {
 		return 0, ErrClosed
 	}
@@ -391,12 +505,14 @@ func (e *Engine) Join(avail vector.Vec) (GlobalID, error) {
 		}
 		avail = avail.Clone()
 	}
-	si := int(e.nextShard.Add(1) % uint64(len(e.shards)))
+	if si < 0 {
+		si = int((e.nextShard.Add(1) - 1) % uint64(len(e.shards)))
+	}
 	res, err := e.shards[si].submit(op{
 		kind:  opJoin,
 		avail: avail,
 		reply: make(chan opResult, 1),
-	})
+	}, nil)
 	if err == nil {
 		err = res.err
 	}
@@ -408,34 +524,35 @@ func (e *Engine) Join(avail vector.Vec) (GlobalID, error) {
 	return Global(si, res.node), nil
 }
 
-// Leave removes a node; its records and indexes die with it.
+// Leave removes a node; its records, indexes and any forwarding
+// state die with it. Like Update, it accepts any id the node was
+// ever known by and retries across a racing migration.
 func (e *Engine) Leave(node GlobalID) error {
 	if e.closed.Load() {
 		return ErrClosed
 	}
-	si := node.Shard()
-	if si >= len(e.shards) {
-		e.errors.Add(1)
-		return fmt.Errorf("%w: shard %d (node %v)", ErrNoShard, si, node)
-	}
-	res, err := e.shards[si].submit(op{
-		kind:  opLeave,
-		node:  node.Local(),
-		reply: make(chan opResult, 1),
+	phys, err := e.submitResolved(node, func(phys GlobalID) op {
+		return op{
+			kind:  opLeave,
+			node:  phys.Local(),
+			reply: make(chan opResult, 1),
+		}
 	})
-	if err == nil && res.err != nil {
-		err = fmt.Errorf("serve: node %v: %w", node, res.err)
-	}
 	if err != nil {
-		e.errors.Add(1)
 		return err
 	}
+	e.fwd.forget(phys)
 	e.leaves.Add(1)
 	return nil
 }
 
 // Nodes returns the global ids of every node visible in the current
-// snapshots, ascending.
+// snapshots, ascending. Migrated nodes report their stable external
+// id (the id Join returned), not the physical id of their current
+// shard; a node caught mid-move by the per-shard snapshot reads is
+// deduplicated (it maps to the same external id from either home),
+// though it may transiently be absent, like any write not yet
+// reflected in a snapshot.
 func (e *Engine) Nodes() []GlobalID {
 	var out []GlobalID
 	for _, s := range e.shards {
@@ -443,23 +560,47 @@ func (e *Engine) Nodes() []GlobalID {
 			out = append(out, Global(s.idx, r.Node))
 		}
 	}
-	return out
+	if t := e.fwd; t.entries.Load() > 0 {
+		t.mu.RLock()
+		for i := range out {
+			out[i] = t.externalLocked(out[i])
+		}
+		t.mu.RUnlock()
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	dedup := out[:0]
+	for i, id := range out {
+		if i == 0 || id != out[i-1] {
+			dedup = append(dedup, id)
+		}
+	}
+	return dedup
 }
 
-// Snapshot returns shard i's current published snapshot.
-func (e *Engine) Snapshot(i int) *Snapshot { return e.shards[i].snapshot() }
+// Snapshot returns shard i's current published snapshot, or
+// ErrNoShard for an index the engine was not built with.
+func (e *Engine) Snapshot(i int) (*Snapshot, error) {
+	if i < 0 || i >= len(e.shards) {
+		return nil, fmt.Errorf("%w: shard %d", ErrNoShard, i)
+	}
+	return e.shards[i].snapshot(), nil
+}
 
 // Stats assembles a point-in-time view of all counters.
 func (e *Engine) Stats() Stats {
 	st := Stats{
-		Dims:       e.cfg.CMax.Dim(),
-		CMax:       e.cfg.CMax,
-		Queries:    e.queries.Load(),
-		Consistent: e.consistent.Load(),
-		Updates:    e.updates.Load(),
-		Joins:      e.joins.Load(),
-		Leaves:     e.leaves.Load(),
-		Errors:     e.errors.Load(),
+		Dims:          e.cfg.CMax.Dim(),
+		CMax:          e.cfg.CMax,
+		Queries:       e.queries.Load(),
+		Consistent:    e.consistent.Load(),
+		Updates:       e.updates.Load(),
+		Joins:         e.joins.Load(),
+		Leaves:        e.leaves.Load(),
+		Migrations:    e.migrations.Load(),
+		Rebalances:    e.rebalances.Load(),
+		ForwardedIDs:  e.fwd.count(),
+		LastImbalance: math.Float64frombits(e.lastImbalance.Load()),
+		Errors:        e.errors.Load(),
 	}
 	st.CacheHits, st.CacheMisses, st.CacheResets, st.CacheEntries = e.cache.stats()
 	for _, s := range e.shards {

@@ -15,17 +15,22 @@ import (
 //	              "scope":"all|one","no_cache":false}
 //	             -> QueryResponse
 //	POST /update {"node":N,"avail":[...],"announce":true} -> {"ok":true}
-//	POST /join   {"avail":[...]}                          -> {"node":N}
+//	POST /join   {"avail":[...],"shard":S}                -> {"node":N}
 //	POST /leave  {"node":N}                               -> {"ok":true}
+//	POST /rebalance -> RebalanceResult
 //	GET  /nodes  -> {"nodes":[N,...]}
 //	GET  /stats  -> Stats
 //	GET  /healthz -> {"ok":true}
 //
-// Node ids on the wire are GlobalIDs (shard in the high 32 bits).
-// Request bodies are capped at 1 MiB. Errors come back as
-// {"error":"..."} with status 400 (bad input, including oversized
-// bodies), 404 (no such shard), 409 (rejected operation) or 503
-// (engine closed).
+// Node ids on the wire are GlobalIDs (shard in the high 32 bits); a
+// migrated node keeps answering to every id it was ever known by.
+// /join's optional "shard" targets a specific shard instead of the
+// round-robin placement; /rebalance triggers one adaptive rebalance
+// pass on demand. Request bodies are capped at 1 MiB. Errors come
+// back as {"error":"..."} with status 400 (bad input, including
+// oversized bodies), 404 (no such shard), 409 (rejected operation),
+// 503 (engine closed) or 504 (scatter-gather deadline expired with
+// no leg answered).
 func NewHandler(e *Engine) http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /query", func(w http.ResponseWriter, r *http.Request) {
@@ -58,16 +63,31 @@ func NewHandler(e *Engine) http.Handler {
 	mux.HandleFunc("POST /join", func(w http.ResponseWriter, r *http.Request) {
 		var req struct {
 			Avail vector.Vec `json:"avail"`
+			Shard *int       `json:"shard"`
 		}
 		if !decode(w, r, &req) {
 			return
 		}
-		id, err := e.Join(req.Avail)
+		var id GlobalID
+		var err error
+		if req.Shard != nil {
+			id, err = e.JoinOn(*req.Shard, req.Avail)
+		} else {
+			id, err = e.Join(req.Avail)
+		}
 		if err != nil {
 			writeErr(w, err)
 			return
 		}
 		writeJSON(w, http.StatusOK, map[string]GlobalID{"node": id})
+	})
+	mux.HandleFunc("POST /rebalance", func(w http.ResponseWriter, r *http.Request) {
+		res, err := e.Rebalance()
+		if err != nil {
+			writeErr(w, err)
+			return
+		}
+		writeJSON(w, http.StatusOK, res)
 	})
 	mux.HandleFunc("POST /leave", func(w http.ResponseWriter, r *http.Request) {
 		var req struct {
@@ -127,6 +147,8 @@ func writeErr(w http.ResponseWriter, err error) {
 		status = http.StatusBadRequest
 	case errors.Is(err, ErrNoShard):
 		status = http.StatusNotFound
+	case errors.Is(err, ErrScatterTimeout):
+		status = http.StatusGatewayTimeout
 	}
 	writeJSON(w, status, map[string]string{"error": err.Error()})
 }

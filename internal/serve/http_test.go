@@ -7,6 +7,7 @@ import (
 	"net/http/httptest"
 	"strings"
 	"testing"
+	"time"
 
 	"pidcan/internal/vector"
 )
@@ -212,6 +213,83 @@ func TestHTTPConsistentScatterQuery(t *testing.T) {
 		map[string]any{"demand": []float64{2, 2}, "k": 8, "consistent": true, "scope": "one"})
 	if resp.StatusCode != http.StatusOK || out["shards_queried"].(float64) != 1 {
 		t.Fatalf("scope=one: %d %v", resp.StatusCode, out)
+	}
+}
+
+// TestHTTPJoinTargetedAndRebalance drives the skew-then-rebalance
+// cycle over the wire: {"shard":S} joins pile onto shard 0, POST
+// /rebalance levels the populations, and /stats reports the
+// migration counters.
+func TestHTTPJoinTargetedAndRebalance(t *testing.T) {
+	_, ts := newTestServer(t, 2)
+	for i := 0; i < 8; i++ {
+		resp, out := postJSON(t, ts.URL+"/join", map[string]any{"avail": []float64{5, 5}, "shard": 0})
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("targeted join: %d %v", resp.StatusCode, out)
+		}
+		if id := GlobalID(out["node"].(float64)); id.Shard() != 0 {
+			t.Fatalf("targeted join landed on shard %d", id.Shard())
+		}
+	}
+	resp, out := postJSON(t, ts.URL+"/join", map[string]any{"avail": []float64{5, 5}, "shard": 7})
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("join on unknown shard: %d %v, want 404", resp.StatusCode, out)
+	}
+
+	// 12 vs 4 nodes: a rebalance pass must move some across.
+	r, err := http.Post(ts.URL+"/rebalance", "application/json", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var res RebalanceResult
+	if err := json.NewDecoder(r.Body).Decode(&res); err != nil {
+		t.Fatal(err)
+	}
+	r.Body.Close()
+	if r.StatusCode != http.StatusOK {
+		t.Fatalf("rebalance: %d %+v", r.StatusCode, res)
+	}
+	if res.From != 0 || res.To != 1 || res.Moved == 0 || res.Imbalance != 3 {
+		t.Fatalf("rebalance result: %+v", res)
+	}
+
+	r, err = http.Get(ts.URL + "/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var st Stats
+	if err := json.NewDecoder(r.Body).Decode(&st); err != nil {
+		t.Fatal(err)
+	}
+	r.Body.Close()
+	if st.Migrations != uint64(res.Moved) || st.Rebalances != 1 || st.LastImbalance != 3 {
+		t.Fatalf("stats after rebalance: %+v", st)
+	}
+}
+
+// TestHTTPScatterTimeoutIs504 pins the writeErr mapping: a query no
+// scatter leg answered by the deadline comes back as 504, not the
+// default 409.
+func TestHTTPScatterTimeoutIs504(t *testing.T) {
+	cfg := testConfig(1)
+	cfg.ScatterTimeout = 20 * time.Millisecond
+	gate := make(chan struct{})
+	e, err := New(cfg, func(i int, rc Config) (Backend, error) {
+		f := newFake(rc.NodesPerShard, rc.CMax.Dim())
+		f.gate = gate
+		return f, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { e.Close() })
+	t.Cleanup(func() { close(gate) })
+	ts := httptest.NewServer(NewHandler(e))
+	t.Cleanup(ts.Close)
+
+	resp, out := postJSON(t, ts.URL+"/query", map[string]any{"demand": []float64{1, 1}, "consistent": true})
+	if resp.StatusCode != http.StatusGatewayTimeout {
+		t.Fatalf("stalled scatter over HTTP: %d %v, want 504", resp.StatusCode, out)
 	}
 }
 

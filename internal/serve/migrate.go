@@ -1,0 +1,387 @@
+package serve
+
+import (
+	"fmt"
+	"math"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// fwdTable keeps cross-shard node migration invisible to callers: a
+// node's first (external) id and every physical id it ever held stay
+// routable after any number of moves. Backends never reuse local
+// node ids, so stale ids cannot collide with fresh joins.
+type fwdTable struct {
+	mu sync.RWMutex
+	// to maps every stale id (the external id and each former
+	// physical id) of a migrated node to its current physical id.
+	to map[GlobalID]GlobalID
+	// ext maps a migrated node's physical ids — current AND former,
+	// since a concurrent reader's shard snapshot may still show the
+	// node at its old home mid-move — back to its external id, so
+	// Nodes reports one stable identity however the snapshots
+	// interleave with a migration.
+	ext map[GlobalID]GlobalID
+	// aliases lists the former physical ids per external id, so a
+	// later move can repoint all of them in one pass (to stays flat:
+	// resolution is always a single lookup).
+	aliases map[GlobalID][]GlobalID
+	// inflight serializes migrations per node and lets writers wait
+	// out a move instead of failing on the vacated source shard.
+	inflight map[GlobalID]chan struct{}
+
+	// entries mirrors len(ext) (== 0 iff the whole table is empty,
+	// since repoint and forget add/remove to and ext together). The
+	// hot read paths load it lock-free and skip the table entirely
+	// while no node has ever migrated, keeping snapshot queries on
+	// an untouched engine free of shared-lock traffic.
+	entries atomic.Int64
+}
+
+func newFwdTable() *fwdTable {
+	return &fwdTable{
+		to:       map[GlobalID]GlobalID{},
+		ext:      map[GlobalID]GlobalID{},
+		aliases:  map[GlobalID][]GlobalID{},
+		inflight: map[GlobalID]chan struct{}{},
+	}
+}
+
+func (t *fwdTable) resolveLocked(id GlobalID) GlobalID {
+	if p, ok := t.to[id]; ok {
+		return p
+	}
+	return id
+}
+
+func (t *fwdTable) externalLocked(phys GlobalID) GlobalID {
+	if x, ok := t.ext[phys]; ok {
+		return x
+	}
+	return phys
+}
+
+// resolve maps any id a node was ever known by to its current
+// physical id (identity for never-migrated nodes).
+func (t *fwdTable) resolve(id GlobalID) GlobalID {
+	if t.entries.Load() == 0 {
+		return id
+	}
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return t.resolveLocked(id)
+}
+
+// count returns the number of forwarded (stale) ids.
+func (t *fwdTable) count() int {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return len(t.to)
+}
+
+// begin claims the node for migration, waiting out a move already in
+// flight. It returns the node's current physical id, its external
+// id, and a release function ending the claim. Repointing the table
+// is NOT release's job: it happens on the destination shard's
+// goroutine (via op.onApplied) before the snapshot carrying the new
+// physical id publishes, so no reader can see an unmapped id.
+// closing aborts the wait.
+func (t *fwdTable) begin(id GlobalID, closing <-chan struct{}) (phys, x GlobalID, release func(), err error) {
+	for {
+		t.mu.Lock()
+		phys = t.resolveLocked(id)
+		x = t.externalLocked(phys)
+		ch, busy := t.inflight[x]
+		if !busy {
+			done := make(chan struct{})
+			t.inflight[x] = done
+			t.mu.Unlock()
+			release = func() {
+				t.mu.Lock()
+				delete(t.inflight, x)
+				close(done)
+				t.mu.Unlock()
+			}
+			return phys, x, release, nil
+		}
+		t.mu.Unlock()
+		select {
+		case <-ch:
+		case <-closing:
+			return 0, 0, nil, ErrClosed
+		}
+	}
+}
+
+// repoint records a completed move of external id x from physical
+// id old to physical id now. Called from the destination shard's
+// goroutine between applying the join and publishing the snapshot,
+// under the mover's inflight claim.
+func (t *fwdTable) repoint(x, old, now GlobalID) {
+	t.mu.Lock()
+	t.repointLocked(x, old, now)
+	t.mu.Unlock()
+}
+
+// repointLocked records a completed move of external id x from
+// physical id old to physical id now.
+func (t *fwdTable) repointLocked(x, old, now GlobalID) {
+	if old != x {
+		t.aliases[x] = append(t.aliases[x], old)
+	}
+	t.to[x] = now
+	for _, a := range t.aliases[x] {
+		t.to[a] = now
+	}
+	// The old physical id keeps its ext entry: a snapshot read
+	// mid-move may still show the node there, and must map it to the
+	// same external identity as the new home.
+	t.ext[old] = x
+	t.ext[now] = x
+	t.entries.Store(int64(len(t.ext)))
+}
+
+// waitSettled is the writer-side retry gate: after a backend
+// rejected an op for physical id phys (resolved from id), it reports
+// whether retrying is worthwhile — a migration in flight was waited
+// out, or the id already resolves elsewhere. closing aborts the wait.
+func (t *fwdTable) waitSettled(id, phys GlobalID, closing <-chan struct{}) bool {
+	t.mu.RLock()
+	cur := t.resolveLocked(id)
+	ch, busy := t.inflight[t.externalLocked(cur)]
+	t.mu.RUnlock()
+	if busy {
+		select {
+		case <-ch:
+			return true
+		case <-closing:
+			return false
+		}
+	}
+	return cur != phys
+}
+
+// forget drops all forwarding state of the node currently at
+// physical id phys (called after it leaves for good).
+func (t *fwdTable) forget(phys GlobalID) {
+	if t.entries.Load() == 0 {
+		return // nothing ever migrated: no state to clean
+	}
+	t.mu.Lock()
+	x := t.externalLocked(phys)
+	for _, a := range t.aliases[x] {
+		delete(t.to, a)
+		delete(t.ext, a)
+	}
+	delete(t.to, x)
+	delete(t.ext, x)
+	delete(t.ext, phys)
+	delete(t.aliases, x)
+	t.entries.Store(int64(len(t.ext)))
+	t.mu.Unlock()
+}
+
+// Migrate moves a node to shard `to`: it atomically Leaves the
+// node's source shard (capturing its availability) and re-Joins it
+// on the destination through both write queues. The node's external
+// identity survives the move — every id it was ever known by keeps
+// routing to it — and its availability is re-announced on the
+// destination shard's index. Migrating a node to its own shard is a
+// no-op. Concurrent migrations of the same node serialize;
+// concurrent Update/Leave calls wait out the move and retry against
+// the new shard.
+func (e *Engine) Migrate(node GlobalID, to int) error {
+	if e.closed.Load() {
+		return ErrClosed
+	}
+	if to < 0 || to >= len(e.shards) {
+		e.errors.Add(1)
+		return fmt.Errorf("%w: shard %d (migration destination)", ErrNoShard, to)
+	}
+	phys, x, release, err := e.fwd.begin(node, e.stop)
+	if err != nil {
+		return err
+	}
+	defer release()
+
+	from := phys.Shard()
+	if from >= len(e.shards) {
+		e.errors.Add(1)
+		return fmt.Errorf("%w: shard %d (node %v)", ErrNoShard, from, node)
+	}
+	if from == to {
+		return nil
+	}
+	src, dst := e.shards[from], e.shards[to]
+	take, err := src.submit(op{
+		kind:  opTake,
+		node:  phys.Local(),
+		reply: make(chan opResult, 1),
+	}, nil)
+	if err == nil {
+		err = take.err
+	}
+	if err != nil {
+		if e.closed.Load() {
+			// Teardown raced the take (the node may have been lost by
+			// an aborted rollback); report the shutdown, not the
+			// transient backend state.
+			return ErrClosed
+		}
+		e.errors.Add(1)
+		return fmt.Errorf("serve: migrate %v: %w", node, err)
+	}
+	// The forwarding repoint rides the join op itself: the
+	// destination shard goroutine installs it after applying the
+	// join and before publishing the snapshot, so no concurrent
+	// reader ever sees the new physical id unmapped.
+	rejoin := func(home int) op {
+		return op{
+			kind:  opJoin,
+			avail: take.avail,
+			reply: make(chan opResult, 1),
+			onApplied: func(res opResult) {
+				if res.err == nil {
+					e.fwd.repoint(x, phys, Global(home, res.node))
+				}
+			},
+		}
+	}
+	join, err := dst.submit(rejoin(to), nil)
+	if err == nil {
+		err = join.err
+	}
+	if err != nil {
+		// The node is off its source shard but never landed; try to
+		// send it home so it is not lost. A rollback join assigns a
+		// fresh local id, so the forwarding table still repoints.
+		if back, berr := src.submit(rejoin(from), nil); berr != nil || back.err != nil {
+			// The node is gone for good (both shards refused it).
+			// Drop its forwarding state so its ids fail fast instead
+			// of routing to the vacated shard forever.
+			e.fwd.forget(phys)
+		}
+		if e.closed.Load() {
+			return ErrClosed
+		}
+		e.errors.Add(1)
+		return fmt.Errorf("serve: migrate %v to shard %d: %w", node, to, err)
+	}
+	e.migrations.Add(1)
+	return nil
+}
+
+// RebalanceResult describes one rebalance pass.
+type RebalanceResult struct {
+	// Imbalance is the max/min shard-population ratio observed at
+	// the start of the pass. Empty shards count as population 1, so
+	// the ratio stays finite (JSON-encodable) while still far past
+	// any sane threshold.
+	Imbalance float64 `json:"imbalance"`
+	// From and To are the most- and least-populated shards at the
+	// start of the pass — the first pair served. The pass re-samples
+	// after every move, so later moves may serve other pairs.
+	From int `json:"from"`
+	To   int `json:"to"`
+	// Moved counts the nodes this pass migrated (across however
+	// many shard pairs the re-sampling visited).
+	Moved int `json:"moved"`
+}
+
+// Rebalance runs one adaptive rebalance pass: it samples per-shard
+// populations from the published snapshots and, while the max/min
+// ratio exceeds Config.RebalanceThreshold, migrates nodes (newest
+// joiners first — the cheapest to move and the likeliest cause of
+// targeted-join skew) from the most- to the least-populated shard,
+// re-sampling after every move so successive moves spread across
+// whichever pair is most skewed. Config.RebalanceMaxMoves caps the
+// pass so rebalancing never starves serving. The background
+// rebalancer (Config.RebalanceInterval) calls this on its cadence;
+// it is also safe to trigger manually (POST /rebalance over HTTP).
+// An error is returned only when the pass could not move anything
+// it should have.
+func (e *Engine) Rebalance() (RebalanceResult, error) {
+	if e.closed.Load() {
+		return RebalanceResult{}, ErrClosed
+	}
+	// One pass at a time: a manual trigger racing the background loop
+	// must not double the move budget or see each other's half-moved
+	// populations and oscillate.
+	e.rebalanceMu.Lock()
+	defer e.rebalanceMu.Unlock()
+	e.rebalances.Add(1)
+	sample := func() (maxI, minI, gap int, imb float64) {
+		pops := make([]int, len(e.shards))
+		for i, s := range e.shards {
+			pops[i] = len(s.snapshot().Records)
+			if pops[i] > pops[maxI] {
+				maxI = i
+			}
+			if pops[i] < pops[minI] {
+				minI = i
+			}
+		}
+		imb = 1.0
+		if pops[maxI] > 0 {
+			low := pops[minI]
+			if low < 1 {
+				low = 1 // empty shard: keep the ratio finite for JSON
+			}
+			imb = float64(pops[maxI]) / float64(low)
+		}
+		return maxI, minI, pops[maxI] - pops[minI], imb
+	}
+	maxI, minI, gap, imb := sample()
+	e.lastImbalance.Store(math.Float64bits(imb))
+	res := RebalanceResult{Imbalance: imb, From: maxI, To: minI}
+	if len(e.shards) < 2 {
+		return res, nil
+	}
+	var firstErr error
+	// gap > 1: moving one node off a one-node lead only swaps which
+	// shard is largest — stop there even when small populations keep
+	// the ratio above the threshold, or the pass would ping-pong the
+	// same node until the move cap burned out.
+	for res.Moved < e.cfg.RebalanceMaxMoves && imb > e.cfg.RebalanceThreshold && gap > 1 {
+		recs := e.shards[maxI].snapshot().Records
+		moved := false
+		for i := len(recs) - 1; i >= 0; i-- {
+			if err := e.Migrate(Global(maxI, recs[i].Node), minI); err != nil {
+				// The node may have left or moved concurrently; try
+				// the next one.
+				if firstErr == nil {
+					firstErr = err
+				}
+				continue
+			}
+			moved = true
+			break
+		}
+		if !moved {
+			break
+		}
+		res.Moved++
+		maxI, minI, gap, imb = sample()
+	}
+	if res.Moved == 0 && imb > e.cfg.RebalanceThreshold && gap > 1 && firstErr != nil {
+		return res, firstErr
+	}
+	return res, nil
+}
+
+// rebalanceLoop is the background rebalancer goroutine, started by
+// New when Config.RebalanceInterval > 0 and stopped by Close.
+func (e *Engine) rebalanceLoop(interval time.Duration) {
+	defer close(e.rebalDone)
+	tick := time.NewTicker(interval)
+	defer tick.Stop()
+	for {
+		select {
+		case <-e.stop:
+			return
+		case <-tick.C:
+			e.Rebalance() // errors surface through Stats.Errors
+		}
+	}
+}

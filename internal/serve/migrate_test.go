@@ -1,0 +1,290 @@
+package serve
+
+import (
+	"errors"
+	"math/rand/v2"
+	"testing"
+	"time"
+
+	"pidcan/internal/vector"
+)
+
+func shardPopulations(t *testing.T, e *Engine) []int {
+	t.Helper()
+	st := e.Stats()
+	pops := make([]int, len(st.Shards))
+	for _, sh := range st.Shards {
+		pops[sh.Shard] = sh.Nodes
+	}
+	return pops
+}
+
+func TestMigratePreservesExternalIdentity(t *testing.T) {
+	e := newTestEngine(t, testConfig(2))
+	ext := Global(0, 1)
+	if err := e.Update(ext, vector.Of(7, 7), false); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Migrate(ext, 1); err != nil {
+		t.Fatal(err)
+	}
+	if pops := shardPopulations(t, e); pops[0] != 3 || pops[1] != 5 {
+		t.Fatalf("populations after migrate = %v, want [3 5]", pops)
+	}
+	st := e.Stats()
+	if st.Migrations != 1 || st.ForwardedIDs == 0 {
+		t.Fatalf("stats after migrate: migrations %d, forwarded %d", st.Migrations, st.ForwardedIDs)
+	}
+
+	// Nodes reports the stable external id, not the physical one.
+	found := false
+	for _, id := range e.Nodes() {
+		if id == ext {
+			found = true
+		}
+		if id.Shard() == 1 && id.Local() >= 4 {
+			t.Fatalf("Nodes leaked a physical id: %v", id)
+		}
+	}
+	if !found {
+		t.Fatalf("external id %v missing from Nodes: %v", ext, e.Nodes())
+	}
+
+	// The node physically lives on shard 1 now, but queries report
+	// it under the same stable external id Nodes uses, with its
+	// availability intact.
+	phys := e.fwd.resolve(ext)
+	if phys.Shard() != 1 {
+		t.Fatalf("migrated node resolves to %v, want shard 1", phys)
+	}
+	resp, err := e.Query(QueryRequest{Demand: vector.Of(6.5, 6.5), K: 5, NoCache: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(resp.Candidates) != 1 || resp.Candidates[0].Node != ext {
+		t.Fatalf("migrated node should answer under its external id %v: %+v", ext, resp.Candidates)
+	}
+	if resp.Candidates[0].Avail[0] != 7 {
+		t.Fatalf("availability lost in transit: %+v", resp.Candidates[0])
+	}
+
+	// Writes through the pre-migration id land on the new shard; so
+	// does a second hop, and a stale physical id stays routable too.
+	if err := e.Update(ext, vector.Of(9, 9), false); err != nil {
+		t.Fatalf("update via external id after migrate: %v", err)
+	}
+	if err := e.Migrate(ext, 0); err != nil {
+		t.Fatalf("second migrate: %v", err)
+	}
+	if err := e.Update(phys, vector.Of(8, 8), false); err != nil {
+		t.Fatalf("update via stale physical id after second migrate: %v", err)
+	}
+
+	// Leave through the original id cleans the forwarding table.
+	if err := e.Leave(ext); err != nil {
+		t.Fatalf("leave via external id: %v", err)
+	}
+	if st := e.Stats(); st.ForwardedIDs != 0 {
+		t.Fatalf("forwarding state survives leave: %+v", st)
+	}
+	if pops := shardPopulations(t, e); pops[0] != 3 || pops[1] != 4 {
+		t.Fatalf("populations after leave = %v, want [3 4]", pops)
+	}
+}
+
+func TestMigrateValidation(t *testing.T) {
+	e := newTestEngine(t, testConfig(2))
+	if err := e.Migrate(Global(0, 0), 9); !errors.Is(err, ErrNoShard) {
+		t.Fatalf("migrate to unknown shard: got %v, want ErrNoShard", err)
+	}
+	if err := e.Migrate(Global(9, 0), 1); !errors.Is(err, ErrNoShard) {
+		t.Fatalf("migrate from unknown shard: got %v, want ErrNoShard", err)
+	}
+	if err := e.Migrate(Global(0, 99), 1); err == nil {
+		t.Fatal("migrating a nonexistent node succeeded")
+	}
+	// Same-shard migration is a no-op, not a churn event.
+	if err := e.Migrate(Global(0, 0), 0); err != nil {
+		t.Fatal(err)
+	}
+	if st := e.Stats(); st.Migrations != 0 || st.ForwardedIDs != 0 {
+		t.Fatalf("no-op migrate left state: %+v", st)
+	}
+	// A shard never drains below one node: the CAN overlay cannot
+	// lose its last owner.
+	for _, id := range []GlobalID{Global(0, 0), Global(0, 1), Global(0, 2)} {
+		if err := e.Migrate(id, 1); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := e.Migrate(Global(0, 3), 1); !errors.Is(err, ErrLastNode) {
+		t.Fatalf("migrating the last node: got %v, want ErrLastNode", err)
+	}
+}
+
+// TestRebalanceManualPasses pins the pass mechanics without timers:
+// skewed joins, then manual Rebalance calls must converge the
+// populations under the threshold and cap moves per pass.
+func TestRebalanceManualPasses(t *testing.T) {
+	cfg := testConfig(4)
+	cfg.RebalanceThreshold = 1.25
+	cfg.RebalanceMaxMoves = 4
+	e := newTestEngine(t, cfg)
+	for i := 0; i < 24; i++ {
+		if _, err := e.JoinOn(0, nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// 28/4/4/4. First pass must report the imbalance and respect the
+	// move cap.
+	res, err := e.Rebalance()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.From != 0 || res.Imbalance != 7 {
+		t.Fatalf("first pass: %+v, want From=0 Imbalance=7", res)
+	}
+	if res.Moved != 4 {
+		t.Fatalf("first pass moved %d, want the cap 4", res.Moved)
+	}
+	for i := 0; i < 32; i++ {
+		res, err = e.Rebalance()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Moved == 0 {
+			break
+		}
+	}
+	pops := shardPopulations(t, e)
+	min, max := pops[0], pops[0]
+	for _, p := range pops {
+		if p < min {
+			min = p
+		}
+		if p > max {
+			max = p
+		}
+	}
+	if ratio := float64(max) / float64(min); ratio > cfg.RebalanceThreshold {
+		t.Fatalf("populations %v (ratio %.2f) did not converge under %.2f",
+			pops, ratio, cfg.RebalanceThreshold)
+	}
+	total := 0
+	for _, p := range pops {
+		total += p
+	}
+	if total != 4*4+24 {
+		t.Fatalf("rebalancing changed the population: %v", pops)
+	}
+}
+
+// TestRebalanceConvergesUnderZipfSkew is the acceptance case: with
+// the background rebalancer on and joins zipf-concentrated onto low
+// shards, the max/min shard-population ratio must fall to <= 1.25
+// within two rebalance intervals of the last join.
+func TestRebalanceConvergesUnderZipfSkew(t *testing.T) {
+	cfg := testConfig(4)
+	cfg.RebalanceInterval = 20 * time.Millisecond
+	cfg.RebalanceThreshold = 1.2
+	cfg.RebalanceMaxMoves = 16
+	e := newTestEngine(t, cfg)
+
+	rng := rand.New(rand.NewPCG(7, 0x51e))
+	zipf := rand.NewZipf(rng, 1.4, 1, uint64(len(e.shards)-1))
+	for i := 0; i < 48; i++ {
+		if _, err := e.JoinOn(int(zipf.Uint64()), nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	deadline := time.Now().Add(2 * cfg.RebalanceInterval)
+	var pops []int
+	for {
+		pops = shardPopulations(t, e)
+		min, max := pops[0], pops[0]
+		for _, p := range pops {
+			if p < min {
+				min = p
+			}
+			if p > max {
+				max = p
+			}
+		}
+		if min > 0 && float64(max)/float64(min) <= 1.25 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("populations %v still skewed two intervals after the last join (stats %+v)",
+				pops, e.Stats())
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	st := e.Stats()
+	if st.Migrations == 0 || st.Rebalances == 0 {
+		t.Fatalf("converged without the rebalancer? %+v", st)
+	}
+	if st.LastImbalance == 0 {
+		t.Fatalf("LastImbalance never sampled: %+v", st)
+	}
+}
+
+// TestRebalanceNoPingPongOnOneNodeGap pins the convergence guard:
+// small populations can hold a ratio above the threshold with only a
+// one-node gap, where any move merely swaps which shard is largest.
+// The pass must stop instead of burning its move cap shuttling one
+// node back and forth forever.
+func TestRebalanceNoPingPongOnOneNodeGap(t *testing.T) {
+	cfg := testConfig(2)
+	cfg.NodesPerShard = 2
+	e := newTestEngine(t, cfg) // 2 + 2 nodes
+	if _, err := e.JoinOn(0, nil); err != nil {
+		t.Fatal(err)
+	}
+	// Populations {3, 2}: ratio 1.5 > threshold 1.25, gap 1.
+	for pass := 0; pass < 3; pass++ {
+		res, err := e.Rebalance()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Moved != 0 {
+			t.Fatalf("pass %d moved %d node(s) across a one-node gap: %+v", pass, res.Moved, res)
+		}
+		if res.Imbalance != 1.5 {
+			t.Fatalf("pass %d reported imbalance %v, want 1.5", pass, res.Imbalance)
+		}
+	}
+	if st := e.Stats(); st.Migrations != 0 || st.ForwardedIDs != 0 {
+		t.Fatalf("ping-pong migrations happened: %+v", st)
+	}
+}
+
+// TestRebalanceNoMovesWhenBalanced pins the do-no-harm property: a
+// level engine must never migrate.
+func TestRebalanceNoMovesWhenBalanced(t *testing.T) {
+	e := newTestEngine(t, testConfig(3))
+	res, err := e.Rebalance()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Moved != 0 || res.Imbalance != 1 {
+		t.Fatalf("balanced engine rebalanced: %+v", res)
+	}
+	if st := e.Stats(); st.Migrations != 0 || st.Rebalances != 1 {
+		t.Fatalf("stats after no-op pass: %+v", st)
+	}
+}
+
+func TestJoinOnValidation(t *testing.T) {
+	e := newTestEngine(t, testConfig(2))
+	if _, err := e.JoinOn(2, nil); !errors.Is(err, ErrNoShard) {
+		t.Fatalf("JoinOn(2) on a 2-shard engine: got %v, want ErrNoShard", err)
+	}
+	id, err := e.JoinOn(1, vector.Of(3, 3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if id.Shard() != 1 {
+		t.Fatalf("JoinOn(1) placed the node on shard %d", id.Shard())
+	}
+}

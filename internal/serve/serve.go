@@ -31,6 +31,16 @@
 //     gathered and merged best-fit first (ScopeAll); ScopeOne keeps
 //     the paper-faithful single-shard behavior.
 //
+//   - Nodes migrate between shards (Engine.Migrate): the node Leaves
+//     its source shard and re-Joins the destination through both
+//     write queues, carrying its availability. A forwarding table
+//     keeps every id the node was ever known by routable, so callers
+//     holding the original (external) id never notice the move. An
+//     adaptive rebalancer (RebalanceInterval) samples per-shard
+//     populations and migrates nodes from the most- to the
+//     least-loaded shard when the skew exceeds RebalanceThreshold,
+//     capped per pass so rebalancing never starves serving.
+//
 // The Engine is wired to real clusters by pidcan.NewEngine; the HTTP
 // front-end lives in http.go (served by cmd/pidcan-serve) and the
 // open-loop load generator in cmd/pidcan-loadgen.
@@ -63,7 +73,22 @@ var (
 	// ErrNoShard is returned for operations addressing a shard index
 	// the engine was not built with.
 	ErrNoShard = errors.New("serve: no such shard")
+	// ErrScatterTimeout is returned when a scatter-gather consistent
+	// query's whole-gather deadline (Config.ScatterTimeout) expires
+	// before any shard leg answers.
+	ErrScatterTimeout = errors.New("serve: consistent scatter deadline exceeded")
+	// ErrNoNodes is returned for a consistent query against a shard
+	// with no alive nodes to act as the querying agent.
+	ErrNoNodes = errors.New("serve: shard has no alive nodes")
+	// ErrLastNode is returned by Migrate for a shard's last node: a
+	// CAN overlay cannot lose its last owner, so migration never
+	// drains a shard below one node.
+	ErrLastNode = errors.New("serve: cannot migrate a shard's last node")
 )
+
+// errLegAbandoned unwinds a scatter leg whose query has already
+// returned (whole-gather deadline hit); it is never user-visible.
+var errLegAbandoned = errors.New("serve: scatter leg abandoned")
 
 // Consistent-query scopes (QueryRequest.Scope).
 const (
@@ -164,10 +189,28 @@ type Config struct {
 	// Warmup is simulated time each shard runs before serving, so
 	// state updates and index diffusion settle (default 0).
 	Warmup sim.Time
-	// ScatterTimeout bounds how long a scatter-gather consistent
-	// query waits for each shard's leg; legs that miss the deadline
-	// are dropped from the merge (default 5s of wall time).
+	// ScatterTimeout is the whole-gather deadline of a scatter-gather
+	// consistent query: one timer covers the entire gather, and legs
+	// still outstanding when it fires are abandoned and dropped from
+	// the merge (default 5s of wall time). A query no leg answered by
+	// the deadline fails with ErrScatterTimeout.
 	ScatterTimeout time.Duration
+
+	// RebalanceInterval, when positive, runs the adaptive shard
+	// rebalancer: every interval the engine samples per-shard
+	// populations and migrates nodes from the most- to the
+	// least-loaded shard while the max/min population ratio exceeds
+	// RebalanceThreshold. 0 (the default) disables the background
+	// rebalancer; Engine.Rebalance still runs single passes on
+	// demand.
+	RebalanceInterval time.Duration
+	// RebalanceThreshold is the max/min shard-population ratio above
+	// which a rebalance pass migrates nodes (default 1.25; must be
+	// > 1).
+	RebalanceThreshold float64
+	// RebalanceMaxMoves caps the migrations of one rebalance pass so
+	// rebalancing never starves serving (default 8).
+	RebalanceMaxMoves int
 
 	// CacheTTL is the freshness bound of cached query results
 	// (default 25ms). CacheDisabled turns the cache off.
@@ -230,6 +273,18 @@ func (c Config) withDefaults() (Config, error) {
 	}
 	if c.ScatterTimeout <= 0 {
 		c.ScatterTimeout = 5 * time.Second
+	}
+	if c.RebalanceInterval < 0 {
+		c.RebalanceInterval = 0
+	}
+	if c.RebalanceThreshold == 0 {
+		c.RebalanceThreshold = 1.25
+	}
+	if c.RebalanceThreshold <= 1 {
+		return c, fmt.Errorf("serve: RebalanceThreshold %v <= 1", c.RebalanceThreshold)
+	}
+	if c.RebalanceMaxMoves <= 0 {
+		c.RebalanceMaxMoves = 8
 	}
 	if c.CacheTTL <= 0 {
 		c.CacheTTL = 25 * time.Millisecond

@@ -21,6 +21,10 @@ type fakeBackend struct {
 	avail map[overlay.NodeID]vector.Vec
 	dims  int
 
+	// gate, when non-nil, blocks Query until the channel closes —
+	// the hook scatter-timeout tests use to stall a shard goroutine.
+	gate chan struct{}
+
 	announced int
 	queries   int
 }
@@ -85,6 +89,9 @@ func (f *fakeBackend) Leave(id overlay.NodeID) error {
 }
 
 func (f *fakeBackend) Query(from overlay.NodeID, demand vector.Vec, k int) ([]proto.Record, int, error) {
+	if f.gate != nil {
+		<-f.gate
+	}
 	f.queries++
 	var recs []proto.Record
 	for _, id := range f.Nodes() {
@@ -764,17 +771,181 @@ func TestRecordTTLZeroNeverExpires(t *testing.T) {
 	}
 }
 
+// TestRoundRobinStartsAtShardZero pins the counter fix: the first
+// join lands on shard 0 (not 1), subsequent joins walk the shards in
+// order, and the first ScopeOne consistent query consults shard 0.
+func TestRoundRobinStartsAtShardZero(t *testing.T) {
+	e := newTestEngine(t, testConfig(3))
+	for want := 0; want < 6; want++ {
+		id, err := e.Join(nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if id.Shard() != want%3 {
+			t.Fatalf("join %d placed on shard %d, want %d", want, id.Shard(), want%3)
+		}
+	}
+	if _, err := e.Query(QueryRequest{Demand: vector.Of(1, 1), Consistent: true, Scope: ScopeOne}); err != nil {
+		t.Fatal(err)
+	}
+	st := e.Stats()
+	// Each shard applied its two joins; only shard 0 also applied the
+	// first ScopeOne query.
+	for _, ss := range st.Shards {
+		want := uint64(2)
+		if ss.Shard == 0 {
+			want = 3
+		}
+		if ss.OpsApplied != want {
+			t.Fatalf("shard %d applied %d ops, want %d (first ScopeOne query mis-routed): %+v",
+				ss.Shard, ss.OpsApplied, want, st.Shards)
+		}
+	}
+}
+
+// TestScatterWholeGatherTimeout pins the corrected ScatterTimeout
+// semantics: one deadline covers the entire gather, and a query no
+// leg answered fails with ErrScatterTimeout.
+func TestScatterWholeGatherTimeout(t *testing.T) {
+	cfg := testConfig(2)
+	cfg.ScatterTimeout = 30 * time.Millisecond
+	gate := make(chan struct{})
+	e, err := New(cfg, func(i int, rc Config) (Backend, error) {
+		f := newFake(rc.NodesPerShard, rc.CMax.Dim())
+		f.gate = gate
+		return f, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { e.Close() })
+	t.Cleanup(func() { close(gate) }) // unblock the shard goroutines first
+
+	start := time.Now()
+	_, err = e.Query(QueryRequest{Demand: vector.Of(1, 1), Consistent: true})
+	if !errors.Is(err, ErrScatterTimeout) {
+		t.Fatalf("stalled scatter: got %v, want ErrScatterTimeout", err)
+	}
+	if elapsed := time.Since(start); elapsed < cfg.ScatterTimeout || elapsed > 10*cfg.ScatterTimeout {
+		t.Fatalf("scatter returned after %v, want ~%v (whole-gather deadline)", elapsed, cfg.ScatterTimeout)
+	}
+}
+
+// TestSubmitCancelUnblocksAbandonedLeg pins the scatter-leg leak
+// fix: a submit blocked on a full write queue unwinds when its
+// cancel channel closes instead of outliving its query.
+func TestSubmitCancelUnblocksAbandonedLeg(t *testing.T) {
+	cfg, err := testConfig(1).withDefaults()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.QueueDepth = 1
+	// The shard goroutine is never started, so the queue never
+	// drains — the worst case an abandoned leg can hit.
+	s := newShard(0, cfg, newFake(2, 2))
+	if _, err := s.submit(op{kind: opUpdate, node: 0, avail: vector.Of(1, 1)}, nil); err != nil {
+		t.Fatal(err)
+	}
+	cancel := make(chan struct{})
+	errc := make(chan error, 1)
+	go func() {
+		_, err := s.submit(op{kind: opQuery, node: -1, reply: make(chan opResult, 1)}, cancel)
+		errc <- err
+	}()
+	select {
+	case err := <-errc:
+		t.Fatalf("submit returned %v before cancel with a full queue", err)
+	case <-time.After(20 * time.Millisecond):
+	}
+	close(cancel)
+	select {
+	case err := <-errc:
+		if !errors.Is(err, errLegAbandoned) {
+			t.Fatalf("canceled submit returned %v, want errLegAbandoned", err)
+		}
+	case <-time.After(time.Second):
+		t.Fatal("submit still blocked after cancel")
+	}
+}
+
+// TestCacheConcurrentRefreshIsHit pins the recheck fix: a stale
+// first read raced by a put that refreshes the key must return the
+// refreshed entry as a hit, not force a rescan.
+func TestCacheConcurrentRefreshIsHit(t *testing.T) {
+	cfg, err := testConfig(1).withDefaults()
+	if err != nil {
+		t.Fatal(err)
+	}
+	qc := newQueryCache(cfg)
+	t0 := time.Now()
+	now := t0.Add(2 * cfg.CacheTTL) // t0 entry stale, refresh fresh
+	qc.put("k", QueryResponse{Candidates: []Candidate{{Node: 1}}}, t0)
+	qc.recheckHook = func() {
+		qc.put("k", QueryResponse{Candidates: []Candidate{{Node: 2}}}, now)
+	}
+	resp, ok := qc.get("k", now)
+	if !ok {
+		t.Fatal("concurrently refreshed entry reported as miss")
+	}
+	if len(resp.Candidates) != 1 || resp.Candidates[0].Node != 2 {
+		t.Fatalf("got %+v, want the refreshed entry", resp.Candidates)
+	}
+	hits, misses, _, entries := qc.stats()
+	if hits != 1 || misses != 0 {
+		t.Fatalf("hits %d misses %d, want 1/0", hits, misses)
+	}
+	if entries != 1 {
+		t.Fatalf("refreshed entry deleted: %d entries", entries)
+	}
+}
+
+// TestSnapshotOutOfRange pins the Snapshot index fix: unknown shard
+// indexes return ErrNoShard instead of panicking.
+func TestSnapshotOutOfRange(t *testing.T) {
+	e := newTestEngine(t, testConfig(2))
+	for _, i := range []int{-1, 2, 99} {
+		if snap, err := e.Snapshot(i); snap != nil || !errors.Is(err, ErrNoShard) {
+			t.Fatalf("Snapshot(%d) = %v, %v; want nil, ErrNoShard", i, snap, err)
+		}
+	}
+	snap, err := e.Snapshot(1)
+	if err != nil || snap == nil || snap.Shard != 1 {
+		t.Fatalf("Snapshot(1) = %+v, %v", snap, err)
+	}
+}
+
+// TestConsistentQueryEmptyShard pins the empty-shard error: the
+// query names the shard instead of surfacing the backend's confusing
+// "node -1 not in cluster".
+func TestConsistentQueryEmptyShard(t *testing.T) {
+	e := newTestEngine(t, testConfig(1))
+	for _, id := range e.Nodes() {
+		if err := e.Leave(id); err != nil {
+			t.Fatal(err)
+		}
+	}
+	_, err := e.Query(QueryRequest{Demand: vector.Of(1, 1), Consistent: true, Scope: ScopeOne})
+	if !errors.Is(err, ErrNoNodes) {
+		t.Fatalf("query against an empty shard: got %v, want ErrNoNodes", err)
+	}
+}
+
 func TestConfigDefaultsAndValidation(t *testing.T) {
 	cfg, err := Config{}.withDefaults()
 	if err != nil {
 		t.Fatal(err)
 	}
 	if cfg.Shards != 1 || cfg.NodesPerShard != 64 || cfg.CMax == nil ||
-		cfg.QueueDepth <= 0 || cfg.CacheTTL <= 0 || cfg.RecordTTL != 0 {
+		cfg.QueueDepth <= 0 || cfg.CacheTTL <= 0 || cfg.RecordTTL != 0 ||
+		cfg.RebalanceInterval != 0 || cfg.RebalanceThreshold != 1.25 ||
+		cfg.RebalanceMaxMoves != 8 {
 		t.Fatalf("defaults not resolved: %+v", cfg)
 	}
 	if _, err := (Config{Shards: -1}).withDefaults(); err == nil {
 		t.Fatal("negative Shards accepted")
+	}
+	if _, err := (Config{RebalanceThreshold: 0.9}).withDefaults(); err == nil {
+		t.Fatal("RebalanceThreshold <= 1 accepted")
 	}
 	if _, err := (Config{NodesPerShard: 1}).withDefaults(); err == nil {
 		t.Fatal("NodesPerShard=1 accepted")

@@ -1,6 +1,7 @@
 package serve
 
 import (
+	"fmt"
 	"sync/atomic"
 	"time"
 
@@ -18,25 +19,32 @@ const (
 	opJoin                 // Join (+ optional initial availability)
 	opLeave                // Leave
 	opQuery                // protocol-routed ("consistent") query
+	opTake                 // migration source half: Leave + hand back the availability
 )
 
 // op is one queued shard operation. reply, when non-nil, receives
 // exactly one opResult (the channel must have capacity 1).
+// onApplied, when non-nil, runs on the shard goroutine right after
+// the op is applied and BEFORE the batch's snapshot publishes — the
+// hook migration uses to install forwarding for a joined node
+// before any snapshot can expose its new physical id.
 type op struct {
-	kind     opKind
-	node     overlay.NodeID
-	avail    vector.Vec
-	announce bool
-	demand   vector.Vec
-	k        int
-	reply    chan opResult
+	kind      opKind
+	node      overlay.NodeID
+	avail     vector.Vec
+	announce  bool
+	demand    vector.Vec
+	k         int
+	reply     chan opResult
+	onApplied func(opResult)
 }
 
 type opResult struct {
-	node overlay.NodeID
-	recs []proto.Record
-	hops int
-	err  error
+	node  overlay.NodeID
+	avail vector.Vec // opTake: the departing node's availability
+	recs  []proto.Record
+	hops  int
+	err   error
 }
 
 // shard owns one Backend. All Backend access happens on the shard's
@@ -176,11 +184,51 @@ func (s *shard) applyBatch(batch []op) []opResult {
 			if from < 0 {
 				// Caller left the entry point open: use the
 				// lowest-id alive node as the querying agent.
-				if nodes := s.be.Nodes(); len(nodes) > 0 {
-					from = nodes[0]
+				nodes := s.be.Nodes()
+				if len(nodes) == 0 {
+					res.err = fmt.Errorf("%w: shard %d", ErrNoNodes, s.idx)
+					break
 				}
+				from = nodes[0]
 			}
 			res.recs, res.hops, res.err = s.be.Query(from, o.demand, o.k)
+		case opTake:
+			// Migration source half: capture the availability, then
+			// remove the node — one op, so no write can interleave.
+			alive := false
+			for _, id := range s.be.Nodes() {
+				if id == o.node {
+					alive = true
+					break
+				}
+			}
+			if !alive {
+				res.err = fmt.Errorf("serve: node %d not on shard %d", o.node, s.idx)
+				break
+			}
+			// The last node of a shard stays put: the CAN overlay
+			// cannot lose its last owner (and a failed overlay leave
+			// would strand the node half-dead).
+			if s.be.Size() <= 1 {
+				res.err = fmt.Errorf("%w: shard %d", ErrLastNode, s.idx)
+				break
+			}
+			res.avail = s.be.Availability(o.node)
+			if res.avail != nil && res.avail.Sum() == 0 {
+				// Never-published availability reads back as a zero
+				// vector; don't turn that into an explicit zero
+				// announcement on the destination.
+				res.avail = nil
+			}
+			res.err = s.be.Leave(o.node)
+			if res.err != nil {
+				res.avail = nil
+			} else {
+				delete(s.fresh, o.node)
+			}
+		}
+		if o.onApplied != nil {
+			o.onApplied(res)
 		}
 		results[i] = res
 	}
@@ -224,12 +272,17 @@ func (s *shard) publish() {
 func (s *shard) snapshot() *Snapshot { return s.snap.Load() }
 
 // submit enqueues o and, when o.reply is set, waits for the result.
-// It fails with ErrClosed once the shard goroutine has exited.
-func (s *shard) submit(o op) (opResult, error) {
+// It fails with ErrClosed once the shard goroutine has exited, and
+// with errLegAbandoned when cancel closes first — the cancellation
+// path that lets an abandoned scatter leg unwind instead of blocking
+// forever on a full ops queue. cancel may be nil (never fires).
+func (s *shard) submit(o op, cancel <-chan struct{}) (opResult, error) {
 	select {
 	case s.ops <- o:
 	case <-s.done:
 		return opResult{}, ErrClosed
+	case <-cancel:
+		return opResult{}, errLegAbandoned
 	}
 	if o.reply == nil {
 		return opResult{}, nil
@@ -245,6 +298,16 @@ func (s *shard) submit(o op) (opResult, error) {
 			return r, nil
 		default:
 			return opResult{}, ErrClosed
+		}
+	case <-cancel:
+		// The op is enqueued and will be applied; the buffered reply
+		// channel absorbs its result, so abandoning here leaks
+		// nothing. Prefer the real result if it already landed.
+		select {
+		case r := <-o.reply:
+			return r, nil
+		default:
+			return opResult{}, errLegAbandoned
 		}
 	}
 }

@@ -28,7 +28,9 @@ type Snapshot struct {
 
 // Candidate is one qualified node of a query response.
 type Candidate struct {
-	// Node is the cross-shard global id.
+	// Node is the cross-shard global id — for a migrated node, the
+	// stable external id Join handed out (the same id Nodes
+	// reports), which stays routable wherever the node lives.
 	Node GlobalID `json:"node"`
 	// Avail is the advertised availability behind the match.
 	Avail vector.Vec `json:"avail"`

@@ -31,6 +31,11 @@ func TestStressConcurrentMixedTraffic(t *testing.T) {
 		Seed:          42,
 		FlushInterval: 2 * time.Millisecond,
 		CacheTTL:      5 * time.Millisecond,
+		// The background rebalancer migrates nodes between shards
+		// while clients hammer them — Update/Leave must chase moved
+		// nodes through the forwarding table without ever failing.
+		RebalanceInterval:  3 * time.Millisecond,
+		RebalanceThreshold: 1.05,
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -121,9 +126,9 @@ func TestStressConcurrentMixedTraffic(t *testing.T) {
 	wg.Wait()
 
 	st := eng.Stats()
-	t.Logf("stress: %d queries (%d cached), %d updates, %d joins, %d leaves; engine stats: %d queries, %d cache hits, %d errors",
+	t.Logf("stress: %d queries (%d cached), %d updates, %d joins, %d leaves; engine stats: %d queries, %d cache hits, %d migrations over %d rebalances, %d forwarded ids, %d errors",
 		queries.Load(), hits.Load(), updates.Load(), joins.Load(), leaves.Load(),
-		st.Queries, st.CacheHits, st.Errors)
+		st.Queries, st.CacheHits, st.Migrations, st.Rebalances, st.ForwardedIDs, st.Errors)
 	if st.Queries < queries.Load() {
 		t.Fatalf("engine counted %d queries, clients issued %d", st.Queries, queries.Load())
 	}
@@ -135,14 +140,20 @@ func TestStressConcurrentMixedTraffic(t *testing.T) {
 	if len(resp.Candidates) == 0 {
 		t.Fatal("no candidates after stress run")
 	}
-	if got := st.TotalNodes; got != shards*12+int(st.Joins-st.Leaves) {
-		// Snapshot totals may trail queued ops briefly; settle first.
-		time.Sleep(50 * time.Millisecond)
+	// Snapshot totals may trail queued ops briefly, and a node mid-
+	// migration is visible on neither shard for a moment; poll until
+	// the population settles.
+	deadline := time.Now().Add(2 * time.Second)
+	for {
 		st = eng.Stats()
-		if got = st.TotalNodes; got != shards*12+int(st.Joins-st.Leaves) {
-			t.Fatalf("population %d, want %d (+%d joins -%d leaves)",
-				got, shards*12, st.Joins, st.Leaves)
+		if st.TotalNodes == shards*12+int(st.Joins-st.Leaves) {
+			break
 		}
+		if time.Now().After(deadline) {
+			t.Fatalf("population %d, want %d (+%d joins -%d leaves)",
+				st.TotalNodes, shards*12, st.Joins, st.Leaves)
+		}
+		time.Sleep(5 * time.Millisecond)
 	}
 }
 
@@ -176,10 +187,21 @@ func TestStressCloseWhileBusy(t *testing.T) {
 				default:
 				}
 				var err error
-				if rng.IntN(2) == 0 {
+				switch rng.IntN(5) {
+				case 0, 1:
 					_, err = eng.Query(pidcan.QueryRequest{Demand: cmax.Scale(0.2), K: 2})
-				} else {
+				case 2, 3:
 					err = eng.Update(nodes[rng.IntN(len(nodes))], cmax.Scale(0.5), false)
+				default:
+					// Migration leg: a two-shard write racing the
+					// teardown must fail cleanly, never hang. Random
+					// destinations can drain a shard toward empty;
+					// refusing to move a last node (ErrLastNode) is
+					// the correct outcome there.
+					err = eng.Migrate(nodes[rng.IntN(len(nodes))], rng.IntN(4))
+					if errors.Is(err, pidcan.ErrLastNode) {
+						err = nil
+					}
 				}
 				if err != nil && !errors.Is(err, pidcan.ErrEngineClosed) {
 					t.Errorf("client %d: unexpected error %v", c, err)
@@ -194,6 +216,119 @@ func TestStressCloseWhileBusy(t *testing.T) {
 	}
 	close(stop)
 	wg.Wait()
+}
+
+// TestStressMigrateUnderWrites is the migrate-under-concurrent-
+// writes race test: a migrator shuttles a set of hot nodes between
+// shards while writers hammer exactly those nodes through their
+// original ids and queriers read. Every update must land — writes
+// racing a migration wait it out and retry against the node's new
+// shard — and after the dust settles every hot node must still
+// exist exactly once, reachable under its original identity. Run
+// with -race; the forwarding table is the contended structure.
+func TestStressMigrateUnderWrites(t *testing.T) {
+	const (
+		shards = 4
+		hot    = 6
+	)
+	eng, err := pidcan.NewEngine(pidcan.EngineConfig{
+		Shards:        shards,
+		NodesPerShard: 8,
+		Seed:          23,
+		FlushInterval: 2 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer eng.Close()
+	cmax := eng.Config().CMax
+	hotNodes := eng.Nodes()[:hot]
+	for _, id := range eng.Nodes() {
+		if err := eng.Update(id, cmax.Scale(0.5), true); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	var wg sync.WaitGroup
+	var moved, wrote atomic.Uint64
+	// Migrator: every hot node keeps moving to the next shard. It is
+	// the only mover, so it can track where each node lives and count
+	// real moves (a same-shard Migrate is a no-op).
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		cur := make([]int, hot)
+		for i, id := range hotNodes {
+			cur[i] = id.Shard()
+		}
+		for round := 0; round < 12; round++ {
+			for i, id := range hotNodes {
+				target := (i + round) % shards
+				if err := eng.Migrate(id, target); err != nil {
+					t.Errorf("migrate %v round %d: %v", id, round, err)
+					return
+				}
+				if target != cur[i] {
+					moved.Add(1)
+				}
+				cur[i] = target
+			}
+		}
+	}()
+	// Writers: updates through the original ids must always land.
+	for c := 0; c < 6; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewPCG(uint64(c), 0x111a7e))
+			for i := 0; i < 150; i++ {
+				id := hotNodes[rng.IntN(hot)]
+				if err := eng.Update(id, cmax.Scale(0.2+0.7*rng.Float64()), i%5 == 0); err != nil {
+					t.Errorf("writer %d update %v: %v", c, id, err)
+					return
+				}
+				wrote.Add(1)
+			}
+		}(c)
+	}
+	// Queriers keep the snapshot read path and cache in the mix.
+	for c := 0; c < 4; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				if _, err := eng.Query(pidcan.QueryRequest{Demand: cmax.Scale(0.3), K: 3}); err != nil {
+					t.Errorf("querier %d: %v", c, err)
+					return
+				}
+			}
+		}(c)
+	}
+	wg.Wait()
+
+	st := eng.Stats()
+	t.Logf("migrate stress: %d migrations, %d updates landed, %d forwarded ids, %d errors",
+		moved.Load(), wrote.Load(), st.ForwardedIDs, st.Errors)
+	if st.Migrations != moved.Load() {
+		t.Fatalf("engine counted %d migrations, migrator did %d", st.Migrations, moved.Load())
+	}
+	if st.TotalNodes != shards*8 {
+		t.Fatalf("population %d after migrations, want %d", st.TotalNodes, shards*8)
+	}
+	// Every hot node is still addressable by its original id, and
+	// Nodes reports each exactly once under that id.
+	counts := map[pidcan.GlobalNodeID]int{}
+	for _, id := range eng.Nodes() {
+		counts[id]++
+	}
+	for _, id := range hotNodes {
+		if counts[id] != 1 {
+			t.Fatalf("hot node %v appears %d times in Nodes()", id, counts[id])
+		}
+		if err := eng.Update(id, cmax.Scale(0.4), false); err != nil {
+			t.Fatalf("hot node %v unreachable after the run: %v", id, err)
+		}
+	}
 }
 
 // TestStressScatterCloseUnderFire halts the shards while consistent

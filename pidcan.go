@@ -157,8 +157,11 @@ func DefaultOverhead() psm.Overhead { return psm.DefaultOverhead() }
 // Engine is the concurrent, shard-parallel query service built on
 // top of Cluster: per-shard goroutines apply batched writes while
 // best-fit range queries run lock-free on immutable copy-on-write
-// snapshots of the record index. See internal/serve and
-// examples/serving.
+// snapshots of the record index. Nodes migrate between shards
+// (Engine.Migrate) behind a stable external identity, and an
+// adaptive rebalancer (EngineConfig.RebalanceInterval,
+// Engine.Rebalance) keeps shard populations level under skewed
+// traffic. See internal/serve and examples/serving.
 type Engine = serve.Engine
 
 // EngineConfig parameterizes NewEngine.
@@ -188,12 +191,19 @@ type GlobalNodeID = serve.GlobalID
 // EngineStats is a point-in-time view of Engine counters.
 type EngineStats = serve.Stats
 
+// RebalanceResult describes one adaptive rebalance pass
+// (Engine.Rebalance).
+type RebalanceResult = serve.RebalanceResult
+
 // Engine errors.
 var (
-	ErrEngineClosed = serve.ErrClosed
-	ErrBadDemand    = serve.ErrBadDemand
-	ErrBadScope     = serve.ErrBadScope
-	ErrNoShard      = serve.ErrNoShard
+	ErrEngineClosed   = serve.ErrClosed
+	ErrBadDemand      = serve.ErrBadDemand
+	ErrBadScope       = serve.ErrBadScope
+	ErrNoShard        = serve.ErrNoShard
+	ErrScatterTimeout = serve.ErrScatterTimeout
+	ErrNoNodes        = serve.ErrNoNodes
+	ErrLastNode       = serve.ErrLastNode
 )
 
 // A Cluster is the shard backend of the serving engine.
