@@ -15,6 +15,7 @@ import (
 	"fmt"
 	"math/rand/v2"
 	"os"
+	"path/filepath"
 	"strconv"
 	"strings"
 	"sync"
@@ -492,6 +493,174 @@ func BenchmarkServeMixed(b *testing.B) {
 				if _, err := eng.Query(QueryRequest{Demand: demands[(i+c)%len(demands)], K: 3, NoCache: true}); err != nil {
 					b.Error(err)
 				}
+			})
+		})
+	}
+}
+
+// --- durable-serving benchmarks (op-log + warm restart) ----------------------
+
+// newDurableBenchEngine is newBenchEngineCfg with a fresh data dir:
+// every write goes through the op-log before acknowledgment.
+func newDurableBenchEngine(b *testing.B, cfg EngineConfig) *Engine {
+	b.Helper()
+	cfg.DataDir = filepath.Join(b.TempDir(), "data")
+	return newBenchEngineCfg(b, cfg)
+}
+
+// BenchmarkServeDurableMixed is BenchmarkServeMixed behind the
+// op-log: 85% snapshot queries, 15% updates from 32 clients at 4
+// shards, every applied batch logged and fsynced per the -fsync
+// policy. The fsync=1 line is the full-durability overhead against
+// BenchmarkServeMixed/shards=4 (reads never touch the log; the write
+// 15% pays the logging); fsync=16 shows the group-commit headroom.
+func BenchmarkServeDurableMixed(b *testing.B) {
+	for _, fsync := range []int{1, 16} {
+		b.Run(fmt.Sprintf("shards=4/clients=32/fsync=%d", fsync), func(b *testing.B) {
+			eng := newDurableBenchEngine(b, EngineConfig{
+				Shards:        4,
+				NodesPerShard: 32,
+				Seed:          11,
+				FsyncEvery:    fsync,
+			})
+			demands := benchDemands(eng, 512)
+			nodes := eng.Nodes()
+			cmax := eng.Config().CMax
+			runServeBench(b, 4, 32, func(c, i int) {
+				if i%7 == 0 {
+					id := nodes[(i*31+c)%len(nodes)]
+					if err := eng.Update(id, cmax.Scale(0.2+0.7*float64(i%10)/10), false); err != nil {
+						b.Error(err)
+					}
+					return
+				}
+				if _, err := eng.Query(QueryRequest{Demand: demands[(i+c)%len(demands)], K: 3, NoCache: true}); err != nil {
+					b.Error(err)
+				}
+			})
+		})
+	}
+}
+
+// BenchmarkServeDurableQuery pins the "reads never touch the log"
+// property: cached and NoCache query throughput on a durable engine
+// must match the in-memory numbers (BenchmarkServeQuery /
+// BenchmarkServeQueryNoCache at shards=4) within noise.
+func BenchmarkServeDurableQuery(b *testing.B) {
+	for _, mode := range []string{"cached", "nocache"} {
+		b.Run(fmt.Sprintf("shards=4/clients=8/%s", mode), func(b *testing.B) {
+			eng := newDurableBenchEngine(b, EngineConfig{
+				Shards:        4,
+				NodesPerShard: 32,
+				Seed:          11,
+			})
+			demands := benchDemands(eng, 512)
+			noCache := mode == "nocache"
+			runServeBench(b, 4, 8, func(c, i int) {
+				if _, err := eng.Query(QueryRequest{Demand: demands[(i+c)%len(demands)], K: 3, NoCache: noCache}); err != nil {
+					b.Error(err)
+				}
+			})
+		})
+	}
+}
+
+// durableBenchHistory loads an engine with a deterministic mixed
+// history (updates, joins, leaves, a few migrations) whose op-log
+// the recovery benchmark replays.
+func durableBenchHistory(b *testing.B, eng *Engine, n int) {
+	b.Helper()
+	rng := rand.New(rand.NewPCG(7, 0xfeed))
+	base := eng.Nodes()
+	cmax := eng.Config().CMax
+	var joined []GlobalNodeID
+	for i := 0; i < n; i++ {
+		switch {
+		case i%10 < 7:
+			id := base[rng.IntN(len(base))]
+			if err := eng.Update(id, cmax.Scale(0.2+0.6*rng.Float64()), false); err != nil {
+				b.Fatal(err)
+			}
+		case i%10 < 9:
+			id, err := eng.Join(cmax.Scale(0.5))
+			if err != nil {
+				b.Fatal(err)
+			}
+			joined = append(joined, id)
+		default:
+			if len(joined) == 0 {
+				continue
+			}
+			if err := eng.Leave(joined[0]); err != nil {
+				b.Fatal(err)
+			}
+			joined = joined[1:]
+		}
+	}
+	shards := eng.Config().Shards
+	for i := 0; i < 8 && i < len(joined); i++ {
+		if err := eng.Migrate(joined[i], (joined[i].Shard()+1)%shards); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkServeRecovery measures warm-restart time for a 4-shard
+// engine with a 2000-op history. "replay" recovers a crash image
+// (fsynced op-log, no checkpoint): the full history re-applies
+// through real clusters. "checkpoint" recovers the state a clean
+// shutdown left: checkpoint restore, empty log tail. The qps metric
+// is recovered source ops per second of recovery time.
+func BenchmarkServeRecovery(b *testing.B) {
+	const ops = 2000
+	for _, mode := range []string{"replay", "checkpoint"} {
+		b.Run(mode, func(b *testing.B) {
+			src := filepath.Join(b.TempDir(), "src")
+			cfg := EngineConfig{Shards: 4, NodesPerShard: 32, Seed: 11, DataDir: src}
+			eng, err := NewEngine(cfg)
+			if err != nil {
+				b.Fatal(err)
+			}
+			durableBenchHistory(b, eng, ops)
+			if mode == "checkpoint" {
+				if err := eng.Close(); err != nil {
+					b.Fatal(err)
+				}
+			} else {
+				// Crash image: the log is fsynced per batch; the dir is
+				// copied as-is, no checkpoint written.
+				defer eng.Close()
+			}
+			b.ResetTimer()
+			var elapsed time.Duration
+			var records uint64
+			for i := 0; i < b.N; i++ {
+				b.StopTimer()
+				img := filepath.Join(b.TempDir(), fmt.Sprintf("img-%d", i))
+				if err := os.CopyFS(img, os.DirFS(src)); err != nil {
+					b.Fatal(err)
+				}
+				icfg := cfg
+				icfg.DataDir = img
+				b.StartTimer()
+				t0 := time.Now()
+				re, err := NewEngine(icfg)
+				if err != nil {
+					b.Fatal(err)
+				}
+				elapsed += time.Since(t0)
+				b.StopTimer()
+				records += re.Stats().RecoveredRecords
+				re.Close()
+				b.StartTimer()
+			}
+			b.StopTimer()
+			avg := elapsed.Seconds() / float64(b.N)
+			b.ReportMetric(avg*1e3, "ms/recovery")
+			b.ReportMetric(float64(records)/float64(b.N), "records/recovery")
+			emitServeBench(b, serveBenchResult{
+				Bench: b.Name(), Shards: 4, Clients: 1,
+				Ops: ops, ElapsedSec: avg, QPS: float64(ops) / avg,
 			})
 		})
 	}

@@ -4,8 +4,14 @@
 //
 //	pidcan-serve -addr :8080 -shards 4 -nodes 64 -seed 1
 //
-// Endpoints: POST /query /update /join /leave /rebalance, GET
-// /nodes /stats /healthz. Consistent queries ({"consistent":true})
+// Endpoints: POST /query /update /join /leave /rebalance
+// /checkpoint, GET /nodes /stats /healthz. With -data-dir the
+// service is durable: every write lands in a per-shard op-log before
+// it is acknowledged, a clean shutdown writes a checkpoint, and the
+// next start with the same -data-dir (and shard/seed shape) recovers
+// every join, update and migration it ever acknowledged — kill -9
+// included, minus nothing but unacknowledged requests.
+// Consistent queries ({"consistent":true})
 // scatter-gather through every shard's protocol by default;
 // {"scope":"one"} keeps the paper-faithful single-shard routing.
 // With -rebalance-interval set, an adaptive rebalancer migrates
@@ -46,6 +52,9 @@ func main() {
 		rebal    = flag.Duration("rebalance-interval", 0, "adaptive shard-rebalancer cadence (0 disables; POST /rebalance still triggers single passes)")
 		rebalThr = flag.Float64("rebalance-threshold", 1.25, "max/min shard-population ratio that triggers migration")
 		rebalMax = flag.Int("rebalance-moves", 8, "migration cap per rebalance pass")
+		dataDir  = flag.String("data-dir", "", "durable state directory (op-log + checkpoints); empty serves purely in-memory")
+		ckptEvry = flag.Duration("checkpoint-every", 0, "background checkpoint cadence (0: only on shutdown and POST /checkpoint)")
+		fsync    = flag.Int("fsync-every", 1, "fsync the op-log once per N applied write batches (negative: never fsync)")
 	)
 	flag.Parse()
 
@@ -61,6 +70,9 @@ func main() {
 		RebalanceInterval:  *rebal,
 		RebalanceThreshold: *rebalThr,
 		RebalanceMaxMoves:  *rebalMax,
+		DataDir:            *dataDir,
+		CheckpointEvery:    *ckptEvry,
+		FsyncEvery:         *fsync,
 	}
 	log.Printf("building engine: %d shard(s) x %d nodes, seed %d", *shards, *nodes, *seed)
 	start := time.Now()
@@ -74,7 +86,21 @@ func main() {
 		log.Printf("rebalancer on: every %v, threshold %.2f, <= %d moves/pass", *rebal, *rebalThr, *rebalMax)
 	}
 
-	if *populate {
+	warm := false
+	if *dataDir != "" {
+		st := eng.Stats()
+		warm = st.WarmStart
+		if warm {
+			log.Printf("warm restart from %s: %d nodes, %d log records replayed in %.1fms",
+				*dataDir, st.TotalNodes, st.RecoveredRecords, st.LastRecoveryMS)
+		} else {
+			log.Printf("durable serving: op-log + checkpoints under %s (fsync every %d batches)", *dataDir, *fsync)
+		}
+	}
+
+	// A warm restart already carries its recovered availabilities;
+	// re-populating would overwrite real state with synthetic data.
+	if *populate && !warm {
 		if err := populateAvailability(eng, *seed); err != nil {
 			log.Fatal(err)
 		}

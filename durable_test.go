@@ -1,0 +1,133 @@
+package pidcan
+
+import (
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"pidcan/internal/vector"
+)
+
+// durableTestConfig is a small real-cluster engine with durability
+// on. FsyncEvery 1 (the default) means every acknowledged write is
+// on disk, so copying the data dir mid-run is a faithful crash
+// image.
+func durableTestConfig(dir string) EngineConfig {
+	return EngineConfig{
+		Shards:        2,
+		NodesPerShard: 8,
+		Seed:          5,
+		CMax:          vector.Of(8, 8, 8),
+		Warmup:        5 * Minute,
+		DataDir:       dir,
+	}
+}
+
+// engineState captures what durability promises survives: the node
+// set and deterministic best-fit query results.
+func engineState(t *testing.T, eng *Engine) ([]GlobalNodeID, [][]Candidate) {
+	t.Helper()
+	nodes := eng.Nodes()
+	var queries [][]Candidate
+	for _, d := range []Vec{vector.Of(1, 1, 1), vector.Of(3, 2, 4), vector.Of(6, 6, 6)} {
+		resp, err := eng.Query(QueryRequest{Demand: d, K: 10, NoCache: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		queries = append(queries, resp.Candidates)
+	}
+	return nodes, queries
+}
+
+// TestEngineWarmRestartRealClusters is the end-to-end acceptance
+// path on real PID-CAN clusters: an engine loaded with updates, a
+// join, a leave and a cross-shard migration must serve identical
+// node populations and identical best-fit query results after (a) a
+// crash-image recovery that replays the whole op-log through fresh
+// clusters, and (b) a clean close/reopen from the final checkpoint.
+func TestEngineWarmRestartRealClusters(t *testing.T) {
+	dirA := t.TempDir()
+	eng, err := NewEngine(durableTestConfig(dirA))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer eng.Close()
+
+	nodes := eng.Nodes()
+	for i, id := range nodes {
+		if err := eng.Update(id, vector.Of(float64(i%8), float64((i*3)%8), float64((i*5)%8)), true); err != nil {
+			t.Fatal(err)
+		}
+	}
+	joined, err := eng.Join(vector.Of(7, 7, 7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := eng.Leave(nodes[3]); err != nil {
+		t.Fatal(err)
+	}
+	if err := eng.Migrate(joined, 1-joined.Shard()); err != nil {
+		t.Fatal(err)
+	}
+	wantNodes, wantQueries := engineState(t, eng)
+
+	// (a) Crash image: every acknowledged write is fsynced, so a
+	// byte-for-byte copy of the live data dir is what a killed
+	// process leaves behind. Recovery replays it from genesis
+	// through real clusters (join ids re-derived and verified).
+	dirB := filepath.Join(t.TempDir(), "crash-image")
+	if err := os.CopyFS(dirB, os.DirFS(dirA)); err != nil {
+		t.Fatal(err)
+	}
+	crash, err := NewEngine(durableTestConfig(dirB))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer crash.Close()
+	st := crash.Stats()
+	if !st.WarmStart || st.RecoveredRecords == 0 {
+		t.Fatalf("crash image recovery: warm=%v records=%d, want a full replay", st.WarmStart, st.RecoveredRecords)
+	}
+	gotNodes, gotQueries := engineState(t, crash)
+	if !reflect.DeepEqual(gotNodes, wantNodes) {
+		t.Fatalf("crash replay nodes = %v, want %v", gotNodes, wantNodes)
+	}
+	if !reflect.DeepEqual(gotQueries, wantQueries) {
+		t.Fatalf("crash replay query results diverged:\n got %+v\nwant %+v", gotQueries, wantQueries)
+	}
+	if err := crash.Update(joined, vector.Of(5, 5, 5), true); err != nil {
+		t.Fatalf("update via pre-migration id after crash replay: %v", err)
+	}
+
+	// (b) Clean close writes a final checkpoint; reopening restores
+	// from it with an empty log tail.
+	if err := eng.Close(); err != nil {
+		t.Fatal(err)
+	}
+	warm, err := NewEngine(durableTestConfig(dirA))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer warm.Close()
+	st = warm.Stats()
+	if !st.WarmStart {
+		t.Fatal("clean reopen did not warm-start")
+	}
+	if st.RecoveredRecords != 0 {
+		t.Fatalf("clean reopen replayed %d records, want 0 (checkpoint only)", st.RecoveredRecords)
+	}
+	gotNodes, gotQueries = engineState(t, warm)
+	if !reflect.DeepEqual(gotNodes, wantNodes) {
+		t.Fatalf("warm restart nodes = %v, want %v", gotNodes, wantNodes)
+	}
+	if !reflect.DeepEqual(gotQueries, wantQueries) {
+		t.Fatalf("warm restart query results diverged:\n got %+v\nwant %+v", gotQueries, wantQueries)
+	}
+	if err := warm.Update(joined, vector.Of(4, 4, 4), false); err != nil {
+		t.Fatalf("update via pre-migration id after warm restart: %v", err)
+	}
+	if warm.Stats().Migrations != 1 {
+		t.Fatalf("migrations counter = %d after restart, want 1", warm.Stats().Migrations)
+	}
+}

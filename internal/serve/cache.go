@@ -11,18 +11,22 @@ import (
 )
 
 // queryCache memoizes recent query responses keyed by the quantized
-// demand vector and k. Entries are valid for one freshness window
-// (TTL); under heavy traffic this collapses bursts of equivalent
-// demands into one snapshot scan per window. Staleness is bounded by
-// the TTL — a freshly joined or updated node can be missing from (or
-// over-represented in) cached responses for at most that long, which
-// mirrors the staleness the paper's index already tolerates between
+// demand vector and k. An entry stays valid for one freshness window
+// (TTL) and, when epoch invalidation is on (Config.CacheEpochBound),
+// only while the engine's write epoch has not advanced more than the
+// bound past the entry's fill — every applied batch that mutated a
+// shard bumps the epoch, so a burst of joins/updates/leaves stops
+// the cache from serving pre-write results even inside the TTL
+// window. Under heavy read traffic this still collapses bursts of
+// equivalent demands into one snapshot scan per window; residual
+// staleness mirrors what the paper's index already tolerates between
 // state-update cycles.
 type queryCache struct {
-	ttl     time.Duration
-	quantum float64
-	inv     vector.Vec // 1/(quantum*cmax[k]), 0 for zero-capacity dims
-	max     int
+	ttl        time.Duration
+	epochBound uint64 // 0: TTL-only expiry
+	quantum    float64
+	inv        vector.Vec // 1/(quantum*cmax[k]), 0 for zero-capacity dims
+	max        int
 
 	mu sync.RWMutex
 	m  map[string]cacheEntry
@@ -38,8 +42,9 @@ type queryCache struct {
 }
 
 type cacheEntry struct {
-	resp QueryResponse
-	at   time.Time
+	resp  QueryResponse
+	at    time.Time
+	epoch uint64 // engine write epoch at fill
 }
 
 func newQueryCache(cfg Config) *queryCache {
@@ -49,12 +54,17 @@ func newQueryCache(cfg Config) *queryCache {
 			inv[i] = 1 / (cfg.CacheQuantum * c)
 		}
 	}
+	bound := uint64(0)
+	if cfg.CacheEpochBound > 0 {
+		bound = uint64(cfg.CacheEpochBound)
+	}
 	return &queryCache{
-		ttl:     cfg.CacheTTL,
-		quantum: cfg.CacheQuantum,
-		inv:     inv,
-		max:     cfg.CacheSize,
-		m:       make(map[string]cacheEntry),
+		ttl:        cfg.CacheTTL,
+		epochBound: bound,
+		quantum:    cfg.CacheQuantum,
+		inv:        inv,
+		max:        cfg.CacheSize,
+		m:          make(map[string]cacheEntry),
 	}
 }
 
@@ -84,16 +94,31 @@ func (qc *queryCache) quantize(demand vector.Vec, k int) (string, vector.Vec) {
 	return string(buf), ub
 }
 
-// get returns the cached response for the key if it is still fresh.
-// The response's Candidates slice is a private copy — callers may
-// re-rank or otherwise mutate it without corrupting the cache. An
-// expired entry is deleted on lookup, so stats never count dead
-// entries the next put would overwrite anyway.
-func (qc *queryCache) get(key string, now time.Time) (QueryResponse, bool) {
+// fresh reports whether an entry may still be served: inside its TTL
+// window and, with epoch invalidation on, filled no more than
+// epochBound write batches before the reader's epoch. An entry
+// filled at or after the reader's own epoch view is fresh by
+// definition — a reader that loaded its epoch before being preempted
+// must not treat a newer fill as stale (the unsigned subtraction
+// would wrap and evict brand-new entries).
+func (qc *queryCache) fresh(e cacheEntry, now time.Time, epoch uint64) bool {
+	if now.Sub(e.at) > qc.ttl {
+		return false
+	}
+	return qc.epochBound == 0 || e.epoch >= epoch || epoch-e.epoch <= qc.epochBound
+}
+
+// get returns the cached response for the key if it is still fresh
+// at the given time and write epoch. The response's Candidates slice
+// is a private copy — callers may re-rank or otherwise mutate it
+// without corrupting the cache. A stale entry is deleted on lookup,
+// so stats never count dead entries the next put would overwrite
+// anyway.
+func (qc *queryCache) get(key string, now time.Time, epoch uint64) (QueryResponse, bool) {
 	qc.mu.RLock()
 	e, ok := qc.m[key]
 	qc.mu.RUnlock()
-	if ok && now.Sub(e.at) > qc.ttl {
+	if ok && !qc.fresh(e, now, epoch) {
 		if qc.recheckHook != nil {
 			qc.recheckHook()
 		}
@@ -101,7 +126,7 @@ func (qc *queryCache) get(key string, now time.Time) (QueryResponse, bool) {
 		// Re-check under the write lock: a concurrent put may have
 		// refreshed the key since the read above — then the live,
 		// fresh entry is the hit, not a forced rescan.
-		if cur, live := qc.m[key]; live && now.Sub(cur.at) <= qc.ttl {
+		if cur, live := qc.m[key]; live && qc.fresh(cur, now, epoch) {
 			e = cur
 		} else {
 			if live {
@@ -121,16 +146,22 @@ func (qc *queryCache) get(key string, now time.Time) (QueryResponse, bool) {
 	return resp, true
 }
 
-// put stores a response. When the cache is full it is reset
-// wholesale: entries all expire within one TTL anyway, so precise
-// eviction buys nothing over the occasional cheap rebuild.
-func (qc *queryCache) put(key string, resp QueryResponse, now time.Time) {
+// put stores a response filled at the given write epoch. When the
+// cache is full it is reset wholesale: entries all expire within one
+// TTL anyway, so precise eviction buys nothing over the occasional
+// cheap rebuild.
+func (qc *queryCache) put(key string, resp QueryResponse, now time.Time, epoch uint64) {
 	qc.mu.Lock()
 	if len(qc.m) >= qc.max {
 		qc.m = make(map[string]cacheEntry, qc.max/4)
 		qc.resets.Add(1)
 	}
-	qc.m[key] = cacheEntry{resp: resp, at: now}
+	// A slow reader must not clobber a fill made from a newer epoch
+	// view — its entry would read as instantly stale to everyone
+	// else and force rescans of a key that was just refreshed.
+	if cur, ok := qc.m[key]; !ok || cur.epoch <= epoch {
+		qc.m[key] = cacheEntry{resp: resp, at: now, epoch: epoch}
+	}
 	qc.mu.Unlock()
 }
 

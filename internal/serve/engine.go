@@ -25,6 +25,11 @@ type Engine struct {
 	nextShard atomic.Uint64 // round-robin join target
 	nextQuery atomic.Uint64 // round-robin ScopeOne consistent-query target
 
+	// epoch is the engine-wide write epoch: each shard bumps it once
+	// per applied batch that mutated state. The query cache uses it
+	// to expire entries filled before recent writes.
+	epoch atomic.Uint64
+
 	queries       atomic.Uint64
 	consistent    atomic.Uint64
 	updates       atomic.Uint64
@@ -34,6 +39,20 @@ type Engine struct {
 	rebalances    atomic.Uint64
 	lastImbalance atomic.Uint64 // Float64bits of the last sampled max/min ratio
 	errors        atomic.Uint64
+
+	// Durability state (DataDir engines only).
+	ckptMu sync.Mutex // serializes checkpoint passes
+	// migMu is the migration/checkpoint barrier: Migrate holds the
+	// read side across its take+join pair; a checkpoint pass holds
+	// the write side while rotating the shard logs, so no migration
+	// straddles a checkpoint boundary with only its take covered.
+	migMu         sync.RWMutex
+	ckptSeq       atomic.Uint64
+	checkpoints   atomic.Uint64
+	recoveryNanos atomic.Int64 // duration of the last startup recovery
+	recoveredRecs atomic.Uint64
+	warmStart     bool          // set before serving starts
+	ckptDone      chan struct{} // non-nil iff the background checkpointer runs
 
 	closed      atomic.Bool
 	stop        chan struct{} // closed by Close; aborts waits and the rebalancer
@@ -95,6 +114,10 @@ type ShardStats struct {
 	QueueDepth      int      `json:"queue_depth"`
 	OpsApplied      uint64   `json:"ops_applied"`
 	Batches         uint64   `json:"batches"`
+	// LogBytes is the shard's op-log volume since its last
+	// checkpoint rotation (0 on in-memory engines). Sums to the
+	// engine-wide wal_bytes.
+	LogBytes int64 `json:"wal_bytes,omitempty"`
 }
 
 // Stats is a point-in-time view of engine counters.
@@ -123,13 +146,46 @@ type Stats struct {
 	// the most recent rebalance pass (0 until one runs).
 	LastImbalance float64 `json:"last_imbalance"`
 	Errors        uint64  `json:"errors"`
+
+	// Durable reports whether the engine runs with a DataDir (an
+	// op-log behind the write path); the fields below are zero
+	// without one.
+	Durable bool `json:"durable,omitempty"`
+	// WriteEpoch counts applied batches that mutated shard state —
+	// the clock behind write-triggered cache invalidation.
+	WriteEpoch uint64 `json:"write_epoch,omitempty"`
+	// LogBytes/LogRecords aggregate the shards' op-logs: bytes since
+	// the last checkpoint, records over the engine's lifetime.
+	// LogErrors counts append/fsync failures (durability degraded,
+	// serving unaffected).
+	LogBytes   int64  `json:"wal_bytes,omitempty"`
+	LogRecords uint64 `json:"wal_records,omitempty"`
+	LogErrors  uint64 `json:"wal_errors,omitempty"`
+	// Checkpoints counts completed checkpoint passes (periodic,
+	// explicit and on Close); CheckpointSeq is the latest sequence
+	// number on disk.
+	Checkpoints   uint64 `json:"checkpoints,omitempty"`
+	CheckpointSeq uint64 `json:"checkpoint_seq,omitempty"`
+	// WarmStart reports that this engine recovered prior state at
+	// startup; LastRecoveryMS is how long that took and
+	// RecoveredRecords how many log records it replayed beyond the
+	// checkpoint.
+	WarmStart        bool    `json:"warm_start,omitempty"`
+	LastRecoveryMS   float64 `json:"last_recovery_ms,omitempty"`
+	RecoveredRecords uint64  `json:"recovered_records,omitempty"`
 }
 
 // New builds an engine: the factory is invoked once per shard, each
 // backend is warmed up and snapshotted, then the shard goroutines
-// start. On a factory error New returns without teardown: no shard
-// goroutine has started yet, so the already-built backends hold no
-// resources beyond memory and are left to the garbage collector.
+// start. With a DataDir configured, New first recovers: it loads the
+// latest valid checkpoint and replays every newer op-log segment
+// through the same batch-application path live writes use, so a
+// restarted engine serves the identical node populations,
+// availability vectors, forwarding state and query results its
+// predecessor acknowledged (ErrRecovery wraps any failure). On a
+// factory error New returns without teardown: no shard goroutine
+// has started yet, so the already-built backends hold no resources
+// beyond memory and are left to the garbage collector.
 func New(cfg Config, factory BackendFactory) (*Engine, error) {
 	cfg, err := cfg.withDefaults()
 	if err != nil {
@@ -138,7 +194,7 @@ func New(cfg Config, factory BackendFactory) (*Engine, error) {
 	e := &Engine{
 		cfg:   cfg,
 		cache: newQueryCache(cfg),
-		fwd:   newFwdTable(),
+		fwd:   newFwdTable(cfg),
 		stop:  make(chan struct{}),
 	}
 	for i := 0; i < cfg.Shards; i++ {
@@ -147,7 +203,21 @@ func New(cfg Config, factory BackendFactory) (*Engine, error) {
 			// No goroutine has started yet; nothing to tear down.
 			return nil, fmt.Errorf("serve: shard %d: %w", i, err)
 		}
-		e.shards = append(e.shards, newShard(i, cfg, be))
+		s := newShard(i, cfg, be)
+		s.epoch = &e.epoch
+		e.shards = append(e.shards, s)
+	}
+	if cfg.DataDir != "" {
+		if err := e.recover(); err != nil {
+			// No goroutine has started; release any log handles the
+			// partial recovery opened.
+			for _, s := range e.shards {
+				if s.log != nil {
+					s.log.Close()
+				}
+			}
+			return nil, fmt.Errorf("%w: %v", ErrRecovery, err)
+		}
 	}
 	for _, s := range e.shards {
 		s.start()
@@ -156,16 +226,28 @@ func New(cfg Config, factory BackendFactory) (*Engine, error) {
 		e.rebalDone = make(chan struct{})
 		go e.rebalanceLoop(cfg.RebalanceInterval)
 	}
+	if cfg.DataDir != "" && cfg.CheckpointEvery > 0 {
+		e.ckptDone = make(chan struct{})
+		go e.checkpointLoop(cfg.CheckpointEvery)
+	}
 	return e, nil
 }
 
 // Config returns the resolved configuration.
 func (e *Engine) Config() Config { return e.cfg }
 
-// Close stops the rebalancer and every shard goroutine. Queued but
-// unapplied writes are dropped; concurrent and subsequent calls fail
-// with ErrClosed.
+// Close stops the background loops, writes a final clean checkpoint
+// (durable engines), and halts every shard goroutine — which flushes
+// and fsyncs each op-log, so the next New warm-restarts without
+// replay. Queued but unapplied writes are dropped; concurrent and
+// subsequent calls fail with ErrClosed.
 func (e *Engine) Close() error {
+	return e.close(true)
+}
+
+// close implements Close. Skipping the final checkpoint (crash-style
+// shutdown) is how crash-recovery tests exercise log replay.
+func (e *Engine) close(checkpoint bool) error {
 	if !e.closed.CompareAndSwap(false, true) {
 		return ErrClosed
 	}
@@ -173,10 +255,19 @@ func (e *Engine) Close() error {
 	if e.rebalDone != nil {
 		<-e.rebalDone
 	}
+	if e.ckptDone != nil {
+		<-e.ckptDone
+	}
+	var ckptErr error
+	if checkpoint && e.cfg.DataDir != "" {
+		// The shards are still running: the final capture drains
+		// whatever the write queues already accepted.
+		_, ckptErr = e.checkpoint()
+	}
 	for _, s := range e.shards {
 		s.halt()
 	}
-	return nil
+	return ckptErr
 }
 
 func (e *Engine) checkDemand(demand vector.Vec) error {
@@ -231,7 +322,11 @@ func (e *Engine) Query(req QueryRequest) (QueryResponse, error) {
 		return QueryResponse{Candidates: e.externalize(bestFit(cands, req.K))}, nil
 	}
 	key, cellDemand := e.cache.quantize(req.Demand, req.K)
-	resp, hit := e.cache.get(key, time.Now()) // Candidates already a private copy
+	// The fill epoch is read before the snapshot scan: a write racing
+	// the scan may or may not be visible in it, and the earlier epoch
+	// ages the entry conservatively either way.
+	epoch := e.epoch.Load()
+	resp, hit := e.cache.get(key, time.Now(), epoch) // Candidates already a private copy
 	if !hit {
 		var cands []Candidate
 		for _, s := range e.shards {
@@ -239,7 +334,7 @@ func (e *Engine) Query(req QueryRequest) (QueryResponse, error) {
 			cands = snap.collect(cands, cellDemand, e.cfg.CMax, snap.Taken)
 		}
 		cached := QueryResponse{Candidates: bestFit(cands, req.K)}
-		e.cache.put(key, cached, time.Now())
+		e.cache.put(key, cached, time.Now(), epoch)
 		resp = QueryResponse{Candidates: append([]Candidate(nil), cached.Candidates...)}
 	}
 	resp.Cached = hit
@@ -531,17 +626,24 @@ func (e *Engine) Leave(node GlobalID) error {
 	if e.closed.Load() {
 		return ErrClosed
 	}
-	phys, err := e.submitResolved(node, func(phys GlobalID) op {
+	if _, err := e.submitResolved(node, func(phys GlobalID) op {
 		return op{
 			kind:  opLeave,
 			node:  phys.Local(),
 			reply: make(chan opResult, 1),
+			// Forwarding state dies on the shard goroutine, before
+			// the leave is acknowledged: a checkpoint captured later
+			// on that goroutine then cannot serialize forwarding
+			// entries whose leave record it no longer covers.
+			onApplied: func(res opResult) {
+				if res.err == nil {
+					e.fwd.forget(phys) // removed ids only matter to recovery
+				}
+			},
 		}
-	})
-	if err != nil {
+	}); err != nil {
 		return err
 	}
-	e.fwd.forget(phys)
 	e.leaves.Add(1)
 	return nil
 }
@@ -601,6 +703,14 @@ func (e *Engine) Stats() Stats {
 		ForwardedIDs:  e.fwd.count(),
 		LastImbalance: math.Float64frombits(e.lastImbalance.Load()),
 		Errors:        e.errors.Load(),
+
+		Durable:          e.cfg.DataDir != "",
+		WriteEpoch:       e.epoch.Load(),
+		Checkpoints:      e.checkpoints.Load(),
+		CheckpointSeq:    e.ckptSeq.Load(),
+		WarmStart:        e.warmStart,
+		LastRecoveryMS:   float64(e.recoveryNanos.Load()) / 1e6,
+		RecoveredRecords: e.recoveredRecs.Load(),
 	}
 	st.CacheHits, st.CacheMisses, st.CacheResets, st.CacheEntries = e.cache.stats()
 	for _, s := range e.shards {
@@ -613,8 +723,12 @@ func (e *Engine) Stats() Stats {
 			QueueDepth:      len(s.ops),
 			OpsApplied:      s.applied.Load(),
 			Batches:         s.batches.Load(),
+			LogBytes:        s.logBytes.Load(),
 		})
 		st.TotalNodes += len(snap.Records)
+		st.LogBytes += s.logBytes.Load()
+		st.LogRecords += s.logRecords.Load()
+		st.LogErrors += s.logErrors.Load()
 	}
 	return st
 }

@@ -18,6 +18,7 @@ import (
 //	POST /join   {"avail":[...],"shard":S}                -> {"node":N}
 //	POST /leave  {"node":N}                               -> {"ok":true}
 //	POST /rebalance -> RebalanceResult
+//	POST /checkpoint -> CheckpointResult
 //	GET  /nodes  -> {"nodes":[N,...]}
 //	GET  /stats  -> Stats
 //	GET  /healthz -> {"ok":true}
@@ -26,7 +27,9 @@ import (
 // migrated node keeps answering to every id it was ever known by.
 // /join's optional "shard" targets a specific shard instead of the
 // round-robin placement; /rebalance triggers one adaptive rebalance
-// pass on demand. Request bodies are capped at 1 MiB. Errors come
+// pass on demand; /checkpoint snapshots a durable (DataDir) engine's
+// state and truncates its op-logs. Request bodies are capped at 1
+// MiB. Errors come
 // back as {"error":"..."} with status 400 (bad input, including
 // oversized bodies), 404 (no such shard), 409 (rejected operation),
 // 503 (engine closed) or 504 (scatter-gather deadline expired with
@@ -89,6 +92,14 @@ func NewHandler(e *Engine) http.Handler {
 		}
 		writeJSON(w, http.StatusOK, res)
 	})
+	mux.HandleFunc("POST /checkpoint", func(w http.ResponseWriter, r *http.Request) {
+		res, err := e.Checkpoint()
+		if err != nil {
+			writeErr(w, err)
+			return
+		}
+		writeJSON(w, http.StatusOK, res)
+	})
 	mux.HandleFunc("POST /leave", func(w http.ResponseWriter, r *http.Request) {
 		var req struct {
 			Node GlobalID `json:"node"`
@@ -143,7 +154,7 @@ func writeErr(w http.ResponseWriter, err error) {
 	switch {
 	case errors.Is(err, ErrClosed):
 		status = http.StatusServiceUnavailable
-	case errors.Is(err, ErrBadDemand), errors.Is(err, ErrBadScope):
+	case errors.Is(err, ErrBadDemand), errors.Is(err, ErrBadScope), errors.Is(err, ErrNotDurable):
 		status = http.StatusBadRequest
 	case errors.Is(err, ErrNoShard):
 		status = http.StatusNotFound

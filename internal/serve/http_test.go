@@ -304,3 +304,53 @@ func TestHTTPHealthz(t *testing.T) {
 		t.Fatalf("healthz: %d", r.StatusCode)
 	}
 }
+
+// TestHTTPCheckpoint: POST /checkpoint snapshots a durable engine
+// (200 with a sequence number) and is a clean 400 on an in-memory
+// one.
+func TestHTTPCheckpoint(t *testing.T) {
+	cfg := testConfig(2)
+	cfg.DataDir = t.TempDir()
+	e, err := New(cfg, func(i int, rc Config) (Backend, error) {
+		return newFake(rc.NodesPerShard, rc.CMax.Dim()), nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { e.Close() })
+	ts := httptest.NewServer(NewHandler(e))
+	t.Cleanup(ts.Close)
+
+	if err := e.Update(e.Nodes()[0], vector.Of(5, 5), false); err != nil {
+		t.Fatal(err)
+	}
+	resp, out := postJSON(t, ts.URL+"/checkpoint", nil)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("checkpoint: %d %v", resp.StatusCode, out)
+	}
+	if seq, ok := out["seq"].(float64); !ok || seq != 1 {
+		t.Fatalf("checkpoint seq: %v, want 1", out)
+	}
+
+	// Durability fields surface in /stats.
+	r, err := http.Get(ts.URL + "/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var st Stats
+	if err := json.NewDecoder(r.Body).Decode(&st); err != nil {
+		t.Fatal(err)
+	}
+	r.Body.Close()
+	if !st.Durable || st.Checkpoints != 1 || st.LogRecords == 0 {
+		t.Fatalf("stats durability fields: durable=%v checkpoints=%d wal_records=%d",
+			st.Durable, st.Checkpoints, st.LogRecords)
+	}
+
+	// In-memory engine: 400.
+	_, ts2 := newTestServer(t, 1)
+	resp, out = postJSON(t, ts2.URL+"/checkpoint", nil)
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("checkpoint on in-memory engine: %d %v, want 400", resp.StatusCode, out)
+	}
+}

@@ -6,53 +6,116 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"pidcan/internal/serve/wal"
 )
 
 // fwdTable keeps cross-shard node migration invisible to callers: a
-// node's first (external) id and every physical id it ever held stay
-// routable after any number of moves. Backends never reuse local
-// node ids, so stale ids cannot collide with fresh joins.
+// node's first (external) id stays routable for its whole life, and
+// the physical ids it held along the way stay routable for a bounded
+// grace window. Backends never reuse local node ids, so stale ids
+// cannot collide with fresh joins.
+//
+// Compaction (vs. the PR-3 table, which kept every id forever and
+// rewrote all of them on each move): repoint is O(1) — it links only
+// the vacated id and the external id to the new home — so former
+// physical ids form chains that lookups path-compress on the fly,
+// union-find style. Former physical ids are never handed out as
+// identities (query responses and Nodes externalize to the stable
+// external id); the only holders are snapshots, cache entries and
+// in-flight scatter legs, all of which age out within
+// CacheTTL/FlushInterval/ScatterTimeout. Aliases therefore expire
+// after a grace period comfortably above all three and are
+// reclaimed, bounding the table by live migrated nodes (two entries
+// each: external id -> current, current -> external) instead of by
+// lifetime migrations.
 type fwdTable struct {
 	mu sync.RWMutex
-	// to maps every stale id (the external id and each former
-	// physical id) of a migrated node to its current physical id.
-	to map[GlobalID]GlobalID
-	// ext maps a migrated node's physical ids — current AND former,
-	// since a concurrent reader's shard snapshot may still show the
-	// node at its old home mid-move — back to its external id, so
-	// Nodes reports one stable identity however the snapshots
-	// interleave with a migration.
+	// next maps an id one step toward the node's current physical id
+	// (the external id always in one hop; former physical ids may
+	// chain until a lookup compresses them).
+	next map[GlobalID]GlobalID
+	// ext maps physical ids — current AND recently former, since a
+	// concurrent reader's shard snapshot may still show the node at
+	// its old home mid-move — back to the external id, so Nodes and
+	// query responses report one stable identity however the
+	// snapshots interleave with a migration.
 	ext map[GlobalID]GlobalID
-	// aliases lists the former physical ids per external id, so a
-	// later move can repoint all of them in one pass (to stays flat:
-	// resolution is always a single lookup).
-	aliases map[GlobalID][]GlobalID
+	// aliases lists, per external id, the former physical ids and
+	// when each may be reclaimed. Expiries are monotone in creation
+	// order, so the expired set is always a prefix.
+	aliases map[GlobalID][]fwdAlias
 	// inflight serializes migrations per node and lets writers wait
 	// out a move instead of failing on the vacated source shard.
 	inflight map[GlobalID]chan struct{}
 
-	// entries mirrors len(ext) (== 0 iff the whole table is empty,
-	// since repoint and forget add/remove to and ext together). The
-	// hot read paths load it lock-free and skip the table entirely
-	// while no node has ever migrated, keeping snapshot queries on
-	// an untouched engine free of shared-lock traffic.
+	// grace is how long a former physical id stays routable after
+	// the move away from it; nowFn is the clock (tests override it).
+	grace     time.Duration
+	nowFn     func() time.Time
+	lastSweep time.Time
+
+	// entries mirrors len(ext) (== 0 iff the whole table is empty).
+	// The hot read paths load it lock-free and skip the table
+	// entirely while no node has ever migrated, keeping snapshot
+	// queries on an untouched engine free of shared-lock traffic.
 	entries atomic.Int64
 }
 
-func newFwdTable() *fwdTable {
+type fwdAlias struct {
+	id      GlobalID
+	expires time.Time
+}
+
+func newFwdTable(cfg Config) *fwdTable {
+	// A former physical id can be observed via a cached query entry
+	// (<= CacheTTL old), a stale snapshot (republished every
+	// FlushInterval), or a scatter leg (<= ScatterTimeout). Twice
+	// their sum comfortably outlives every holder.
+	grace := 2 * (cfg.CacheTTL + cfg.FlushInterval + cfg.ScatterTimeout)
 	return &fwdTable{
-		to:       map[GlobalID]GlobalID{},
-		ext:      map[GlobalID]GlobalID{},
-		aliases:  map[GlobalID][]GlobalID{},
-		inflight: map[GlobalID]chan struct{}{},
+		next:      map[GlobalID]GlobalID{},
+		ext:       map[GlobalID]GlobalID{},
+		aliases:   map[GlobalID][]fwdAlias{},
+		inflight:  map[GlobalID]chan struct{}{},
+		grace:     grace,
+		lastSweep: time.Now(),
 	}
 }
 
-func (t *fwdTable) resolveLocked(id GlobalID) GlobalID {
-	if p, ok := t.to[id]; ok {
-		return p
+func (t *fwdTable) now() time.Time {
+	if t.nowFn != nil {
+		return t.nowFn()
 	}
-	return id
+	return time.Now()
+}
+
+// chaseLocked follows the forwarding chain from id to the node's
+// current physical id, returning the hop count.
+func (t *fwdTable) chaseLocked(id GlobalID) (GlobalID, int) {
+	hops := 0
+	for {
+		n, ok := t.next[id]
+		if !ok || n == id {
+			return id, hops
+		}
+		id = n
+		hops++
+	}
+}
+
+// compressLocked is chaseLocked plus path compression: every id on
+// the chain is relinked directly to the terminal, so the next lookup
+// is one hop. Requires the write lock.
+func (t *fwdTable) compressLocked(id GlobalID) GlobalID {
+	cur, hops := t.chaseLocked(id)
+	for hops > 1 {
+		n := t.next[id]
+		t.next[id] = cur
+		id = n
+		hops--
+	}
+	return cur
 }
 
 func (t *fwdTable) externalLocked(phys GlobalID) GlobalID {
@@ -63,21 +126,34 @@ func (t *fwdTable) externalLocked(phys GlobalID) GlobalID {
 }
 
 // resolve maps any id a node was ever known by to its current
-// physical id (identity for never-migrated nodes).
+// physical id (identity for never-migrated nodes and for reclaimed
+// aliases). Multi-hop chains are path-compressed on the way out.
 func (t *fwdTable) resolve(id GlobalID) GlobalID {
 	if t.entries.Load() == 0 {
 		return id
 	}
 	t.mu.RLock()
-	defer t.mu.RUnlock()
-	return t.resolveLocked(id)
+	cur, hops := t.chaseLocked(id)
+	t.mu.RUnlock()
+	if hops > 1 {
+		t.mu.Lock()
+		cur = t.compressLocked(id)
+		t.mu.Unlock()
+	}
+	return cur
 }
 
-// count returns the number of forwarded (stale) ids.
+// count returns the number of routable forwarded ids, sweeping out
+// expired aliases first (Stats is the engine's natural maintenance
+// tick alongside repoint itself).
 func (t *fwdTable) count() int {
+	if t.entries.Load() == 0 {
+		return 0
+	}
+	t.maybeSweep(t.now())
 	t.mu.RLock()
 	defer t.mu.RUnlock()
-	return len(t.to)
+	return len(t.next)
 }
 
 // begin claims the node for migration, waiting out a move already in
@@ -90,7 +166,7 @@ func (t *fwdTable) count() int {
 func (t *fwdTable) begin(id GlobalID, closing <-chan struct{}) (phys, x GlobalID, release func(), err error) {
 	for {
 		t.mu.Lock()
-		phys = t.resolveLocked(id)
+		phys = t.compressLocked(id)
 		x = t.externalLocked(phys)
 		ch, busy := t.inflight[x]
 		if !busy {
@@ -117,29 +193,84 @@ func (t *fwdTable) begin(id GlobalID, closing <-chan struct{}) (phys, x GlobalID
 // repoint records a completed move of external id x from physical
 // id old to physical id now. Called from the destination shard's
 // goroutine between applying the join and publishing the snapshot,
-// under the mover's inflight claim.
+// under the mover's inflight claim — and again, idempotently, when
+// recovery replays the join from the op-log.
 func (t *fwdTable) repoint(x, old, now GlobalID) {
+	at := t.now()
 	t.mu.Lock()
-	t.repointLocked(x, old, now)
+	t.repointLocked(x, old, now, at)
 	t.mu.Unlock()
 }
 
-// repointLocked records a completed move of external id x from
-// physical id old to physical id now.
-func (t *fwdTable) repointLocked(x, old, now GlobalID) {
+// repointLocked links the move in O(1): the external id and the
+// vacated physical id point at the new home; older aliases keep
+// their one-step links and compress lazily on lookup. The vacated id
+// becomes a reclaimable alias, and the node's already-expired
+// aliases are pruned on the way through.
+func (t *fwdTable) repointLocked(x, old, now GlobalID, at time.Time) {
 	if old != x {
-		t.aliases[x] = append(t.aliases[x], old)
+		known := false
+		for _, a := range t.aliases[x] {
+			if a.id == old {
+				known = true
+				break
+			}
+		}
+		if !known {
+			t.aliases[x] = append(t.aliases[x], fwdAlias{id: old, expires: at.Add(t.grace)})
+		}
+		t.next[old] = now
+		// The old physical id keeps an ext entry for its grace
+		// window: a snapshot read mid-move may still show the node
+		// there, and must map it to the same external identity as
+		// the new home.
+		t.ext[old] = x
 	}
-	t.to[x] = now
-	for _, a := range t.aliases[x] {
-		t.to[a] = now
-	}
-	// The old physical id keeps its ext entry: a snapshot read
-	// mid-move may still show the node there, and must map it to the
-	// same external identity as the new home.
-	t.ext[old] = x
+	t.next[x] = now
 	t.ext[now] = x
+	t.pruneLocked(x, at)
 	t.entries.Store(int64(len(t.ext)))
+}
+
+// pruneLocked reclaims x's expired aliases (always a prefix of the
+// list, since expiries are monotone in creation order — so a pruned
+// alias can never be the target of a surviving older link).
+func (t *fwdTable) pruneLocked(x GlobalID, at time.Time) {
+	as := t.aliases[x]
+	i := 0
+	for i < len(as) && !as[i].expires.After(at) {
+		delete(t.next, as[i].id)
+		delete(t.ext, as[i].id)
+		i++
+	}
+	if i == 0 {
+		return
+	}
+	if i == len(as) {
+		delete(t.aliases, x)
+		return
+	}
+	t.aliases[x] = append(as[:0:0], as[i:]...)
+}
+
+// maybeSweep prunes every node's expired aliases, at most once per
+// grace interval.
+func (t *fwdTable) maybeSweep(at time.Time) {
+	t.mu.RLock()
+	due := len(t.aliases) > 0 && at.Sub(t.lastSweep) >= t.grace
+	t.mu.RUnlock()
+	if !due {
+		return
+	}
+	t.mu.Lock()
+	if at.Sub(t.lastSweep) >= t.grace {
+		for x := range t.aliases {
+			t.pruneLocked(x, at)
+		}
+		t.lastSweep = at
+		t.entries.Store(int64(len(t.ext)))
+	}
+	t.mu.Unlock()
 }
 
 // waitSettled is the writer-side retry gate: after a backend
@@ -148,7 +279,7 @@ func (t *fwdTable) repointLocked(x, old, now GlobalID) {
 // out, or the id already resolves elsewhere. closing aborts the wait.
 func (t *fwdTable) waitSettled(id, phys GlobalID, closing <-chan struct{}) bool {
 	t.mu.RLock()
-	cur := t.resolveLocked(id)
+	cur, _ := t.chaseLocked(id)
 	ch, busy := t.inflight[t.externalLocked(cur)]
 	t.mu.RUnlock()
 	if busy {
@@ -163,21 +294,99 @@ func (t *fwdTable) waitSettled(id, phys GlobalID, closing <-chan struct{}) bool 
 }
 
 // forget drops all forwarding state of the node currently at
-// physical id phys (called after it leaves for good).
-func (t *fwdTable) forget(phys GlobalID) {
+// physical id phys (called after it leaves for good), returning
+// every id that belonged to the node — recovery records them so a
+// replayed migration take of a node that later left is not mistaken
+// for an orphaned mid-flight move. Idempotent: recovery replays it
+// for every logged leave.
+func (t *fwdTable) forget(phys GlobalID) []GlobalID {
 	if t.entries.Load() == 0 {
-		return // nothing ever migrated: no state to clean
+		return nil // nothing ever migrated: no state to clean
 	}
 	t.mu.Lock()
 	x := t.externalLocked(phys)
+	cur, _ := t.chaseLocked(x)
+	removed := make([]GlobalID, 0, len(t.aliases[x])+3)
 	for _, a := range t.aliases[x] {
-		delete(t.to, a)
-		delete(t.ext, a)
+		removed = append(removed, a.id)
+		delete(t.next, a.id)
+		delete(t.ext, a.id)
 	}
-	delete(t.to, x)
-	delete(t.ext, x)
-	delete(t.ext, phys)
+	removed = append(removed, x, cur, phys)
 	delete(t.aliases, x)
+	delete(t.next, x)
+	delete(t.ext, x)
+	delete(t.next, cur)
+	delete(t.ext, cur)
+	delete(t.ext, phys)
+	t.entries.Store(int64(len(t.ext)))
+	t.mu.Unlock()
+	return removed
+}
+
+// hasRoute reports whether the table forwards phys anywhere — i.e. a
+// migration join away from phys is known.
+func (t *fwdTable) hasRoute(phys GlobalID) bool {
+	t.mu.RLock()
+	_, ok := t.next[phys]
+	t.mu.RUnlock()
+	return ok
+}
+
+// externalOf maps a physical id to its external id (identity when
+// unknown).
+func (t *fwdTable) externalOf(phys GlobalID) GlobalID {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return t.externalLocked(phys)
+}
+
+// export flattens the table for a checkpoint. Chains are exported
+// as-is (recovery restores and keeps compressing lazily); alias
+// expiry clocks restart on recovery, which only ever errs longer.
+func (t *fwdTable) export() wal.ForwardState {
+	t.maybeSweep(t.now())
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	fs := wal.ForwardState{
+		Next:    make(map[uint64]uint64, len(t.next)),
+		Ext:     make(map[uint64]uint64, len(t.ext)),
+		Aliases: make(map[uint64][]uint64, len(t.aliases)),
+	}
+	for k, v := range t.next {
+		fs.Next[uint64(k)] = uint64(v)
+	}
+	for k, v := range t.ext {
+		fs.Ext[uint64(k)] = uint64(v)
+	}
+	for x, as := range t.aliases {
+		ids := make([]uint64, len(as))
+		for i, a := range as {
+			ids[i] = uint64(a.id)
+		}
+		fs.Aliases[uint64(x)] = ids
+	}
+	return fs
+}
+
+// restore installs a checkpointed table, stamping every alias a
+// fresh grace window.
+func (t *fwdTable) restore(fs wal.ForwardState) {
+	at := t.now()
+	t.mu.Lock()
+	for k, v := range fs.Next {
+		t.next[GlobalID(k)] = GlobalID(v)
+	}
+	for k, v := range fs.Ext {
+		t.ext[GlobalID(k)] = GlobalID(v)
+	}
+	for x, ids := range fs.Aliases {
+		as := make([]fwdAlias, len(ids))
+		for i, id := range ids {
+			as[i] = fwdAlias{id: GlobalID(id), expires: at.Add(t.grace)}
+		}
+		t.aliases[GlobalID(x)] = as
+	}
 	t.entries.Store(int64(len(t.ext)))
 	t.mu.Unlock()
 }
@@ -185,12 +394,13 @@ func (t *fwdTable) forget(phys GlobalID) {
 // Migrate moves a node to shard `to`: it atomically Leaves the
 // node's source shard (capturing its availability) and re-Joins it
 // on the destination through both write queues. The node's external
-// identity survives the move — every id it was ever known by keeps
-// routing to it — and its availability is re-announced on the
-// destination shard's index. Migrating a node to its own shard is a
-// no-op. Concurrent migrations of the same node serialize;
-// concurrent Update/Leave calls wait out the move and retry against
-// the new shard.
+// identity survives the move — the id Join returned keeps routing to
+// it for the node's whole life, and any former physical id stays
+// routable for the forwarding grace window. The availability is
+// re-announced on the destination shard's index. Migrating a node to
+// its own shard is a no-op. Concurrent migrations of the same node
+// serialize; concurrent Update/Leave calls wait out the move and
+// retry against the new shard.
 func (e *Engine) Migrate(node GlobalID, to int) error {
 	if e.closed.Load() {
 		return ErrClosed
@@ -204,6 +414,15 @@ func (e *Engine) Migrate(node GlobalID, to int) error {
 		return err
 	}
 	defer release()
+	// The checkpoint barrier: a checkpoint pass must not rotate the
+	// shard logs between this migration's take and join, or a crash
+	// could leave the take durable in a pruned segment with the join
+	// nowhere — an acknowledged node silently lost. Holding the read
+	// side for the take+join span means every migration is either
+	// entirely inside one checkpoint's coverage or entirely after it
+	// (where a lost join is detected and rolled back at recovery).
+	e.migMu.RLock()
+	defer e.migMu.RUnlock()
 
 	from := phys.Shard()
 	if from >= len(e.shards) {
@@ -235,11 +454,14 @@ func (e *Engine) Migrate(node GlobalID, to int) error {
 	// The forwarding repoint rides the join op itself: the
 	// destination shard goroutine installs it after applying the
 	// join and before publishing the snapshot, so no concurrent
-	// reader ever sees the new physical id unmapped.
+	// reader ever sees the new physical id unmapped. The same
+	// metadata is logged with the join (op.mig), so a recovery
+	// replaying this op re-installs the identical repoint.
 	rejoin := func(home int) op {
 		return op{
 			kind:  opJoin,
 			avail: take.avail,
+			mig:   &migMeta{ext: x, old: phys},
 			reply: make(chan opResult, 1),
 			onApplied: func(res opResult) {
 				if res.err == nil {

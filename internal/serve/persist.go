@@ -1,0 +1,528 @@
+package serve
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+	"time"
+
+	"pidcan/internal/overlay"
+	"pidcan/internal/serve/wal"
+	"pidcan/internal/vector"
+)
+
+// shardDir returns shard i's op-log directory under DataDir.
+func (e *Engine) shardDir(i int) string {
+	return filepath.Join(e.cfg.DataDir, fmt.Sprintf("shard-%d", i))
+}
+
+// CheckpointResult describes one completed checkpoint pass.
+type CheckpointResult struct {
+	// Seq is the checkpoint's sequence number (monotonic per
+	// DataDir).
+	Seq uint64 `json:"seq"`
+	// Nodes is the total population the checkpoint serialized.
+	Nodes int `json:"nodes"`
+	// Bytes is the checkpoint file's size on disk.
+	Bytes int64 `json:"bytes"`
+	// ElapsedMS is the wall time of the pass, including every
+	// shard's log rotation and the durable file write.
+	ElapsedMS float64 `json:"elapsed_ms"`
+}
+
+// Checkpoint captures the engine's durable state now: every shard
+// rotates its op-log onto a fresh segment and serializes its logical
+// state at exactly that boundary, the forwarding table and engine
+// counters are added, and the whole checkpoint is written atomically
+// (temp file + rename). Log segments and checkpoints the new one
+// supersedes are deleted, bounding disk growth and recovery time.
+// Serving continues throughout — each shard pauses only for its own
+// capture. Fails with ErrNotDurable on an engine built without a
+// DataDir, and with ErrClosed after Close (Close itself writes one
+// final checkpoint).
+func (e *Engine) Checkpoint() (CheckpointResult, error) {
+	if e.closed.Load() {
+		return CheckpointResult{}, ErrClosed
+	}
+	return e.checkpoint()
+}
+
+// checkpoint implements Checkpoint (Close calls it after the closed
+// flag is already set).
+func (e *Engine) checkpoint() (CheckpointResult, error) {
+	if e.cfg.DataDir == "" {
+		return CheckpointResult{}, ErrNotDurable
+	}
+	// One pass at a time: concurrent passes would interleave their
+	// segment rotations and write checkpoints out of sequence.
+	e.ckptMu.Lock()
+	defer e.ckptMu.Unlock()
+	start := time.Now()
+	ck := &wal.Checkpoint{
+		Seq:           e.ckptSeq.Load() + 1,
+		Shards:        e.cfg.Shards,
+		NodesPerShard: e.cfg.NodesPerShard,
+		Seed:          e.cfg.Seed,
+		Dims:          e.cfg.CMax.Dim(),
+		NextShard:     e.nextShard.Load(),
+		NextQuery:     e.nextQuery.Load(),
+	}
+	res := CheckpointResult{Seq: ck.Seq}
+	// The shard captures happen under the migration barrier: no
+	// take+join pair may straddle the rotation boundary with only
+	// its take inside, or a crash before the join is logged would
+	// lose the node with its take record already pruned.
+	e.migMu.Lock()
+	for _, s := range e.shards {
+		st, err := s.checkpoint()
+		if err != nil {
+			e.migMu.Unlock()
+			e.errors.Add(1)
+			return CheckpointResult{}, err
+		}
+		res.Nodes += len(st.Nodes)
+		ck.ShardStates = append(ck.ShardStates, st)
+	}
+	e.migMu.Unlock()
+	// The forwarding table and counters are captured after every
+	// shard's rotation: anything they miss (an op applied after a
+	// shard's capture) lives in a post-rotation segment and replays
+	// on top — repoint and forget are idempotent for exactly this.
+	ck.Fwd = e.fwd.export()
+	ck.Counters = map[string]uint64{
+		"queries":    e.queries.Load(),
+		"consistent": e.consistent.Load(),
+		"updates":    e.updates.Load(),
+		"joins":      e.joins.Load(),
+		"leaves":     e.leaves.Load(),
+		"migrations": e.migrations.Load(),
+		"rebalances": e.rebalances.Load(),
+		"errors":     e.errors.Load(),
+	}
+	path, err := ck.Save(e.cfg.DataDir)
+	if err != nil {
+		e.errors.Add(1)
+		return CheckpointResult{}, err
+	}
+	if fi, err := os.Stat(path); err == nil {
+		res.Bytes = fi.Size()
+	}
+	// Prune what the new checkpoint supersedes. Best-effort: a
+	// leftover file is re-pruned by the next pass and never consulted
+	// by recovery.
+	wal.RemoveCheckpointsBelow(e.cfg.DataDir, ck.Seq)
+	for i, st := range ck.ShardStates {
+		wal.RemoveSegmentsBelow(e.shardDir(i), st.FirstSeg)
+	}
+	e.ckptSeq.Store(ck.Seq)
+	e.checkpoints.Add(1)
+	res.ElapsedMS = float64(time.Since(start)) / float64(time.Millisecond)
+	return res, nil
+}
+
+// checkpointLoop is the background checkpointer goroutine, started
+// by New when Config.CheckpointEvery > 0 and stopped by Close.
+func (e *Engine) checkpointLoop(interval time.Duration) {
+	defer close(e.ckptDone)
+	tick := time.NewTicker(interval)
+	defer tick.Stop()
+	for {
+		select {
+		case <-e.stop:
+			return
+		case <-tick.C:
+			e.checkpoint() // errors surface through Stats.Errors
+		}
+	}
+}
+
+// replayTally counts what one shard's recovery re-applied, so the
+// engine counters cover the log tail as well as the checkpoint, and
+// collects the migration takes for orphan reconciliation.
+type replayTally struct {
+	records    uint64
+	updates    uint64
+	joins      uint64
+	leaves     uint64
+	migrations uint64
+	takes      []takenNode
+}
+
+// takenNode is one replayed migration take: the physical id the node
+// left and the availability it carried.
+type takenNode struct {
+	phys  GlobalID
+	avail []float64
+}
+
+// recoveryNotes is shared across the parallel shard replays: which
+// former physical ids a replayed migration join moved away from, and
+// which ids a replayed leave removed for good. Reconciliation uses
+// both to tell an orphaned mid-flight take from a completed (or
+// properly ended) migration.
+type recoveryNotes struct {
+	mu        sync.Mutex
+	repointed map[GlobalID]bool
+	forgotten map[GlobalID]bool
+}
+
+func (rn *recoveryNotes) noteRepointed(old GlobalID) {
+	rn.mu.Lock()
+	rn.repointed[old] = true
+	rn.mu.Unlock()
+}
+
+func (rn *recoveryNotes) noteForgotten(ids []GlobalID) {
+	rn.mu.Lock()
+	for _, id := range ids {
+		rn.forgotten[id] = true
+	}
+	rn.mu.Unlock()
+}
+
+// recover rebuilds the engine's state from DataDir before serving
+// starts: the latest valid checkpoint is restored — forwarding
+// table, round-robin counters, cumulative stats, and every shard's
+// logical state, the latter re-applied through applyBatch — and all
+// newer op-log segments are replayed through the same path, shards
+// in parallel. A torn final record (crash mid-append) truncates
+// cleanly; any other divergence (wrong configuration, a join
+// replaying to a different id than the log recorded) aborts startup.
+// A migration whose take is durable but whose destination join never
+// was (the crash landed between the two halves) is rolled back: the
+// node re-joins its source shard with the availability the take
+// carried, exactly like a live failed migration.
+func (e *Engine) recover() error {
+	start := time.Now()
+	if err := os.MkdirAll(e.cfg.DataDir, 0o755); err != nil {
+		return err
+	}
+	ck, err := wal.LoadLatest(e.cfg.DataDir)
+	if err != nil {
+		return err
+	}
+	if ck != nil {
+		if ck.Shards != e.cfg.Shards || ck.NodesPerShard != e.cfg.NodesPerShard ||
+			ck.Seed != e.cfg.Seed || ck.Dims != e.cfg.CMax.Dim() {
+			return fmt.Errorf("data dir %q was written by an incompatible engine "+
+				"(shards/nodes/seed/dims %d/%d/%d/%d, this engine %d/%d/%d/%d)",
+				e.cfg.DataDir, ck.Shards, ck.NodesPerShard, ck.Seed, ck.Dims,
+				e.cfg.Shards, e.cfg.NodesPerShard, e.cfg.Seed, e.cfg.CMax.Dim())
+		}
+		if len(ck.ShardStates) != len(e.shards) {
+			return fmt.Errorf("checkpoint %d has %d shard states, want %d",
+				ck.Seq, len(ck.ShardStates), len(e.shards))
+		}
+		// Forwarding state restores before replay so the log tail's
+		// repoints overlay it, not the reverse.
+		e.fwd.restore(ck.Fwd)
+		e.nextShard.Store(ck.NextShard)
+		e.nextQuery.Store(ck.NextQuery)
+		e.queries.Store(ck.Counters["queries"])
+		e.consistent.Store(ck.Counters["consistent"])
+		e.updates.Store(ck.Counters["updates"])
+		e.joins.Store(ck.Counters["joins"])
+		e.leaves.Store(ck.Counters["leaves"])
+		e.migrations.Store(ck.Counters["migrations"])
+		e.rebalances.Store(ck.Counters["rebalances"])
+		e.errors.Store(ck.Counters["errors"])
+		e.ckptSeq.Store(ck.Seq)
+	}
+	notes := &recoveryNotes{
+		repointed: map[GlobalID]bool{},
+		forgotten: map[GlobalID]bool{},
+	}
+	tallies := make([]replayTally, len(e.shards))
+	errs := make([]error, len(e.shards))
+	var wg sync.WaitGroup
+	for i, s := range e.shards {
+		var st *wal.ShardState
+		if ck != nil {
+			st = &ck.ShardStates[i]
+		}
+		wg.Add(1)
+		go func(i int, s *shard, st *wal.ShardState) {
+			defer wg.Done()
+			tallies[i], errs[i] = e.recoverShard(s, st, notes)
+		}(i, s, st)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			return fmt.Errorf("shard %d: %w", i, err)
+		}
+	}
+	var total uint64
+	for _, t := range tallies {
+		total += t.records
+		e.updates.Add(t.updates)
+		e.joins.Add(t.joins)
+		e.leaves.Add(t.leaves)
+		e.migrations.Add(t.migrations)
+	}
+	if err := e.reconcileTakes(tallies, notes); err != nil {
+		return err
+	}
+	e.recoveredRecs.Store(total)
+	e.warmStart = ck != nil || total > 0
+	e.recoveryNanos.Store(time.Since(start).Nanoseconds())
+	return nil
+}
+
+// reconcileTakes resolves migration takes whose destination join
+// never became durable. A take is orphaned when, after every shard
+// has replayed, nothing moved the node onward from the taken
+// physical id: no replayed join repoints away from it, the restored
+// forwarding table does not route it (a pre-checkpoint join would),
+// and no replayed leave removed the node for good. Each orphan rolls
+// back like a live failed migration: the node re-joins its source
+// shard with the availability its take captured, the forwarding
+// table repoints, and the rollback join is logged so the next
+// recovery replays it instead of reconciling again.
+func (e *Engine) reconcileTakes(tallies []replayTally, notes *recoveryNotes) error {
+	for i, t := range tallies {
+		for _, tk := range t.takes {
+			if notes.repointed[tk.phys] || notes.forgotten[tk.phys] || e.fwd.hasRoute(tk.phys) {
+				continue
+			}
+			s := e.shards[i]
+			x := e.fwd.externalOf(tk.phys)
+			phys := tk.phys
+			o := op{
+				kind:  opJoin,
+				avail: vector.Vec(tk.avail),
+				mig:   &migMeta{ext: x, old: phys},
+				onApplied: func(res opResult) {
+					if res.err == nil {
+						e.fwd.repoint(x, phys, Global(s.idx, res.node))
+					}
+				},
+			}
+			batch := []op{o}
+			results, _ := s.applyBatch(batch)
+			if results[0].err != nil {
+				return fmt.Errorf("shard %d: rolling back orphaned take of %v: %w", i, phys, results[0].err)
+			}
+			s.logBatch(batch, results) // durable, so the next recovery replays it
+			s.be.Step(s.cfg.StepQuantum)
+			s.publish()
+		}
+	}
+	return nil
+}
+
+// recoverShard rebuilds one shard: the checkpointed logical state is
+// re-applied as synthesized ops, then every post-checkpoint log
+// segment replays in order — all through shard.applyBatch, the same
+// code live batches run. It finishes by opening a fresh segment for
+// the shard's own appends.
+func (e *Engine) recoverShard(s *shard, st *wal.ShardState, notes *recoveryNotes) (replayTally, error) {
+	var tally replayTally
+	dir := e.shardDir(s.idx)
+	segs, err := wal.Segments(dir)
+	if err != nil {
+		return tally, err
+	}
+	if st != nil {
+		if err := s.restoreCheckpoint(st); err != nil {
+			return tally, fmt.Errorf("checkpoint %s: %w",
+				wal.CheckpointPath(e.cfg.DataDir, e.ckptSeq.Load()), err)
+		}
+	}
+	first := uint64(0)
+	if st != nil {
+		first = st.FirstSeg
+	}
+	nextSeg := uint64(1)
+	if first >= nextSeg {
+		nextSeg = first + 1
+	}
+	for _, seg := range segs {
+		if seg >= nextSeg {
+			nextSeg = seg + 1
+		}
+		if seg < first {
+			continue // superseded by the checkpoint; pruning raced a crash
+		}
+		path := wal.SegmentPath(dir, seg)
+		recs, _, err := wal.ReadSegment(path)
+		if err != nil {
+			return tally, err
+		}
+		ops := make([]op, 0, len(recs))
+		expect := make([]overlay.NodeID, 0, len(recs))
+		for _, r := range recs {
+			o, exp := s.opFromRecord(e, r, notes)
+			ops = append(ops, o)
+			expect = append(expect, exp)
+			switch {
+			case r.Kind == wal.KindUpdate:
+				tally.updates++
+			case r.Kind == wal.KindJoin && r.Repoint:
+				tally.migrations++
+				notes.noteRepointed(GlobalID(r.Old))
+			case r.Kind == wal.KindJoin:
+				tally.joins++
+			case r.Kind == wal.KindLeave:
+				tally.leaves++
+			case r.Kind == wal.KindTake:
+				tally.takes = append(tally.takes, takenNode{
+					phys:  Global(s.idx, overlay.NodeID(r.Node)),
+					avail: r.Avail,
+				})
+			}
+		}
+		tally.records += uint64(len(recs))
+		if err := s.replay(ops, expect); err != nil {
+			return tally, fmt.Errorf("%s: %w", path, err)
+		}
+	}
+	log, err := wal.Create(dir, nextSeg)
+	if err != nil {
+		return tally, err
+	}
+	s.log = log
+	s.publish()
+	return tally, nil
+}
+
+// restoreCheckpoint re-applies a shard's checkpointed logical state
+// through applyBatch. With a Backend implementing IDSeeder (real
+// clusters and the test fakes do), the id sequence is advanced over
+// dead ids directly and only alive nodes are joined — O(alive
+// nodes); generic backends get the full synthesized history (every
+// id joined, dead ones left) — O(lifetime joins).
+func (s *shard) restoreCheckpoint(st *wal.ShardState) error {
+	if st.Shard != s.idx {
+		return fmt.Errorf("shard state %d out of order", st.Shard)
+	}
+	if uint32(s.nextLocal) > st.NextID {
+		return fmt.Errorf("next id %d below initial population %d", st.NextID, s.nextLocal)
+	}
+	initial := s.nextLocal
+	next := overlay.NodeID(st.NextID)
+	alive := make(map[overlay.NodeID]bool, len(st.Nodes))
+	for _, n := range st.Nodes {
+		alive[overlay.NodeID(n.Node)] = true
+	}
+	var ops []op
+	var expect []overlay.NodeID
+	if seeder, ok := s.be.(IDSeeder); ok {
+		for _, n := range st.Nodes {
+			id := overlay.NodeID(n.Node)
+			if id < initial {
+				continue
+			}
+			if err := seeder.SeedNextID(id); err != nil {
+				return err
+			}
+			if err := s.replay([]op{{kind: opJoin}}, []overlay.NodeID{id}); err != nil {
+				return err
+			}
+		}
+		if err := seeder.SeedNextID(next); err != nil {
+			return err
+		}
+		s.nextLocal = next
+		// Dead initial-population nodes were materialized by the
+		// factory and must still leave; dead later ids never existed.
+		for id := overlay.NodeID(0); id < initial; id++ {
+			if !alive[id] {
+				ops = append(ops, op{kind: opLeave, node: id})
+				expect = append(expect, -1)
+			}
+		}
+	} else {
+		for id := initial; id < next; id++ {
+			ops = append(ops, op{kind: opJoin})
+			expect = append(expect, id)
+		}
+		for id := overlay.NodeID(0); id < next; id++ {
+			if !alive[id] {
+				ops = append(ops, op{kind: opLeave, node: id})
+				expect = append(expect, -1)
+			}
+		}
+	}
+	for _, n := range st.Nodes {
+		ops = append(ops, op{
+			kind:     opUpdate,
+			node:     overlay.NodeID(n.Node),
+			avail:    vector.Vec(n.Avail),
+			announce: true,
+		})
+		expect = append(expect, -1)
+	}
+	return s.replay(ops, expect)
+}
+
+// opFromRecord rebuilds the live op a log record was written from,
+// including the forwarding side effects that ride onApplied hooks —
+// so replay exercises exactly the mechanism the live write did.
+// expect is the local id a join must re-assign (-1: no expectation).
+func (s *shard) opFromRecord(e *Engine, r wal.Record, notes *recoveryNotes) (op, overlay.NodeID) {
+	switch r.Kind {
+	case wal.KindUpdate:
+		return op{
+			kind:     opUpdate,
+			node:     overlay.NodeID(r.Node),
+			avail:    vector.Vec(r.Avail),
+			announce: r.Announce,
+		}, -1
+	case wal.KindJoin:
+		o := op{kind: opJoin, avail: vector.Vec(r.Avail)}
+		if r.Repoint {
+			ext, old := GlobalID(r.Ext), GlobalID(r.Old)
+			o.mig = &migMeta{ext: ext, old: old}
+			idx := s.idx
+			o.onApplied = func(res opResult) {
+				if res.err == nil {
+					e.fwd.repoint(ext, old, Global(idx, res.node))
+				}
+			}
+		}
+		return o, overlay.NodeID(r.Node)
+	case wal.KindLeave:
+		phys := Global(s.idx, overlay.NodeID(r.Node))
+		return op{
+			kind: opLeave,
+			node: overlay.NodeID(r.Node),
+			onApplied: func(res opResult) {
+				if res.err == nil {
+					notes.noteForgotten(e.fwd.forget(phys))
+				}
+			},
+		}, -1
+	default: // wal.KindTake
+		return op{kind: opTake, node: overlay.NodeID(r.Node)}, -1
+	}
+}
+
+// replay drives ops through applyBatch in MaxBatch-sized batches —
+// the live write path minus the queue — verifying every join
+// re-assigns the id the log recorded. Any op failing where the live
+// engine succeeded means the log and this engine's deterministic
+// backend have diverged, and recovery aborts rather than serve a
+// state it cannot vouch for.
+func (s *shard) replay(ops []op, expect []overlay.NodeID) error {
+	for len(ops) > 0 {
+		n := len(ops)
+		if n > s.cfg.MaxBatch {
+			n = s.cfg.MaxBatch
+		}
+		results, _ := s.applyBatch(ops[:n])
+		for i := 0; i < n; i++ {
+			if err := results[i].err; err != nil {
+				return fmt.Errorf("replay op %d (kind %d, node %d): %w", i, ops[i].kind, ops[i].node, err)
+			}
+			if exp := expect[i]; exp >= 0 && results[i].node != exp {
+				return fmt.Errorf("replay join assigned node %d, log recorded %d (divergent backend)",
+					results[i].node, exp)
+			}
+		}
+		s.be.Step(s.cfg.StepQuantum)
+		ops, expect = ops[n:], expect[n:]
+	}
+	return nil
+}

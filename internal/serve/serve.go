@@ -41,6 +41,15 @@
 //     least-loaded shard when the skew exceeds RebalanceThreshold,
 //     capped per pass so rebalancing never starves serving.
 //
+//   - With a DataDir the engine is durable (internal/serve/wal):
+//     every applied mutation becomes a typed, CRC-framed op-log
+//     record before its writer is acknowledged (fsync batched with
+//     the write batches), checkpoints serialize each shard's logical
+//     state plus the forwarding table and round-robin counters, and
+//     New warm-restarts from the latest checkpoint + log tail,
+//     replayed through the exact same batch-application path live
+//     writes use. Reads never touch the log.
+//
 // The Engine is wired to real clusters by pidcan.NewEngine; the HTTP
 // front-end lives in http.go (served by cmd/pidcan-serve) and the
 // open-loop load generator in cmd/pidcan-loadgen.
@@ -84,6 +93,14 @@ var (
 	// CAN overlay cannot lose its last owner, so migration never
 	// drains a shard below one node.
 	ErrLastNode = errors.New("serve: cannot migrate a shard's last node")
+	// ErrNotDurable is returned by Checkpoint on an engine built
+	// without a DataDir: there is no op-log to checkpoint.
+	ErrNotDurable = errors.New("serve: engine has no data dir")
+	// ErrRecovery wraps any failure to recover a DataDir's checkpoint
+	// and op-log at startup (incompatible configuration, divergent
+	// replay, unreadable files). New fails rather than serve from a
+	// state it cannot prove matches the log.
+	ErrRecovery = errors.New("serve: recovery failed")
 )
 
 // errLegAbandoned unwinds a scatter leg whose query has already
@@ -145,6 +162,17 @@ type Backend interface {
 	Size() int
 }
 
+// IDSeeder is an optional Backend extension used by checkpoint
+// recovery: advance the backend's local id sequence (and whatever
+// per-node bookkeeping a live join sequence would have grown, e.g.
+// the latency model) to next without materializing the dead nodes in
+// between. Backends implementing it make checkpoint restore
+// O(alive nodes); others get the generic path, which re-joins and
+// re-leaves every id ever assigned — O(lifetime joins).
+type IDSeeder interface {
+	SeedNextID(next overlay.NodeID) error
+}
+
 // BackendFactory builds the backend for one shard. cfg is the
 // resolved (defaults applied) engine configuration.
 type BackendFactory func(shard int, cfg Config) (Backend, error)
@@ -189,6 +217,31 @@ type Config struct {
 	// Warmup is simulated time each shard runs before serving, so
 	// state updates and index diffusion settle (default 0).
 	Warmup sim.Time
+	// DataDir, when non-empty, makes the engine durable: every
+	// applied mutation is appended to a per-shard op-log under this
+	// directory before it is acknowledged, checkpoints serialize the
+	// engine's logical state, and New warm-restarts from the latest
+	// checkpoint plus the log tail (replayed through the same batch
+	// application path live writes use). Empty (the default) keeps
+	// the engine purely in-memory. The directory must not be shared
+	// between live engines, and recovery requires the same Shards,
+	// NodesPerShard, Seed and CMax dimensionality the data was
+	// written under.
+	DataDir string
+	// CheckpointEvery, when positive, runs a background checkpoint on
+	// that cadence, bounding both log growth and recovery time. 0
+	// (the default) checkpoints only on Close and on explicit
+	// Checkpoint calls (POST /checkpoint over HTTP). Ignored without
+	// DataDir.
+	CheckpointEvery time.Duration
+	// FsyncEvery is the durability/throughput knob of the op-log: the
+	// log is fsynced once per FsyncEvery applied write batches
+	// (default 1: every batch is durable before its writers are
+	// acknowledged — note a batch is up to MaxBatch drained ops, so
+	// bursts already amortize the fsync). Negative disables fsync
+	// entirely: appends reach the OS on the batch cadence but a host
+	// crash may lose the recent tail (a process crash does not).
+	FsyncEvery int
 	// ScatterTimeout is the whole-gather deadline of a scatter-gather
 	// consistent query: one timer covers the entire gather, and legs
 	// still outstanding when it fires are abandoned and dropped from
@@ -222,6 +275,14 @@ type Config struct {
 	CacheQuantum float64
 	// CacheSize bounds the number of cached entries (default 4096).
 	CacheSize int
+	// CacheEpochBound ties cache freshness to writes: every applied
+	// batch that mutated a shard bumps the engine's write epoch, and
+	// a cached entry is treated as stale once the epoch has advanced
+	// more than this many batches past the entry's fill — so after a
+	// burst of writes the cache stops serving pre-write results even
+	// inside the TTL window. Default 32 batches; 1 invalidates on any
+	// write; negative restores pure TTL expiry.
+	CacheEpochBound int
 }
 
 // withDefaults returns cfg with zero fields resolved.
@@ -274,6 +335,12 @@ func (c Config) withDefaults() (Config, error) {
 	if c.ScatterTimeout <= 0 {
 		c.ScatterTimeout = 5 * time.Second
 	}
+	if c.CheckpointEvery < 0 {
+		c.CheckpointEvery = 0
+	}
+	if c.FsyncEvery == 0 {
+		c.FsyncEvery = 1
+	}
 	if c.RebalanceInterval < 0 {
 		c.RebalanceInterval = 0
 	}
@@ -294,6 +361,9 @@ func (c Config) withDefaults() (Config, error) {
 	}
 	if c.CacheSize <= 0 {
 		c.CacheSize = 4096
+	}
+	if c.CacheEpochBound == 0 {
+		c.CacheEpochBound = 32
 	}
 	return c, nil
 }

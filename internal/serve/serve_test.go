@@ -109,6 +109,15 @@ func (f *fakeBackend) Step(d sim.Time) { f.now += d }
 func (f *fakeBackend) Now() sim.Time   { return f.now }
 func (f *fakeBackend) Size() int       { return len(f.Nodes()) }
 
+// SeedNextID implements IDSeeder (checkpoint restore in O(alive)).
+func (f *fakeBackend) SeedNextID(next overlay.NodeID) error {
+	if next < f.next {
+		return fmt.Errorf("fake: seed id %d below next %d", next, f.next)
+	}
+	f.next = next
+	return nil
+}
+
 // testConfig returns a fast small config over a 2-dim unit cmax.
 func testConfig(shards int) Config {
 	return Config{
@@ -396,15 +405,15 @@ func TestCacheExpiredEntryDeletedOnLookup(t *testing.T) {
 	}
 	qc := newQueryCache(cfg)
 	t0 := time.Now()
-	qc.put("k1", QueryResponse{Candidates: []Candidate{{Node: 1}}}, t0)
-	qc.put("k2", QueryResponse{}, t0)
+	qc.put("k1", QueryResponse{Candidates: []Candidate{{Node: 1}}}, t0, 0)
+	qc.put("k2", QueryResponse{}, t0, 0)
 	if _, _, _, n := qc.stats(); n != 2 {
 		t.Fatalf("entries = %d after two puts, want 2", n)
 	}
-	if _, ok := qc.get("k1", t0.Add(cfg.CacheTTL/2)); !ok {
+	if _, ok := qc.get("k1", t0.Add(cfg.CacheTTL/2), 0); !ok {
 		t.Fatal("fresh entry missed")
 	}
-	if _, ok := qc.get("k1", t0.Add(cfg.CacheTTL+time.Second)); ok {
+	if _, ok := qc.get("k1", t0.Add(cfg.CacheTTL+time.Second), 0); ok {
 		t.Fatal("expired entry served")
 	}
 	if _, _, _, n := qc.stats(); n != 1 {
@@ -879,11 +888,11 @@ func TestCacheConcurrentRefreshIsHit(t *testing.T) {
 	qc := newQueryCache(cfg)
 	t0 := time.Now()
 	now := t0.Add(2 * cfg.CacheTTL) // t0 entry stale, refresh fresh
-	qc.put("k", QueryResponse{Candidates: []Candidate{{Node: 1}}}, t0)
+	qc.put("k", QueryResponse{Candidates: []Candidate{{Node: 1}}}, t0, 0)
 	qc.recheckHook = func() {
-		qc.put("k", QueryResponse{Candidates: []Candidate{{Node: 2}}}, now)
+		qc.put("k", QueryResponse{Candidates: []Candidate{{Node: 2}}}, now, 0)
 	}
-	resp, ok := qc.get("k", now)
+	resp, ok := qc.get("k", now, 0)
 	if !ok {
 		t.Fatal("concurrently refreshed entry reported as miss")
 	}

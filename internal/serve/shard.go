@@ -7,6 +7,7 @@ import (
 
 	"pidcan/internal/overlay"
 	"pidcan/internal/proto"
+	"pidcan/internal/serve/wal"
 	"pidcan/internal/sim"
 	"pidcan/internal/vector"
 )
@@ -22,12 +23,22 @@ const (
 	opTake                 // migration source half: Leave + hand back the availability
 )
 
+// migMeta is the serializable migration metadata of a join op that
+// completes a migration: the node's external id and the physical id
+// it is leaving behind. The live forwarding repoint happens in the
+// op's onApplied hook; migMeta is what the op-log records so
+// recovery can re-install the same repoint when it replays the join.
+type migMeta struct {
+	ext, old GlobalID
+}
+
 // op is one queued shard operation. reply, when non-nil, receives
 // exactly one opResult (the channel must have capacity 1).
 // onApplied, when non-nil, runs on the shard goroutine right after
 // the op is applied and BEFORE the batch's snapshot publishes — the
 // hook migration uses to install forwarding for a joined node
-// before any snapshot can expose its new physical id.
+// before any snapshot can expose its new physical id, and Leave uses
+// to drop forwarding state ahead of any later checkpoint capture.
 type op struct {
 	kind      opKind
 	node      overlay.NodeID
@@ -35,6 +46,7 @@ type op struct {
 	announce  bool
 	demand    vector.Vec
 	k         int
+	mig       *migMeta
 	reply     chan opResult
 	onApplied func(opResult)
 }
@@ -47,6 +59,17 @@ type opResult struct {
 	err   error
 }
 
+// ckptReq asks the shard goroutine to rotate its log onto a fresh
+// segment and capture its logical state at that exact boundary.
+type ckptReq struct {
+	reply chan ckptRes // capacity 1
+}
+
+type ckptRes struct {
+	state wal.ShardState
+	err   error
+}
+
 // shard owns one Backend. All Backend access happens on the shard's
 // goroutine (loop); the rest of the engine communicates through the
 // ops queue and reads the published snapshot.
@@ -55,6 +78,7 @@ type shard struct {
 	cfg  Config
 	be   Backend
 	ops  chan op
+	ckpt chan ckptReq
 	stop chan struct{}
 	done chan struct{}
 
@@ -63,28 +87,63 @@ type shard struct {
 	// Owned by the shard goroutine (initialized before start).
 	fresh map[overlay.NodeID]sim.Time
 
-	halted  atomic.Bool
-	snap    atomic.Pointer[Snapshot]
-	version atomic.Uint64
-	applied atomic.Uint64
-	batches atomic.Uint64
+	// nextLocal tracks the next local id the backend will assign —
+	// what a checkpoint records so recovery can re-create the same id
+	// sequence. Owned by the shard goroutine.
+	nextLocal overlay.NodeID
+
+	// log, when non-nil, is the shard's append-only op-log. Owned by
+	// the shard goroutine after start (the recovery path uses it
+	// before). unsynced counts applied batches since the last fsync.
+	log      *wal.Log
+	unsynced int
+
+	// epoch, when non-nil, is the engine-wide write epoch, bumped
+	// once per applied batch that contained at least one mutation;
+	// the query cache uses it to invalidate entries filled before
+	// recent writes.
+	epoch *atomic.Uint64
+
+	// Reusable batch buffers (shard goroutine only): drain and
+	// applyBatch run once per batch, so one MaxBatch-sized allocation
+	// each serves the shard's lifetime (satellite fix: the old code
+	// allocated a 16-cap slice per batch and regrew it past 16).
+	batchBuf []op
+	resBuf   []opResult
+	recBuf   []wal.Record
+
+	halted     atomic.Bool
+	snap       atomic.Pointer[Snapshot]
+	version    atomic.Uint64
+	applied    atomic.Uint64
+	batches    atomic.Uint64
+	logBytes   atomic.Int64  // bytes in segments since the last checkpoint
+	logRecords atomic.Uint64 // records appended over the shard's lifetime
+	logErrors  atomic.Uint64 // append/sync failures (durability degraded)
 }
 
 func newShard(idx int, cfg Config, be Backend) *shard {
 	s := &shard{
-		idx:   idx,
-		cfg:   cfg,
-		be:    be,
-		ops:   make(chan op, cfg.QueueDepth),
-		stop:  make(chan struct{}),
-		done:  make(chan struct{}),
-		fresh: make(map[overlay.NodeID]sim.Time),
+		idx:      idx,
+		cfg:      cfg,
+		be:       be,
+		ops:      make(chan op, cfg.QueueDepth),
+		ckpt:     make(chan ckptReq),
+		stop:     make(chan struct{}),
+		done:     make(chan struct{}),
+		fresh:    make(map[overlay.NodeID]sim.Time),
+		batchBuf: make([]op, 0, cfg.MaxBatch),
+		resBuf:   make([]opResult, cfg.MaxBatch),
+		recBuf:   make([]wal.Record, 0, cfg.MaxBatch),
 	}
 	if cfg.Warmup > 0 {
 		be.Step(cfg.Warmup)
 	}
 	for _, id := range be.Nodes() {
 		s.fresh[id] = be.Now()
+		if id >= s.nextLocal {
+			s.nextLocal = id + 1
+		}
 	}
 	s.publish() // initial snapshot, before the goroutine starts
 	return s
@@ -104,12 +163,17 @@ func (s *shard) halt() {
 	<-s.done
 }
 
-// loop is the shard goroutine: batch writes, advance the shard-local
-// simulation, republish the snapshot. The idle ticker keeps the
-// simulation clock (and therefore record freshness and the
+// loop is the shard goroutine: batch writes, log them, advance the
+// shard-local simulation, republish the snapshot. The idle ticker
+// keeps the simulation clock (and therefore record freshness and the
 // protocol's periodic machinery) moving under read-only traffic.
+// Reads never enter here: queries on the snapshot path touch neither
+// the ops queue nor the log.
 func (s *shard) loop() {
 	defer close(s.done)
+	if s.log != nil {
+		defer s.log.Close() // final flush + fsync on halt
+	}
 	idle := time.NewTicker(s.cfg.FlushInterval)
 	defer idle.Stop()
 	for {
@@ -118,16 +182,31 @@ func (s *shard) loop() {
 			return
 		case o := <-s.ops:
 			batch := s.drain(o)
-			results := s.applyBatch(batch)
+			results, muts := s.applyBatch(batch)
+			// WAL discipline: the batch is durable (per the fsync
+			// policy) before any caller learns its write was applied.
+			s.logBatch(batch, results)
+			if muts > 0 && s.epoch != nil {
+				s.epoch.Add(1)
+			}
 			s.be.Step(s.cfg.StepQuantum)
 			s.publish()
 			// Replies go out only after the new snapshot is live, so
 			// a caller whose write returned reads its own write.
-			for i, o := range batch {
-				if o.reply != nil {
-					o.reply <- results[i]
+			for i := range batch {
+				if batch[i].reply != nil {
+					batch[i].reply <- results[i]
 				}
 			}
+			// The buffers persist across batches: drop op/result
+			// references (reply channels, vectors, hooks) so they do
+			// not outlive their batch.
+			for i := range batch {
+				batch[i] = op{}
+				results[i] = opResult{}
+			}
+		case req := <-s.ckpt:
+			req.reply <- s.checkpointNow()
 		case <-idle.C:
 			s.be.Step(s.cfg.StepQuantum)
 			s.publish()
@@ -135,10 +214,10 @@ func (s *shard) loop() {
 	}
 }
 
-// drain gathers up to MaxBatch queued ops without blocking.
+// drain gathers up to MaxBatch queued ops without blocking, reusing
+// the shard's batch buffer (cap MaxBatch, allocated once).
 func (s *shard) drain(first op) []op {
-	batch := make([]op, 1, 16)
-	batch[0] = first
+	batch := append(s.batchBuf[:0], first)
 	for len(batch) < s.cfg.MaxBatch {
 		select {
 		case o := <-s.ops:
@@ -150,9 +229,17 @@ func (s *shard) drain(first op) []op {
 	return batch
 }
 
-func (s *shard) applyBatch(batch []op) []opResult {
-	results := make([]opResult, len(batch))
-	for i, o := range batch {
+// applyBatch applies every op of the batch to the backend and
+// returns the per-op results (backed by the shard's reusable result
+// buffer) plus how many ops mutated state. It is the single
+// application path: live batches, checkpoint restores and log
+// replays all flow through here, so recovery is the same code as
+// serving.
+func (s *shard) applyBatch(batch []op) ([]opResult, int) {
+	results := s.resBuf[:len(batch)]
+	muts := 0
+	for i := range batch {
+		o := &batch[i]
 		var res opResult
 		switch o.kind {
 		case opUpdate:
@@ -162,6 +249,7 @@ func (s *shard) applyBatch(batch []op) []opResult {
 			}
 			if res.err == nil {
 				s.fresh[o.node] = s.be.Now()
+				muts++
 			}
 		case opJoin:
 			res.node, res.err = s.be.Join()
@@ -173,11 +261,14 @@ func (s *shard) applyBatch(batch []op) []opResult {
 			}
 			if res.err == nil {
 				s.fresh[res.node] = s.be.Now()
+				s.nextLocal = res.node + 1
+				muts++
 			}
 		case opLeave:
 			res.err = s.be.Leave(o.node)
 			if res.err == nil {
 				delete(s.fresh, o.node)
+				muts++
 			}
 		case opQuery:
 			from := o.node
@@ -225,6 +316,7 @@ func (s *shard) applyBatch(batch []op) []opResult {
 				res.avail = nil
 			} else {
 				delete(s.fresh, o.node)
+				muts++
 			}
 		}
 		if o.onApplied != nil {
@@ -234,7 +326,116 @@ func (s *shard) applyBatch(batch []op) []opResult {
 	}
 	s.applied.Add(uint64(len(batch)))
 	s.batches.Add(1)
-	return results
+	return results, muts
+}
+
+// logBatch appends every successfully applied mutation of the batch
+// to the shard's op-log and applies the fsync policy: one Sync per
+// FsyncEvery applied batches (default every batch), aligned with the
+// MaxBatch drain so a burst of writes costs one fsync, not one per
+// record. A log failure degrades durability, not serving: the error
+// is counted (Stats.LogErrors) and the batch is acknowledged from
+// memory.
+func (s *shard) logBatch(batch []op, results []opResult) {
+	if s.log == nil {
+		return
+	}
+	recs := s.recBuf[:0]
+	for i := range batch {
+		if results[i].err != nil {
+			continue
+		}
+		o := &batch[i]
+		switch o.kind {
+		case opUpdate:
+			recs = append(recs, wal.Record{
+				Kind: wal.KindUpdate, Node: uint32(o.node),
+				Announce: o.announce, Avail: o.avail,
+			})
+		case opJoin:
+			r := wal.Record{Kind: wal.KindJoin, Node: uint32(results[i].node), Avail: o.avail}
+			if o.mig != nil {
+				r.Repoint, r.Ext, r.Old = true, uint64(o.mig.ext), uint64(o.mig.old)
+			}
+			recs = append(recs, r)
+		case opLeave:
+			recs = append(recs, wal.Record{Kind: wal.KindLeave, Node: uint32(o.node)})
+		case opTake:
+			// The captured availability rides the take record so a
+			// recovery that finds the take durable but the matching
+			// join lost can roll the node back onto this shard.
+			recs = append(recs, wal.Record{Kind: wal.KindTake, Node: uint32(o.node), Avail: results[i].avail})
+		}
+	}
+	s.recBuf = recs[:0]
+	if len(recs) == 0 {
+		return
+	}
+	before := s.log.Size()
+	if err := s.log.Append(recs...); err != nil {
+		s.logErrors.Add(1)
+		return
+	}
+	s.logRecords.Add(uint64(len(recs)))
+	s.logBytes.Add(s.log.Size() - before)
+	s.unsynced++
+	if s.cfg.FsyncEvery > 0 && s.unsynced >= s.cfg.FsyncEvery {
+		if err := s.log.Sync(); err != nil {
+			s.logErrors.Add(1)
+		}
+		s.unsynced = 0
+	}
+}
+
+// checkpointNow runs on the shard goroutine: it rotates the log onto
+// a fresh segment and captures the shard's logical state at exactly
+// that boundary — the old segments plus the captured state are two
+// encodings of the same history, so recovery may substitute one for
+// the other.
+func (s *shard) checkpointNow() ckptRes {
+	if s.log == nil {
+		return ckptRes{err: ErrNotDurable}
+	}
+	if err := s.log.Rotate(s.log.Seg() + 1); err != nil {
+		s.logErrors.Add(1)
+		return ckptRes{err: err}
+	}
+	s.unsynced = 0
+	s.logBytes.Store(0)
+	st := wal.ShardState{
+		Shard:    s.idx,
+		NextID:   uint32(s.nextLocal),
+		FirstSeg: s.log.Seg(),
+	}
+	for _, id := range s.be.Nodes() {
+		st.Nodes = append(st.Nodes, wal.NodeState{
+			Node:  uint32(id),
+			Avail: s.be.Availability(id),
+		})
+	}
+	return ckptRes{state: st}
+}
+
+// checkpoint asks the shard goroutine for a state capture and waits
+// for it; it fails with ErrClosed once the goroutine has exited.
+func (s *shard) checkpoint() (wal.ShardState, error) {
+	req := ckptReq{reply: make(chan ckptRes, 1)}
+	select {
+	case s.ckpt <- req:
+	case <-s.done:
+		return wal.ShardState{}, ErrClosed
+	}
+	select {
+	case res := <-req.reply:
+		return res.state, res.err
+	case <-s.done:
+		select {
+		case res := <-req.reply:
+			return res.state, res.err
+		default:
+			return wal.ShardState{}, ErrClosed
+		}
+	}
 }
 
 // publish builds and atomically installs a fresh immutable snapshot

@@ -1,0 +1,158 @@
+package wal
+
+import (
+	"encoding/binary"
+	"hash/crc32"
+	"io"
+	"math"
+)
+
+// Kind types a log record. The values are part of the on-disk format
+// and must not be renumbered.
+type Kind uint8
+
+const (
+	// KindUpdate is a SetAvailability (optionally announced).
+	KindUpdate Kind = 1
+	// KindJoin is a node join; Node records the id the backend
+	// assigned, which replay verifies against its own Join result.
+	KindJoin Kind = 2
+	// KindLeave is a node leave (engine-initiated; drops forwarding).
+	KindLeave Kind = 3
+	// KindTake is the source half of a migration: the node leaves its
+	// shard, availability in hand. The matching KindJoin (with
+	// Repoint set) lands in the destination shard's log.
+	KindTake Kind = 4
+)
+
+// Record is one durable shard mutation.
+type Record struct {
+	Kind Kind
+	// Node is the shard-local node id: the target of an update, leave
+	// or take, or the id a join assigned.
+	Node uint32
+	// Announce marks an update that also pushed an out-of-cycle state
+	// update into the index.
+	Announce bool
+	// Avail is the availability vector carried by updates and joins
+	// (nil when the join carried none).
+	Avail []float64
+	// Repoint marks a join that completed a migration: replay
+	// re-installs forwarding of external id Ext from former physical
+	// id Old to the newly assigned physical id.
+	Repoint  bool
+	Ext, Old uint64
+}
+
+// Record flags (on-disk).
+const (
+	flagAnnounce = 1 << 0
+	flagAvail    = 1 << 1
+	flagRepoint  = 1 << 2
+)
+
+// Frame: u32 payload length, u32 IEEE CRC of the payload, payload.
+// Payload: u8 kind, u8 flags, u32 node, [u16 dim, dim x f64 avail],
+// [u64 ext, u64 old]. All little-endian.
+const frameHeader = 8
+
+// maxPayload bounds a sane record; anything larger fails the frame
+// check and truncates the log there instead of allocating wildly.
+const maxPayload = 1 << 20
+
+var crcTable = crc32.MakeTable(crc32.IEEE)
+
+// encodeRecord frames and writes r, returning the bytes written.
+func encodeRecord(w io.Writer, r *Record) (int, error) {
+	n := 6
+	if r.Avail != nil {
+		n += 2 + 8*len(r.Avail)
+	}
+	if r.Repoint {
+		n += 16
+	}
+	buf := make([]byte, frameHeader+n)
+	p := buf[frameHeader:]
+	p[0] = byte(r.Kind)
+	var flags byte
+	if r.Announce {
+		flags |= flagAnnounce
+	}
+	if r.Avail != nil {
+		flags |= flagAvail
+	}
+	if r.Repoint {
+		flags |= flagRepoint
+	}
+	p[1] = flags
+	binary.LittleEndian.PutUint32(p[2:], r.Node)
+	off := 6
+	if r.Avail != nil {
+		binary.LittleEndian.PutUint16(p[off:], uint16(len(r.Avail)))
+		off += 2
+		for _, v := range r.Avail {
+			binary.LittleEndian.PutUint64(p[off:], math.Float64bits(v))
+			off += 8
+		}
+	}
+	if r.Repoint {
+		binary.LittleEndian.PutUint64(p[off:], r.Ext)
+		binary.LittleEndian.PutUint64(p[off+8:], r.Old)
+	}
+	binary.LittleEndian.PutUint32(buf[0:], uint32(n))
+	binary.LittleEndian.PutUint32(buf[4:], crc32.Checksum(p, crcTable))
+	if _, err := w.Write(buf); err != nil {
+		return 0, err
+	}
+	return len(buf), nil
+}
+
+// decodeRecord parses one framed record from the head of data. ok is
+// false when the frame is short, oversized, or fails its CRC — the
+// torn-tail signal.
+func decodeRecord(data []byte) (rec Record, n int, ok bool) {
+	if len(data) < frameHeader {
+		return rec, 0, false
+	}
+	plen := int(binary.LittleEndian.Uint32(data[0:]))
+	if plen < 6 || plen > maxPayload || len(data) < frameHeader+plen {
+		return rec, 0, false
+	}
+	p := data[frameHeader : frameHeader+plen]
+	if crc32.Checksum(p, crcTable) != binary.LittleEndian.Uint32(data[4:]) {
+		return rec, 0, false
+	}
+	rec.Kind = Kind(p[0])
+	flags := p[1]
+	rec.Node = binary.LittleEndian.Uint32(p[2:])
+	off := 6
+	rec.Announce = flags&flagAnnounce != 0
+	if flags&flagAvail != 0 {
+		if len(p) < off+2 {
+			return rec, 0, false
+		}
+		dim := int(binary.LittleEndian.Uint16(p[off:]))
+		off += 2
+		if len(p) < off+8*dim {
+			return rec, 0, false
+		}
+		rec.Avail = make([]float64, dim)
+		for i := range rec.Avail {
+			rec.Avail[i] = math.Float64frombits(binary.LittleEndian.Uint64(p[off:]))
+			off += 8
+		}
+	}
+	if flags&flagRepoint != 0 {
+		if len(p) < off+16 {
+			return rec, 0, false
+		}
+		rec.Repoint = true
+		rec.Ext = binary.LittleEndian.Uint64(p[off:])
+		rec.Old = binary.LittleEndian.Uint64(p[off+8:])
+		off += 16
+	}
+	if off != plen {
+		return rec, 0, false
+	}
+	return rec, frameHeader + plen, true
+}

@@ -1,0 +1,210 @@
+// Package wal is the durability layer of the serving engine: an
+// append-only per-shard operation log plus engine-wide checkpoints.
+//
+// Every mutation a shard applies (update, join, leave, migration
+// take) becomes one typed, CRC-framed binary Record appended to the
+// shard's current log segment before the write is acknowledged.
+// Periodically — and always on a clean Close — the engine captures a
+// Checkpoint: each shard's logical state (alive nodes with their
+// availability vectors and the next local id), the GlobalID
+// forwarding table, and the engine counters. A checkpoint rotates
+// every shard onto a fresh log segment, so recovery is
+//
+//	latest valid checkpoint  +  replay of all newer segments
+//
+// through the exact same batch-application path live writes use.
+// Torn tails are expected (a crash can land mid-record): the reader
+// stops at the first record whose frame or CRC does not verify and
+// reports how many bytes it dropped, and the recovered engine simply
+// does not contain the never-acknowledged suffix.
+//
+// On-disk layout under the engine's DataDir:
+//
+//	checkpoint-<seq>.ckpt       engine-wide checkpoint (gob + CRC)
+//	shard-<i>/wal-<seg>.log     per-shard log segments
+//
+// The package knows nothing about the serve package's types beyond
+// the flat Record fields; the mapping op <-> Record lives in serve.
+package wal
+
+import (
+	"bufio"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Log is one shard's append-only operation log. It is single-writer:
+// only the owning shard goroutine (or, before the goroutine starts,
+// the recovery path) may call its methods.
+type Log struct {
+	dir  string
+	seg  uint64
+	f    *os.File
+	w    *bufio.Writer
+	size int64 // bytes appended to the current segment
+}
+
+// SegmentPath returns the path of segment seg under dir.
+func SegmentPath(dir string, seg uint64) string {
+	return filepath.Join(dir, fmt.Sprintf("wal-%d.log", seg))
+}
+
+// Segments lists the segment numbers present in dir, ascending. A
+// missing directory is an empty log, not an error.
+func Segments(dir string) ([]uint64, error) {
+	ents, err := os.ReadDir(dir)
+	if os.IsNotExist(err) {
+		return nil, nil
+	}
+	if err != nil {
+		return nil, err
+	}
+	var segs []uint64
+	for _, ent := range ents {
+		name := ent.Name()
+		if !strings.HasPrefix(name, "wal-") || !strings.HasSuffix(name, ".log") {
+			continue
+		}
+		n, err := strconv.ParseUint(name[4:len(name)-4], 10, 64)
+		if err != nil {
+			continue
+		}
+		segs = append(segs, n)
+	}
+	sort.Slice(segs, func(i, j int) bool { return segs[i] < segs[j] })
+	return segs, nil
+}
+
+// createSegment opens a fresh segment file and fsyncs the directory
+// so the new entry itself survives a host crash — without that, a
+// power failure could drop a whole acked segment even though every
+// record in it was fsynced.
+func createSegment(dir string, seg uint64) (*os.File, error) {
+	f, err := os.OpenFile(SegmentPath(dir, seg), os.O_CREATE|os.O_TRUNC|os.O_WRONLY, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	if d, err := os.Open(dir); err == nil {
+		d.Sync()
+		d.Close()
+	}
+	return f, nil
+}
+
+// Create opens a fresh segment seg under dir for appending,
+// truncating any leftover file of the same number (a crash between
+// segment creation and the checkpoint that references it can leave
+// one behind).
+func Create(dir string, seg uint64) (*Log, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, err
+	}
+	f, err := createSegment(dir, seg)
+	if err != nil {
+		return nil, err
+	}
+	return &Log{dir: dir, seg: seg, f: f, w: bufio.NewWriterSize(f, 1<<16)}, nil
+}
+
+// Seg returns the current segment number.
+func (l *Log) Seg() uint64 { return l.seg }
+
+// Size returns the bytes appended to the current segment (buffered
+// or flushed).
+func (l *Log) Size() int64 { return l.size }
+
+// Append encodes and buffers the records. Call Sync to make them
+// durable; the engine batches one Sync per applied write batch.
+func (l *Log) Append(recs ...Record) error {
+	for i := range recs {
+		n, err := encodeRecord(l.w, &recs[i])
+		if err != nil {
+			return err
+		}
+		l.size += int64(n)
+	}
+	return nil
+}
+
+// Sync flushes buffered records and fsyncs the segment.
+func (l *Log) Sync() error {
+	if err := l.w.Flush(); err != nil {
+		return err
+	}
+	return l.f.Sync()
+}
+
+// Rotate syncs and closes the current segment and opens a fresh one
+// numbered seg. Rotation is the checkpoint boundary: a checkpoint
+// captured immediately after covers exactly the segments before seg.
+func (l *Log) Rotate(seg uint64) error {
+	if err := l.Sync(); err != nil {
+		return err
+	}
+	if err := l.f.Close(); err != nil {
+		return err
+	}
+	f, err := createSegment(l.dir, seg)
+	if err != nil {
+		return err
+	}
+	l.f, l.seg, l.size = f, seg, 0
+	l.w.Reset(f)
+	return nil
+}
+
+// Close syncs and closes the log.
+func (l *Log) Close() error {
+	if err := l.Sync(); err != nil {
+		l.f.Close()
+		return err
+	}
+	return l.f.Close()
+}
+
+// ReadSegment decodes every valid record of a segment file. It stops
+// cleanly at the first torn or corrupt record — a crash mid-append
+// is a normal way for a segment to end — returning the records of
+// the intact prefix and how many trailing bytes were dropped. A
+// missing file reads as an empty segment. The error is non-nil only
+// for real I/O failures.
+func ReadSegment(path string) (recs []Record, dropped int64, err error) {
+	data, err := os.ReadFile(path)
+	if os.IsNotExist(err) {
+		return nil, 0, nil
+	}
+	if err != nil {
+		return nil, 0, err
+	}
+	off := 0
+	for off < len(data) {
+		rec, n, ok := decodeRecord(data[off:])
+		if !ok {
+			return recs, int64(len(data) - off), nil
+		}
+		recs = append(recs, rec)
+		off += n
+	}
+	return recs, 0, nil
+}
+
+// RemoveSegmentsBelow deletes segments of dir numbered < seg —
+// everything a new checkpoint has made redundant.
+func RemoveSegmentsBelow(dir string, seg uint64) error {
+	segs, err := Segments(dir)
+	if err != nil {
+		return err
+	}
+	for _, s := range segs {
+		if s < seg {
+			if err := os.Remove(SegmentPath(dir, s)); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}

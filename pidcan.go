@@ -161,7 +161,12 @@ func DefaultOverhead() psm.Overhead { return psm.DefaultOverhead() }
 // (Engine.Migrate) behind a stable external identity, and an
 // adaptive rebalancer (EngineConfig.RebalanceInterval,
 // Engine.Rebalance) keeps shard populations level under skewed
-// traffic. See internal/serve and examples/serving.
+// traffic. With EngineConfig.DataDir set, every write is logged to a
+// per-shard op-log before it is acknowledged, checkpoints
+// (Engine.Checkpoint, EngineConfig.CheckpointEvery) serialize the
+// engine's state, and NewEngine warm-restarts from checkpoint + log
+// so a restart serves exactly what its predecessor acknowledged.
+// See internal/serve and examples/serving.
 type Engine = serve.Engine
 
 // EngineConfig parameterizes NewEngine.
@@ -195,6 +200,10 @@ type EngineStats = serve.Stats
 // (Engine.Rebalance).
 type RebalanceResult = serve.RebalanceResult
 
+// CheckpointResult describes one durable checkpoint pass
+// (Engine.Checkpoint; engines built with EngineConfig.DataDir).
+type CheckpointResult = serve.CheckpointResult
+
 // Engine errors.
 var (
 	ErrEngineClosed   = serve.ErrClosed
@@ -204,10 +213,17 @@ var (
 	ErrScatterTimeout = serve.ErrScatterTimeout
 	ErrNoNodes        = serve.ErrNoNodes
 	ErrLastNode       = serve.ErrLastNode
+	ErrNotDurable     = serve.ErrNotDurable
+	ErrRecovery       = serve.ErrRecovery
 )
 
-// A Cluster is the shard backend of the serving engine.
-var _ serve.Backend = (*Cluster)(nil)
+// A Cluster is the shard backend of the serving engine, including
+// the id-seeding recovery extension (checkpoint restore in O(alive
+// nodes)).
+var (
+	_ serve.Backend  = (*Cluster)(nil)
+	_ serve.IDSeeder = (*Cluster)(nil)
+)
 
 // NewEngine builds a serving engine whose shards are independent
 // PID-CAN Clusters (shard i runs on seed Seed⊕mix(i), so shards stay

@@ -1,6 +1,8 @@
 #!/bin/sh
-# Run the serving-engine benchmarks and collect their results as
-# BENCH_serve.json (one JSON object per line) for the perf
+# Run the serving-engine benchmarks — including the durable
+# write-path overhead (BenchmarkServeDurable*) and warm-restart
+# recovery time (BenchmarkServeRecovery) — and collect their results
+# as BENCH_serve.json (one JSON object per line) for the perf
 # trajectory across PRs.
 #
 #   scripts/bench_serve.sh [output-file] [benchtime]
