@@ -14,6 +14,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"math/rand/v2"
+	"net"
 	"os"
 	"path/filepath"
 	"strconv"
@@ -561,6 +562,151 @@ func BenchmarkServeDurableQuery(b *testing.B) {
 					b.Error(err)
 				}
 			})
+		})
+	}
+}
+
+// --- replication benchmarks (primary + live follower over loopback TCP) ------
+
+// newReplicatedPair builds a durable primary with one follower
+// streaming from it over loopback, and waits until the follower has
+// mirrored the populate writes.
+func newReplicatedPair(b *testing.B, cfg EngineConfig) (*Engine, *ReplClient) {
+	primary := newDurableBenchEngine(b, cfg)
+	srv, err := NewReplServer(primary, ReplServerConfig{Heartbeat: 50 * time.Millisecond})
+	if err != nil {
+		b.Fatal(err)
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		b.Fatal(err)
+	}
+	go srv.Serve(ln)
+	b.Cleanup(func() { srv.Close() })
+
+	fcfg := cfg
+	fcfg.DataDir = filepath.Join(b.TempDir(), "mirror")
+	fcfg.Follower = true
+	fcfg.PrimaryAddr = ln.Addr().String()
+	cl, err := NewReplClient(ReplClientConfig{
+		Primary: fcfg.PrimaryAddr,
+		DataDir: fcfg.DataDir,
+		Shards:  fcfg.Shards,
+		Mount:   func() (*Engine, error) { return NewEngine(fcfg) },
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	go cl.Run()
+	b.Cleanup(func() {
+		cl.Close()
+		if e := cl.Engine(); e != nil {
+			e.Close()
+		}
+	})
+	waitReplicated(b, primary, cl)
+	return primary, cl
+}
+
+// waitReplicated blocks until the follower's mirrored write counters
+// match the primary's (the stream is fully applied).
+func waitReplicated(b *testing.B, p *Engine, cl *ReplClient) {
+	b.Helper()
+	deadline := time.Now().Add(30 * time.Second)
+	ps := p.Stats()
+	for {
+		if f := cl.Engine(); f != nil {
+			fs := f.Stats()
+			if fs.Updates == ps.Updates && fs.Joins == ps.Joins && fs.Leaves == ps.Leaves {
+				return
+			}
+		}
+		if time.Now().After(deadline) {
+			b.Fatal("follower never caught up")
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+}
+
+// BenchmarkServeReplicatedMixed is BenchmarkServeDurableMixed with a
+// live follower attached: 85% snapshot queries, 15% updates from 32
+// clients at 4 shards, every applied batch logged, fsynced AND
+// streamed to the follower. The delta against the durable numbers is
+// the replication-on write overhead (sink fan-out + TCP frames; the
+// stream is async, so it shows up as cache pressure, not ack
+// latency). After the timed run the follower must drain to zero lag
+// — replication keeping up is part of the contract, reported as
+// drain_ms.
+func BenchmarkServeReplicatedMixed(b *testing.B) {
+	b.Run("shards=4/clients=32/fsync=1", func(b *testing.B) {
+		eng, cl := newReplicatedPair(b, EngineConfig{
+			Shards:        4,
+			NodesPerShard: 32,
+			Seed:          11,
+		})
+		demands := benchDemands(eng, 512)
+		nodes := eng.Nodes()
+		cmax := eng.Config().CMax
+		runServeBench(b, 4, 32, func(c, i int) {
+			if i%7 == 0 {
+				id := nodes[(i*31+c)%len(nodes)]
+				if err := eng.Update(id, cmax.Scale(0.2+0.7*float64(i%10)/10), false); err != nil {
+					b.Error(err)
+				}
+				return
+			}
+			if _, err := eng.Query(QueryRequest{Demand: demands[(i+c)%len(demands)], K: 3, NoCache: true}); err != nil {
+				b.Error(err)
+			}
+		})
+		drainStart := time.Now()
+		waitReplicated(b, eng, cl)
+		b.ReportMetric(float64(time.Since(drainStart))/1e6, "drain_ms")
+	})
+}
+
+// BenchmarkServeFollowerQuery measures read scaling on the replica:
+// cached and uncached best-fit queries served by a follower while
+// its primary keeps writing — the read path never touches the
+// replication stream, so follower reads should match primary reads.
+func BenchmarkServeFollowerQuery(b *testing.B) {
+	for _, mode := range []string{"cached", "nocache"} {
+		b.Run(fmt.Sprintf("shards=4/clients=8/%s", mode), func(b *testing.B) {
+			primary, cl := newReplicatedPair(b, EngineConfig{
+				Shards:        4,
+				NodesPerShard: 32,
+				Seed:          11,
+			})
+			follower := cl.Engine()
+			demands := benchDemands(primary, 512)
+			nodes := primary.Nodes()
+			cmax := primary.Config().CMax
+			// A background writer keeps the stream busy during the
+			// read measurement.
+			stop := make(chan struct{})
+			done := make(chan struct{})
+			go func() {
+				defer close(done)
+				i := 0
+				for {
+					select {
+					case <-stop:
+						return
+					default:
+					}
+					i++
+					primary.Update(nodes[i%len(nodes)], cmax.Scale(0.2+0.6*float64(i%10)/10), false)
+					time.Sleep(100 * time.Microsecond)
+				}
+			}()
+			noCache := mode == "nocache"
+			runServeBench(b, 4, 8, func(c, i int) {
+				if _, err := follower.Query(QueryRequest{Demand: demands[(i+c)%len(demands)], K: 3, NoCache: noCache}); err != nil {
+					b.Error(err)
+				}
+			})
+			close(stop)
+			<-done
 		})
 	}
 }

@@ -5,12 +5,12 @@
 //	pidcan-serve -addr :8080 -shards 4 -nodes 64 -seed 1
 //
 // Endpoints: POST /query /update /join /leave /rebalance
-// /checkpoint, GET /nodes /stats /healthz. With -data-dir the
-// service is durable: every write lands in a per-shard op-log before
-// it is acknowledged, a clean shutdown writes a checkpoint, and the
-// next start with the same -data-dir (and shard/seed shape) recovers
-// every join, update and migration it ever acknowledged — kill -9
-// included, minus nothing but unacknowledged requests.
+// /checkpoint /promote, GET /nodes /stats /healthz. With -data-dir
+// the service is durable: every write lands in a per-shard op-log
+// before it is acknowledged, a clean shutdown writes a checkpoint,
+// and the next start with the same -data-dir (and shard/seed shape)
+// recovers every join, update and migration it ever acknowledged —
+// kill -9 included, minus nothing but unacknowledged requests.
 // Consistent queries ({"consistent":true})
 // scatter-gather through every shard's protocol by default;
 // {"scope":"one"} keeps the paper-faithful single-shard routing.
@@ -20,6 +20,15 @@
 // skew happens on purpose). Drive it with cmd/pidcan-loadgen — its
 // -skew flag zipf-concentrates joins and updates onto a few shards
 // — to watch populations converge in /stats.
+//
+// Replication: a durable primary with -repl-addr streams its op-log
+// to followers; a second process started with -role follower
+// -primary host:replport mirrors it and serves read-only traffic
+// (writes 503 to the primary's address). When the primary dies,
+// POST /promote on the follower seals a new epoch and opens it for
+// writes; -repl-addr on the follower then starts serving the stream
+// to the next generation of followers. The shard/seed shape must
+// match the primary's.
 package main
 
 import (
@@ -27,9 +36,12 @@ import (
 	"fmt"
 	"log"
 	"math/rand/v2"
+	"net"
 	"net/http"
 	"os"
 	"os/signal"
+	"sync"
+	"sync/atomic"
 	"syscall"
 	"time"
 
@@ -55,6 +67,9 @@ func main() {
 		dataDir  = flag.String("data-dir", "", "durable state directory (op-log + checkpoints); empty serves purely in-memory")
 		ckptEvry = flag.Duration("checkpoint-every", 0, "background checkpoint cadence (0: only on shutdown and POST /checkpoint)")
 		fsync    = flag.Int("fsync-every", 1, "fsync the op-log once per N applied write batches (negative: never fsync)")
+		role     = flag.String("role", "primary", "serving role: primary, or follower (read replica of -primary)")
+		primary  = flag.String("primary", "", "primary's replication address host:port (follower role)")
+		replAddr = flag.String("repl-addr", "", "replication listen address for followers (needs -data-dir; on a follower it activates at promotion)")
 	)
 	flag.Parse()
 
@@ -74,49 +89,185 @@ func main() {
 		CheckpointEvery:    *ckptEvry,
 		FsyncEvery:         *fsync,
 	}
-	log.Printf("building engine: %d shard(s) x %d nodes, seed %d", *shards, *nodes, *seed)
-	start := time.Now()
-	eng, err := pidcan.NewEngine(cfg)
-	if err != nil {
-		log.Fatal(err)
-	}
-	defer eng.Close()
-	log.Printf("engine up in %v", time.Since(start).Round(time.Millisecond))
-	if *rebal > 0 {
-		log.Printf("rebalancer on: every %v, threshold %.2f, <= %d moves/pass", *rebal, *rebalThr, *rebalMax)
-	}
 
-	warm := false
-	if *dataDir != "" {
-		st := eng.Stats()
-		warm = st.WarmStart
-		if warm {
-			log.Printf("warm restart from %s: %d nodes, %d log records replayed in %.1fms",
-				*dataDir, st.TotalNodes, st.RecoveredRecords, st.LastRecoveryMS)
-		} else {
-			log.Printf("durable serving: op-log + checkpoints under %s (fsync every %d batches)", *dataDir, *fsync)
-		}
-	}
-
-	// A warm restart already carries its recovered availabilities;
-	// re-populating would overwrite real state with synthetic data.
-	if *populate && !warm {
-		if err := populateAvailability(eng, *seed); err != nil {
-			log.Fatal(err)
-		}
-	}
-
-	srv := &http.Server{Addr: *addr, Handler: pidcan.NewEngineHandler(eng)}
-	go func() {
+	var h dynHandler
+	srv := &http.Server{Addr: *addr, Handler: &h}
+	stop := func() {
 		sig := make(chan os.Signal, 1)
 		signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
 		<-sig
 		log.Print("shutting down")
 		srv.Close()
-	}()
-	log.Printf("serving on %s", *addr)
+	}
+
+	// shutdown runs after the HTTP listener stops: it flushes and
+	// fsyncs the op-log and (primary) writes the clean-shutdown
+	// checkpoint — without it a graceful exit could drop acked
+	// writes still buffered under -fsync-every > 1.
+	var shutdown func()
+	switch *role {
+	case "follower":
+		shutdown = runFollower(cfg, &h, *primary, *replAddr)
+	case "primary":
+		shutdown = runPrimary(cfg, &h, *populate, *seed, *replAddr, *rebal, *rebalThr, *rebalMax)
+	default:
+		log.Fatalf("unknown -role %q (want primary or follower)", *role)
+	}
+
+	go stop()
+	log.Printf("serving on %s (role %s)", *addr, *role)
 	if err := srv.ListenAndServe(); err != nil && err != http.ErrServerClosed {
 		log.Fatal(err)
+	}
+	shutdown()
+}
+
+// dynHandler routes HTTP to the current engine — which a follower
+// can swap when a re-bootstrap rebuilds it.
+type dynHandler struct {
+	mu  sync.RWMutex
+	eng *pidcan.Engine
+	h   http.Handler
+}
+
+func (d *dynHandler) set(e *pidcan.Engine) {
+	d.mu.Lock()
+	d.eng, d.h = e, pidcan.NewEngineHandler(e)
+	d.mu.Unlock()
+}
+
+func (d *dynHandler) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	d.mu.RLock()
+	h := d.h
+	d.mu.RUnlock()
+	if h == nil {
+		http.Error(w, `{"error":"engine not ready (follower still bootstrapping)"}`, http.StatusServiceUnavailable)
+		return
+	}
+	h.ServeHTTP(w, r)
+}
+
+// startReplServer exposes eng's op-log stream on replAddr.
+func startReplServer(eng *pidcan.Engine, replAddr string) *pidcan.ReplServer {
+	rs, err := pidcan.NewReplServer(eng, pidcan.ReplServerConfig{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	ln, err := net.Listen("tcp", replAddr)
+	if err != nil {
+		log.Fatal(err)
+	}
+	log.Printf("replicating on %s", replAddr)
+	go func() {
+		if err := rs.Serve(ln); err != nil {
+			log.Printf("replication server: %v", err)
+		}
+	}()
+	return rs
+}
+
+// runPrimary builds the engine the PR-4 way and, with -repl-addr,
+// starts streaming its op-log to followers.
+func runPrimary(cfg pidcan.EngineConfig, h *dynHandler, populate bool, seed uint64,
+	replAddr string, rebal time.Duration, rebalThr float64, rebalMax int) (shutdown func()) {
+	log.Printf("building engine: %d shard(s) x %d nodes, seed %d", cfg.Shards, cfg.NodesPerShard, cfg.Seed)
+	start := time.Now()
+	eng, err := pidcan.NewEngine(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	log.Printf("engine up in %v (epoch %d)", time.Since(start).Round(time.Millisecond), eng.Epoch())
+	if rebal > 0 {
+		log.Printf("rebalancer on: every %v, threshold %.2f, <= %d moves/pass", rebal, rebalThr, rebalMax)
+	}
+
+	warm := false
+	if cfg.DataDir != "" {
+		st := eng.Stats()
+		warm = st.WarmStart
+		if warm {
+			log.Printf("warm restart from %s: %d nodes, %d log records replayed in %.1fms",
+				cfg.DataDir, st.TotalNodes, st.RecoveredRecords, st.LastRecoveryMS)
+		} else {
+			log.Printf("durable serving: op-log + checkpoints under %s (fsync every %d batches)",
+				cfg.DataDir, cfg.FsyncEvery)
+		}
+	}
+
+	// A warm restart already carries its recovered availabilities;
+	// re-populating would overwrite real state with synthetic data.
+	if populate && !warm {
+		if err := populateAvailability(eng, seed); err != nil {
+			log.Fatal(err)
+		}
+	}
+	var rs *pidcan.ReplServer
+	if replAddr != "" {
+		rs = startReplServer(eng, replAddr)
+	}
+	h.set(eng)
+	return func() {
+		if rs != nil {
+			rs.Close()
+		}
+		if err := eng.Close(); err != nil {
+			log.Printf("engine close: %v", err)
+		}
+	}
+}
+
+// runFollower mirrors a primary: the replication client owns the
+// engine lifecycle (bootstrap can rebuild it), POST /promote drains
+// and seals, and -repl-addr starts this node's own stream once
+// promoted.
+func runFollower(cfg pidcan.EngineConfig, h *dynHandler, primary, replAddr string) (shutdown func()) {
+	if primary == "" || cfg.DataDir == "" {
+		log.Fatal("follower role needs -primary and -data-dir")
+	}
+	cfg.Follower = true
+	cfg.PrimaryAddr = primary
+
+	var cl *pidcan.ReplClient
+	var promoted atomic.Bool
+	mount := func() (*pidcan.Engine, error) {
+		eng, err := pidcan.NewEngine(cfg)
+		if err != nil {
+			return nil, err
+		}
+		eng.SetPromoter(func() (uint64, error) {
+			epoch, err := cl.Promote()
+			if err != nil {
+				return 0, err
+			}
+			if replAddr != "" && promoted.CompareAndSwap(false, true) {
+				startReplServer(cl.Engine(), replAddr)
+			}
+			return epoch, nil
+		})
+		h.set(eng)
+		st := eng.Stats()
+		log.Printf("follower engine up: %d nodes, epoch %d (warm=%v)", st.TotalNodes, st.Epoch, st.WarmStart)
+		return eng, nil
+	}
+	cl, err := pidcan.NewReplClient(pidcan.ReplClientConfig{
+		Primary: primary,
+		DataDir: cfg.DataDir,
+		Shards:  cfg.Shards,
+		Mount:   mount,
+		Logf:    log.Printf,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	log.Printf("follower of %s: mirroring into %s", primary, cfg.DataDir)
+	go cl.Run()
+	return func() {
+		cl.Close()
+		if eng := cl.Engine(); eng != nil {
+			if err := eng.Close(); err != nil {
+				log.Printf("engine close: %v", err)
+			}
+		}
 	}
 }
 

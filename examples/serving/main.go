@@ -14,11 +14,13 @@ import (
 	"encoding/json"
 	"fmt"
 	"log"
+	"net"
 	"net/http"
 	"net/http/httptest"
 	"os"
 	"strings"
 	"sync"
+	"time"
 
 	"pidcan"
 	"pidcan/internal/vector"
@@ -250,6 +252,81 @@ func main() {
 		log.Fatal(err)
 	}
 	fmt.Printf("restarted engine still answers through the migrated id: %s\n", describe(resp.Candidates))
+
+	// Replication and fail-over. The restarted engine becomes a
+	// primary streaming its op-log over TCP; a follower bootstraps by
+	// checkpoint shipping, mirrors every write, and serves reads
+	// (writes 503 to the primary). Killing the primary and promoting
+	// the follower keeps every acknowledged write available — the
+	// two-process version is cmd/pidcan-serve -role follower.
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		log.Fatal(err)
+	}
+	replSrv, err := pidcan.NewReplServer(restarted, pidcan.ReplServerConfig{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	go replSrv.Serve(ln)
+	fdir, err := os.MkdirTemp("", "pidcan-follower-*")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer os.RemoveAll(fdir)
+	fcfg := dcfg // the mirror must match the primary's shape
+	fcfg.DataDir = fdir
+	fcfg.Follower = true
+	fcfg.PrimaryAddr = ln.Addr().String()
+	client, err := pidcan.NewReplClient(pidcan.ReplClientConfig{
+		Primary: ln.Addr().String(),
+		DataDir: fdir,
+		Shards:  fcfg.Shards,
+		Mount:   func() (*pidcan.Engine, error) { return pidcan.NewEngine(fcfg) },
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	go client.Run()
+	// Writes on the primary while the follower streams.
+	replicated, err := restarted.Join(vector.Of(12, 50, 400))
+	if err != nil {
+		log.Fatal(err)
+	}
+	var follower *pidcan.Engine
+	for {
+		// Capture once per round: a re-bootstrap swaps the engine out
+		// (nil in between), so each check must use the same pointer.
+		if e := client.Engine(); e != nil && e.Stats().ReplLagRecords == 0 &&
+			len(e.Nodes()) == len(restarted.Nodes()) {
+			follower = e
+			break
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	fst := follower.Stats()
+	fmt.Printf("follower caught up: %d nodes mirrored, role %s, epoch %d\n",
+		fst.TotalNodes, fst.Role, fst.Epoch)
+	if err := follower.Update(replicated, vector.Of(1, 1, 1), false); err != nil {
+		fmt.Printf("write on the follower is refused: %v\n", err)
+	}
+	// Fail-over: the primary dies, the follower is promoted and
+	// serves the write the primary acknowledged.
+	replSrv.Close()
+	restarted.Close()
+	epoch, err := client.Promote()
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer follower.Close()
+	resp, err = follower.Query(pidcan.QueryRequest{Demand: vector.Of(11.5, 48, 390), K: 1, NoCache: true})
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := follower.Update(replicated, vector.Of(12, 50, 410), true); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("promoted follower (epoch %d) serves the acked join %v and accepts writes: %s\n",
+		epoch, replicated, describe(resp.Candidates))
 }
 
 func shardPops(eng *pidcan.Engine) string {

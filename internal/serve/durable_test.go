@@ -316,7 +316,7 @@ func recordEnds(t *testing.T, path string) []int64 {
 		t.Fatal(err)
 	}
 	var ends []int64
-	off := int64(0)
+	off := int64(wal.SegHeaderLen) // segments lead with the epoch header
 	for off+8 <= int64(len(data)) {
 		plen := int64(binary.LittleEndian.Uint32(data[off:]))
 		off += 8 + plen

@@ -54,6 +54,27 @@ type Engine struct {
 	warmStart     bool          // set before serving starts
 	ckptDone      chan struct{} // non-nil iff the background checkpointer runs
 
+	// Replication state. follower marks the read-only role (writes
+	// fail with ErrReadOnly until promotion lifts it); fencedBy is
+	// the newer epoch a deposed primary learned of (0: not fenced);
+	// replEpoch is this engine's replication epoch, stamped into
+	// segment headers, checkpoints and every streamed frame. The
+	// sink, when set, receives every logged batch (the repl server's
+	// fan-out hub); the lag/connected/follower-count gauges are fed
+	// by the repl client and server for Stats.
+	follower      atomic.Bool
+	fencedBy      atomic.Uint64
+	replEpoch     atomic.Uint64
+	replSink      atomic.Pointer[ReplSink]
+	replFollowers atomic.Int64
+	replConnected atomic.Bool
+	replLag       atomic.Int64
+	promoterMu    sync.Mutex
+	promoter      func() (uint64, error)
+	// loopMu orders background-loop starts (deferred to promotion on
+	// followers) against Close's teardown waits.
+	loopMu sync.Mutex
+
 	closed      atomic.Bool
 	stop        chan struct{} // closed by Close; aborts waits and the rebalancer
 	rebalDone   chan struct{} // non-nil iff the background rebalancer runs
@@ -173,6 +194,21 @@ type Stats struct {
 	WarmStart        bool    `json:"warm_start,omitempty"`
 	LastRecoveryMS   float64 `json:"last_recovery_ms,omitempty"`
 	RecoveredRecords uint64  `json:"recovered_records,omitempty"`
+
+	// Replication. Role is "primary", "follower", or "fenced" (a
+	// deposed primary that learned of a newer epoch); Epoch is the
+	// current replication epoch. On a primary, ReplFollowers counts
+	// attached follower sessions. On a follower, ReplConnected
+	// reports a live stream to the primary (PrimaryAddr), and
+	// ReplLagRecords how many records the primary's current segments
+	// hold beyond what this follower has applied (from the last
+	// heartbeat; approximate).
+	Role           string `json:"role,omitempty"`
+	Epoch          uint64 `json:"epoch,omitempty"`
+	ReplFollowers  int    `json:"repl_followers,omitempty"`
+	ReplConnected  bool   `json:"repl_connected,omitempty"`
+	ReplLagRecords int64  `json:"repl_lag_records,omitempty"`
+	PrimaryAddr    string `json:"primary_addr,omitempty"`
 }
 
 // New builds an engine: the factory is invoked once per shard, each
@@ -197,6 +233,8 @@ func New(cfg Config, factory BackendFactory) (*Engine, error) {
 		fwd:   newFwdTable(cfg),
 		stop:  make(chan struct{}),
 	}
+	e.replEpoch.Store(1) // cold start; recovery overrides from disk
+	e.follower.Store(cfg.Follower)
 	for i := 0; i < cfg.Shards; i++ {
 		be, err := factory(i, cfg)
 		if err != nil {
@@ -205,6 +243,9 @@ func New(cfg Config, factory BackendFactory) (*Engine, error) {
 		}
 		s := newShard(i, cfg, be)
 		s.epoch = &e.epoch
+		s.replEpoch = &e.replEpoch
+		s.sink = &e.replSink
+		s.readOnly = &e.follower
 		e.shards = append(e.shards, s)
 	}
 	if cfg.DataDir != "" {
@@ -222,15 +263,32 @@ func New(cfg Config, factory BackendFactory) (*Engine, error) {
 	for _, s := range e.shards {
 		s.start()
 	}
-	if cfg.RebalanceInterval > 0 && cfg.Shards > 1 {
-		e.rebalDone = make(chan struct{})
-		go e.rebalanceLoop(cfg.RebalanceInterval)
-	}
-	if cfg.DataDir != "" && cfg.CheckpointEvery > 0 {
-		e.ckptDone = make(chan struct{})
-		go e.checkpointLoop(cfg.CheckpointEvery)
+	// Followers defer the write-driving background loops (the
+	// rebalancer migrates, the checkpointer rotates segments the
+	// primary's stream did not) until promotion starts them.
+	if !cfg.Follower {
+		e.startLoops()
 	}
 	return e, nil
+}
+
+// startLoops launches the configured background loops that are
+// deferred on followers: the adaptive rebalancer and the periodic
+// checkpointer. Idempotent; ordered against Close via loopMu.
+func (e *Engine) startLoops() {
+	e.loopMu.Lock()
+	defer e.loopMu.Unlock()
+	if e.closed.Load() {
+		return
+	}
+	if e.cfg.RebalanceInterval > 0 && e.cfg.Shards > 1 && e.rebalDone == nil {
+		e.rebalDone = make(chan struct{})
+		go e.rebalanceLoop(e.cfg.RebalanceInterval)
+	}
+	if e.cfg.DataDir != "" && e.cfg.CheckpointEvery > 0 && e.ckptDone == nil {
+		e.ckptDone = make(chan struct{})
+		go e.checkpointLoop(e.cfg.CheckpointEvery)
+	}
 }
 
 // Config returns the resolved configuration.
@@ -252,22 +310,47 @@ func (e *Engine) close(checkpoint bool) error {
 		return ErrClosed
 	}
 	close(e.stop)
-	if e.rebalDone != nil {
-		<-e.rebalDone
+	e.loopMu.Lock() // a concurrent promotion may have just started them
+	rebalDone, ckptDone := e.rebalDone, e.ckptDone
+	e.loopMu.Unlock()
+	if rebalDone != nil {
+		<-rebalDone
 	}
-	if e.ckptDone != nil {
-		<-e.ckptDone
+	if ckptDone != nil {
+		<-ckptDone
 	}
 	var ckptErr error
-	if checkpoint && e.cfg.DataDir != "" {
+	if checkpoint && e.cfg.DataDir != "" && !e.follower.Load() {
 		// The shards are still running: the final capture drains
-		// whatever the write queues already accepted.
+		// whatever the write queues already accepted. A follower
+		// skips this: its checkpoints and rotations come from the
+		// primary's stream, and a local rotation would fork the
+		// mirror (its log is already flushed and fsynced when each
+		// shard halts, so a restart replays nothing extra anyway).
 		_, ckptErr = e.checkpoint()
 	}
 	for _, s := range e.shards {
 		s.halt()
 	}
 	return ckptErr
+}
+
+// writable gates the write path by role: a fenced deposed primary
+// rejects everything, a follower rejects with a redirect to its
+// primary. Queries never come through here — reads work in every
+// role — and neither does the replication applier, whose writes ARE
+// the primary's.
+func (e *Engine) writable() error {
+	if by := e.fencedBy.Load(); by != 0 {
+		return fmt.Errorf("%w (saw epoch %d, ours %d)", ErrFenced, by, e.replEpoch.Load())
+	}
+	if e.follower.Load() {
+		if e.cfg.PrimaryAddr != "" {
+			return fmt.Errorf("%w (writes go to the primary at %s)", ErrReadOnly, e.cfg.PrimaryAddr)
+		}
+		return ErrReadOnly
+	}
+	return nil
 }
 
 func (e *Engine) checkDemand(demand vector.Vec) error {
@@ -549,6 +632,10 @@ func (e *Engine) Update(node GlobalID, avail vector.Vec, announce bool) error {
 	if e.closed.Load() {
 		return ErrClosed
 	}
+	if err := e.writable(); err != nil {
+		e.errors.Add(1)
+		return err
+	}
 	if err := e.checkDemand(avail); err != nil {
 		e.errors.Add(1)
 		return err
@@ -593,6 +680,10 @@ func (e *Engine) join(si int, avail vector.Vec) (GlobalID, error) {
 	if e.closed.Load() {
 		return 0, ErrClosed
 	}
+	if err := e.writable(); err != nil {
+		e.errors.Add(1)
+		return 0, err
+	}
 	if avail != nil {
 		if err := e.checkDemand(avail); err != nil {
 			e.errors.Add(1)
@@ -625,6 +716,10 @@ func (e *Engine) join(si int, avail vector.Vec) (GlobalID, error) {
 func (e *Engine) Leave(node GlobalID) error {
 	if e.closed.Load() {
 		return ErrClosed
+	}
+	if err := e.writable(); err != nil {
+		e.errors.Add(1)
+		return err
 	}
 	if _, err := e.submitResolved(node, func(phys GlobalID) op {
 		return op{
@@ -711,6 +806,13 @@ func (e *Engine) Stats() Stats {
 		WarmStart:        e.warmStart,
 		LastRecoveryMS:   float64(e.recoveryNanos.Load()) / 1e6,
 		RecoveredRecords: e.recoveredRecs.Load(),
+
+		Role:           e.Role(),
+		Epoch:          e.replEpoch.Load(),
+		ReplFollowers:  int(e.replFollowers.Load()),
+		ReplConnected:  e.replConnected.Load(),
+		ReplLagRecords: e.replLag.Load(),
+		PrimaryAddr:    e.cfg.PrimaryAddr,
 	}
 	st.CacheHits, st.CacheMisses, st.CacheResets, st.CacheEntries = e.cache.stats()
 	for _, s := range e.shards {

@@ -19,6 +19,7 @@ import (
 //	POST /leave  {"node":N}                               -> {"ok":true}
 //	POST /rebalance -> RebalanceResult
 //	POST /checkpoint -> CheckpointResult
+//	POST /promote -> {"role":"primary","epoch":E}
 //	GET  /nodes  -> {"nodes":[N,...]}
 //	GET  /stats  -> Stats
 //	GET  /healthz -> {"ok":true}
@@ -28,12 +29,17 @@ import (
 // /join's optional "shard" targets a specific shard instead of the
 // round-robin placement; /rebalance triggers one adaptive rebalance
 // pass on demand; /checkpoint snapshots a durable (DataDir) engine's
-// state and truncates its op-logs. Request bodies are capped at 1
+// state and truncates its op-logs. On a replication follower, writes
+// return 503 with the primary's address in the error message (reads
+// — /query, /nodes, /stats — serve normally) and POST /promote turns
+// the follower into the primary under a fresh epoch. Request bodies
+// are capped at 1
 // MiB. Errors come
 // back as {"error":"..."} with status 400 (bad input, including
 // oversized bodies), 404 (no such shard), 409 (rejected operation),
-// 503 (engine closed) or 504 (scatter-gather deadline expired with
-// no leg answered).
+// 500 (write applied but not durable: op-log failure), 503 (engine
+// closed, or a write on a read-only follower or fenced primary) or
+// 504 (scatter-gather deadline expired with no leg answered).
 func NewHandler(e *Engine) http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /query", func(w http.ResponseWriter, r *http.Request) {
@@ -100,6 +106,14 @@ func NewHandler(e *Engine) http.Handler {
 		}
 		writeJSON(w, http.StatusOK, res)
 	})
+	mux.HandleFunc("POST /promote", func(w http.ResponseWriter, r *http.Request) {
+		epoch, err := e.Promote()
+		if err != nil {
+			writeErr(w, err)
+			return
+		}
+		writeJSON(w, http.StatusOK, map[string]any{"role": e.Role(), "epoch": epoch})
+	})
 	mux.HandleFunc("POST /leave", func(w http.ResponseWriter, r *http.Request) {
 		var req struct {
 			Node GlobalID `json:"node"`
@@ -154,6 +168,14 @@ func writeErr(w http.ResponseWriter, err error) {
 	switch {
 	case errors.Is(err, ErrClosed):
 		status = http.StatusServiceUnavailable
+	case errors.Is(err, ErrReadOnly), errors.Is(err, ErrFenced):
+		// 503 + the primary's address in the message: the client's
+		// cue to redirect writes (a follower serves only reads).
+		status = http.StatusServiceUnavailable
+	case errors.Is(err, ErrWAL):
+		// Applied in memory, not durable — a server-side storage
+		// fault, not a client error.
+		status = http.StatusInternalServerError
 	case errors.Is(err, ErrBadDemand), errors.Is(err, ErrBadScope), errors.Is(err, ErrNotDurable):
 		status = http.StatusBadRequest
 	case errors.Is(err, ErrNoShard):

@@ -354,3 +354,80 @@ func TestHTTPCheckpoint(t *testing.T) {
 		t.Fatalf("checkpoint on in-memory engine: %d %v, want 400", resp.StatusCode, out)
 	}
 }
+
+// TestHTTPFollowerRouting: on a follower, writes are 503 naming the
+// primary, reads serve, /stats reports the role, and POST /promote
+// flips the engine to a writable primary under a new epoch.
+func TestHTTPFollowerRouting(t *testing.T) {
+	cfg := testConfig(2)
+	cfg.DataDir = t.TempDir()
+	cfg.Follower = true
+	cfg.PrimaryAddr = "10.0.0.1:7000"
+	e, err := New(cfg, func(i int, rc Config) (Backend, error) {
+		return newFake(rc.NodesPerShard, rc.CMax.Dim()), nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { e.Close() })
+	ts := httptest.NewServer(NewHandler(e))
+	t.Cleanup(ts.Close)
+
+	// Writes: 503 + primary address.
+	resp, out := postJSON(t, ts.URL+"/update",
+		map[string]any{"node": 0, "avail": []float64{1, 1}})
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("follower /update: %d %v, want 503", resp.StatusCode, out)
+	}
+	if msg, _ := out["error"].(string); !strings.Contains(msg, cfg.PrimaryAddr) {
+		t.Fatalf("follower 503 %q does not name the primary", msg)
+	}
+	resp, _ = postJSON(t, ts.URL+"/join", map[string]any{})
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("follower /join: %d, want 503", resp.StatusCode)
+	}
+	resp, _ = postJSON(t, ts.URL+"/rebalance", nil)
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("follower /rebalance: %d, want 503", resp.StatusCode)
+	}
+
+	// Reads serve; /stats names the role.
+	resp, _ = postJSON(t, ts.URL+"/query", map[string]any{"demand": []float64{0, 0}, "k": 1})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("follower /query: %d, want 200", resp.StatusCode)
+	}
+	r, err := http.Get(ts.URL + "/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var st Stats
+	if err := json.NewDecoder(r.Body).Decode(&st); err != nil {
+		t.Fatal(err)
+	}
+	r.Body.Close()
+	if st.Role != "follower" || st.PrimaryAddr != cfg.PrimaryAddr {
+		t.Fatalf("follower stats role=%q primary=%q", st.Role, st.PrimaryAddr)
+	}
+
+	// Promote: 200 with the new epoch, then writes pass.
+	resp, out = postJSON(t, ts.URL+"/promote", nil)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("/promote: %d %v", resp.StatusCode, out)
+	}
+	if role, _ := out["role"].(string); role != "primary" {
+		t.Fatalf("/promote role %v", out)
+	}
+	if epoch, _ := out["epoch"].(float64); epoch != 2 {
+		t.Fatalf("/promote epoch %v, want 2", out)
+	}
+	resp, out = postJSON(t, ts.URL+"/update",
+		map[string]any{"node": 0, "avail": []float64{1, 1}, "announce": true})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("post-promotion /update: %d %v", resp.StatusCode, out)
+	}
+	// A second promote is a clean 409.
+	resp, _ = postJSON(t, ts.URL+"/promote", nil)
+	if resp.StatusCode != http.StatusConflict {
+		t.Fatalf("double /promote: %d, want 409", resp.StatusCode)
+	}
+}

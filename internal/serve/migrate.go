@@ -1,6 +1,7 @@
 package serve
 
 import (
+	"errors"
 	"fmt"
 	"math"
 	"sync"
@@ -405,6 +406,10 @@ func (e *Engine) Migrate(node GlobalID, to int) error {
 	if e.closed.Load() {
 		return ErrClosed
 	}
+	if err := e.writable(); err != nil {
+		e.errors.Add(1)
+		return err
+	}
 	if to < 0 || to >= len(e.shards) {
 		e.errors.Add(1)
 		return fmt.Errorf("%w: shard %d (migration destination)", ErrNoShard, to)
@@ -441,6 +446,16 @@ func (e *Engine) Migrate(node GlobalID, to int) error {
 	if err == nil {
 		err = take.err
 	}
+	var walDegraded error
+	if errors.Is(err, ErrWAL) {
+		// The take APPLIED — the node is off its source shard, its
+		// availability in hand — only its log record is missing.
+		// Aborting here would strand the node; completing the move
+		// and reporting the degraded durability is the honest
+		// outcome (a crash before the next checkpoint may resurrect
+		// the node on its source shard).
+		walDegraded, err = err, nil
+	}
 	if err != nil {
 		if e.closed.Load() {
 			// Teardown raced the take (the node may have been lost by
@@ -474,11 +489,17 @@ func (e *Engine) Migrate(node GlobalID, to int) error {
 	if err == nil {
 		err = join.err
 	}
+	if errors.Is(err, ErrWAL) {
+		// The join APPLIED (the node lives on the destination, the
+		// repoint installed); a rollback would duplicate it. Complete
+		// the move and report the degraded durability.
+		walDegraded, err = err, nil
+	}
 	if err != nil {
 		// The node is off its source shard but never landed; try to
 		// send it home so it is not lost. A rollback join assigns a
 		// fresh local id, so the forwarding table still repoints.
-		if back, berr := src.submit(rejoin(from), nil); berr != nil || back.err != nil {
+		if back, berr := src.submit(rejoin(from), nil); berr != nil || (back.err != nil && !errors.Is(back.err, ErrWAL)) {
 			// The node is gone for good (both shards refused it).
 			// Drop its forwarding state so its ids fail fast instead
 			// of routing to the vacated shard forever.
@@ -491,6 +512,10 @@ func (e *Engine) Migrate(node GlobalID, to int) error {
 		return fmt.Errorf("serve: migrate %v to shard %d: %w", node, to, err)
 	}
 	e.migrations.Add(1)
+	if walDegraded != nil {
+		e.errors.Add(1)
+		return fmt.Errorf("serve: migrate %v to shard %d completed: %w", node, to, walDegraded)
+	}
 	return nil
 }
 
@@ -526,6 +551,9 @@ type RebalanceResult struct {
 func (e *Engine) Rebalance() (RebalanceResult, error) {
 	if e.closed.Load() {
 		return RebalanceResult{}, ErrClosed
+	}
+	if err := e.writable(); err != nil {
+		return RebalanceResult{}, err
 	}
 	// One pass at a time: a manual trigger racing the background loop
 	// must not double the move budget or see each other's half-moved

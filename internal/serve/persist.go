@@ -45,6 +45,11 @@ func (e *Engine) Checkpoint() (CheckpointResult, error) {
 	if e.closed.Load() {
 		return CheckpointResult{}, ErrClosed
 	}
+	// A follower's checkpoints arrive over the replication stream;
+	// rotating its segments locally would fork them off the mirror.
+	if err := e.writable(); err != nil {
+		return CheckpointResult{}, err
+	}
 	return e.checkpoint()
 }
 
@@ -61,6 +66,7 @@ func (e *Engine) checkpoint() (CheckpointResult, error) {
 	start := time.Now()
 	ck := &wal.Checkpoint{
 		Seq:           e.ckptSeq.Load() + 1,
+		Epoch:         e.replEpoch.Load(),
 		Shards:        e.cfg.Shards,
 		NodesPerShard: e.cfg.NodesPerShard,
 		Seed:          e.cfg.Seed,
@@ -100,13 +106,29 @@ func (e *Engine) checkpoint() (CheckpointResult, error) {
 		"rebalances": e.rebalances.Load(),
 		"errors":     e.errors.Load(),
 	}
-	path, err := ck.Save(e.cfg.DataDir)
+	image, err := ck.Image()
 	if err != nil {
 		e.errors.Add(1)
 		return CheckpointResult{}, err
 	}
-	if fi, err := os.Stat(path); err == nil {
-		res.Bytes = fi.Size()
+	if _, err := wal.SaveRaw(e.cfg.DataDir, ck.Seq, image); err != nil {
+		e.errors.Add(1)
+		return CheckpointResult{}, err
+	}
+	res.Bytes = int64(len(image))
+	// Ship the checkpoint to any attached followers before pruning:
+	// the sink event (in order after every record frame of the
+	// segments it covers) is how a follower mirrors the rotation
+	// boundary, the checkpoint file and the pruning below. The image
+	// shipped is the exact bytes just written, so a bootstrap
+	// session waiting on this checkpoint can never be stranded by a
+	// re-read failure.
+	if p := e.replSink.Load(); p != nil {
+		firstSegs := make([]uint64, len(ck.ShardStates))
+		for i, st := range ck.ShardStates {
+			firstSegs[i] = st.FirstSeg
+		}
+		(*p).ReplCheckpoint(ck.Seq, ck.Epoch, firstSegs, image)
 	}
 	// Prune what the new checkpoint supersedes. Best-effort: a
 	// leftover file is re-pruned by the next pass and never consulted
@@ -202,17 +224,34 @@ func (e *Engine) recover() error {
 	if err != nil {
 		return err
 	}
-	if ck != nil {
-		if ck.Shards != e.cfg.Shards || ck.NodesPerShard != e.cfg.NodesPerShard ||
-			ck.Seed != e.cfg.Seed || ck.Dims != e.cfg.CMax.Dim() {
-			return fmt.Errorf("data dir %q was written by an incompatible engine "+
-				"(shards/nodes/seed/dims %d/%d/%d/%d, this engine %d/%d/%d/%d)",
-				e.cfg.DataDir, ck.Shards, ck.NodesPerShard, ck.Seed, ck.Dims,
-				e.cfg.Shards, e.cfg.NodesPerShard, e.cfg.Seed, e.cfg.CMax.Dim())
+	// The replication epoch is recovered before any shard opens a
+	// segment: the maximum of the checkpoint's sealed epoch and every
+	// on-disk segment header (a promotion's rotation can be durable
+	// before its checkpoint), floored at 1 (legacy dirs read as 0).
+	epoch := uint64(1)
+	if ck != nil && ck.Epoch > epoch {
+		epoch = ck.Epoch
+	}
+	for i := range e.shards {
+		dir := e.shardDir(i)
+		segs, err := wal.Segments(dir)
+		if err != nil {
+			return err
 		}
-		if len(ck.ShardStates) != len(e.shards) {
-			return fmt.Errorf("checkpoint %d has %d shard states, want %d",
-				ck.Seq, len(ck.ShardStates), len(e.shards))
+		for _, seg := range segs {
+			meta, err := wal.ReadSegmentMeta(wal.SegmentPath(dir, seg))
+			if err != nil {
+				return err
+			}
+			if meta.Epoch > epoch {
+				epoch = meta.Epoch
+			}
+		}
+	}
+	e.replEpoch.Store(epoch)
+	if ck != nil {
+		if err := e.checkCkptCompat(ck); err != nil {
+			return fmt.Errorf("data dir %q: %w", e.cfg.DataDir, err)
 		}
 		// Forwarding state restores before replay so the log tail's
 		// repoints overlay it, not the reverse.
@@ -304,7 +343,11 @@ func (e *Engine) reconcileTakes(tallies []replayTally, notes *recoveryNotes) err
 			if results[0].err != nil {
 				return fmt.Errorf("shard %d: rolling back orphaned take of %v: %w", i, phys, results[0].err)
 			}
-			s.logBatch(batch, results) // durable, so the next recovery replays it
+			// Durable, so the next recovery replays it instead of
+			// reconciling again; a log failure here fails recovery.
+			if err := s.logBatch(batch, results); err != nil {
+				return fmt.Errorf("shard %d: logging rollback of %v: %w", i, phys, err)
+			}
 			s.be.Step(s.cfg.StepQuantum)
 			s.publish()
 		}
@@ -338,6 +381,11 @@ func (e *Engine) recoverShard(s *shard, st *wal.ShardState, notes *recoveryNotes
 	if first >= nextSeg {
 		nextSeg = first + 1
 	}
+	// The follower mirror resumes its LAST segment in place (the
+	// primary is still on it); lastValid/lastCount track where.
+	var lastSeg uint64
+	var lastValid int64
+	var lastCount uint64
 	for _, seg := range segs {
 		if seg >= nextSeg {
 			nextSeg = seg + 1
@@ -346,10 +394,11 @@ func (e *Engine) recoverShard(s *shard, st *wal.ShardState, notes *recoveryNotes
 			continue // superseded by the checkpoint; pruning raced a crash
 		}
 		path := wal.SegmentPath(dir, seg)
-		recs, _, err := wal.ReadSegment(path)
+		_, recs, validSize, _, err := wal.ReadSegmentInfo(path)
 		if err != nil {
 			return tally, err
 		}
+		lastSeg, lastValid, lastCount = seg, validSize, uint64(len(recs))
 		ops := make([]op, 0, len(recs))
 		expect := make([]overlay.NodeID, 0, len(recs))
 		for _, r := range recs {
@@ -378,9 +427,32 @@ func (e *Engine) recoverShard(s *shard, st *wal.ShardState, notes *recoveryNotes
 			return tally, fmt.Errorf("%s: %w", path, err)
 		}
 	}
-	log, err := wal.Create(dir, nextSeg)
-	if err != nil {
-		return tally, err
+	var log *wal.Log
+	if e.cfg.Follower {
+		// Mirror continuation: reopen the last segment for appending
+		// at its valid prefix (shedding any torn tail) instead of
+		// rotating onto a number the primary never had — the resumed
+		// stream continues exactly where this follower's log ends.
+		target := lastSeg
+		if target < first {
+			target, lastValid, lastCount = first, 0, 0
+		}
+		if target == 0 {
+			target, lastValid, lastCount = 1, 0, 0
+		}
+		log, err = wal.OpenAppend(dir, target, lastValid, e.replEpoch.Load())
+		if err != nil {
+			return tally, err
+		}
+		s.segNum.Store(target)
+		s.segRecs.Store(lastCount)
+	} else {
+		log, err = wal.Create(dir, nextSeg, e.replEpoch.Load())
+		if err != nil {
+			return tally, err
+		}
+		s.segNum.Store(nextSeg)
+		s.segRecs.Store(0)
 	}
 	s.log = log
 	s.publish()

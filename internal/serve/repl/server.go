@@ -1,0 +1,462 @@
+package repl
+
+import (
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"pidcan/internal/serve"
+	"pidcan/internal/serve/wal"
+)
+
+// ServerConfig tunes the primary's replication server. Zero fields
+// take the documented defaults.
+type ServerConfig struct {
+	// Heartbeat is the cadence of liveness/position frames to
+	// followers (default 500ms). The follower treats several missed
+	// heartbeats as a dead primary and reconnects.
+	Heartbeat time.Duration
+	// SessionBuffer bounds each follower session's event queue; a
+	// follower too slow to drain it is disconnected (it reconnects
+	// and catches up from disk). Default 4096 events.
+	SessionBuffer int
+	// WriteTimeout bounds each frame write (default 10s).
+	WriteTimeout time.Duration
+	// ChunkRecords caps records per stream frame (default 512).
+	ChunkRecords int
+}
+
+func (c ServerConfig) withDefaults() ServerConfig {
+	if c.Heartbeat <= 0 {
+		c.Heartbeat = 500 * time.Millisecond
+	}
+	if c.SessionBuffer <= 0 {
+		c.SessionBuffer = 4096
+	}
+	if c.WriteTimeout <= 0 {
+		c.WriteTimeout = 10 * time.Second
+	}
+	if c.ChunkRecords <= 0 {
+		c.ChunkRecords = 512
+	}
+	return c
+}
+
+// Server streams a primary engine's op-log to follower sessions. It
+// implements serve.ReplSink: the engine hands it every logged record
+// batch and checkpoint, and the server fans them out to per-session
+// bounded queues (the hub's single lock gives every session the same
+// total order, preserving the take-before-join causality of
+// cross-shard migrations).
+type Server struct {
+	e   *serve.Engine
+	cfg ServerConfig
+
+	mu       sync.Mutex
+	sessions map[*session]struct{}
+	ln       net.Listener
+
+	closed atomic.Bool
+	stop   chan struct{}
+	wg     sync.WaitGroup
+}
+
+// NewServer builds a replication server for a durable primary engine
+// and attaches itself as the engine's replication sink.
+func NewServer(e *serve.Engine, cfg ServerConfig) (*Server, error) {
+	if e.Config().DataDir == "" {
+		return nil, fmt.Errorf("repl: replication needs a durable engine (DataDir)")
+	}
+	s := &Server{
+		e:        e,
+		cfg:      cfg.withDefaults(),
+		sessions: map[*session]struct{}{},
+		stop:     make(chan struct{}),
+	}
+	e.SetReplSink(s)
+	return s, nil
+}
+
+// Serve accepts follower connections on ln until Close. Blocking.
+func (s *Server) Serve(ln net.Listener) error {
+	s.mu.Lock()
+	s.ln = ln
+	s.mu.Unlock()
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			if s.closed.Load() {
+				return nil
+			}
+			return err
+		}
+		s.wg.Add(1)
+		go func() {
+			defer s.wg.Done()
+			s.handle(conn)
+		}()
+	}
+}
+
+// Close detaches the sink, stops accepting, and tears down every
+// session.
+func (s *Server) Close() error {
+	if !s.closed.CompareAndSwap(false, true) {
+		return nil
+	}
+	s.e.SetReplSink(nil)
+	close(s.stop)
+	s.mu.Lock()
+	ln := s.ln
+	for ss := range s.sessions {
+		ss.kill()
+	}
+	s.mu.Unlock()
+	if ln != nil {
+		ln.Close()
+	}
+	s.wg.Wait()
+	return nil
+}
+
+// --- sink fan-out ------------------------------------------------------------
+
+// event kinds in session queues.
+const (
+	evRecords byte = iota
+	evCkpt
+)
+
+type event struct {
+	kind      byte
+	shard     int
+	seg, pos  uint64
+	epoch     uint64
+	recs      []wal.Record
+	seq       uint64
+	firstSegs []uint64
+	data      []byte
+}
+
+// ReplRecords implements serve.ReplSink (called from shard
+// goroutines; must not block). recs aliases the shard's reusable
+// buffer, so it is copied here — but only when a session exists to
+// receive it: an idle primary with no followers pays nothing.
+func (s *Server) ReplRecords(shard int, seg, pos, epoch uint64, recs []wal.Record) {
+	s.mu.Lock()
+	if len(s.sessions) > 0 {
+		s.deliverLocked(event{
+			kind: evRecords, shard: shard, seg: seg, pos: pos, epoch: epoch,
+			recs: append([]wal.Record(nil), recs...),
+		})
+	}
+	s.mu.Unlock()
+}
+
+// ReplCheckpoint implements serve.ReplSink (data is the engine's own
+// freshly-read file image, never reused — no copy needed).
+func (s *Server) ReplCheckpoint(seq, epoch uint64, firstSegs []uint64, data []byte) {
+	s.mu.Lock()
+	s.deliverLocked(event{kind: evCkpt, seq: seq, epoch: epoch, firstSegs: firstSegs, data: data})
+	s.mu.Unlock()
+}
+
+func (s *Server) deliverLocked(ev event) {
+	for ss := range s.sessions {
+		select {
+		case ss.ch <- ev:
+		default:
+			// The follower can't keep up; cut it loose — it
+			// reconnects and resumes (or re-bootstraps) from disk.
+			ss.kill()
+		}
+	}
+}
+
+func (s *Server) add(ss *session) {
+	s.mu.Lock()
+	s.sessions[ss] = struct{}{}
+	s.mu.Unlock()
+}
+
+func (s *Server) remove(ss *session) {
+	s.mu.Lock()
+	delete(s.sessions, ss)
+	s.mu.Unlock()
+}
+
+// --- one follower session ----------------------------------------------------
+
+type session struct {
+	pc   *pconn
+	ch   chan event
+	dead chan struct{}
+	once sync.Once
+	// next is, per shard, the position the follower holds: every
+	// outgoing frame is trimmed against it, which is what splices
+	// the disk catch-up and the live feed without gaps or overlaps.
+	next []serve.ReplPos
+}
+
+func (ss *session) kill() { ss.once.Do(func() { close(ss.dead) }) }
+
+// handle runs one follower connection: handshake, catch-up, live
+// stream.
+func (s *Server) handle(conn net.Conn) {
+	defer conn.Close()
+	e := s.e
+	pc := newPconn(conn)
+	pc.setReadDeadline(10 * time.Second)
+	payload, err := pc.readFrame(maxCtrlFrame)
+	if err != nil {
+		return
+	}
+	h, err := decodeHello(payload)
+	if err != nil {
+		return
+	}
+	pc.setReadDeadline(0)
+
+	cfg := e.Config()
+	w := welcome{
+		Epoch: e.Epoch(), Shards: e.Shards(), CkptSeq: e.Stats().CheckpointSeq,
+		Seed: cfg.Seed, NodesPerShard: cfg.NodesPerShard, Dims: cfg.CMax.Dim(),
+	}
+	refuse := func(status byte) {
+		w.Status = status
+		pc.setWriteDeadline(s.cfg.WriteTimeout)
+		pc.writeFrame(encodeWelcome(w))
+		pc.flush()
+	}
+	if h.Epoch > e.Epoch() {
+		// The follower lived into a newer epoch than ours: we are the
+		// deposed primary. Seal and say so.
+		e.Fence(h.Epoch)
+		refuse(StFenced)
+		return
+	}
+	if e.Role() != "primary" {
+		refuse(StNotPrimary)
+		return
+	}
+	if h.Shards != e.Shards() || (!h.Bootstrap && len(h.Pos) != e.Shards()) {
+		refuse(StIncompatible)
+		return
+	}
+
+	// Register before probing positions: from here every logged
+	// batch lands in this session's queue, so whatever the disk
+	// read below misses is already buffered.
+	ss := &session{pc: pc, ch: make(chan event, s.cfg.SessionBuffer), dead: make(chan struct{})}
+	s.add(ss)
+	defer s.remove(ss)
+	e.ReplFollowerDelta(1)
+	defer e.ReplFollowerDelta(-1)
+
+	// Resume is possible only when the follower's mirror ends inside
+	// every shard's CURRENT segment under the current epoch; closed
+	// segments may have been compacted or pruned, so anything older
+	// re-bootstraps (checkpoint shipping makes that cheap).
+	resume := !h.Bootstrap && h.Epoch == e.Epoch()
+	syncPos := make([]serve.ReplPos, e.Shards())
+	if resume {
+		for i := range syncPos {
+			sp, err := e.ReplSyncPosition(i)
+			if err != nil {
+				return
+			}
+			syncPos[i] = sp
+			if h.Pos[i].Seg != sp.Seg || h.Pos[i].Pos > sp.Pos {
+				resume = false
+			}
+		}
+	}
+
+	if resume {
+		w.Status = StResume
+		pc.setWriteDeadline(s.cfg.WriteTimeout)
+		if err := pc.writeFrame(encodeWelcome(w)); err != nil {
+			return
+		}
+		ss.next = append([]serve.ReplPos(nil), h.Pos...)
+		// Splice the durable gap from disk: everything between the
+		// follower's position and the sync point is flushed and
+		// readable; everything after the sync point is in the queue.
+		// If the segment was rotated AND compacted between the sync
+		// and this read, its record ordinals no longer match the
+		// live sequence — the compacted flag in the header (the
+		// rewrite is atomic, so we see one version or the other)
+		// aborts the splice and the follower re-handshakes.
+		for i := range syncPos {
+			from, to := h.Pos[i].Pos, syncPos[i].Pos
+			if from >= to {
+				continue
+			}
+			meta, recs, _, _, err := wal.ReadSegmentInfo(e.ReplLogPath(i, syncPos[i].Seg))
+			if err != nil || meta.Compacted || uint64(len(recs)) < to {
+				return // the segment moved under us; follower retries
+			}
+			if err := ss.sendRecords(s.cfg, i, syncPos[i].Seg, from, e.Epoch(), recs[from:to]); err != nil {
+				return
+			}
+			ss.next[i] = syncPos[i]
+		}
+		if err := pc.flush(); err != nil {
+			return
+		}
+	} else {
+		w.Status = StBootstrap
+		pc.setWriteDeadline(s.cfg.WriteTimeout)
+		if err := pc.writeFrame(encodeWelcome(w)); err != nil {
+			return
+		}
+		if err := pc.flush(); err != nil {
+			return
+		}
+		// Force a checkpoint: its image lands in OUR queue (we are
+		// registered), in order behind every record frame of the
+		// segments it covers — exactly the boundary the follower
+		// needs. Records arriving before it are held back and
+		// re-filtered once the boundary is known.
+		ck, err := e.Checkpoint()
+		if err != nil {
+			return
+		}
+		var held []event
+	waitCkpt:
+		for {
+			select {
+			case ev := <-ss.ch:
+				switch {
+				case ev.kind == evCkpt && ev.seq >= ck.Seq:
+					if err := ss.sendCkpt(s.cfg, ev); err != nil {
+						return
+					}
+					break waitCkpt
+				case ev.kind == evRecords:
+					held = append(held, ev)
+				}
+			case <-ss.dead:
+				return
+			case <-s.stop:
+				return
+			}
+		}
+		for _, ev := range held {
+			if err := ss.send(s.cfg, ev); err != nil {
+				return
+			}
+		}
+	}
+
+	// Watchdog: the follower sends nothing after its hello, so any
+	// read completion means EOF or error — the signal to tear down.
+	go func() {
+		io.Copy(io.Discard, conn)
+		ss.kill()
+	}()
+
+	hb := time.NewTicker(s.cfg.Heartbeat)
+	defer hb.Stop()
+	for {
+		select {
+		case ev := <-ss.ch:
+			if err := ss.send(s.cfg, ev); err != nil {
+				return
+			}
+		case <-hb.C:
+			pc.setWriteDeadline(s.cfg.WriteTimeout)
+			if err := pc.writeFrame(encodeHeartbeat(heartbeat{Epoch: e.Epoch(), Pos: e.ReplPositions()})); err != nil {
+				return
+			}
+			if err := pc.flush(); err != nil {
+				return
+			}
+		case <-ss.dead:
+			return
+		case <-s.stop:
+			return
+		}
+	}
+}
+
+// send writes one queued event, trimmed against what the follower
+// already holds; a gap means the splice logic broke and the session
+// dies (the follower re-handshakes from its durable position).
+func (ss *session) send(cfg ServerConfig, ev event) error {
+	switch ev.kind {
+	case evRecords:
+		cur := ss.next[ev.shard]
+		if ev.seg < cur.Seg {
+			return nil // superseded by a shipped checkpoint's rotation
+		}
+		if ev.seg > cur.Seg {
+			if ev.pos != 0 {
+				return fmt.Errorf("repl: shard %d jumped to segment %d at pos %d", ev.shard, ev.seg, ev.pos)
+			}
+			cur = serve.ReplPos{Seg: ev.seg}
+		}
+		end := ev.pos + uint64(len(ev.recs))
+		if end <= cur.Pos {
+			return nil // already sent (disk splice overlap)
+		}
+		if ev.pos > cur.Pos {
+			return fmt.Errorf("repl: shard %d gap: have %d, frame starts at %d", ev.shard, cur.Pos, ev.pos)
+		}
+		recs := ev.recs[cur.Pos-ev.pos:]
+		if err := ss.sendRecords(cfg, ev.shard, ev.seg, cur.Pos, ev.epoch, recs); err != nil {
+			return err
+		}
+		ss.next[ev.shard] = serve.ReplPos{Seg: ev.seg, Pos: end}
+		return ss.pc.flush()
+	case evCkpt:
+		return ss.sendCkpt(cfg, ev)
+	}
+	return nil
+}
+
+// sendRecords writes records in bounded chunks (buffered; callers
+// flush).
+func (ss *session) sendRecords(cfg ServerConfig, shard int, seg, pos, epoch uint64, recs []wal.Record) error {
+	for len(recs) > 0 {
+		n := len(recs)
+		if n > cfg.ChunkRecords {
+			n = cfg.ChunkRecords
+		}
+		payload, err := encodeRecordsFrame(recordsFrame{
+			Shard: shard, Seg: seg, Pos: pos, Epoch: epoch, Recs: recs[:n],
+		})
+		if err != nil {
+			return err
+		}
+		ss.pc.setWriteDeadline(cfg.WriteTimeout)
+		if err := ss.pc.writeFrame(payload); err != nil {
+			return err
+		}
+		recs, pos = recs[n:], pos+uint64(n)
+	}
+	return nil
+}
+
+// sendCkpt ships a checkpoint image and advances the trim cursor to
+// its rotation boundary.
+func (ss *session) sendCkpt(cfg ServerConfig, ev event) error {
+	ss.pc.setWriteDeadline(cfg.WriteTimeout)
+	if err := ss.pc.writeFrame(encodeCkptFrame(ckptFrame{
+		Seq: ev.seq, Epoch: ev.epoch, FirstSegs: ev.firstSegs, Data: ev.data,
+	})); err != nil {
+		return err
+	}
+	if ss.next == nil {
+		ss.next = make([]serve.ReplPos, len(ev.firstSegs))
+	}
+	for i, fs := range ev.firstSegs {
+		if ss.next[i].Seg < fs {
+			ss.next[i] = serve.ReplPos{Seg: fs}
+		}
+	}
+	return ss.pc.flush()
+}

@@ -1,0 +1,352 @@
+package serve
+
+import (
+	"fmt"
+
+	"pidcan/internal/overlay"
+	"pidcan/internal/serve/wal"
+)
+
+// This file is the engine side of op-log replication — the surface
+// internal/serve/repl builds its wire protocol, primary server and
+// follower client on. The division of labor: repl owns transport,
+// framing, sessions and reconnects; the engine owns every touch of
+// shard state and the mirrored DataDir, all funneled through the
+// shard goroutines so replication obeys the same single-writer
+// discipline as serving.
+//
+// A follower's DataDir is a byte-level mirror of its primary's:
+// checkpoints are shipped verbatim (SaveRaw), and log segments are
+// rebuilt record by record through the same applyBatch + logBatch
+// path live writes take — the encoding is deterministic, so the
+// rebuilt segments are byte-identical to the primary's. The mirror
+// is what makes a follower crash/restart cheap: it recovers from its
+// own disk like any durable engine, then resumes the stream from the
+// exact (segment, record) position its log ends at.
+
+// ReplSink receives a primary's replication feed: every logged
+// record batch and every completed checkpoint, in order (per shard;
+// a checkpoint event follows all record events of the segments it
+// covers). The repl server's fan-out hub implements it. Calls come
+// from shard goroutines and the checkpoint path and must not block.
+type ReplSink interface {
+	// ReplRecords delivers records appended to shard's segment seg
+	// starting at record ordinal pos, under the given epoch. recs
+	// aliases the shard's reusable batch buffer and is valid only
+	// for the duration of the call: a sink that retains it must
+	// copy.
+	ReplRecords(shard int, seg, pos, epoch uint64, recs []wal.Record)
+	// ReplCheckpoint delivers a completed checkpoint: its sequence
+	// number, epoch, per-shard first post-rotation segments, and the
+	// raw checkpoint file image.
+	ReplCheckpoint(seq, epoch uint64, firstSegs []uint64, data []byte)
+}
+
+// SetReplSink attaches (or, with nil, detaches) the engine's
+// replication sink. One sink at a time; the repl server multiplexes
+// its follower sessions behind it.
+func (e *Engine) SetReplSink(s ReplSink) {
+	if s == nil {
+		e.replSink.Store(nil)
+		return
+	}
+	e.replSink.Store(&s)
+}
+
+// Role reports the engine's replication role: "primary", "follower",
+// or "fenced" (a deposed primary that learned of a newer epoch).
+func (e *Engine) Role() string {
+	if e.fencedBy.Load() != 0 {
+		return "fenced"
+	}
+	if e.follower.Load() {
+		return "follower"
+	}
+	return "primary"
+}
+
+// Epoch returns the current replication epoch.
+func (e *Engine) Epoch() uint64 { return e.replEpoch.Load() }
+
+// Shards returns the shard count.
+func (e *Engine) Shards() int { return len(e.shards) }
+
+// ReplPos is one shard's op-log position: the current segment and
+// how many records it holds.
+type ReplPos struct {
+	Seg, Pos uint64
+}
+
+// ReplSyncPosition flushes and fsyncs one shard's op-log on its own
+// goroutine and returns the exact position — everything at or before
+// it is readable from the segment file, which is what lets the repl
+// server stream a catching-up follower from disk without gaps
+// against the live feed.
+func (e *Engine) ReplSyncPosition(shard int) (ReplPos, error) {
+	if shard < 0 || shard >= len(e.shards) {
+		return ReplPos{}, fmt.Errorf("%w: shard %d", ErrNoShard, shard)
+	}
+	res, err := e.shards[shard].controlReq(ctlSync, 0)
+	if err == nil {
+		err = res.err
+	}
+	if err != nil {
+		return ReplPos{}, err
+	}
+	return ReplPos{Seg: res.seg, Pos: res.pos}, nil
+}
+
+// ReplPositions returns every shard's live position from lock-free
+// gauges — approximate across shards (no cross-shard barrier), which
+// is all the heartbeat lag report needs.
+func (e *Engine) ReplPositions() []ReplPos {
+	out := make([]ReplPos, len(e.shards))
+	for i, s := range e.shards {
+		out[i] = ReplPos{Seg: s.segNum.Load(), Pos: s.segRecs.Load()}
+	}
+	return out
+}
+
+// ReplLogPath returns the path of one shard's segment file — the
+// repl server's disk read for follower catch-up.
+func (e *Engine) ReplLogPath(shard int, seg uint64) string {
+	return wal.SegmentPath(e.shardDir(shard), seg)
+}
+
+// ReplApply applies one replicated record batch to a follower shard
+// through the write queue — the same applyBatch path recovery and
+// live serving use — and verifies it the way recovery does: every
+// join must re-assign the id the primary logged, or the backends
+// have diverged and the error aborts the stream rather than serve
+// unverifiable state. The records are re-logged to the follower's
+// mirror by the shard's own logBatch (deterministic encoding: the
+// mirror stays byte-identical). The epoch must match the engine's —
+// the per-frame fencing that keeps a deposed primary's stream from
+// leaking writes into a sealed follower.
+func (e *Engine) ReplApply(shard int, epoch uint64, recs []wal.Record) error {
+	if e.closed.Load() {
+		return ErrClosed
+	}
+	if !e.follower.Load() {
+		return ErrNotFollower
+	}
+	if ours := e.replEpoch.Load(); epoch != ours {
+		return fmt.Errorf("%w (frame epoch %d, ours %d)", ErrFenced, epoch, ours)
+	}
+	if shard < 0 || shard >= len(e.shards) {
+		return fmt.Errorf("%w: shard %d", ErrNoShard, shard)
+	}
+	s := e.shards[shard]
+	notes := &recoveryNotes{repointed: map[GlobalID]bool{}, forgotten: map[GlobalID]bool{}}
+	type pending struct {
+		reply   chan opResult
+		expect  overlay.NodeID
+		kind    wal.Kind
+		repoint bool
+	}
+	pends := make([]pending, 0, len(recs))
+	// Enqueue the whole frame, then collect: the queue is FIFO, so
+	// order is preserved and the shard drains the frame in big
+	// batches instead of one op per batch.
+	for i := range recs {
+		o, expect := s.opFromRecord(e, recs[i], notes)
+		o.reply = make(chan opResult, 1)
+		if err := s.enqueue(o); err != nil {
+			return err
+		}
+		pends = append(pends, pending{o.reply, expect, recs[i].Kind, recs[i].Repoint})
+	}
+	for i, p := range pends {
+		var res opResult
+		select {
+		case res = <-p.reply:
+		case <-s.done:
+			select {
+			case res = <-p.reply:
+			default:
+				return ErrClosed
+			}
+		}
+		if res.err != nil {
+			return fmt.Errorf("replicated record %d (kind %d): %w", i, p.kind, res.err)
+		}
+		if p.expect >= 0 && res.node != p.expect {
+			return fmt.Errorf("replicated join assigned node %d, primary logged %d (divergent backend)",
+				res.node, p.expect)
+		}
+		switch {
+		case p.kind == wal.KindUpdate:
+			e.updates.Add(1)
+		case p.kind == wal.KindJoin && p.repoint:
+			e.migrations.Add(1)
+		case p.kind == wal.KindJoin:
+			e.joins.Add(1)
+		case p.kind == wal.KindLeave:
+			e.leaves.Add(1)
+		}
+	}
+	return nil
+}
+
+// ReplRotate rotates a follower shard's mirror log onto segment seg
+// — the follower-side half of its primary's rotation, at the same
+// record boundary (the stream is in order, so every record of the
+// closed segment has been applied). No-op when the shard is already
+// at or past seg.
+func (e *Engine) ReplRotate(shard int, seg uint64) error {
+	if e.closed.Load() {
+		return ErrClosed
+	}
+	if !e.follower.Load() {
+		return ErrNotFollower
+	}
+	if shard < 0 || shard >= len(e.shards) {
+		return fmt.Errorf("%w: shard %d", ErrNoShard, shard)
+	}
+	res, err := e.shards[shard].controlReq(ctlRotate, seg)
+	if err == nil {
+		err = res.err
+	}
+	return err
+}
+
+// checkCkptCompat guards against state written under an incompatible
+// engine shape (shared by recovery and checkpoint installation).
+func (e *Engine) checkCkptCompat(ck *wal.Checkpoint) error {
+	if ck.Shards != e.cfg.Shards || ck.NodesPerShard != e.cfg.NodesPerShard ||
+		ck.Seed != e.cfg.Seed || ck.Dims != e.cfg.CMax.Dim() {
+		return fmt.Errorf("checkpoint from an incompatible engine "+
+			"(shards/nodes/seed/dims %d/%d/%d/%d, this engine %d/%d/%d/%d)",
+			ck.Shards, ck.NodesPerShard, ck.Seed, ck.Dims,
+			e.cfg.Shards, e.cfg.NodesPerShard, e.cfg.Seed, e.cfg.CMax.Dim())
+	}
+	if len(ck.ShardStates) != e.cfg.Shards {
+		return fmt.Errorf("checkpoint %d has %d shard states, want %d",
+			ck.Seq, len(ck.ShardStates), e.cfg.Shards)
+	}
+	return nil
+}
+
+// ReplInstallCheckpoint installs a shipped checkpoint image on a
+// follower: every shard's mirror rotates onto the checkpoint's
+// post-rotation segment (a no-op where the stream already moved it),
+// the image is written verbatim into the DataDir, and superseded
+// checkpoints and segments are pruned — exactly the pruning the
+// primary did, so the mirror tracks its disk footprint too. The
+// follower's live state is untouched: it already applied everything
+// the checkpoint covers; the install only bounds ITS OWN next
+// recovery.
+func (e *Engine) ReplInstallCheckpoint(epoch uint64, data []byte) error {
+	if e.closed.Load() {
+		return ErrClosed
+	}
+	if !e.follower.Load() {
+		return ErrNotFollower
+	}
+	if ours := e.replEpoch.Load(); epoch != ours {
+		return fmt.Errorf("%w (checkpoint epoch %d, ours %d)", ErrFenced, epoch, ours)
+	}
+	ck, err := wal.Decode(data)
+	if err != nil {
+		return err
+	}
+	if err := e.checkCkptCompat(ck); err != nil {
+		return err
+	}
+	for i, st := range ck.ShardStates {
+		if err := e.ReplRotate(i, st.FirstSeg); err != nil {
+			return fmt.Errorf("shard %d: rotate to %d: %w", i, st.FirstSeg, err)
+		}
+	}
+	if _, err := wal.SaveRaw(e.cfg.DataDir, ck.Seq, data); err != nil {
+		return err
+	}
+	wal.RemoveCheckpointsBelow(e.cfg.DataDir, ck.Seq)
+	for i, st := range ck.ShardStates {
+		wal.RemoveSegmentsBelow(e.shardDir(i), st.FirstSeg)
+		e.shards[i].logBytes.Store(0)
+	}
+	e.ckptSeq.Store(ck.Seq)
+	e.checkpoints.Add(1)
+	return nil
+}
+
+// ReplReport records the follower's stream health for Stats: whether
+// the stream is live and how many records the primary holds beyond
+// this follower (from the last heartbeat).
+func (e *Engine) ReplReport(connected bool, lagRecords int64) {
+	e.replConnected.Store(connected)
+	e.replLag.Store(lagRecords)
+}
+
+// ReplFollowerDelta adjusts the attached-follower gauge (repl server
+// sessions).
+func (e *Engine) ReplFollowerDelta(d int64) { e.replFollowers.Add(d) }
+
+// Fence seals a primary that learned of a newer epoch — a follower
+// it once fed was promoted, and this engine's timeline is dead.
+// Writes fail with ErrFenced from here on (reads keep working);
+// the operator restarts the process as a follower of the new
+// primary, which re-bootstraps its divergent tail away. No-op for
+// epochs at or below the engine's own, and on followers.
+func (e *Engine) Fence(epoch uint64) {
+	if epoch <= e.replEpoch.Load() || e.follower.Load() {
+		return
+	}
+	e.fencedBy.Store(epoch)
+}
+
+// SetPromoter installs the function Promote delegates to — the repl
+// client's drain-then-seal sequence. Without one, Promote seals
+// locally (a follower whose primary is already gone has nothing to
+// drain beyond what the client applied).
+func (e *Engine) SetPromoter(f func() (uint64, error)) {
+	e.promoterMu.Lock()
+	e.promoter = f
+	e.promoterMu.Unlock()
+}
+
+// Promote turns a follower into a primary: the replication stream is
+// drained and stopped (via the installed promoter, when one is
+// attached), a new epoch is sealed, and writes open up. Returns the
+// new epoch. Fails with ErrNotFollower on an engine that is not a
+// follower.
+func (e *Engine) Promote() (uint64, error) {
+	e.promoterMu.Lock()
+	f := e.promoter
+	e.promoterMu.Unlock()
+	if f != nil {
+		return f()
+	}
+	return e.PromoteLocal()
+}
+
+// PromoteLocal is the engine half of promotion, called after the
+// replication stream has been drained and stopped: bump the epoch,
+// seal it durably (a checkpoint under the new epoch — every shard
+// rotates onto epoch-stamped segments), then accept writes and start
+// the deferred background loops. Any stale primary frame that
+// arrives after this is rejected by ReplApply's epoch check.
+func (e *Engine) PromoteLocal() (uint64, error) {
+	if e.closed.Load() {
+		return 0, ErrClosed
+	}
+	if !e.follower.Load() {
+		return 0, ErrNotFollower
+	}
+	epoch := e.replEpoch.Add(1)
+	// Seal before opening writes: the epoch is durable (segment
+	// headers + checkpoint) before the first write of the new
+	// timeline can be acknowledged.
+	if _, err := e.checkpoint(); err != nil {
+		// The epoch advanced in memory but is not sealed on disk; a
+		// crash now rejoins the old timeline. Refuse the promotion
+		// rather than serve writes on an unsealed epoch.
+		return 0, fmt.Errorf("serve: promotion seal: %w", err)
+	}
+	e.follower.Store(false)
+	e.replConnected.Store(false)
+	e.replLag.Store(0)
+	e.startLoops()
+	return epoch, nil
+}

@@ -101,6 +101,25 @@ var (
 	// replay, unreadable files). New fails rather than serve from a
 	// state it cannot prove matches the log.
 	ErrRecovery = errors.New("serve: recovery failed")
+	// ErrReadOnly is returned for writes on a replication follower:
+	// followers apply their primary's op-log stream and serve reads;
+	// writes belong on the primary (the error message names its
+	// address when configured). Promotion lifts it.
+	ErrReadOnly = errors.New("serve: read-only replication follower")
+	// ErrFenced is returned for writes on a primary that has learned
+	// of a newer replication epoch (a follower it once fed was
+	// promoted): the deposed primary seals itself rather than accept
+	// writes the new timeline will never contain.
+	ErrFenced = errors.New("serve: fenced by a newer primary epoch")
+	// ErrNotFollower is returned by Promote on an engine that is not
+	// a replication follower.
+	ErrNotFollower = errors.New("serve: engine is not a replication follower")
+	// ErrWAL marks a write that was applied in memory but whose
+	// op-log append or fsync failed: the write is live until the next
+	// restart but is NOT durable, and the caller is told so instead
+	// of receiving a silent acknowledgment. Stats.LogErrors counts
+	// these.
+	ErrWAL = errors.New("serve: op-log write failed (applied in memory, not durable)")
 )
 
 // errLegAbandoned unwinds a scatter leg whose query has already
@@ -234,6 +253,27 @@ type Config struct {
 	// Checkpoint calls (POST /checkpoint over HTTP). Ignored without
 	// DataDir.
 	CheckpointEvery time.Duration
+	// SegmentMaxBytes rotates a shard's op-log onto a fresh segment
+	// once the current one exceeds this many record bytes, compacting
+	// the closed segment (superseded same-node updates dropped) so
+	// recovery replay and follower catch-up stay bounded between
+	// checkpoints. Default 4 MiB; negative disables size-based
+	// rotation (segments then rotate only at checkpoints, which prune
+	// them anyway). Followers ignore it: their segments mirror the
+	// primary's rotation points.
+	SegmentMaxBytes int64
+	// Follower starts the engine as a read-only replication
+	// follower: writes fail with ErrReadOnly while the replication
+	// client (internal/serve/repl) applies the primary's op-log
+	// stream through the same batch path, and the DataDir mirrors
+	// the primary's segments and checkpoints. Requires DataDir.
+	// Promotion (Engine.Promote / POST /promote) lifts the flag,
+	// seals a new epoch and starts the deferred background loops.
+	Follower bool
+	// PrimaryAddr is the replication address of this follower's
+	// primary, reported in ErrReadOnly errors and Stats so clients
+	// can redirect writes. Informational only.
+	PrimaryAddr string
 	// FsyncEvery is the durability/throughput knob of the op-log: the
 	// log is fsynced once per FsyncEvery applied write batches
 	// (default 1: every batch is durable before its writers are
@@ -340,6 +380,12 @@ func (c Config) withDefaults() (Config, error) {
 	}
 	if c.FsyncEvery == 0 {
 		c.FsyncEvery = 1
+	}
+	if c.SegmentMaxBytes == 0 {
+		c.SegmentMaxBytes = 4 << 20
+	}
+	if c.Follower && c.DataDir == "" {
+		return c, fmt.Errorf("serve: Follower requires DataDir (the op-log mirror)")
 	}
 	if c.RebalanceInterval < 0 {
 		c.RebalanceInterval = 0

@@ -70,6 +70,35 @@ type ckptRes struct {
 	err   error
 }
 
+// ctlKind enumerates the replication control requests a shard
+// goroutine serves besides checkpoints.
+type ctlKind int
+
+const (
+	// ctlSync flushes and fsyncs the op-log and reports the exact
+	// (segment, record) position — the handshake read point a
+	// catching-up follower's disk stream starts from.
+	ctlSync ctlKind = iota
+	// ctlRotate rotates the log onto segment seg (no-op when the log
+	// is already there or past), compacting the closed segment — how
+	// a follower mirrors its primary's rotation points.
+	ctlRotate
+)
+
+// ctlReq is one control request; reply (capacity 1) receives the
+// result.
+type ctlReq struct {
+	kind  ctlKind
+	seg   uint64 // ctlRotate target
+	reply chan ctlRes
+}
+
+type ctlRes struct {
+	seg uint64
+	pos uint64
+	err error
+}
+
 // shard owns one Backend. All Backend access happens on the shard's
 // goroutine (loop); the rest of the engine communicates through the
 // ops queue and reads the published snapshot.
@@ -79,6 +108,7 @@ type shard struct {
 	be   Backend
 	ops  chan op
 	ckpt chan ckptReq
+	ctl  chan ctlReq
 	stop chan struct{}
 	done chan struct{}
 
@@ -104,6 +134,16 @@ type shard struct {
 	// recent writes.
 	epoch *atomic.Uint64
 
+	// Replication state (engine-owned, shared across shards):
+	// replEpoch is the current replication epoch (stamped into
+	// segment headers and every streamed frame); sink, when set,
+	// receives every logged record batch; readOnly marks follower
+	// mode (size-based rotation then follows the stream, not local
+	// size).
+	replEpoch *atomic.Uint64
+	sink      *atomic.Pointer[ReplSink]
+	readOnly  *atomic.Bool
+
 	// Reusable batch buffers (shard goroutine only): drain and
 	// applyBatch run once per batch, so one MaxBatch-sized allocation
 	// each serves the shard's lifetime (satellite fix: the old code
@@ -120,6 +160,8 @@ type shard struct {
 	logBytes   atomic.Int64  // bytes in segments since the last checkpoint
 	logRecords atomic.Uint64 // records appended over the shard's lifetime
 	logErrors  atomic.Uint64 // append/sync failures (durability degraded)
+	segNum     atomic.Uint64 // current segment number (replication lag reads)
+	segRecs    atomic.Uint64 // records in the current segment
 }
 
 func newShard(idx int, cfg Config, be Backend) *shard {
@@ -129,6 +171,7 @@ func newShard(idx int, cfg Config, be Backend) *shard {
 		be:       be,
 		ops:      make(chan op, cfg.QueueDepth),
 		ckpt:     make(chan ckptReq),
+		ctl:      make(chan ctlReq),
 		stop:     make(chan struct{}),
 		done:     make(chan struct{}),
 		fresh:    make(map[overlay.NodeID]sim.Time),
@@ -207,6 +250,8 @@ func (s *shard) loop() {
 			}
 		case req := <-s.ckpt:
 			req.reply <- s.checkpointNow()
+		case req := <-s.ctl:
+			req.reply <- s.control(req)
 		case <-idle.C:
 			s.be.Step(s.cfg.StepQuantum)
 			s.publish()
@@ -330,15 +375,21 @@ func (s *shard) applyBatch(batch []op) ([]opResult, int) {
 }
 
 // logBatch appends every successfully applied mutation of the batch
-// to the shard's op-log and applies the fsync policy: one Sync per
-// FsyncEvery applied batches (default every batch), aligned with the
-// MaxBatch drain so a burst of writes costs one fsync, not one per
-// record. A log failure degrades durability, not serving: the error
-// is counted (Stats.LogErrors) and the batch is acknowledged from
-// memory.
-func (s *shard) logBatch(batch []op, results []opResult) {
+// to the shard's op-log, forwards it to the replication sink, and
+// applies the fsync policy: one Sync per FsyncEvery applied batches
+// (default every batch), aligned with the MaxBatch drain so a burst
+// of writes costs one fsync, not one per record. A log failure
+// degrades durability, not serving — the shard keeps running on its
+// in-memory state — but it is no longer silent: every mutating op of
+// the failed batch has its result overridden with ErrWAL, so the
+// blocked writers learn their write is not durable instead of being
+// acked as if it were (Stats.LogErrors still counts the failures).
+// When the current segment outgrows Config.SegmentMaxBytes the log
+// rotates and the closed segment is compacted (followers rotate on
+// their primary's stream positions instead).
+func (s *shard) logBatch(batch []op, results []opResult) error {
 	if s.log == nil {
-		return
+		return nil
 	}
 	recs := s.recBuf[:0]
 	for i := range batch {
@@ -369,21 +420,125 @@ func (s *shard) logBatch(batch []op, results []opResult) {
 	}
 	s.recBuf = recs[:0]
 	if len(recs) == 0 {
-		return
+		return nil
 	}
 	before := s.log.Size()
 	if err := s.log.Append(recs...); err != nil {
 		s.logErrors.Add(1)
-		return
+		s.failBatch(batch, results, err)
+		return err
 	}
 	s.logRecords.Add(uint64(len(recs)))
 	s.logBytes.Add(s.log.Size() - before)
+	// The sink sees the batch only after it is in the log (buffered;
+	// the fsync policy below bounds its durability), at the position
+	// the records landed — a follower can never hold records its
+	// primary's log does not. recs aliases the shard's reusable
+	// buffer: the sink copies what it keeps (and only when a
+	// follower is attached), so a sink with no sessions costs no
+	// allocation here.
+	if p := s.sink.Load(); p != nil {
+		(*p).ReplRecords(s.idx, s.log.Seg(), s.segRecs.Load(), s.replEpoch.Load(), recs)
+	}
+	s.segRecs.Add(uint64(len(recs)))
 	s.unsynced++
 	if s.cfg.FsyncEvery > 0 && s.unsynced >= s.cfg.FsyncEvery {
 		if err := s.log.Sync(); err != nil {
 			s.logErrors.Add(1)
+			s.failBatch(batch, results, err)
+			return err
 		}
 		s.unsynced = 0
+	}
+	if s.cfg.SegmentMaxBytes > 0 && s.log.Size() >= s.cfg.SegmentMaxBytes &&
+		(s.readOnly == nil || !s.readOnly.Load()) {
+		s.rotate(s.log.Seg()+1, true)
+	}
+	return nil
+}
+
+// failBatch overrides every applied mutation's result with ErrWAL:
+// the write is live in memory but did not reach the log, and its
+// writer must not mistake it for a durable acknowledgment.
+func (s *shard) failBatch(batch []op, results []opResult, cause error) {
+	for i := range batch {
+		if results[i].err == nil && batch[i].kind != opQuery {
+			results[i].err = fmt.Errorf("%w: %v", ErrWAL, cause)
+		}
+	}
+}
+
+// rotate moves the log onto segment seg and, when compact is set,
+// compacts the closed segment (superseded same-node updates dropped
+// — deterministic, so a follower compacting at the same record
+// boundary produces identical bytes). Checkpoint rotations skip the
+// compaction: the segments they close are pruned moments later, and
+// a full rewrite+fsync of a doomed file would be pure waste. A
+// compaction failure is counted, not fatal; a rotation failure
+// leaves the shard logging on the old segment.
+func (s *shard) rotate(seg uint64, compact bool) error {
+	closed := wal.SegmentPath(s.log.Dir(), s.log.Seg())
+	if err := s.log.Rotate(seg, s.replEpoch.Load()); err != nil {
+		s.logErrors.Add(1)
+		return err
+	}
+	s.segNum.Store(seg)
+	s.segRecs.Store(0)
+	s.unsynced = 0
+	if compact {
+		if saved, err := wal.CompactSegment(closed); err != nil {
+			s.logErrors.Add(1)
+		} else {
+			s.logBytes.Add(-saved)
+		}
+	}
+	return nil
+}
+
+// control serves the replication control requests on the shard
+// goroutine — the only goroutine allowed near the log.
+func (s *shard) control(req ctlReq) ctlRes {
+	if s.log == nil {
+		return ctlRes{err: ErrNotDurable}
+	}
+	switch req.kind {
+	case ctlSync:
+		if err := s.log.Sync(); err != nil {
+			s.logErrors.Add(1)
+			return ctlRes{err: err}
+		}
+		s.unsynced = 0
+		return ctlRes{seg: s.log.Seg(), pos: s.segRecs.Load()}
+	case ctlRotate:
+		if s.log.Seg() < req.seg {
+			if err := s.rotate(req.seg, true); err != nil {
+				return ctlRes{err: err}
+			}
+		}
+		return ctlRes{seg: s.log.Seg(), pos: s.segRecs.Load()}
+	}
+	return ctlRes{err: fmt.Errorf("serve: unknown control request %d", req.kind)}
+}
+
+// controlReq submits one control request to the shard goroutine and
+// waits; ErrClosed once the goroutine has exited.
+func (s *shard) controlReq(kind ctlKind, seg uint64) (ctlRes, error) {
+	req := ctlReq{kind: kind, seg: seg, reply: make(chan ctlRes, 1)}
+	select {
+	case s.ctl <- req:
+	case <-s.done:
+		return ctlRes{}, ErrClosed
+	}
+	select {
+	case res := <-req.reply:
+		return res, nil
+	case <-s.done:
+		select {
+		case res := <-req.reply:
+			return res, nil
+		default:
+			return ctlRes{}, ErrClosed
+		}
 	}
 }
 
@@ -396,11 +551,9 @@ func (s *shard) checkpointNow() ckptRes {
 	if s.log == nil {
 		return ckptRes{err: ErrNotDurable}
 	}
-	if err := s.log.Rotate(s.log.Seg() + 1); err != nil {
-		s.logErrors.Add(1)
+	if err := s.rotate(s.log.Seg()+1, false); err != nil {
 		return ckptRes{err: err}
 	}
-	s.unsynced = 0
 	s.logBytes.Store(0)
 	st := wal.ShardState{
 		Shard:    s.idx,
@@ -471,6 +624,20 @@ func (s *shard) publish() {
 // snapshot returns the current published snapshot (never nil after
 // newShard).
 func (s *shard) snapshot() *Snapshot { return s.snap.Load() }
+
+// enqueue inserts o into the write queue without waiting for its
+// result — the replication applier's pipelining primitive: a frame's
+// ops are all enqueued (order preserved, the queue is FIFO) before
+// their replies are collected. Fails with ErrClosed once the shard
+// goroutine has exited.
+func (s *shard) enqueue(o op) error {
+	select {
+	case s.ops <- o:
+		return nil
+	case <-s.done:
+		return ErrClosed
+	}
+}
 
 // submit enqueues o and, when o.reply is set, waits for the result.
 // It fails with ErrClosed once the shard goroutine has exited, and

@@ -49,6 +49,10 @@ type ForwardState struct {
 // Checkpoint is the engine-wide durable state between log segments.
 type Checkpoint struct {
 	Seq uint64
+	// Epoch is the replication epoch the checkpoint was captured
+	// under (0 on pre-replication checkpoints; serving starts at 1).
+	// Promotion seals a new epoch by checkpointing under it.
+	Epoch uint64
 	// Configuration guard: recovery refuses a checkpoint taken under
 	// an incompatible engine shape.
 	Shards        int
@@ -97,14 +101,13 @@ func checkpointSeqs(dir string) ([]uint64, error) {
 	return seqs, nil
 }
 
-// Save writes the checkpoint durably: gob payload framed with a
-// magic and CRC, written to a temp file, fsynced, and renamed into
-// place so a crash never leaves a half-written checkpoint under the
-// final name.
-func (c *Checkpoint) Save(dir string) (string, error) {
+// Image encodes the checkpoint as its framed file bytes (magic +
+// CRC + gob payload) — what Save writes and replication ships, from
+// one encoding.
+func (c *Checkpoint) Image() ([]byte, error) {
 	var payload bytes.Buffer
 	if err := gob.NewEncoder(&payload).Encode(c); err != nil {
-		return "", err
+		return nil, err
 	}
 	var buf bytes.Buffer
 	buf.WriteString(ckptMagic)
@@ -112,14 +115,53 @@ func (c *Checkpoint) Save(dir string) (string, error) {
 	binary.LittleEndian.PutUint32(crc[:], crc32.Checksum(payload.Bytes(), crcTable))
 	buf.Write(crc[:])
 	buf.Write(payload.Bytes())
+	return buf.Bytes(), nil
+}
 
-	path := CheckpointPath(dir, c.Seq)
+// Save writes the checkpoint durably: the framed image written to a
+// temp file, fsynced, and renamed into place so a crash never leaves
+// a half-written checkpoint under the final name.
+func (c *Checkpoint) Save(dir string) (string, error) {
+	img, err := c.Image()
+	if err != nil {
+		return "", err
+	}
+	return SaveRaw(dir, c.Seq, img)
+}
+
+// Decode verifies and decodes a checkpoint image (the framed file
+// bytes, as Save writes them and replication ships them).
+func Decode(data []byte) (*Checkpoint, error) {
+	if len(data) < len(ckptMagic)+4 || string(data[:len(ckptMagic)]) != ckptMagic {
+		return nil, fmt.Errorf("wal: not a checkpoint image")
+	}
+	crc := binary.LittleEndian.Uint32(data[len(ckptMagic):])
+	payload := data[len(ckptMagic)+4:]
+	if crc32.Checksum(payload, crcTable) != crc {
+		return nil, fmt.Errorf("wal: checkpoint checksum mismatch")
+	}
+	var c Checkpoint
+	if err := gob.NewDecoder(bytes.NewReader(payload)).Decode(&c); err != nil {
+		return nil, err
+	}
+	return &c, nil
+}
+
+// SaveRaw writes an already-framed checkpoint image durably under
+// dir as checkpoint seq — the follower side of checkpoint shipping,
+// mirroring the primary's file byte for byte (temp file, fsync,
+// rename, dir sync — the same crash discipline as Save).
+func SaveRaw(dir string, seq uint64, data []byte) (string, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return "", err
+	}
+	path := CheckpointPath(dir, seq)
 	tmp := path + ".tmp"
 	f, err := os.OpenFile(tmp, os.O_CREATE|os.O_TRUNC|os.O_WRONLY, 0o644)
 	if err != nil {
 		return "", err
 	}
-	if _, err := f.Write(buf.Bytes()); err != nil {
+	if _, err := f.Write(data); err != nil {
 		f.Close()
 		return "", err
 	}
@@ -146,19 +188,11 @@ func loadCheckpoint(path string) (*Checkpoint, error) {
 	if err != nil {
 		return nil, err
 	}
-	if len(data) < len(ckptMagic)+4 || string(data[:len(ckptMagic)]) != ckptMagic {
-		return nil, fmt.Errorf("wal: %s: not a checkpoint", path)
-	}
-	crc := binary.LittleEndian.Uint32(data[len(ckptMagic):])
-	payload := data[len(ckptMagic)+4:]
-	if crc32.Checksum(payload, crcTable) != crc {
-		return nil, fmt.Errorf("wal: %s: checksum mismatch", path)
-	}
-	var c Checkpoint
-	if err := gob.NewDecoder(bytes.NewReader(payload)).Decode(&c); err != nil {
+	c, err := Decode(data)
+	if err != nil {
 		return nil, fmt.Errorf("wal: %s: %w", path, err)
 	}
-	return &c, nil
+	return c, nil
 }
 
 // LoadLatest returns the newest checkpoint in dir that decodes and

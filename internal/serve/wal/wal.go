@@ -29,7 +29,9 @@ package wal
 
 import (
 	"bufio"
+	"encoding/binary"
 	"fmt"
+	"io"
 	"os"
 	"path/filepath"
 	"sort"
@@ -45,7 +47,79 @@ type Log struct {
 	seg  uint64
 	f    *os.File
 	w    *bufio.Writer
-	size int64 // bytes appended to the current segment
+	size int64 // record bytes appended to the current segment
+}
+
+// Segment header (on-disk, since the replication PR): a magic, a
+// flags byte and the replication epoch the segment was opened under.
+// Legacy segments (records starting at byte 0) read as epoch 0,
+// uncompacted.
+const segMagic = "PIDWSEG1"
+
+// Segment header flags.
+const (
+	// SegCompacted marks a segment rewritten by CompactSegment:
+	// superseded same-node updates were dropped, so record ordinals
+	// in it no longer match the sequence a live tail of the segment
+	// observed.
+	SegCompacted = 1 << 0
+)
+
+// SegHeaderLen is the encoded segment-header size (magic + flags +
+// epoch): the offset records start at in segments this package
+// writes. Exported for tests that walk record frames directly.
+const SegHeaderLen = len(segMagic) + 1 + 8
+
+// segHeaderLen is the internal alias.
+const segHeaderLen = SegHeaderLen
+
+// SegmentMeta describes a segment file's header.
+type SegmentMeta struct {
+	// Epoch is the replication epoch the segment was opened under
+	// (0 for legacy headerless segments).
+	Epoch uint64
+	// Compacted reports the SegCompacted flag.
+	Compacted bool
+	// header is the decoded header length (0 for legacy segments).
+	header int
+}
+
+func encodeSegHeader(flags byte, epoch uint64) []byte {
+	buf := make([]byte, segHeaderLen)
+	copy(buf, segMagic)
+	buf[len(segMagic)] = flags
+	binary.LittleEndian.PutUint64(buf[len(segMagic)+1:], epoch)
+	return buf
+}
+
+// decodeSegMeta parses a segment header from the head of data. A
+// file without the magic — legacy, empty, or torn mid-header — reads
+// as a headerless segment.
+func decodeSegMeta(data []byte) SegmentMeta {
+	if len(data) < segHeaderLen || string(data[:len(segMagic)]) != segMagic {
+		return SegmentMeta{}
+	}
+	return SegmentMeta{
+		Epoch:     binary.LittleEndian.Uint64(data[len(segMagic)+1:]),
+		Compacted: data[len(segMagic)]&SegCompacted != 0,
+		header:    segHeaderLen,
+	}
+}
+
+// ReadSegmentMeta reads just a segment's header. A missing file
+// reads as an empty headerless segment.
+func ReadSegmentMeta(path string) (SegmentMeta, error) {
+	f, err := os.Open(path)
+	if os.IsNotExist(err) {
+		return SegmentMeta{}, nil
+	}
+	if err != nil {
+		return SegmentMeta{}, err
+	}
+	defer f.Close()
+	buf := make([]byte, segHeaderLen)
+	n, _ := io.ReadFull(f, buf)
+	return decodeSegMeta(buf[:n]), nil
 }
 
 // SegmentPath returns the path of segment seg under dir.
@@ -98,8 +172,10 @@ func createSegment(dir string, seg uint64) (*os.File, error) {
 // Create opens a fresh segment seg under dir for appending,
 // truncating any leftover file of the same number (a crash between
 // segment creation and the checkpoint that references it can leave
-// one behind).
-func Create(dir string, seg uint64) (*Log, error) {
+// one behind). The header — carrying the replication epoch — is
+// written and fsynced immediately, so the epoch a promotion sealed
+// is durable the moment its first segment exists, checkpoint or not.
+func Create(dir string, seg, epoch uint64) (*Log, error) {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return nil, err
 	}
@@ -107,11 +183,64 @@ func Create(dir string, seg uint64) (*Log, error) {
 	if err != nil {
 		return nil, err
 	}
+	if _, err := f.Write(encodeSegHeader(0, epoch)); err != nil {
+		f.Close()
+		return nil, err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return nil, err
+	}
 	return &Log{dir: dir, seg: seg, f: f, w: bufio.NewWriterSize(f, 1<<16)}, nil
+}
+
+// OpenAppend reopens an existing segment for appending at size —
+// the byte offset of its valid record prefix (header included), as
+// recovery established it — truncating any torn tail past it. It is
+// how a restarted replication follower continues its mirrored
+// segment in place instead of rotating onto a number its primary
+// never had. A missing file is created fresh under epoch.
+func OpenAppend(dir string, seg uint64, size int64, epoch uint64) (*Log, error) {
+	path := SegmentPath(dir, seg)
+	f, err := os.OpenFile(path, os.O_WRONLY, 0o644)
+	if os.IsNotExist(err) {
+		return Create(dir, seg, epoch)
+	}
+	if err != nil {
+		return nil, err
+	}
+	if size < int64(segHeaderLen) {
+		// The crash landed inside the header itself (Create/Rotate
+		// died mid-write): rewrite it whole, or the segment would
+		// grow headerless and fork off the primary's bytes.
+		f.Close()
+		return Create(dir, seg, epoch)
+	}
+	if err := f.Truncate(size); err != nil {
+		f.Close()
+		return nil, err
+	}
+	if _, err := f.Seek(size, io.SeekStart); err != nil {
+		f.Close()
+		return nil, err
+	}
+	meta, err := ReadSegmentMeta(path)
+	if err != nil {
+		f.Close()
+		return nil, err
+	}
+	return &Log{
+		dir: dir, seg: seg, f: f,
+		w:    bufio.NewWriterSize(f, 1<<16),
+		size: size - int64(meta.header),
+	}, nil
 }
 
 // Seg returns the current segment number.
 func (l *Log) Seg() uint64 { return l.seg }
+
+// Dir returns the log's directory.
+func (l *Log) Dir() string { return l.dir }
 
 // Size returns the bytes appended to the current segment (buffered
 // or flushed).
@@ -139,9 +268,10 @@ func (l *Log) Sync() error {
 }
 
 // Rotate syncs and closes the current segment and opens a fresh one
-// numbered seg. Rotation is the checkpoint boundary: a checkpoint
-// captured immediately after covers exactly the segments before seg.
-func (l *Log) Rotate(seg uint64) error {
+// numbered seg under epoch. Rotation is the checkpoint boundary: a
+// checkpoint captured immediately after covers exactly the segments
+// before seg.
+func (l *Log) Rotate(seg, epoch uint64) error {
 	if err := l.Sync(); err != nil {
 		return err
 	}
@@ -150,6 +280,14 @@ func (l *Log) Rotate(seg uint64) error {
 	}
 	f, err := createSegment(l.dir, seg)
 	if err != nil {
+		return err
+	}
+	if _, err := f.Write(encodeSegHeader(0, epoch)); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
 		return err
 	}
 	l.f, l.seg, l.size = f, seg, 0
@@ -166,30 +304,55 @@ func (l *Log) Close() error {
 	return l.f.Close()
 }
 
-// ReadSegment decodes every valid record of a segment file. It stops
-// cleanly at the first torn or corrupt record — a crash mid-append
-// is a normal way for a segment to end — returning the records of
-// the intact prefix and how many trailing bytes were dropped. A
-// missing file reads as an empty segment. The error is non-nil only
-// for real I/O failures.
-func ReadSegment(path string) (recs []Record, dropped int64, err error) {
+// ReadSegmentInfo decodes a segment file in full: its header meta,
+// every valid record, the byte length of the valid prefix (header
+// included — the offset OpenAppend resumes at), and how many torn
+// trailing bytes were dropped. It stops cleanly at the first torn or
+// corrupt record — a crash mid-append is a normal way for a segment
+// to end. A missing file reads as an empty segment. The error is
+// non-nil only for real I/O failures.
+func ReadSegmentInfo(path string) (meta SegmentMeta, recs []Record, validSize, dropped int64, err error) {
 	data, err := os.ReadFile(path)
 	if os.IsNotExist(err) {
-		return nil, 0, nil
+		return SegmentMeta{}, nil, 0, 0, nil
 	}
 	if err != nil {
-		return nil, 0, err
+		return SegmentMeta{}, nil, 0, 0, err
 	}
-	off := 0
+	meta = decodeSegMeta(data)
+	off := meta.header
 	for off < len(data) {
 		rec, n, ok := decodeRecord(data[off:])
 		if !ok {
-			return recs, int64(len(data) - off), nil
+			break
 		}
 		recs = append(recs, rec)
 		off += n
 	}
-	return recs, 0, nil
+	return meta, recs, int64(off), int64(len(data) - off), nil
+}
+
+// ReadSegment decodes every valid record of a segment file,
+// returning the intact prefix and how many trailing bytes were
+// dropped (see ReadSegmentInfo).
+func ReadSegment(path string) (recs []Record, dropped int64, err error) {
+	_, recs, _, dropped, err = ReadSegmentInfo(path)
+	return recs, dropped, err
+}
+
+// ReadSegmentFrom decodes a segment's valid records starting at
+// record ordinal from — the replication server's streaming read over
+// a live segment: the shard goroutine keeps appending past the flush
+// point while a catching-up follower reads the durable prefix.
+func ReadSegmentFrom(path string, from int) ([]Record, error) {
+	_, recs, _, _, err := ReadSegmentInfo(path)
+	if err != nil {
+		return nil, err
+	}
+	if from >= len(recs) {
+		return nil, nil
+	}
+	return recs[from:], nil
 }
 
 // RemoveSegmentsBelow deletes segments of dir numbered < seg —

@@ -45,7 +45,7 @@ func TestRecordRoundTrip(t *testing.T) {
 
 func TestLogAppendReadSegment(t *testing.T) {
 	dir := t.TempDir()
-	l, err := Create(dir, 1)
+	l, err := Create(dir, 1, 1)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -72,7 +72,7 @@ func TestLogAppendReadSegment(t *testing.T) {
 // the reader always returns the longest intact record prefix.
 func TestTornTail(t *testing.T) {
 	dir := t.TempDir()
-	l, err := Create(dir, 1)
+	l, err := Create(dir, 1, 1)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -100,19 +100,28 @@ func TestTornTail(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
+		// ends are record-relative; the file leads with the segment
+		// header, and a cut inside the header reads as an empty
+		// headerless segment that drops every byte.
+		recCut := int64(cut) - int64(segHeaderLen)
 		want := 0
-		for want < len(ends) && ends[want] <= int64(cut) {
-			want++
+		if recCut >= 0 {
+			for want < len(ends) && ends[want] <= recCut {
+				want++
+			}
 		}
 		if len(got) != want {
 			t.Fatalf("cut %d: recovered %d records, want %d", cut, len(got), want)
 		}
-		if wantDrop := int64(cut) - func() int64 {
-			if want == 0 {
-				return 0
+		wantDrop := int64(cut)
+		if recCut >= 0 {
+			intact := int64(0)
+			if want > 0 {
+				intact = ends[want-1]
 			}
-			return ends[want-1]
-		}(); dropped != wantDrop {
+			wantDrop = recCut - intact
+		}
+		if dropped != wantDrop {
 			t.Fatalf("cut %d: dropped %d bytes, want %d", cut, dropped, wantDrop)
 		}
 	}
@@ -120,7 +129,7 @@ func TestTornTail(t *testing.T) {
 
 func TestCorruptRecordTruncates(t *testing.T) {
 	dir := t.TempDir()
-	l, err := Create(dir, 1)
+	l, err := Create(dir, 1, 1)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -130,7 +139,7 @@ func TestCorruptRecordTruncates(t *testing.T) {
 	}
 	var mid int64
 	{
-		l2, _ := Create(t.TempDir(), 1)
+		l2, _ := Create(t.TempDir(), 1, 1)
 		l2.Append(recs[0], recs[1])
 		mid = l2.Size()
 		l2.Close()
@@ -140,7 +149,7 @@ func TestCorruptRecordTruncates(t *testing.T) {
 	}
 	path := SegmentPath(dir, 1)
 	data, _ := os.ReadFile(path)
-	data[mid+frameHeader+2] ^= 0xff // flip a payload byte of record 2
+	data[int64(segHeaderLen)+mid+frameHeader+2] ^= 0xff // flip a payload byte of record 2
 	os.WriteFile(path, data, 0o644)
 	got, dropped, err := ReadSegment(path)
 	if err != nil {
@@ -153,12 +162,12 @@ func TestCorruptRecordTruncates(t *testing.T) {
 
 func TestRotateAndSegments(t *testing.T) {
 	dir := t.TempDir()
-	l, err := Create(dir, 1)
+	l, err := Create(dir, 1, 1)
 	if err != nil {
 		t.Fatal(err)
 	}
 	l.Append(Record{Kind: KindLeave, Node: 1})
-	if err := l.Rotate(2); err != nil {
+	if err := l.Rotate(2, 1); err != nil {
 		t.Fatal(err)
 	}
 	if l.Seg() != 2 || l.Size() != 0 {

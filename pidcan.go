@@ -34,6 +34,7 @@ import (
 	"pidcan/internal/proto"
 	"pidcan/internal/psm"
 	"pidcan/internal/serve"
+	"pidcan/internal/serve/repl"
 	"pidcan/internal/sim"
 	"pidcan/internal/task"
 	"pidcan/internal/trace"
@@ -215,7 +216,47 @@ var (
 	ErrLastNode       = serve.ErrLastNode
 	ErrNotDurable     = serve.ErrNotDurable
 	ErrRecovery       = serve.ErrRecovery
+	ErrReadOnly       = serve.ErrReadOnly
+	ErrFenced         = serve.ErrFenced
+	ErrNotFollower    = serve.ErrNotFollower
+	ErrWAL            = serve.ErrWAL
 )
+
+// --- op-log replication (internal/serve/repl) --------------------------------
+
+// ReplServer streams a durable primary Engine's op-log to follower
+// sessions: handshake negotiates shard shape and per-shard (segment,
+// record) positions, stale followers bootstrap by checkpoint
+// shipping, live ones tail every logged batch. Run it next to the
+// HTTP front-end on its own listener (pidcan-serve -repl-addr).
+type ReplServer = repl.Server
+
+// ReplServerConfig tunes a ReplServer.
+type ReplServerConfig = repl.ServerConfig
+
+// ReplClient keeps a follower Engine fed from its primary: it
+// mirrors the op-log byte for byte, applies every record through the
+// same batch path recovery uses (join ids verified), reconnects with
+// backoff, and performs promotion (drain + seal epoch+1) on demand.
+type ReplClient = repl.Client
+
+// ReplClientConfig parameterizes a ReplClient.
+type ReplClientConfig = repl.ClientConfig
+
+// ReplPos is one shard's op-log position (segment, record ordinal).
+type ReplPos = serve.ReplPos
+
+// NewReplServer attaches a replication server to a durable primary
+// engine (it becomes the engine's replication sink).
+func NewReplServer(e *Engine, cfg ReplServerConfig) (*ReplServer, error) {
+	return repl.NewServer(e, cfg)
+}
+
+// NewReplClient builds a follower's replication client; run it with
+// Run and wire Engine.SetPromoter to Promote for HTTP fail-over.
+func NewReplClient(cfg ReplClientConfig) (*ReplClient, error) {
+	return repl.NewClient(cfg)
+}
 
 // A Cluster is the shard backend of the serving engine, including
 // the id-seeding recovery extension (checkpoint restore in O(alive
