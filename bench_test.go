@@ -11,10 +11,14 @@
 package pidcan
 
 import (
+	"bytes"
 	"encoding/json"
 	"fmt"
+	"io"
 	"math/rand/v2"
 	"net"
+	"net/http"
+	"net/http/httptest"
 	"os"
 	"path/filepath"
 	"strconv"
@@ -807,6 +811,175 @@ func BenchmarkServeRecovery(b *testing.B) {
 			emitServeBench(b, serveBenchResult{
 				Bench: b.Name(), Shards: 4, Clients: 1,
 				Ops: ops, ElapsedSec: avg, QPS: float64(ops) / avg,
+			})
+		})
+	}
+}
+
+// --- wire-protocol benchmarks (internal/serve/wire) ---------------------------
+
+// startBenchWire serves eng over a loopback wire listener and returns
+// its address.
+func startBenchWire(b *testing.B, eng *Engine) string {
+	b.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		b.Fatal(err)
+	}
+	ws := NewWireServer(func() *Engine { return eng }, WireServerConfig{})
+	go ws.Serve(ln)
+	b.Cleanup(func() { ws.Close() })
+	return ln.Addr().String()
+}
+
+// runWireBench drives b.N frames through `clients` connections, each
+// pipelining `depth` requests per flush (depth 1 is the synchronous
+// request/response baseline), and reports sustained throughput the
+// same way runServeBench does.
+func runWireBench(b *testing.B, addr string, shards, clients, depth int, enqueue func(c *WireClient, g, i int)) {
+	b.Helper()
+	b.ResetTimer()
+	start := time.Now()
+	var wg sync.WaitGroup
+	per := b.N / clients
+	for g := 0; g < clients; g++ {
+		n := per
+		if g == clients-1 {
+			n = b.N - per*(clients-1)
+		}
+		wg.Add(1)
+		go func(g, n int) {
+			defer wg.Done()
+			c, err := DialWire(addr)
+			if err != nil {
+				b.Error(err)
+				return
+			}
+			defer c.Close()
+			for done := 0; done < n; {
+				w := depth
+				if n-done < w {
+					w = n - done
+				}
+				for i := 0; i < w; i++ {
+					enqueue(c, g, done+i)
+				}
+				if err := c.Flush(); err != nil {
+					b.Error(err)
+					return
+				}
+				for i := 0; i < w; i++ {
+					r, err := c.ReadResponse()
+					if err != nil {
+						b.Error(err)
+						return
+					}
+					if r.Errored {
+						b.Error(&r.Err)
+						return
+					}
+				}
+				done += w
+			}
+		}(g, n)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+	b.StopTimer()
+	qps := float64(b.N) / elapsed.Seconds()
+	b.ReportMetric(qps, "qps")
+	emitServeBench(b, serveBenchResult{
+		Bench: b.Name(), Shards: shards, Clients: clients,
+		Ops: b.N, ElapsedSec: elapsed.Seconds(), QPS: qps,
+	})
+}
+
+// benchWireQueries pre-builds reusable query frames over the standard
+// demand working set so the client side of the benchmark allocates
+// nothing per request either.
+func benchWireQueries(eng *Engine, n int) []WireQuery {
+	demands := benchDemands(eng, n)
+	out := make([]WireQuery, len(demands))
+	for i, d := range demands {
+		out[i] = WireQuery{Demand: d, K: 3}
+	}
+	return out
+}
+
+// BenchmarkWireQuery measures the binary protocol's read path over
+// loopback TCP: depth 1 is one-request-per-round-trip, depth 64 is
+// the pipelined regime loadgen -proto wire runs in.
+func BenchmarkWireQuery(b *testing.B) {
+	for _, depth := range []int{1, 64} {
+		for _, clients := range []int{1, 4} {
+			b.Run(fmt.Sprintf("depth=%d/clients=%d", depth, clients), func(b *testing.B) {
+				eng := newBenchEngine(b, 4, 128)
+				addr := startBenchWire(b, eng)
+				queries := benchWireQueries(eng, 512)
+				runWireBench(b, addr, 4, clients, depth, func(c *WireClient, g, i int) {
+					c.EnqueueQuery(&queries[(g+i)%len(queries)])
+				})
+			})
+		}
+	}
+}
+
+// BenchmarkWireMixed interleaves one update per nine queries on the
+// same pipelined connections, exposing the head-of-line cost of
+// writes (each write rides the engine's batched write path) inside a
+// FIFO response stream.
+func BenchmarkWireMixed(b *testing.B) {
+	b.Run("shards=4/clients=4/depth=16", func(b *testing.B) {
+		eng := newBenchEngine(b, 4, 128)
+		addr := startBenchWire(b, eng)
+		queries := benchWireQueries(eng, 512)
+		nodes := eng.Nodes()
+		cmax := eng.Config().CMax
+		avail := make([]float64, cmax.Dim())
+		for k := range avail {
+			avail[k] = cmax[k] * 0.5
+		}
+		runWireBench(b, addr, 4, 4, 16, func(c *WireClient, g, i int) {
+			if i%10 == 9 {
+				c.EnqueueUpdate(uint64(nodes[(g*31+i)%len(nodes)]), avail, false)
+			} else {
+				c.EnqueueQuery(&queries[(g+i)%len(queries)])
+			}
+		})
+	})
+}
+
+// BenchmarkServeHTTPQuery is the JSON/HTTP baseline the wire numbers
+// are judged against: the same engine and demand working set driven
+// through NewEngineHandler over loopback HTTP with keep-alive
+// connections.
+func BenchmarkServeHTTPQuery(b *testing.B) {
+	for _, clients := range []int{1, 8} {
+		b.Run(fmt.Sprintf("shards=4/clients=%d", clients), func(b *testing.B) {
+			eng := newBenchEngine(b, 4, 128)
+			demands := benchDemands(eng, 512)
+			bodies := make([][]byte, len(demands))
+			for i, d := range demands {
+				buf, err := json.Marshal(map[string]any{"demand": d, "k": 3})
+				if err != nil {
+					b.Fatal(err)
+				}
+				bodies[i] = buf
+			}
+			srv := httptest.NewServer(NewEngineHandler(eng))
+			b.Cleanup(srv.Close)
+			hc := srv.Client()
+			runServeBench(b, 4, clients, func(c, i int) {
+				resp, err := hc.Post(srv.URL+"/query", "application/json", bytes.NewReader(bodies[(i+c)%len(bodies)]))
+				if err != nil {
+					b.Error(err)
+					return
+				}
+				io.Copy(io.Discard, resp.Body)
+				resp.Body.Close()
+				if resp.StatusCode != http.StatusOK {
+					b.Errorf("query status %d", resp.StatusCode)
+				}
 			})
 		})
 	}

@@ -5,10 +5,23 @@
 // Open-loop means arrivals are scheduled by the target rate, not by
 // response times (DEPAS-style): when the server lags, requests queue
 // and latency percentiles show it — the generator never slows down
-// to flatter the system under test.
+// to flatter the system under test. The report counts both shed
+// sends (the dispatcher's queue was full) and late sends (a worker
+// started an op more than 1ms after its scheduled arrival): a run
+// with material shed or late counts was not actually offered at the
+// target rate, and its percentiles undersell the backlog.
 //
 //	pidcan-loadgen -url http://localhost:8080 -rate 20000 -duration 10s
 //	pidcan-loadgen -url http://localhost:8080 -arrivals bursty -burst 4
+//
+// -proto picks the serving edge: "http" posts the JSON API, "wire"
+// drives the binary wire protocol (-wire host:port, the server's
+// -wire-addr) over persistent pipelined connections — one connection
+// per worker, a sender/reader goroutine pair keeping deep bursts in
+// flight. A rate of 0 runs closed-loop, which on the wire edge
+// measures the server's pipelined ceiling. -compare reruns the same
+// load on the other protocol afterward and prints a one-line
+// wire-vs-http comparison.
 //
 // The traffic mix is query-dominated by default; tune with
 // -mix query=90,update=6,join=2,leave=2. A -consistent fraction of
@@ -44,7 +57,10 @@ import (
 	"strconv"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
+
+	"pidcan"
 )
 
 type opClass int
@@ -72,10 +88,13 @@ type sample struct {
 
 func main() {
 	var (
-		baseURL  = flag.String("url", "http://localhost:8080", "pidcan-serve base URL")
+		baseURL  = flag.String("url", "http://localhost:8080", "pidcan-serve base URL (discovery and the http protocol)")
+		proto    = flag.String("proto", "http", "serving edge to drive: http (JSON API) or wire (binary protocol; needs -wire)")
+		wireTgt  = flag.String("wire", "", "wire-protocol address host:port (the server's -wire-addr; required by -proto wire and -compare)")
+		compare  = flag.Bool("compare", false, "rerun the same load on the other protocol afterward and print a wire-vs-http comparison line")
 		rate     = flag.Float64("rate", 20000, "target arrival rate (requests/sec)")
 		duration = flag.Duration("duration", 10*time.Second, "generation window")
-		workers  = flag.Int("workers", 64, "concurrent request workers")
+		workers  = flag.Int("workers", 64, "concurrent request workers (wire: one pipelined connection each)")
 		arrivals = flag.String("arrivals", "poisson", "arrival process: poisson|bursty|uniform")
 		burst    = flag.Float64("burst", 4, "bursty mode: on-period rate multiplier")
 		period   = flag.Duration("period", 500*time.Millisecond, "bursty mode: mean on/off period")
@@ -93,6 +112,12 @@ func main() {
 	if *skew != 0 && *skew <= 1 {
 		log.Fatalf("-skew %v: zipf exponent must be > 1 (or 0 to disable)", *skew)
 	}
+	if *proto != "http" && *proto != "wire" {
+		log.Fatalf("unknown -proto %q (want http or wire)", *proto)
+	}
+	if (*proto == "wire" || *compare) && *wireTgt == "" {
+		log.Fatal("-proto wire and -compare need -wire host:port (the server's -wire-addr)")
+	}
 	weights, err := parseMix(*mix)
 	if err != nil {
 		log.Fatal(err)
@@ -101,6 +126,8 @@ func main() {
 		MaxIdleConns:        *workers * 2,
 		MaxIdleConnsPerHost: *workers * 2,
 	}}
+	// Discovery always goes over HTTP: the JSON API is the debug and
+	// control surface regardless of which edge takes the load.
 	cmax, shardCount, err := fetchStats(client, *baseURL)
 	if err != nil {
 		log.Fatalf("cannot reach %s: %v", *baseURL, err)
@@ -116,25 +143,136 @@ func main() {
 			nodesByShard[s] = append(nodesByShard[s], id)
 		}
 	}
-	log.Printf("target %s: %d nodes on %d shard(s), %d dims; offering %.0f req/s (%s) for %v with %d workers",
-		*baseURL, len(nodes), shardCount, len(cmax), *rate, *arrivals, *duration, *workers)
+	log.Printf("target %s (proto %s): %d nodes on %d shard(s), %d dims; offering %.0f req/s (%s) for %v with %d workers",
+		*baseURL, *proto, len(nodes), shardCount, len(cmax), *rate, *arrivals, *duration, *workers)
 	if *skew > 1 {
 		log.Printf("zipf skew %.2f: joins target explicit shards, updates hit nodes originally homed there", *skew)
 	}
 
-	// Query bodies for the demand profiles are marshaled once:
-	// recurring demand shapes are what real tenants issue, and they
-	// are what makes the server's quantized query cache earn its
-	// keep.
+	rc := runCfg{
+		proto: *proto, baseURL: *baseURL, wireAddr: *wireTgt,
+		rate: *rate, duration: *duration, workers: *workers,
+		arrivals: *arrivals, burst: *burst, period: *period,
+		weights: weights, k: *k, profiles: *profiles,
+		consist: *consist, conScope: *conScope, skew: *skew, seed: *seed,
+		client: client, cmax: cmax, nodes: nodes,
+		nodesByShard: nodesByShard, shardCount: shardCount,
+	}
+	sum := runLoad(rc)
+	report(sum, *jsonOut)
+	if *skew > 1 {
+		reportBalance(client, *baseURL)
+	}
+	if *compare {
+		other := rc
+		if rc.proto == "wire" {
+			other.proto = "http"
+		} else {
+			other.proto = "wire"
+		}
+		log.Printf("comparison run: same load on -proto %s", other.proto)
+		sum2 := runLoad(other)
+		report(sum2, "")
+		printComparison(sum, sum2)
+	}
+}
+
+// runCfg is one load run, fully resolved: flags plus the discovered
+// target shape. A -compare rerun copies it and flips proto.
+type runCfg struct {
+	proto    string
+	baseURL  string
+	wireAddr string
+	rate     float64
+	duration time.Duration
+	workers  int
+	arrivals string
+	burst    float64
+	period   time.Duration
+	weights  [numClasses]float64
+	k        int
+	profiles int
+	consist  float64
+	conScope string
+	skew     float64
+	seed     uint64
+
+	client       *http.Client
+	cmax         []float64
+	nodes        []uint64
+	nodesByShard [][]uint64
+	shardCount   int
+}
+
+// runState is the cross-worker shared state of one run.
+type runState struct {
+	mu      sync.Mutex
+	samples []sample
+	joined  []uint64 // nodes this run added, eligible for leave
+	late    atomic.Int64
+}
+
+func (st *runState) record(local []sample) {
+	st.mu.Lock()
+	st.samples = append(st.samples, local...)
+	st.mu.Unlock()
+}
+
+func (st *runState) pushJoined(id uint64) {
+	st.mu.Lock()
+	st.joined = append(st.joined, id)
+	st.mu.Unlock()
+}
+
+func (st *runState) popJoined() (uint64, bool) {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	if len(st.joined) == 0 {
+		return 0, false
+	}
+	id := st.joined[len(st.joined)-1]
+	st.joined = st.joined[:len(st.joined)-1]
+	return id, true
+}
+
+// holdUntilDue delays an open-loop job to its scheduled arrival and
+// returns the measurement origin. Open-loop latency runs from the
+// scheduled arrival, so time spent queued behind a lagging server is
+// part of the measurement, as it must be; a job picked up more than
+// 1ms past its arrival is counted late — the report's signal that
+// the offered rate was not actually sustained.
+func holdUntilDue(j job, st *runState) time.Time {
+	if j.due.IsZero() {
+		return time.Now()
+	}
+	if d := time.Until(j.due); d > 0 {
+		time.Sleep(d)
+	} else if -d > time.Millisecond {
+		st.late.Add(1)
+	}
+	return j.due
+}
+
+// runLoad executes one complete load run and returns its summary.
+func runLoad(rc runCfg) summary {
+	// Demand profiles are drawn once: recurring demand shapes are what
+	// real tenants issue, and they are what makes the server's
+	// quantized query cache earn its keep.
+	var demands [][]float64
+	if rc.profiles > 0 {
+		rng := rand.New(rand.NewPCG(rc.seed, 0xf0f))
+		for i := 0; i < rc.profiles; i++ {
+			demands = append(demands, randVec(rng, rc.cmax, 0, 0.6))
+		}
+	}
+	// The HTTP path additionally pre-marshals its JSON bodies.
 	var queryBodies, consistentBodies [][]byte
-	if *profiles > 0 {
-		rng := rand.New(rand.NewPCG(*seed, 0xf0f))
-		for i := 0; i < *profiles; i++ {
-			demand := randVec(rng, cmax, 0, 0.6)
+	if rc.proto == "http" {
+		for _, demand := range demands {
 			body, err := json.Marshal(struct {
 				Demand []float64 `json:"demand"`
 				K      int       `json:"k"`
-			}{demand, *k})
+			}{demand, rc.k})
 			if err != nil {
 				log.Fatal(err)
 			}
@@ -144,7 +282,7 @@ func main() {
 				K          int       `json:"k"`
 				Consistent bool      `json:"consistent"`
 				Scope      string    `json:"scope,omitempty"`
-			}{demand, *k, true, *conScope})
+			}{demand, rc.k, true, rc.conScope})
 			if err != nil {
 				log.Fatal(err)
 			}
@@ -159,34 +297,33 @@ func main() {
 	// of schedule, so high rates do not burn a core on micro-sleeps.
 	// A rate <= 0 means closed-loop: workers fire back to back, which
 	// measures the server's ceiling instead of a fixed offered load.
-	closedLoop := *rate <= 0
-	deadline := time.Now().Add(*duration)
+	closedLoop := rc.rate <= 0
+	deadline := time.Now().Add(rc.duration)
 	jobs := make(chan job, 1<<16)
-	var shed int
+	var shed atomic.Int64
 	go func() {
 		defer close(jobs)
+		rng := rand.New(rand.NewPCG(rc.seed, 0xa11))
 		if closedLoop {
-			rng := rand.New(rand.NewPCG(*seed, 0xa11))
 			for time.Now().Before(deadline) {
 				for i := 0; i < 256; i++ {
-					jobs <- job{class: pickClass(rng, weights)} // zero due: closed loop
+					jobs <- job{class: pickClass(rng, rc.weights)} // zero due: closed loop
 				}
 			}
 			return
 		}
-		rng := rand.New(rand.NewPCG(*seed, 0xa11))
 		next := time.Now()
-		burstOn, burstFlip := true, next.Add(expDur(rng, *period))
+		burstOn, burstFlip := true, next.Add(expDur(rng, rc.period))
 		for next.Before(deadline) {
-			r := *rate
-			switch *arrivals {
+			r := rc.rate
+			switch rc.arrivals {
 			case "bursty":
 				for !next.Before(burstFlip) {
 					burstOn = !burstOn
-					burstFlip = burstFlip.Add(expDur(rng, *period))
+					burstFlip = burstFlip.Add(expDur(rng, rc.period))
 				}
 				if burstOn {
-					r *= *burst
+					r *= rc.burst
 				} else {
 					r *= 0.1
 				}
@@ -196,116 +333,230 @@ func main() {
 			case "uniform":
 				next = next.Add(time.Duration(float64(time.Second) / r))
 			default:
-				log.Fatalf("unknown arrival process %q", *arrivals)
+				log.Fatalf("unknown arrival process %q", rc.arrivals)
 			}
 			if d := time.Until(next); d > time.Millisecond {
 				time.Sleep(d)
 			}
-			j := job{class: pickClass(rng, weights), due: next}
+			j := job{class: pickClass(rng, rc.weights), due: next}
 			select {
 			case jobs <- j:
 			default:
-				shed++
+				shed.Add(1)
 			}
 		}
 	}()
 
-	var (
-		mu      sync.Mutex
-		samples []sample
-		joined  []uint64 // nodes this run added, eligible for leave
-	)
+	st := &runState{}
 	start := time.Now()
 	var wg sync.WaitGroup
-	for w := 0; w < *workers; w++ {
+	for w := 0; w < rc.workers; w++ {
 		wg.Add(1)
 		go func(w int) {
 			defer wg.Done()
-			rng := rand.New(rand.NewPCG(*seed, uint64(w)+0xbee))
-			var zipf *rand.Zipf
-			if *skew > 1 && shardCount > 1 {
-				zipf = rand.NewZipf(rng, *skew, 1, uint64(shardCount-1))
+			if rc.proto == "wire" {
+				runWireWorker(rc, w, jobs, deadline, closedLoop, demands, st)
+			} else {
+				runHTTPWorker(rc, w, jobs, deadline, closedLoop, queryBodies, consistentBodies, st)
 			}
-			local := make([]sample, 0, 4096)
-			for j := range jobs {
-				if closedLoop && !time.Now().Before(deadline) {
-					break
-				}
-				// Open-loop latency runs from the scheduled arrival,
-				// so time spent queued behind a lagging server is
-				// part of the measurement, as it must be. (The
-				// dispatcher can run up to ~1ms ahead of schedule;
-				// hold the job until its arrival time.)
-				t0 := time.Now()
-				if !j.due.IsZero() {
-					if d := time.Until(j.due); d > 0 {
-						time.Sleep(d)
-					}
-					t0 = j.due
-				}
-				s := sample{class: j.class}
-				switch j.class {
-				case clQuery:
-					consistent := *consist > 0 && rng.Float64() < *consist
-					bodies := queryBodies
-					if consistent {
-						bodies = consistentBodies
-					}
-					if len(bodies) > 0 {
-						s.err = postRaw(client, *baseURL+"/query", bodies[rng.IntN(len(bodies))]) != nil
-					} else {
-						// -profiles 0: fresh random demand per query,
-						// honoring the consistent fraction and scope.
-						s.err = doQuery(client, *baseURL, rng, cmax, *k, consistent, *conScope) != nil
-					}
-				case clUpdate:
-					id := nodes[rng.IntN(len(nodes))]
-					if zipf != nil {
-						if pool := nodesByShard[zipf.Uint64()]; len(pool) > 0 {
-							id = pool[rng.IntN(len(pool))]
-						}
-					}
-					s.err = doUpdate(client, *baseURL, rng, cmax, id) != nil
-				case clJoin:
-					shard := -1
-					if zipf != nil {
-						shard = int(zipf.Uint64())
-					}
-					id, err := doJoin(client, *baseURL, rng, cmax, shard)
-					if err != nil {
-						s.err = true
-					} else {
-						mu.Lock()
-						joined = append(joined, id)
-						mu.Unlock()
-					}
-				case clLeave:
-					mu.Lock()
-					var id uint64
-					ok := len(joined) > 0
-					if ok {
-						id = joined[len(joined)-1]
-						joined = joined[:len(joined)-1]
-					}
-					mu.Unlock()
-					if !ok {
-						continue // nothing safe to remove yet
-					}
-					s.err = doLeave(client, *baseURL, id) != nil
-				}
-				s.lat = time.Since(t0)
-				local = append(local, s)
-			}
-			mu.Lock()
-			samples = append(samples, local...)
-			mu.Unlock()
 		}(w)
 	}
 	wg.Wait()
-	report(samples, time.Since(start), *rate, shed, *jsonOut)
-	if *skew > 1 {
-		reportBalance(client, *baseURL)
+	return buildSummary(rc.proto, st.samples, time.Since(start), rc.rate,
+		int(shed.Load()), int(st.late.Load()))
+}
+
+// runHTTPWorker serves jobs against the JSON API, one synchronous
+// request at a time.
+func runHTTPWorker(rc runCfg, w int, jobs <-chan job, deadline time.Time, closedLoop bool,
+	queryBodies, consistentBodies [][]byte, st *runState) {
+	rng := rand.New(rand.NewPCG(rc.seed, uint64(w)+0xbee))
+	var zipf *rand.Zipf
+	if rc.skew > 1 && rc.shardCount > 1 {
+		zipf = rand.NewZipf(rng, rc.skew, 1, uint64(rc.shardCount-1))
 	}
+	local := make([]sample, 0, 4096)
+	for j := range jobs {
+		if closedLoop && !time.Now().Before(deadline) {
+			break
+		}
+		t0 := holdUntilDue(j, st)
+		s := sample{class: j.class}
+		switch j.class {
+		case clQuery:
+			consistent := rc.consist > 0 && rng.Float64() < rc.consist
+			bodies := queryBodies
+			if consistent {
+				bodies = consistentBodies
+			}
+			if len(bodies) > 0 {
+				s.err = postRaw(rc.client, rc.baseURL+"/query", bodies[rng.IntN(len(bodies))]) != nil
+			} else {
+				// -profiles 0: fresh random demand per query,
+				// honoring the consistent fraction and scope.
+				s.err = doQuery(rc.client, rc.baseURL, rng, rc.cmax, rc.k, consistent, rc.conScope) != nil
+			}
+		case clUpdate:
+			s.err = doUpdate(rc.client, rc.baseURL, rng, rc.cmax, pickUpdateNode(rc, rng, zipf)) != nil
+		case clJoin:
+			shard := -1
+			if zipf != nil {
+				shard = int(zipf.Uint64())
+			}
+			id, err := doJoin(rc.client, rc.baseURL, rng, rc.cmax, shard)
+			if err != nil {
+				s.err = true
+			} else {
+				st.pushJoined(id)
+			}
+		case clLeave:
+			id, ok := st.popJoined()
+			if !ok {
+				continue // nothing safe to remove yet
+			}
+			s.err = doLeave(rc.client, rc.baseURL, id) != nil
+		}
+		s.lat = time.Since(t0)
+		local = append(local, s)
+	}
+	st.record(local)
+}
+
+// pickUpdateNode picks an update victim, honoring zipf shard skew.
+func pickUpdateNode(rc runCfg, rng *rand.Rand, zipf *rand.Zipf) uint64 {
+	id := rc.nodes[rng.IntN(len(rc.nodes))]
+	if zipf != nil {
+		if pool := rc.nodesByShard[zipf.Uint64()]; len(pool) > 0 {
+			id = pool[rng.IntN(len(pool))]
+		}
+	}
+	return id
+}
+
+// wirePending tracks one in-flight pipelined request; the protocol
+// answers strictly in order, so a FIFO queue pairs responses back to
+// their send records.
+type wirePending struct {
+	class opClass
+	t0    time.Time
+}
+
+// wireFlushBatch bounds how many requests buffer client-side before
+// a flush; one write syscall then carries the whole burst.
+const wireFlushBatch = 256
+
+// runWireWorker serves jobs over one persistent wire connection,
+// split into the protocol's sanctioned pipeline halves: this
+// goroutine enqueues and flushes requests, a paired reader goroutine
+// consumes in-order responses and records the samples.
+func runWireWorker(rc runCfg, w int, jobs <-chan job, deadline time.Time, closedLoop bool,
+	demands [][]float64, st *runState) {
+	c, err := pidcan.DialWire(rc.wireAddr)
+	if err != nil {
+		log.Fatalf("worker %d: dial wire %s: %v", w, rc.wireAddr, err)
+	}
+	defer c.Close()
+	rng := rand.New(rand.NewPCG(rc.seed, uint64(w)+0xbee))
+	var zipf *rand.Zipf
+	if rc.skew > 1 && rc.shardCount > 1 {
+		zipf = rand.NewZipf(rng, rc.skew, 1, uint64(rc.shardCount-1))
+	}
+
+	inflight := make(chan wirePending, 16*wireFlushBatch)
+	var rdone sync.WaitGroup
+	rdone.Add(1)
+	go func() {
+		defer rdone.Done()
+		local := make([]sample, 0, 4096)
+		dead := false
+		for p := range inflight {
+			s := sample{class: p.class}
+			if dead {
+				s.err = true
+			} else if r, err := c.ReadResponse(); err != nil {
+				dead = true // connection lost: everything in flight failed
+				s.err = true
+			} else if r.Errored {
+				s.err = true
+			} else if p.class == clJoin {
+				st.pushJoined(r.Node)
+			}
+			s.lat = time.Since(p.t0)
+			local = append(local, s)
+		}
+		st.record(local)
+	}()
+
+	var q pidcan.WireQuery
+	q.K = rc.k
+	unflushed := 0
+	for j := range jobs {
+		if closedLoop && !time.Now().Before(deadline) {
+			break
+		}
+		t0 := holdUntilDue(j, st)
+		switch j.class {
+		case clQuery:
+			consistent := rc.consist > 0 && rng.Float64() < rc.consist
+			if len(demands) > 0 {
+				q.Demand = demands[rng.IntN(len(demands))]
+			} else {
+				q.Demand = randVec(rng, rc.cmax, 0, 0.6)
+			}
+			q.Consistent = consistent
+			q.ScopeOne = consistent && rc.conScope == "one"
+			c.EnqueueQuery(&q)
+		case clUpdate:
+			c.EnqueueUpdate(pickUpdateNode(rc, rng, zipf), randVec(rng, rc.cmax, 0.1, 1), rng.IntN(4) == 0)
+		case clJoin:
+			shard := -1
+			if zipf != nil {
+				shard = int(zipf.Uint64())
+			}
+			c.EnqueueJoin(shard, randVec(rng, rc.cmax, 0.1, 1))
+		case clLeave:
+			id, ok := st.popJoined()
+			if !ok {
+				continue // nothing safe to remove yet
+			}
+			c.EnqueueLeave(id)
+		}
+		unflushed++
+		// Flush whenever the job feed is momentarily dry (responses
+		// are owed and nothing else is coming) or the batch is full.
+		if unflushed >= wireFlushBatch || len(jobs) == 0 {
+			if err := c.Flush(); err != nil {
+				log.Printf("worker %d: wire flush: %v", w, err)
+				inflight <- wirePending{class: j.class, t0: t0}
+				break
+			}
+			unflushed = 0
+		}
+		inflight <- wirePending{class: j.class, t0: t0}
+	}
+	c.Flush()
+	close(inflight)
+	rdone.Wait()
+}
+
+// printComparison emits the one-line wire-vs-http verdict after a
+// -compare rerun.
+func printComparison(a, b summary) {
+	wsum, hsum := a, b
+	if wsum.Proto != "wire" {
+		wsum, hsum = b, a
+	}
+	if wsum.Proto != "wire" || hsum.Proto != "http" {
+		return
+	}
+	speedup := math.Inf(1)
+	if hsum.AchievedQPS > 0 {
+		speedup = wsum.AchievedQPS / hsum.AchievedQPS
+	}
+	wa, ha := wsum.Classes["all"], hsum.Classes["all"]
+	fmt.Printf("\nwire vs http: %.0f vs %.0f req/s (%.1fx), p50 %.2fms vs %.2fms, p99 %.2fms vs %.2fms, errors %d vs %d\n",
+		wsum.AchievedQPS, hsum.AchievedQPS, speedup,
+		wa.P50ms, ha.P50ms, wa.P99ms, ha.P99ms, wsum.Errors, hsum.Errors)
 }
 
 // reportBalance prints the server's per-shard populations and
@@ -554,12 +805,14 @@ type classSummary struct {
 }
 
 type summary struct {
+	Proto       string                  `json:"proto"`
 	OfferedQPS  float64                 `json:"offered_qps"`
 	AchievedQPS float64                 `json:"achieved_qps"`
 	DurationSec float64                 `json:"duration_sec"`
 	Requests    int                     `json:"requests"`
 	Errors      int                     `json:"errors"`
 	Shed        int                     `json:"shed"`
+	Late        int                     `json:"late"`
 	Classes     map[string]classSummary `json:"classes"`
 }
 
@@ -595,7 +848,8 @@ func summarize(lats []time.Duration, count, errs int) classSummary {
 	}
 }
 
-func report(samples []sample, elapsed time.Duration, offered float64, shed int, jsonOut string) {
+// buildSummary aggregates one run's samples.
+func buildSummary(proto string, samples []sample, elapsed time.Duration, offered float64, shed, late int) summary {
 	var all []time.Duration
 	perClass := map[opClass][]time.Duration{}
 	counts := map[opClass]int{}
@@ -612,22 +866,26 @@ func report(samples []sample, elapsed time.Duration, offered float64, shed int, 
 		perClass[s.class] = append(perClass[s.class], s.lat)
 	}
 	sum := summary{
+		Proto:       proto,
 		OfferedQPS:  offered,
 		AchievedQPS: float64(len(samples)) / elapsed.Seconds(),
 		DurationSec: elapsed.Seconds(),
 		Requests:    len(samples),
 		Errors:      errs,
 		Shed:        shed,
+		Late:        late,
 		Classes:     map[string]classSummary{},
 	}
-	overall := summarize(all, len(samples), errs)
-	sum.Classes["all"] = overall
+	sum.Classes["all"] = summarize(all, len(samples), errs)
 	for c, lats := range perClass {
 		sum.Classes[classNames[c]] = summarize(lats, counts[c], errsPer[c])
 	}
+	return sum
+}
 
-	fmt.Printf("\n%d requests in %.2fs: %.0f req/s achieved (%.0f offered), %d errors, %d shed\n",
-		sum.Requests, sum.DurationSec, sum.AchievedQPS, sum.OfferedQPS, sum.Errors, sum.Shed)
+func report(sum summary, jsonOut string) {
+	fmt.Printf("\n[%s] %d requests in %.2fs: %.0f req/s achieved (%.0f offered), %d errors, %d shed, %d late\n",
+		sum.Proto, sum.Requests, sum.DurationSec, sum.AchievedQPS, sum.OfferedQPS, sum.Errors, sum.Shed, sum.Late)
 	fmt.Printf("%-8s %10s %8s %9s %9s %9s %9s %9s\n",
 		"class", "count", "errors", "p50", "p90", "p99", "p99.9", "max")
 	order := []string{"all", "query", "update", "join", "leave"}

@@ -21,6 +21,13 @@
 // -skew flag zipf-concentrates joins and updates onto a few shards
 // — to watch populations converge in /stats.
 //
+// Wire protocol: -wire-addr adds the compact binary serving edge
+// (internal/serve/wire) next to the JSON API — persistent TCP
+// connections, pipelined in-order responses, epoch-fenced writes —
+// and -wire-udp a single-packet UDP fast path for queries. JSON
+// stays up as the debug surface; drive the binary edge with
+// cmd/pidcan-loadgen -proto wire.
+//
 // Replication: a durable primary with -repl-addr streams its op-log
 // to followers; a second process started with -role follower
 // -primary host:replport mirrors it and serves read-only traffic
@@ -70,6 +77,8 @@ func main() {
 		role     = flag.String("role", "primary", "serving role: primary, or follower (read replica of -primary)")
 		primary  = flag.String("primary", "", "primary's replication address host:port (follower role)")
 		replAddr = flag.String("repl-addr", "", "replication listen address for followers (needs -data-dir; on a follower it activates at promotion)")
+		wireAddr = flag.String("wire-addr", "", "binary wire-protocol listen address (persistent TCP, pipelined; empty disables)")
+		wireUDP  = flag.String("wire-udp", "", "single-packet UDP query listen address of the wire protocol (empty disables)")
 	)
 	flag.Parse()
 
@@ -91,12 +100,54 @@ func main() {
 	}
 
 	var h dynHandler
+
+	// The wire edge starts before the engine: its listeners answer
+	// CodeNotReady until the role setup mounts one through h.set
+	// (exactly the follower re-bootstrap contract). JSON/HTTP stays up
+	// as the debug surface next to it.
+	var ws *pidcan.WireServer
+	if *wireAddr != "" || *wireUDP != "" {
+		ws = pidcan.NewWireServer(h.engine, pidcan.WireServerConfig{})
+		h.wire = ws
+		if *wireAddr != "" {
+			ln, err := net.Listen("tcp", *wireAddr)
+			if err != nil {
+				log.Fatal(err)
+			}
+			log.Printf("wire protocol on %s", *wireAddr)
+			go func() {
+				if err := ws.Serve(ln); err != nil {
+					log.Printf("wire server: %v", err)
+				}
+			}()
+		}
+		if *wireUDP != "" {
+			ua, err := net.ResolveUDPAddr("udp", *wireUDP)
+			if err != nil {
+				log.Fatal(err)
+			}
+			uc, err := net.ListenUDP("udp", ua)
+			if err != nil {
+				log.Fatal(err)
+			}
+			log.Printf("wire udp fast path on %s", *wireUDP)
+			go func() {
+				if err := ws.ServeUDP(uc); err != nil {
+					log.Printf("wire udp server: %v", err)
+				}
+			}()
+		}
+	}
+
 	srv := &http.Server{Addr: *addr, Handler: &h}
 	stop := func() {
 		sig := make(chan os.Signal, 1)
 		signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
 		<-sig
 		log.Print("shutting down")
+		if ws != nil {
+			ws.Close()
+		}
 		srv.Close()
 	}
 
@@ -125,15 +176,28 @@ func main() {
 // dynHandler routes HTTP to the current engine — which a follower
 // can swap when a re-bootstrap rebuilds it.
 type dynHandler struct {
-	mu  sync.RWMutex
-	eng *pidcan.Engine
-	h   http.Handler
+	mu   sync.RWMutex
+	eng  *pidcan.Engine
+	h    http.Handler
+	wire *pidcan.WireServer
 }
 
 func (d *dynHandler) set(e *pidcan.Engine) {
 	d.mu.Lock()
 	d.eng, d.h = e, pidcan.NewEngineHandler(e)
+	w := d.wire
 	d.mu.Unlock()
+	if w != nil {
+		e.SetWireStats(w.Stats)
+	}
+}
+
+// engine is the wire server's view of the current engine (nil until
+// the first set; the wire edge answers CodeNotReady meanwhile).
+func (d *dynHandler) engine() *pidcan.Engine {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	return d.eng
 }
 
 func (d *dynHandler) ServeHTTP(w http.ResponseWriter, r *http.Request) {

@@ -71,6 +71,9 @@ type Engine struct {
 	replLag       atomic.Int64
 	promoterMu    sync.Mutex
 	promoter      func() (uint64, error)
+	// wireStats, when set, feeds the wire serving edge's gauges into
+	// Stats (the wire server's counters; see SetWireStats).
+	wireStats atomic.Pointer[func() WireStats]
 	// loopMu orders background-loop starts (deferred to promotion on
 	// followers) against Close's teardown waits.
 	loopMu sync.Mutex
@@ -209,6 +212,24 @@ type Stats struct {
 	ReplConnected  bool   `json:"repl_connected,omitempty"`
 	ReplLagRecords int64  `json:"repl_lag_records,omitempty"`
 	PrimaryAddr    string `json:"primary_addr,omitempty"`
+
+	// Wire serving edge (internal/serve/wire), populated when a wire
+	// server is attached via SetWireStats. WireConns is the live
+	// persistent-connection count; WireRequests counts frames served
+	// (TCP + UDP), WireUDPRequests the single-packet subset, and
+	// WireRejected the frames the stateless filter or CRC refused.
+	WireConns       int    `json:"wire_conns,omitempty"`
+	WireRequests    uint64 `json:"wire_requests,omitempty"`
+	WireRejected    uint64 `json:"wire_rejected,omitempty"`
+	WireUDPRequests uint64 `json:"wire_udp_requests,omitempty"`
+}
+
+// WireStats is the gauge set a wire front-end feeds into Stats.
+type WireStats struct {
+	Conns       int
+	Requests    uint64
+	Rejected    uint64
+	UDPRequests uint64
 }
 
 // New builds an engine: the factory is invoked once per shard, each
@@ -293,6 +314,17 @@ func (e *Engine) startLoops() {
 
 // Config returns the resolved configuration.
 func (e *Engine) Config() Config { return e.cfg }
+
+// SetWireStats attaches a wire serving edge's gauge feed (typically
+// a wire Server's Stats method) so Stats reports the wire_* fields.
+// nil detaches. Safe to call on a serving engine.
+func (e *Engine) SetWireStats(f func() WireStats) {
+	if f == nil {
+		e.wireStats.Store(nil)
+		return
+	}
+	e.wireStats.Store(&f)
+}
 
 // Close stops the background loops, writes a final clean checkpoint
 // (durable engines), and halts every shard goroutine — which flushes
@@ -813,6 +845,13 @@ func (e *Engine) Stats() Stats {
 		ReplConnected:  e.replConnected.Load(),
 		ReplLagRecords: e.replLag.Load(),
 		PrimaryAddr:    e.cfg.PrimaryAddr,
+	}
+	if f := e.wireStats.Load(); f != nil {
+		ws := (*f)()
+		st.WireConns = ws.Conns
+		st.WireRequests = ws.Requests
+		st.WireRejected = ws.Rejected
+		st.WireUDPRequests = ws.UDPRequests
 	}
 	st.CacheHits, st.CacheMisses, st.CacheResets, st.CacheEntries = e.cache.stats()
 	for _, s := range e.shards {

@@ -49,7 +49,7 @@ func NewHandler(e *Engine) http.Handler {
 		}
 		resp, err := e.Query(req)
 		if err != nil {
-			writeErr(w, err)
+			writeErr(w, e, err)
 			return
 		}
 		writeJSON(w, http.StatusOK, resp)
@@ -64,7 +64,7 @@ func NewHandler(e *Engine) http.Handler {
 			return
 		}
 		if err := e.Update(req.Node, req.Avail, req.Announce); err != nil {
-			writeErr(w, err)
+			writeErr(w, e, err)
 			return
 		}
 		writeJSON(w, http.StatusOK, map[string]bool{"ok": true})
@@ -85,7 +85,7 @@ func NewHandler(e *Engine) http.Handler {
 			id, err = e.Join(req.Avail)
 		}
 		if err != nil {
-			writeErr(w, err)
+			writeErr(w, e, err)
 			return
 		}
 		writeJSON(w, http.StatusOK, map[string]GlobalID{"node": id})
@@ -93,7 +93,7 @@ func NewHandler(e *Engine) http.Handler {
 	mux.HandleFunc("POST /rebalance", func(w http.ResponseWriter, r *http.Request) {
 		res, err := e.Rebalance()
 		if err != nil {
-			writeErr(w, err)
+			writeErr(w, e, err)
 			return
 		}
 		writeJSON(w, http.StatusOK, res)
@@ -101,7 +101,7 @@ func NewHandler(e *Engine) http.Handler {
 	mux.HandleFunc("POST /checkpoint", func(w http.ResponseWriter, r *http.Request) {
 		res, err := e.Checkpoint()
 		if err != nil {
-			writeErr(w, err)
+			writeErr(w, e, err)
 			return
 		}
 		writeJSON(w, http.StatusOK, res)
@@ -109,7 +109,7 @@ func NewHandler(e *Engine) http.Handler {
 	mux.HandleFunc("POST /promote", func(w http.ResponseWriter, r *http.Request) {
 		epoch, err := e.Promote()
 		if err != nil {
-			writeErr(w, err)
+			writeErr(w, e, err)
 			return
 		}
 		writeJSON(w, http.StatusOK, map[string]any{"role": e.Role(), "epoch": epoch})
@@ -122,7 +122,7 @@ func NewHandler(e *Engine) http.Handler {
 			return
 		}
 		if err := e.Leave(req.Node); err != nil {
-			writeErr(w, err)
+			writeErr(w, e, err)
 			return
 		}
 		writeJSON(w, http.StatusOK, map[string]bool{"ok": true})
@@ -163,15 +163,28 @@ func decode(w http.ResponseWriter, r *http.Request, dst any) bool {
 	return true
 }
 
-func writeErr(w http.ResponseWriter, err error) {
+// retryAfterSeconds is the Retry-After hint on 503 rejections from a
+// read-only follower or fenced primary: long enough for a fail-over
+// promotion to complete, short enough that clients re-resolve the
+// primary promptly.
+const retryAfterSeconds = 1
+
+func writeErr(w http.ResponseWriter, e *Engine, err error) {
 	status := http.StatusConflict
 	switch {
 	case errors.Is(err, ErrClosed):
 		status = http.StatusServiceUnavailable
 	case errors.Is(err, ErrReadOnly), errors.Is(err, ErrFenced):
-		// 503 + the primary's address in the message: the client's
-		// cue to redirect writes (a follower serves only reads).
-		status = http.StatusServiceUnavailable
+		// 503 + a structured redirect: Retry-After header plus the
+		// primary's address in the body, the client's cue to re-point
+		// writes (a follower serves only reads).
+		w.Header().Set("Retry-After", fmt.Sprintf("%d", retryAfterSeconds))
+		writeJSON(w, http.StatusServiceUnavailable, map[string]any{
+			"error":          err.Error(),
+			"primary":        e.Config().PrimaryAddr,
+			"retry_after_ms": retryAfterSeconds * 1000,
+		})
+		return
 	case errors.Is(err, ErrWAL):
 		// Applied in memory, not durable — a server-side storage
 		// fault, not a client error.

@@ -382,6 +382,18 @@ func TestHTTPFollowerRouting(t *testing.T) {
 	if msg, _ := out["error"].(string); !strings.Contains(msg, cfg.PrimaryAddr) {
 		t.Fatalf("follower 503 %q does not name the primary", msg)
 	}
+	// Structured redirect: Retry-After header + primary address and
+	// retry hint in the body, so clients re-point without parsing the
+	// error string.
+	if ra := resp.Header.Get("Retry-After"); ra != "1" {
+		t.Fatalf("follower 503 Retry-After = %q, want \"1\"", ra)
+	}
+	if p, _ := out["primary"].(string); p != cfg.PrimaryAddr {
+		t.Fatalf("follower 503 primary = %v, want %q", out["primary"], cfg.PrimaryAddr)
+	}
+	if ms, _ := out["retry_after_ms"].(float64); ms != 1000 {
+		t.Fatalf("follower 503 retry_after_ms = %v, want 1000", out["retry_after_ms"])
+	}
 	resp, _ = postJSON(t, ts.URL+"/join", map[string]any{})
 	if resp.StatusCode != http.StatusServiceUnavailable {
 		t.Fatalf("follower /join: %d, want 503", resp.StatusCode)

@@ -1,0 +1,343 @@
+package wire
+
+import (
+	"encoding/json"
+	"fmt"
+	"net"
+	"time"
+)
+
+// Client speaks the wire protocol over one persistent TCP
+// connection. It is deliberately not safe for arbitrary concurrent
+// use — one Client per goroutine is the model — with exactly one
+// sanctioned split: because the protocol answers strictly in request
+// order, ONE goroutine may Enqueue*/Flush while ONE other goroutine
+// runs ReadResponse, which is how the pipelined load generator keeps
+// hundreds of requests in flight per connection. The sync wrappers
+// (Query, Update, Join, Leave, Stats) are one-request-one-response
+// and use both halves.
+//
+// All decode state is reused across responses: the hot query path
+// allocates nothing after the first call.
+type Client struct {
+	c      net.Conn
+	out    []byte
+	nextID uint32
+
+	// WriteEpoch, when non-zero, is stamped into every write frame
+	// (update/join/leave) for server-side fencing: set it to the
+	// epoch learned from responses to guarantee writes never land on
+	// a primary from another timeline.
+	WriteEpoch uint64
+
+	// read half
+	br      *reader
+	hdr     [HeaderSize]byte
+	payload []byte
+	resp    Response
+}
+
+// Response is one decoded server response, reused across
+// ReadResponse calls.
+type Response struct {
+	Op    byte
+	ReqID uint32
+	// Epoch is the server's replication epoch at response time.
+	Epoch uint64
+	// Errored reports a FlagError response; Err holds it. The Query,
+	// Node and Stats fields are only meaningful when !Errored.
+	Errored bool
+	Err     Error
+	// Query is the decoded result of an OpQuery response.
+	Query QueryResult
+	// Node is the id assigned by an OpJoin response.
+	Node uint64
+	// Stats is the raw JSON of an OpStats response (aliases an
+	// internal buffer; valid until the next ReadResponse).
+	Stats []byte
+}
+
+// Dial connects a wire client.
+func Dial(addr string) (*Client, error) {
+	c, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	return NewClient(c), nil
+}
+
+// NewClient wraps an established connection.
+func NewClient(c net.Conn) *Client {
+	return &Client{
+		c:       c,
+		out:     make([]byte, 0, 16<<10),
+		br:      newReader(c, 64<<10),
+		payload: make([]byte, 0, 4096),
+	}
+}
+
+// Close closes the connection.
+func (c *Client) Close() error { return c.c.Close() }
+
+func (c *Client) reqID() uint32 {
+	c.nextID++
+	return c.nextID
+}
+
+// EnqueueQuery appends a query request to the send buffer without
+// flushing; returns its request id.
+func (c *Client) EnqueueQuery(q *Query) uint32 {
+	id := c.reqID()
+	c.out = AppendQuery(c.out, id, 0, q)
+	return id
+}
+
+// EnqueueUpdate appends an update request (stamped with WriteEpoch).
+func (c *Client) EnqueueUpdate(node uint64, avail []float64, announce bool) uint32 {
+	id := c.reqID()
+	c.out = AppendUpdate(c.out, id, c.WriteEpoch, node, avail, announce)
+	return id
+}
+
+// EnqueueJoin appends a join request; shard < 0 leaves placement to
+// the server.
+func (c *Client) EnqueueJoin(shard int, avail []float64) uint32 {
+	id := c.reqID()
+	c.out = AppendJoin(c.out, id, c.WriteEpoch, shard, avail)
+	return id
+}
+
+// EnqueueLeave appends a leave request.
+func (c *Client) EnqueueLeave(node uint64) uint32 {
+	id := c.reqID()
+	c.out = AppendLeave(c.out, id, c.WriteEpoch, node)
+	return id
+}
+
+// EnqueueStats appends a stats request.
+func (c *Client) EnqueueStats() uint32 {
+	id := c.reqID()
+	c.out = AppendStatsRequest(c.out, id, 0)
+	return id
+}
+
+// Flush writes every enqueued request in one syscall.
+func (c *Client) Flush() error {
+	if len(c.out) == 0 {
+		return nil
+	}
+	_, err := c.c.Write(c.out)
+	c.out = c.out[:0]
+	return err
+}
+
+// ReadResponse reads and decodes the next response into the
+// returned *Response (owned by the client, valid until the next
+// call). Responses arrive in request order; an Errored response is
+// a server-side rejection, not a read error.
+func (c *Client) ReadResponse() (*Response, error) {
+	if _, err := c.br.readFull(c.hdr[:]); err != nil {
+		return nil, err
+	}
+	h, err := ParseHeader(c.hdr[:])
+	if err != nil {
+		return nil, err
+	}
+	if h.Flags&FlagResponse == 0 {
+		return nil, fmt.Errorf("wire: server sent a request frame")
+	}
+	if cap(c.payload) < int(h.PLen) {
+		c.payload = make([]byte, h.PLen)
+	}
+	c.payload = c.payload[:h.PLen]
+	if _, err := c.br.readFull(c.payload); err != nil {
+		return nil, err
+	}
+	if !VerifyFrame(c.hdr[:], c.payload) {
+		return nil, errBadCRC
+	}
+	r := &c.resp
+	r.Op, r.ReqID, r.Epoch = h.Op, h.ReqID, h.Epoch
+	r.Errored = h.Flags&FlagError != 0
+	r.Stats = nil
+	if r.Errored {
+		return r, DecodeError(c.payload, &r.Err)
+	}
+	switch h.Op {
+	case OpQuery:
+		return r, DecodeQueryResponse(c.payload, &r.Query)
+	case OpJoin:
+		r.Node, err = DecodeJoinResponse(c.payload)
+		return r, err
+	case OpStats:
+		r.Stats = c.payload
+	}
+	return r, nil
+}
+
+// errOf converts an errored response into an *Error (allocating —
+// error path only).
+func errOf(r *Response) error {
+	if !r.Errored {
+		return nil
+	}
+	e := r.Err
+	return &e
+}
+
+// Query runs one synchronous query, decoding into res (reused by
+// the caller across calls).
+func (c *Client) Query(q *Query, res *QueryResult) error {
+	c.EnqueueQuery(q)
+	if err := c.Flush(); err != nil {
+		return err
+	}
+	r, err := c.ReadResponse()
+	if err != nil {
+		return err
+	}
+	if err := errOf(r); err != nil {
+		return err
+	}
+	*res, r.Query = r.Query, *res // hand the decoded buffers to the caller
+	return nil
+}
+
+// Update publishes a node's availability synchronously.
+func (c *Client) Update(node uint64, avail []float64, announce bool) error {
+	c.EnqueueUpdate(node, avail, announce)
+	if err := c.Flush(); err != nil {
+		return err
+	}
+	r, err := c.ReadResponse()
+	if err != nil {
+		return err
+	}
+	return errOf(r)
+}
+
+// Join adds a node (shard < 0: server round-robin) and returns its
+// global id.
+func (c *Client) Join(shard int, avail []float64) (uint64, error) {
+	c.EnqueueJoin(shard, avail)
+	if err := c.Flush(); err != nil {
+		return 0, err
+	}
+	r, err := c.ReadResponse()
+	if err != nil {
+		return 0, err
+	}
+	if err := errOf(r); err != nil {
+		return 0, err
+	}
+	return r.Node, nil
+}
+
+// Leave removes a node.
+func (c *Client) Leave(node uint64) error {
+	c.EnqueueLeave(node)
+	if err := c.Flush(); err != nil {
+		return err
+	}
+	r, err := c.ReadResponse()
+	if err != nil {
+		return err
+	}
+	return errOf(r)
+}
+
+// Stats fetches the engine's Stats, decoded from the debug op's
+// JSON payload into v (pass a *serve.Stats or any compatible
+// struct), or returns the raw JSON when v is nil.
+func (c *Client) Stats(v any) ([]byte, error) {
+	c.EnqueueStats()
+	if err := c.Flush(); err != nil {
+		return nil, err
+	}
+	r, err := c.ReadResponse()
+	if err != nil {
+		return nil, err
+	}
+	if err := errOf(r); err != nil {
+		return nil, err
+	}
+	if v != nil {
+		if err := json.Unmarshal(r.Stats, v); err != nil {
+			return nil, err
+		}
+	}
+	return r.Stats, nil
+}
+
+// UDPClient is the single-packet counterpart of Client: one query
+// per datagram against a Server.ServeUDP socket. Safe for one
+// goroutine.
+type UDPClient struct {
+	c       *net.UDPConn
+	out     []byte
+	nextID  uint32
+	buf     []byte
+	res     QueryResult
+	Timeout time.Duration // per-exchange deadline (default 1s)
+}
+
+// DialUDP connects a UDP query client.
+func DialUDP(addr string) (*UDPClient, error) {
+	ua, err := net.ResolveUDPAddr("udp", addr)
+	if err != nil {
+		return nil, err
+	}
+	c, err := net.DialUDP("udp", nil, ua)
+	if err != nil {
+		return nil, err
+	}
+	return &UDPClient{c: c, buf: make([]byte, maxUDPFrame), Timeout: time.Second}, nil
+}
+
+// Close closes the socket.
+func (u *UDPClient) Close() error { return u.c.Close() }
+
+// Query sends one query datagram and decodes the response into res.
+// No retransmit: a lost packet surfaces as an i/o timeout, and the
+// caller decides (queries are idempotent — resending is always
+// safe).
+func (u *UDPClient) Query(q *Query, res *QueryResult) error {
+	u.nextID++
+	u.out = AppendQuery(u.out[:0], u.nextID, 0, q)
+	if _, err := u.c.Write(u.out); err != nil {
+		return err
+	}
+	u.c.SetReadDeadline(time.Now().Add(u.Timeout))
+	for {
+		n, err := u.c.Read(u.buf)
+		if err != nil {
+			return err
+		}
+		if n < HeaderSize {
+			continue
+		}
+		h, err := ParseHeader(u.buf[:HeaderSize])
+		if err != nil || h.Flags&FlagResponse == 0 || int(h.PLen) != n-HeaderSize {
+			continue
+		}
+		if h.ReqID != u.nextID {
+			continue // stale response from an earlier timed-out exchange
+		}
+		payload := u.buf[HeaderSize:n]
+		if !VerifyFrame(u.buf[:HeaderSize], payload) {
+			return errBadCRC
+		}
+		if h.Flags&FlagError != 0 {
+			e := &Error{}
+			if err := DecodeError(payload, e); err != nil {
+				return err
+			}
+			return e
+		}
+		if err := DecodeQueryResponse(payload, &u.res); err != nil {
+			return err
+		}
+		*res, u.res = u.res, *res
+		return nil
+	}
+}

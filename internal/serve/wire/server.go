@@ -1,0 +1,421 @@
+package wire
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"pidcan/internal/serve"
+	"pidcan/internal/vector"
+)
+
+// ServerConfig tunes a wire Server. Zero fields take the documented
+// defaults.
+type ServerConfig struct {
+	// Acceptors is the number of concurrent accept goroutines on the
+	// TCP listener — the connection-per-core edge (default
+	// GOMAXPROCS). Each accepted connection is then owned by one
+	// handler goroutine for its lifetime.
+	Acceptors int
+	// ReadBuffer sizes each connection's read buffer; deep pipelines
+	// drain whole request bursts from it per syscall (default 64 KiB).
+	ReadBuffer int
+	// IdleTimeout closes a connection with no complete request for
+	// this long (default 5m; <= 0 disables).
+	IdleTimeout time.Duration
+	// RetryAfter is the retry hint stamped into CodeReadOnly and
+	// CodeFenced rejections (default 1s).
+	RetryAfter time.Duration
+}
+
+func (c ServerConfig) withDefaults() ServerConfig {
+	if c.Acceptors <= 0 {
+		c.Acceptors = runtime.GOMAXPROCS(0)
+	}
+	if c.ReadBuffer <= 0 {
+		c.ReadBuffer = 64 << 10
+	}
+	if c.IdleTimeout == 0 {
+		c.IdleTimeout = 5 * time.Minute
+	}
+	if c.RetryAfter <= 0 {
+		c.RetryAfter = time.Second
+	}
+	return c
+}
+
+// Server serves the wire protocol over persistent TCP connections
+// (Serve) and optionally single-packet UDP queries (ServeUDP). The
+// engine is resolved through a getter on every request so a follower
+// re-bootstrap can swap engines under a live listener (nil = not
+// ready, requests fail with CodeNotReady).
+type Server struct {
+	cfg    ServerConfig
+	engine func() *serve.Engine
+
+	conns    atomic.Int64
+	requests atomic.Uint64
+	rejected atomic.Uint64
+	udpReqs  atomic.Uint64
+
+	closed atomic.Bool
+	mu     sync.Mutex
+	lns    []net.Listener
+	ucs    []*net.UDPConn
+	live   map[net.Conn]struct{}
+	wg     sync.WaitGroup
+}
+
+// NewServer builds a wire server over the engine getter. Attach it
+// to an engine's Stats with serve.Engine.SetWireStats(s.Stats).
+func NewServer(engine func() *serve.Engine, cfg ServerConfig) *Server {
+	return &Server{
+		cfg:    cfg.withDefaults(),
+		engine: engine,
+		live:   map[net.Conn]struct{}{},
+	}
+}
+
+// Stats returns the server's gauge set (the feed behind the
+// engine's wire_* stats fields).
+func (s *Server) Stats() serve.WireStats {
+	return serve.WireStats{
+		Conns:       int(s.conns.Load()),
+		Requests:    s.requests.Load(),
+		Rejected:    s.rejected.Load(),
+		UDPRequests: s.udpReqs.Load(),
+	}
+}
+
+// Serve accepts connections on ln until Close, running
+// cfg.Acceptors concurrent accept loops. It blocks; run it on its
+// own goroutine next to the HTTP listener.
+func (s *Server) Serve(ln net.Listener) error {
+	if s.closed.Load() {
+		return errServerClosed
+	}
+	s.mu.Lock()
+	s.lns = append(s.lns, ln)
+	s.mu.Unlock()
+	var wg sync.WaitGroup
+	errc := make(chan error, s.cfg.Acceptors)
+	for i := 0; i < s.cfg.Acceptors; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				c, err := ln.Accept()
+				if err != nil {
+					if !s.closed.Load() {
+						errc <- err
+					}
+					return
+				}
+				s.wg.Add(1)
+				go s.handleConn(c)
+			}
+		}()
+	}
+	wg.Wait()
+	select {
+	case err := <-errc:
+		return err
+	default:
+		return nil
+	}
+}
+
+var errServerClosed = errors.New("wire: server closed")
+
+// Close stops the listeners and closes every live connection.
+func (s *Server) Close() error {
+	if !s.closed.CompareAndSwap(false, true) {
+		return errServerClosed
+	}
+	s.mu.Lock()
+	for _, ln := range s.lns {
+		ln.Close()
+	}
+	for _, uc := range s.ucs {
+		uc.Close()
+	}
+	for c := range s.live {
+		c.Close()
+	}
+	s.mu.Unlock()
+	s.wg.Wait()
+	return nil
+}
+
+// track registers a live connection for Close teardown; the returned
+// func unregisters it.
+func (s *Server) track(c net.Conn) (ok bool, untrack func()) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed.Load() {
+		return false, nil
+	}
+	s.live[c] = struct{}{}
+	return true, func() {
+		s.mu.Lock()
+		delete(s.live, c)
+		s.mu.Unlock()
+	}
+}
+
+// connState is the per-connection scratch every request reuses: the
+// hot path decodes into and encodes out of these buffers without
+// allocating.
+type connState struct {
+	payload []byte
+	out     []byte
+	q       Query
+	u       Update
+	j       Join
+	demand  vector.Vec // aliases q.Demand/u.Avail per request
+}
+
+// flushThreshold caps how much response data buffers before an
+// early write, bounding memory under pathological pipelines.
+const flushThreshold = 1 << 20
+
+// handleConn owns one connection: it reads frames, serves them in
+// order, and appends responses to an output buffer written in one
+// syscall whenever the read side has no buffered request left — so a
+// pipelined burst costs one read and one write syscall, not one per
+// request.
+func (s *Server) handleConn(c net.Conn) {
+	defer s.wg.Done()
+	ok, untrack := s.track(c)
+	if !ok {
+		c.Close()
+		return
+	}
+	defer untrack()
+	defer c.Close()
+	s.conns.Add(1)
+	defer s.conns.Add(-1)
+
+	br := newReader(c, s.cfg.ReadBuffer)
+	st := &connState{
+		payload: make([]byte, 0, 4096),
+		out:     make([]byte, 0, 64<<10),
+	}
+	var hdr [HeaderSize]byte
+	for {
+		// Flush pending responses before blocking on the next read:
+		// the client is owed everything we have finished.
+		if br.buffered() == 0 && len(st.out) > 0 {
+			if _, err := c.Write(st.out); err != nil {
+				return
+			}
+			st.out = st.out[:0]
+		}
+		if s.cfg.IdleTimeout > 0 && br.buffered() == 0 {
+			c.SetReadDeadline(time.Now().Add(s.cfg.IdleTimeout))
+		}
+		if _, err := br.readFull(hdr[:]); err != nil {
+			return // EOF, timeout or peer reset: the connection is done
+		}
+		// Stateless filter first: garbage is rejected before any
+		// payload byte is read or allocated, and the connection is
+		// closed — after unframed junk the stream cannot be trusted.
+		h, err := ParseHeader(hdr[:])
+		if err != nil || h.Flags != 0 {
+			s.rejected.Add(1)
+			return
+		}
+		if cap(st.payload) < int(h.PLen) {
+			st.payload = make([]byte, h.PLen)
+		}
+		st.payload = st.payload[:h.PLen]
+		if _, err := br.readFull(st.payload); err != nil {
+			return
+		}
+		if !VerifyFrame(hdr[:], st.payload) {
+			s.rejected.Add(1)
+			return
+		}
+		s.requests.Add(1)
+		st.out = s.handle(st.out, h, st.payload, st)
+		if len(st.out) >= flushThreshold {
+			if _, err := c.Write(st.out); err != nil {
+				return
+			}
+			st.out = st.out[:0]
+		}
+	}
+}
+
+// handle serves one verified request frame, appending the response
+// to out.
+func (s *Server) handle(out []byte, h Header, payload []byte, st *connState) []byte {
+	eng := s.engine()
+	if eng == nil {
+		return AppendError(out, h.Op, h.ReqID, 0, CodeNotReady, s.cfg.RetryAfter, "",
+			"engine not ready (follower still bootstrapping)")
+	}
+	epoch := eng.Epoch()
+	switch h.Op {
+	case OpQuery:
+		if err := DecodeQuery(payload, &st.q); err != nil {
+			return AppendError(out, h.Op, h.ReqID, epoch, CodeBadRequest, 0, "", err.Error())
+		}
+		scope := ""
+		if st.q.ScopeOne {
+			scope = serve.ScopeOne
+		}
+		resp, err := eng.Query(serve.QueryRequest{
+			Demand:     vector.Vec(st.q.Demand),
+			K:          st.q.K,
+			Consistent: st.q.Consistent,
+			NoCache:    st.q.NoCache,
+			Scope:      scope,
+		})
+		if err != nil {
+			return s.appendErr(out, h, epoch, eng, err)
+		}
+		return AppendQueryResponse(out, h.ReqID, epoch, &resp)
+
+	case OpUpdate:
+		if err := DecodeUpdate(payload, &st.u); err != nil {
+			return AppendError(out, h.Op, h.ReqID, epoch, CodeBadRequest, 0, "", err.Error())
+		}
+		if out, ok := s.fence(out, h, eng, epoch); !ok {
+			return out
+		}
+		if err := eng.Update(serve.GlobalID(st.u.Node), vector.Vec(st.u.Avail), st.u.Announce); err != nil {
+			return s.appendErr(out, h, epoch, eng, err)
+		}
+		return AppendAck(out, OpUpdate, h.ReqID, epoch)
+
+	case OpJoin:
+		if err := DecodeJoin(payload, &st.j); err != nil {
+			return AppendError(out, h.Op, h.ReqID, epoch, CodeBadRequest, 0, "", err.Error())
+		}
+		if out, ok := s.fence(out, h, eng, epoch); !ok {
+			return out
+		}
+		var id serve.GlobalID
+		var err error
+		if st.j.Shard >= 0 {
+			id, err = eng.JoinOn(st.j.Shard, vector.Vec(st.j.Avail))
+		} else {
+			id, err = eng.Join(vector.Vec(st.j.Avail))
+		}
+		if err != nil {
+			return s.appendErr(out, h, epoch, eng, err)
+		}
+		return AppendJoinResponse(out, h.ReqID, epoch, uint64(id))
+
+	case OpLeave:
+		node, err := DecodeLeave(payload)
+		if err != nil {
+			return AppendError(out, h.Op, h.ReqID, epoch, CodeBadRequest, 0, "", err.Error())
+		}
+		if out, ok := s.fence(out, h, eng, epoch); !ok {
+			return out
+		}
+		if err := eng.Leave(serve.GlobalID(node)); err != nil {
+			return s.appendErr(out, h, epoch, eng, err)
+		}
+		return AppendAck(out, OpLeave, h.ReqID, epoch)
+
+	case OpStats:
+		data, err := json.Marshal(eng.Stats())
+		if err != nil {
+			return s.appendErr(out, h, epoch, eng, err)
+		}
+		return AppendStatsResponse(out, h.ReqID, epoch, data)
+	}
+	// Unreachable: the filter bounds h.Op.
+	return AppendError(out, h.Op, h.ReqID, epoch, CodeBadRequest, 0, "", "unknown op")
+}
+
+// fence applies replication-epoch fencing to a write frame, the
+// repl stream's discipline mirrored onto the serving edge: a frame
+// stamped with a NEWER epoch proves a promotion happened elsewhere
+// and seals this deposed primary on contact; a frame stamped with an
+// OLDER epoch is a stale client whose write must not apply to the
+// new timeline. Epoch 0 opts out (the client does not care).
+func (s *Server) fence(out []byte, h Header, eng *serve.Engine, epoch uint64) ([]byte, bool) {
+	if h.Epoch == 0 || h.Epoch == epoch {
+		return out, true
+	}
+	if h.Epoch > epoch {
+		eng.Fence(h.Epoch)
+	}
+	return AppendError(out, h.Op, h.ReqID, epoch, CodeFenced, s.cfg.RetryAfter, "",
+		fmt.Sprintf("epoch mismatch: frame %d, engine %d", h.Epoch, epoch)), false
+}
+
+// appendErr maps an engine error onto a wire error frame, mirroring
+// the HTTP handler's status mapping. Read-only and fenced
+// rejections carry the primary's address and a retry-after hint —
+// the wire twin of HTTP 503 + Retry-After.
+func (s *Server) appendErr(out []byte, h Header, epoch uint64, eng *serve.Engine, err error) []byte {
+	code := CodeRejected
+	retry := time.Duration(0)
+	primary := ""
+	switch {
+	case errors.Is(err, serve.ErrClosed):
+		code, retry = CodeClosed, s.cfg.RetryAfter
+	case errors.Is(err, serve.ErrReadOnly):
+		code, retry = CodeReadOnly, s.cfg.RetryAfter
+		primary = eng.Config().PrimaryAddr
+	case errors.Is(err, serve.ErrFenced):
+		code, retry = CodeFenced, s.cfg.RetryAfter
+	case errors.Is(err, serve.ErrWAL):
+		code = CodeWAL
+	case errors.Is(err, serve.ErrBadDemand), errors.Is(err, serve.ErrBadScope), errors.Is(err, serve.ErrNotDurable):
+		code = CodeBadRequest
+	case errors.Is(err, serve.ErrNoShard):
+		code = CodeNoShard
+	case errors.Is(err, serve.ErrScatterTimeout):
+		code = CodeScatterTimeout
+	}
+	return AppendError(out, h.Op, h.ReqID, epoch, code, retry, primary, err.Error())
+}
+
+// reader is a minimal buffered reader tuned for the frame loop:
+// readFull + buffered is all the handler needs, and keeping it local
+// avoids bufio's per-Read interface indirection on the hot path.
+type reader struct {
+	c   net.Conn
+	buf []byte
+	r   int // next unread byte
+	w   int // end of valid data
+}
+
+func newReader(c net.Conn, size int) *reader {
+	return &reader{c: c, buf: make([]byte, size)}
+}
+
+// buffered reports the bytes already read from the socket but not
+// yet consumed — the handler's "will the next read block?" signal.
+func (b *reader) buffered() int { return b.w - b.r }
+
+// readFull fills p entirely from the buffer, refilling from the
+// socket as needed.
+func (b *reader) readFull(p []byte) (int, error) {
+	n := 0
+	for n < len(p) {
+		if b.r == b.w {
+			b.r, b.w = 0, 0
+			m, err := b.c.Read(b.buf)
+			if err != nil {
+				return n, err
+			}
+			b.w = m
+		}
+		m := copy(p[n:], b.buf[b.r:b.w])
+		b.r += m
+		n += m
+	}
+	return n, nil
+}

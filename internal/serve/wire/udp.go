@@ -1,0 +1,82 @@
+package wire
+
+import (
+	"net"
+)
+
+// maxUDPFrame bounds a single-datagram frame in either direction.
+// Queries and their responses fit comfortably; anything larger
+// belongs on TCP.
+const maxUDPFrame = 60 << 10
+
+// ServeUDP serves the single-packet fast path on pc until Close:
+// one query request per datagram, one response datagram back, no
+// connection state at all. Only idempotent ops are allowed (OpQuery
+// and OpStats) — a lost update would be silently unacknowledged, a
+// lost join would leak a node, so writes belong on TCP. It runs
+// cfg.Acceptors reader goroutines on the shared socket and blocks
+// until the socket closes.
+//
+// Datagrams failing the stateless filter or the frame CRC are
+// dropped without a reply (an unverifiable header has no trustable
+// reply address semantics, and answering garbage invites
+// amplification); well-framed requests for non-UDP ops get a
+// CodeBadRequest error frame back.
+func (s *Server) ServeUDP(pc *net.UDPConn) error {
+	if s.closed.Load() {
+		return errServerClosed
+	}
+	s.mu.Lock()
+	s.ucs = append(s.ucs, pc)
+	s.mu.Unlock()
+	done := make(chan struct{}, s.cfg.Acceptors)
+	for i := 0; i < s.cfg.Acceptors; i++ {
+		go func() {
+			defer func() { done <- struct{}{} }()
+			buf := make([]byte, maxUDPFrame)
+			st := &connState{
+				payload: nil, // payload aliases buf; no copy needed
+				out:     make([]byte, 0, 16<<10),
+			}
+			for {
+				n, addr, err := pc.ReadFromUDP(buf)
+				if err != nil {
+					return // socket closed
+				}
+				if n < HeaderSize {
+					s.rejected.Add(1)
+					continue
+				}
+				hdr := buf[:HeaderSize]
+				h, err := ParseHeader(hdr)
+				if err != nil || h.Flags != 0 || int(h.PLen) != n-HeaderSize {
+					s.rejected.Add(1)
+					continue
+				}
+				payload := buf[HeaderSize:n]
+				if !VerifyFrame(hdr, payload) {
+					s.rejected.Add(1)
+					continue
+				}
+				s.udpReqs.Add(1)
+				s.requests.Add(1)
+				st.out = st.out[:0]
+				if h.Op != OpQuery && h.Op != OpStats {
+					st.out = AppendError(st.out, h.Op, h.ReqID, 0, CodeBadRequest, 0, "",
+						"op not allowed over udp (single-packet path serves queries and stats)")
+				} else {
+					st.out = s.handle(st.out, h, payload, st)
+				}
+				if len(st.out) > maxUDPFrame {
+					st.out = AppendError(st.out[:0], h.Op, h.ReqID, 0, CodeBadRequest, 0, "",
+						"response exceeds a single datagram; use tcp")
+				}
+				pc.WriteToUDP(st.out, addr)
+			}
+		}()
+	}
+	for i := 0; i < s.cfg.Acceptors; i++ {
+		<-done
+	}
+	return nil
+}

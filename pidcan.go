@@ -35,6 +35,7 @@ import (
 	"pidcan/internal/psm"
 	"pidcan/internal/serve"
 	"pidcan/internal/serve/repl"
+	"pidcan/internal/serve/wire"
 	"pidcan/internal/sim"
 	"pidcan/internal/task"
 	"pidcan/internal/trace"
@@ -257,6 +258,55 @@ func NewReplServer(e *Engine, cfg ReplServerConfig) (*ReplServer, error) {
 func NewReplClient(cfg ReplClientConfig) (*ReplClient, error) {
 	return repl.NewClient(cfg)
 }
+
+// --- binary wire protocol (internal/serve/wire) -------------------------------
+
+// WireServer serves an Engine over the compact binary wire protocol:
+// persistent TCP connections with pipelined in-order responses, plus
+// an optional single-packet UDP fast path for queries. Run it next to
+// the HTTP front-end on its own listener (pidcan-serve -wire-addr);
+// attach its Stats to the engine with Engine.SetWireStats.
+type WireServer = wire.Server
+
+// WireServerConfig tunes a WireServer.
+type WireServerConfig = wire.ServerConfig
+
+// WireClient is a synchronous or pipelined client for the wire
+// protocol (one connection; see the package docs for the sanctioned
+// sender/reader goroutine split).
+type WireClient = wire.Client
+
+// WireUDPClient is the single-packet query client for the UDP fast
+// path.
+type WireUDPClient = wire.UDPClient
+
+// WireQuery is a wire query request.
+type WireQuery = wire.Query
+
+// WireQueryResult is a decoded wire query response.
+type WireQueryResult = wire.QueryResult
+
+// WireError is a typed server-side rejection (wire.Code* constants;
+// read-only followers carry the primary's address and a retry hint).
+type WireError = wire.Error
+
+// WireStats is the gauge set a WireServer feeds into Engine.Stats.
+type WireStats = serve.WireStats
+
+// NewWireServer builds a wire server over an engine getter (the
+// getter indirection lets a follower re-bootstrap swap engines under
+// a live listener; return nil while not ready).
+func NewWireServer(engine func() *Engine, cfg WireServerConfig) *WireServer {
+	return wire.NewServer(engine, cfg)
+}
+
+// DialWire connects a wire client to a pidcan-serve -wire-addr
+// listener.
+func DialWire(addr string) (*WireClient, error) { return wire.Dial(addr) }
+
+// DialWireUDP connects a UDP query client to a pidcan-serve
+// -wire-udp listener.
+func DialWireUDP(addr string) (*WireUDPClient, error) { return wire.DialUDP(addr) }
 
 // A Cluster is the shard backend of the serving engine, including
 // the id-seeding recovery extension (checkpoint restore in O(alive

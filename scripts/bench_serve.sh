@@ -1,7 +1,9 @@
 #!/bin/sh
 # Run the serving-engine benchmarks — including the durable
-# write-path overhead (BenchmarkServeDurable*) and warm-restart
-# recovery time (BenchmarkServeRecovery) — and collect their results
+# write-path overhead (BenchmarkServeDurable*), warm-restart
+# recovery time (BenchmarkServeRecovery) and the binary wire
+# protocol vs HTTP (BenchmarkWire*, BenchmarkServeHTTPQuery) —
+# and collect their results
 # as BENCH_serve.json (one JSON object per line) for the perf
 # trajectory across PRs.
 #
@@ -19,7 +21,7 @@ benchtime="${2:-1s}"
 tmp="$out.tmp"
 rm -f "$tmp"
 PIDCAN_BENCH_SERVE_JSON="$tmp" \
-	go test -run '^$' -bench 'BenchmarkServe' -benchtime "$benchtime" .
+	go test -run '^$' -bench 'BenchmarkServe|BenchmarkWire' -benchtime "$benchtime" .
 
 # The harness ramps b.N, emitting one line per calibration run; keep
 # only the final (longest, most accurate) run of each benchmark.
