@@ -984,3 +984,82 @@ func BenchmarkServeHTTPQuery(b *testing.B) {
 		})
 	}
 }
+
+// --- federation benchmarks (internal/serve/fed) ------------------------------
+
+// newBenchFed builds a federation of wire-served member engines and a
+// router over them. Total population stays constant across member
+// counts, so member scaling measures the scatter tier, not index
+// size.
+func newBenchFed(b *testing.B, members, totalNodes int) (*FedRouter, []*Engine) {
+	b.Helper()
+	lists := make([][]string, members)
+	engs := make([]*Engine, members)
+	for m := 0; m < members; m++ {
+		engs[m] = newBenchEngineCfg(b, EngineConfig{
+			Shards:        2,
+			NodesPerShard: totalNodes / (members * 2),
+			Seed:          uint64(11 + m),
+		})
+		lists[m] = []string{startBenchWire(b, engs[m])}
+	}
+	router, err := NewFedRouter(FedRouterConfig{Members: lists})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(func() { router.Close() })
+	return router, engs
+}
+
+// BenchmarkFedQuery measures the router's cross-member scatter-gather
+// read path (each leg a fed-query over a pooled wire connection)
+// against the direct in-process engine the federation replaces. The
+// 1-member case isolates the wire + routing-tier tax; 2 members add
+// the real scatter.
+func BenchmarkFedQuery(b *testing.B) {
+	b.Run("direct/shards=4/clients=8", func(b *testing.B) {
+		eng := newBenchEngine(b, 4, 128)
+		demands := benchDemands(eng, 512)
+		runServeBench(b, 4, 8, func(c, i int) {
+			if _, err := eng.Query(QueryRequest{Demand: demands[(i+c)%len(demands)], K: 3}); err != nil {
+				b.Error(err)
+			}
+		})
+	})
+	for _, members := range []int{1, 2} {
+		b.Run(fmt.Sprintf("members=%d/clients=8", members), func(b *testing.B) {
+			router, engs := newBenchFed(b, members, 128)
+			demands := benchDemands(engs[0], 512)
+			runServeBench(b, members, 8, func(c, i int) {
+				if _, err := router.Query(QueryRequest{Demand: demands[(i+c)%len(demands)], K: 3}); err != nil {
+					b.Error(err)
+				}
+			})
+		})
+	}
+}
+
+// BenchmarkFedMixed interleaves one routed update per nine scatter
+// queries: updates resolve through the forwarding table and pin one
+// member, queries fan out to all of them.
+func BenchmarkFedMixed(b *testing.B) {
+	for _, members := range []int{1, 2} {
+		b.Run(fmt.Sprintf("members=%d/clients=8", members), func(b *testing.B) {
+			router, engs := newBenchFed(b, members, 128)
+			demands := benchDemands(engs[0], 512)
+			ids := router.Nodes()
+			avail := engs[0].Config().CMax.Scale(0.5)
+			runServeBench(b, members, 8, func(c, i int) {
+				if i%10 == 9 {
+					if err := router.Update(ids[(c*31+i)%len(ids)], avail, false); err != nil {
+						b.Error(err)
+					}
+					return
+				}
+				if _, err := router.Query(QueryRequest{Demand: demands[(i+c)%len(demands)], K: 3}); err != nil {
+					b.Error(err)
+				}
+			})
+		})
+	}
+}

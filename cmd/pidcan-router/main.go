@@ -1,0 +1,133 @@
+// Command pidcan-router fronts a federation of pidcan-serve primary
+// processes with one serving surface: queries scatter-gather across
+// every member (each a primary engine with its own WAL and follower
+// set) exactly as one engine scatters across its shards, joins are
+// placed by hashing into the federation map's keyspace slices, and
+// writes chase nodes migrated between members through a forwarding
+// table — every id a node was ever known by stays routable.
+//
+//	pidcan-router -addr :8090 -members "hostA:9001,hostB:9001|hostB2:9001"
+//
+// -members is comma-separated; each member lists its wire addresses
+// pipe-separated, primary first, promotable followers after. When a
+// member's primary dies the router rotates onto the fallback
+// addresses, and once a promoted follower answers with a higher
+// replication epoch the router bumps the federation map version and
+// pushes the map to every member — other routers converge on their
+// next stale-flagged query.
+//
+// Endpoints: the standard JSON API (POST /query /update /join
+// /leave /take, GET /nodes /stats /healthz) plus GET /map (the
+// current federation map) and POST /migrate {"node":N,"member":M}
+// (cross-process node migration). -wire-addr adds the binary wire
+// edge over the same router.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"log"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"pidcan"
+)
+
+func main() {
+	var (
+		addr     = flag.String("addr", ":8090", "HTTP listen address")
+		wireAddr = flag.String("wire-addr", "", "binary wire-protocol listen address (empty disables)")
+		members  = flag.String("members", "", "federation members: comma-separated, each a pipe-separated wire address list (primary first)")
+		scatter  = flag.Duration("scatter-timeout", 2*time.Second, "whole-gather deadline of cross-member scatter queries")
+		grace    = flag.Duration("forward-grace", time.Minute, "how long a migrated-away id stays routable after its move")
+	)
+	flag.Parse()
+
+	var lists [][]string
+	for _, m := range strings.Split(*members, ",") {
+		var addrs []string
+		for _, a := range strings.Split(m, "|") {
+			if a = strings.TrimSpace(a); a != "" {
+				addrs = append(addrs, a)
+			}
+		}
+		if len(addrs) > 0 {
+			lists = append(lists, addrs)
+		}
+	}
+	if len(lists) == 0 {
+		log.Fatal("no federation members (-members \"hostA:9001,hostB:9001|hostB2:9001\")")
+	}
+
+	router, err := pidcan.NewFedRouter(pidcan.FedRouterConfig{
+		Members:        lists,
+		ScatterTimeout: *scatter,
+		ForwardGrace:   *grace,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	mux := http.NewServeMux()
+	mux.Handle("/", pidcan.NewServiceHandler(router))
+	mux.HandleFunc("GET /map", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		json.NewEncoder(w).Encode(router.Map())
+	})
+	mux.HandleFunc("POST /migrate", func(w http.ResponseWriter, r *http.Request) {
+		var req struct {
+			Node   uint64 `json:"node"`
+			Member int    `json:"member"`
+		}
+		if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<20)).Decode(&req); err != nil {
+			http.Error(w, `{"error":"bad request"}`, http.StatusBadRequest)
+			return
+		}
+		if err := router.Migrate(pidcan.GlobalNodeID(req.Node), req.Member); err != nil {
+			w.Header().Set("Content-Type", "application/json")
+			w.WriteHeader(http.StatusConflict)
+			json.NewEncoder(w).Encode(map[string]string{"error": err.Error()})
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		w.Write([]byte(`{"ok":true}` + "\n"))
+	})
+
+	var ws *pidcan.WireServer
+	if *wireAddr != "" {
+		ws = pidcan.NewServiceWireServer(func() pidcan.Service { return router }, pidcan.WireServerConfig{})
+		ln, err := net.Listen("tcp", *wireAddr)
+		if err != nil {
+			log.Fatal(err)
+		}
+		log.Printf("wire protocol on %s", *wireAddr)
+		go func() {
+			if err := ws.Serve(ln); err != nil {
+				log.Printf("wire server: %v", err)
+			}
+		}()
+	}
+
+	srv := &http.Server{Addr: *addr, Handler: mux}
+	go func() {
+		sig := make(chan os.Signal, 1)
+		signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+		<-sig
+		log.Print("shutting down")
+		if ws != nil {
+			ws.Close()
+		}
+		srv.Close()
+	}()
+
+	log.Printf("routing %d members on %s", len(lists), *addr)
+	if err := srv.ListenAndServe(); err != nil && err != http.ErrServerClosed {
+		log.Fatal(err)
+	}
+	router.Close()
+}

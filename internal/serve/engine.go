@@ -1,6 +1,7 @@
 package serve
 
 import (
+	"errors"
 	"fmt"
 	"math"
 	"sort"
@@ -19,6 +20,7 @@ import (
 type Engine struct {
 	cfg    Config
 	shards []*shard
+	places []Placement // shards behind the Placement interface, same order
 	cache  *queryCache
 	fwd    *fwdTable // migrated-node id forwarding
 
@@ -268,6 +270,7 @@ func New(cfg Config, factory BackendFactory) (*Engine, error) {
 		s.sink = &e.replSink
 		s.readOnly = &e.follower
 		e.shards = append(e.shards, s)
+		e.places = append(e.places, &shardPlacement{e: e, s: s})
 	}
 	if cfg.DataDir != "" {
 		if err := e.recover(); err != nil {
@@ -488,113 +491,39 @@ func rescore(cands []Candidate, demand, scale vector.Vec, k int) []Candidate {
 	return bestFit(cands, k)
 }
 
-// scatterLeg is one shard's contribution to a scatter-gather
-// consistent query.
-type scatterLeg struct {
-	shard int
-	recs  []proto.Record
-	hops  int
-	err   error
-}
-
 // consistentQuery routes the query through the PID-CAN protocol
-// itself. Under ScopeOne it consults a single shard's index chosen
-// round-robin, like any one querying node of the paper would. Under
-// ScopeAll (the default) it scatters one protocol query to every
-// shard's write queue concurrently, gathers the partial views on a
-// fan-in channel and merges them best-fit first — the decentralized
-// merge-partial-views shape of ART/DEPAS lifted above the shards. A
-// shard halting mid-scatter fails only its own leg (ErrClosed).
-// Config.ScatterTimeout is a whole-gather deadline: when it fires,
-// every leg still outstanding is abandoned (and unwinds through
-// submit's cancellation path) and the merge proceeds over the legs
-// already gathered. The query fails only when no leg succeeds; with
-// zero legs at the deadline the error is ErrScatterTimeout.
+// itself. Under ScopeOne it consults a single placement's index
+// chosen round-robin, like any one querying node of the paper would.
+// Under ScopeAll (the default) it scatters one protocol query to
+// every placement concurrently through ScatterQuery — the
+// decentralized merge-partial-views shape of ART/DEPAS lifted above
+// the shards. A shard halting mid-scatter fails only its own leg
+// (ErrClosed). Config.ScatterTimeout is the whole-gather deadline;
+// see ScatterQuery for the partial-merge semantics.
 func (e *Engine) consistentQuery(req QueryRequest) (QueryResponse, error) {
 	e.consistent.Add(1)
 	if req.Scope == ScopeOne {
-		s := e.shards[(e.nextQuery.Add(1)-1)%uint64(len(e.shards))]
-		leg := e.queryLeg(s, req, nil)
-		if leg.err != nil {
+		p := e.places[(e.nextQuery.Add(1)-1)%uint64(len(e.places))]
+		leg, err := p.QueryLeg(req, nil)
+		if err != nil {
 			e.errors.Add(1)
-			return QueryResponse{}, leg.err
+			return QueryResponse{}, err
 		}
-		cands := legCandidates(nil, leg.shard, leg.recs, req.Demand, e.cfg.CMax)
 		return QueryResponse{
-			Candidates:    e.externalize(bestFit(cands, req.K)),
-			Hops:          leg.hops,
-			HopsMax:       leg.hops,
-			ShardsQueried: 1,
+			Candidates:    e.externalize(bestFit(leg.Cands, req.K)),
+			Hops:          leg.Hops,
+			HopsMax:       leg.HopsMax,
+			ShardsQueried: leg.Queried,
 		}, nil
 	}
 
-	// Scatter: one protocol query per shard, each on its own
-	// goroutine so a deep write queue on one shard does not serialize
-	// the others. The fan-in channel is buffered to the shard count,
-	// so abandoned legs never block their senders, and the abandon
-	// channel unwinds legs still waiting on a full write queue once
-	// the gather returns.
-	legs := make(chan scatterLeg, len(e.shards))
-	abandon := make(chan struct{})
-	defer close(abandon)
-	for _, s := range e.shards {
-		go func(s *shard) { legs <- e.queryLeg(s, req, abandon) }(s)
-	}
-	deadline := time.NewTimer(e.cfg.ScatterTimeout)
-	defer deadline.Stop()
-	var (
-		cands    []Candidate
-		resp     QueryResponse
-		firstErr error
-	)
-gather:
-	for pending := len(e.shards); pending > 0; pending-- {
-		select {
-		case leg := <-legs:
-			if leg.err != nil {
-				if firstErr == nil {
-					firstErr = leg.err
-				}
-				continue
-			}
-			resp.ShardsQueried++
-			resp.Hops += leg.hops
-			if leg.hops > resp.HopsMax {
-				resp.HopsMax = leg.hops
-			}
-			cands = legCandidates(cands, leg.shard, leg.recs, req.Demand, e.cfg.CMax)
-		case <-deadline.C:
-			if firstErr == nil {
-				firstErr = fmt.Errorf("%w: after %v (%d of %d legs gathered)",
-					ErrScatterTimeout, e.cfg.ScatterTimeout, resp.ShardsQueried, len(e.shards))
-			}
-			break gather
-		}
-	}
-	if resp.ShardsQueried == 0 {
+	resp, err := ScatterQuery(e.places, req, e.cfg.ScatterTimeout)
+	if err != nil {
 		e.errors.Add(1)
-		return QueryResponse{}, firstErr
+		return QueryResponse{}, err
 	}
-	resp.Candidates = e.externalize(bestFit(cands, req.K))
+	resp.Candidates = e.externalize(resp.Candidates)
 	return resp, nil
-}
-
-// queryLeg runs one protocol query through s's write queue and
-// packages the outcome as that shard's leg. The demand is cloned per
-// leg, so concurrent shard goroutines never share a vector. cancel,
-// when non-nil, abandons a leg whose query has already returned.
-func (e *Engine) queryLeg(s *shard, req QueryRequest, cancel <-chan struct{}) scatterLeg {
-	res, err := s.submit(op{
-		kind:   opQuery,
-		node:   -1,
-		demand: req.Demand.Clone(),
-		k:      req.K,
-		reply:  make(chan opResult, 1),
-	}, cancel)
-	if err == nil {
-		err = res.err
-	}
-	return scatterLeg{shard: s.idx, recs: res.recs, hops: res.hops, err: err}
 }
 
 // legCandidates converts one shard leg's protocol records into
@@ -616,24 +545,24 @@ func legCandidates(dst []Candidate, shard int, recs []proto.Record, demand, scal
 // migrations of the same node interleaved exactly with the write.
 const migrateRetries = 8
 
-// submitResolved is the migration-chase protocol shared by Update
-// and Leave: resolve the id through the forwarding table, submit the
-// op built for the resolved physical id, and on a backend rejection
-// wait out a racing migration and retry against the node's new
-// shard. It returns the physical id the successful submit used.
-func (e *Engine) submitResolved(node GlobalID, mk func(phys GlobalID) op) (GlobalID, error) {
+// applyResolved is the migration-chase protocol shared by Update and
+// Leave: resolve the id through the forwarding table, apply the
+// operation against the resolved placement, and on a backend
+// rejection wait out a racing migration and retry against the node's
+// new home. It returns the physical id the successful apply used.
+func (e *Engine) applyResolved(node GlobalID, do func(p Placement, phys GlobalID) error) (GlobalID, error) {
 	for attempt := 0; ; attempt++ {
 		phys := e.fwd.resolve(node)
 		si := phys.Shard()
-		if si >= len(e.shards) {
+		if si >= len(e.places) {
 			e.errors.Add(1)
 			return 0, fmt.Errorf("%w: shard %d (node %v)", ErrNoShard, si, node)
 		}
-		res, err := e.shards[si].submit(mk(phys), nil)
-		if err == nil && res.err == nil {
+		err := do(e.places[si], phys)
+		if err == nil {
 			return phys, nil
 		}
-		if err == nil {
+		if !errors.Is(err, ErrClosed) {
 			// The backend rejected the op — possibly because the node
 			// migrated out from under us between resolve and apply.
 			if attempt < migrateRetries && e.fwd.waitSettled(node, phys, e.stop) {
@@ -647,7 +576,7 @@ func (e *Engine) submitResolved(node GlobalID, mk func(phys GlobalID) op) (Globa
 			}
 			// Backend errors name the shard-local id; callers know
 			// the global one.
-			err = fmt.Errorf("serve: node %v: %w", node, res.err)
+			err = fmt.Errorf("serve: node %v: %w", node, err)
 		}
 		e.errors.Add(1)
 		return 0, err
@@ -672,14 +601,8 @@ func (e *Engine) Update(node GlobalID, avail vector.Vec, announce bool) error {
 		e.errors.Add(1)
 		return err
 	}
-	if _, err := e.submitResolved(node, func(phys GlobalID) op {
-		return op{
-			kind:     opUpdate,
-			node:     phys.Local(),
-			avail:    avail.Clone(),
-			announce: announce,
-			reply:    make(chan opResult, 1),
-		}
+	if _, err := e.applyResolved(node, func(p Placement, phys GlobalID) error {
+		return p.Update(phys, avail, announce)
 	}); err != nil {
 		return err
 	}
@@ -724,22 +647,15 @@ func (e *Engine) join(si int, avail vector.Vec) (GlobalID, error) {
 		avail = avail.Clone()
 	}
 	if si < 0 {
-		si = int((e.nextShard.Add(1) - 1) % uint64(len(e.shards)))
+		si = int((e.nextShard.Add(1) - 1) % uint64(len(e.places)))
 	}
-	res, err := e.shards[si].submit(op{
-		kind:  opJoin,
-		avail: avail,
-		reply: make(chan opResult, 1),
-	}, nil)
-	if err == nil {
-		err = res.err
-	}
+	id, err := e.places[si].Join(avail)
 	if err != nil {
 		e.errors.Add(1)
 		return 0, err
 	}
 	e.joins.Add(1)
-	return Global(si, res.node), nil
+	return id, nil
 }
 
 // Leave removes a node; its records, indexes and any forwarding
@@ -753,21 +669,8 @@ func (e *Engine) Leave(node GlobalID) error {
 		e.errors.Add(1)
 		return err
 	}
-	if _, err := e.submitResolved(node, func(phys GlobalID) op {
-		return op{
-			kind:  opLeave,
-			node:  phys.Local(),
-			reply: make(chan opResult, 1),
-			// Forwarding state dies on the shard goroutine, before
-			// the leave is acknowledged: a checkpoint captured later
-			// on that goroutine then cannot serialize forwarding
-			// entries whose leave record it no longer covers.
-			onApplied: func(res opResult) {
-				if res.err == nil {
-					e.fwd.forget(phys) // removed ids only matter to recovery
-				}
-			},
-		}
+	if _, err := e.applyResolved(node, func(p Placement, phys GlobalID) error {
+		return p.Leave(phys)
 	}); err != nil {
 		return err
 	}

@@ -1,0 +1,383 @@
+package fed
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+
+	"pidcan/internal/serve"
+	"pidcan/internal/serve/wire"
+	"pidcan/internal/vector"
+)
+
+// poolCap bounds the idle wire connections kept per member.
+const poolCap = 8
+
+type pooledConn struct {
+	c    *wire.Client
+	addr string
+}
+
+// RemotePrimary adapts one federation member — a whole primary
+// process reached over the wire protocol — to the serve.Placement
+// interface, so the scatter/migrate machinery written for in-process
+// shards drives remote processes unchanged.
+//
+// Connections are pooled per member (concurrent scatter legs and
+// router requests each check one out), and the member's address list
+// is rotated on transport failure or read-only answers: after a
+// fail-over the router converges onto the promoted follower without
+// configuration changes. Every operation retries once after a
+// rotation; writes interrupted mid-flight are at-most-once (the
+// retry may find the first attempt applied and surface the member's
+// rejection).
+type RemotePrimary struct {
+	member int
+
+	mu     sync.Mutex
+	addrs  []string
+	cur    int
+	pool   []pooledConn
+	closed bool
+
+	// fwd is the owning router's forwarding table: Leave drops the
+	// node's entries, CompleteMigration repoints them (nil in
+	// standalone tests — the forwarding consequences then fall to
+	// the caller).
+	fwd *serve.ForwardTable
+
+	// Router hooks (any may be nil): mapVer stamps fed queries with
+	// the current map version, writeEpoch fences writes with the
+	// member's recorded epoch, onEpoch/onStale feed fail-over and
+	// map-staleness evidence back to the router.
+	mapVer     func() uint64
+	writeEpoch func(member int) uint64
+	onEpoch    func(member int, epoch uint64)
+	onStale    func(member int)
+}
+
+var _ serve.Placement = (*RemotePrimary)(nil)
+
+// NewRemotePrimary builds a standalone member placement (no router
+// hooks): addrs is the member's wire address list, primary first;
+// fwd may be nil when the caller owns forwarding state itself.
+func NewRemotePrimary(member int, addrs []string, fwd *serve.ForwardTable) *RemotePrimary {
+	return &RemotePrimary{
+		member: member,
+		addrs:  append([]string(nil), addrs...),
+		fwd:    fwd,
+	}
+}
+
+// Ref is the member's index in the federation map.
+func (r *RemotePrimary) Ref() int { return r.member }
+
+// Addr returns the member address currently in use.
+func (r *RemotePrimary) Addr() string {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.addrs[r.cur]
+}
+
+// Close drops the idle connection pool and fails subsequent calls
+// with serve.ErrClosed.
+func (r *RemotePrimary) Close() {
+	r.mu.Lock()
+	r.closed = true
+	pool := r.pool
+	r.pool = nil
+	r.mu.Unlock()
+	for _, pc := range pool {
+		pc.c.Close()
+	}
+}
+
+// get checks a connection out of the pool, discarding entries dialed
+// before an address rotation, or dials the current address.
+func (r *RemotePrimary) get() (*wire.Client, string, error) {
+	r.mu.Lock()
+	if r.closed {
+		r.mu.Unlock()
+		return nil, "", serve.ErrClosed
+	}
+	addr := r.addrs[r.cur]
+	var stale []pooledConn
+	var got *wire.Client
+	for len(r.pool) > 0 && got == nil {
+		pc := r.pool[len(r.pool)-1]
+		r.pool = r.pool[:len(r.pool)-1]
+		if pc.addr == addr {
+			got = pc.c
+		} else {
+			stale = append(stale, pc)
+		}
+	}
+	r.mu.Unlock()
+	for _, pc := range stale {
+		pc.c.Close()
+	}
+	if got != nil {
+		return got, addr, nil
+	}
+	c, err := wire.Dial(addr)
+	if err != nil {
+		return nil, addr, err
+	}
+	return c, addr, nil
+}
+
+// put returns a healthy connection to the pool (closed instead when
+// the pool is full or the address rotated underneath it).
+func (r *RemotePrimary) put(c *wire.Client, addr string) {
+	r.mu.Lock()
+	if !r.closed && addr == r.addrs[r.cur] && len(r.pool) < poolCap {
+		r.pool = append(r.pool, pooledConn{c: c, addr: addr})
+		r.mu.Unlock()
+		return
+	}
+	r.mu.Unlock()
+	c.Close()
+}
+
+// rotate advances to the member's next fallback address, if addr is
+// still the one that failed (concurrent failures rotate once).
+func (r *RemotePrimary) rotate(addr string) {
+	r.mu.Lock()
+	if !r.closed && addr == r.addrs[r.cur] && len(r.addrs) > 1 {
+		r.cur = (r.cur + 1) % len(r.addrs)
+	}
+	r.mu.Unlock()
+}
+
+// do runs f over a pooled connection with bounded retries: a
+// transport failure or a read-only/not-ready answer rotates the
+// address and tries again, a fenced write re-stamps the epoch just
+// observed. Three attempts cover the longest fail-over walk: dead
+// primary -> transport error -> rotate -> promoted follower ->
+// fenced -> re-stamp with the new epoch -> applied.
+func (r *RemotePrimary) do(f func(c *wire.Client) error) error {
+	var lastErr error
+	for attempt := 0; attempt < 3; attempt++ {
+		c, addr, err := r.get()
+		if err != nil {
+			if errors.Is(err, serve.ErrClosed) {
+				return err
+			}
+			lastErr = fmt.Errorf("fed: member %d unreachable at %s: %w", r.member, addr, err)
+			r.rotate(addr)
+			continue
+		}
+		if r.writeEpoch != nil {
+			c.WriteEpoch = r.writeEpoch(r.member)
+		}
+		err = f(c)
+		// Every response — rejections included — carries the
+		// member's replication epoch; a jump is the first evidence
+		// of a promotion and feeds the federation map.
+		if r.onEpoch != nil {
+			if ep := c.LastEpoch(); ep > 0 {
+				r.onEpoch(r.member, ep)
+			}
+		}
+		if err == nil {
+			r.put(c, addr)
+			return nil
+		}
+		var we *wire.Error
+		if errors.As(err, &we) {
+			// The server answered; the connection is healthy.
+			r.put(c, addr)
+			switch we.Code {
+			case wire.CodeReadOnly, wire.CodeNotReady:
+				lastErr = r.translate(we)
+				r.rotate(addr)
+				continue
+			case wire.CodeFenced:
+				// Our stamped epoch was stale; the observation above
+				// recorded the newer one — retry stamps it.
+				lastErr = r.translate(we)
+				continue
+			}
+			return r.translate(we)
+		}
+		// Transport error mid-exchange: the connection is poisoned.
+		c.Close()
+		lastErr = fmt.Errorf("fed: member %d: %w", r.member, err)
+		r.rotate(addr)
+	}
+	return lastErr
+}
+
+// translate maps a wire rejection onto the serve sentinel the
+// engine-facing code paths already branch on, so call sites never
+// type-switch local placements against remote ones.
+func (r *RemotePrimary) translate(we *wire.Error) error {
+	var sentinel error
+	switch we.Code {
+	case wire.CodeClosed:
+		sentinel = serve.ErrClosed
+	case wire.CodeWAL:
+		sentinel = serve.ErrWAL
+	case wire.CodeNoShard:
+		sentinel = serve.ErrNoShard
+	case wire.CodeScatterTimeout:
+		sentinel = serve.ErrScatterTimeout
+	case wire.CodeReadOnly:
+		sentinel = serve.ErrReadOnly
+	case wire.CodeFenced:
+		sentinel = serve.ErrFenced
+	case wire.CodeBadRequest:
+		sentinel = serve.ErrBadDemand
+	default:
+		return fmt.Errorf("fed: member %d: %w", r.member, we)
+	}
+	return fmt.Errorf("%w (member %d: %s)", sentinel, r.member, we.Msg)
+}
+
+func (r *RemotePrimary) curMapVer() uint64 {
+	if r.mapVer != nil {
+		return r.mapVer()
+	}
+	return 0
+}
+
+// QueryLeg runs one query against the member as a scatter leg,
+// translating candidate ids into the federation namespace. The
+// member's epoch and map-staleness bit feed the router's fail-over
+// and map-propagation hooks.
+func (r *RemotePrimary) QueryLeg(req serve.QueryRequest, cancel <-chan struct{}) (serve.PlacementLeg, error) {
+	wq := wire.Query{
+		Demand:     req.Demand,
+		K:          req.K,
+		Consistent: req.Consistent,
+		NoCache:    req.NoCache,
+		ScopeOne:   req.Scope == serve.ScopeOne,
+	}
+	if wq.K > 0xFFFF || wq.K < 0 {
+		wq.K = 0xFFFF // wire K is u16; the merge re-truncates anyway
+	}
+	var leg serve.PlacementLeg
+	err := r.do(func(c *wire.Client) error {
+		var res wire.QueryResult
+		_, err := c.FedQuery(r.curMapVer(), &wq, &res) // do() observes the epoch
+		if err != nil {
+			return err
+		}
+		if res.MapStale && r.onStale != nil {
+			r.onStale(r.member)
+		}
+		leg.Hops, leg.HopsMax, leg.Queried = res.Hops, res.HopsMax, res.ShardsQueried
+		if leg.Queried == 0 {
+			leg.Queried = 1 // snapshot path: answered without protocol legs
+		}
+		leg.Cands = leg.Cands[:0]
+		for _, cd := range res.Candidates {
+			leg.Cands = append(leg.Cands, serve.Candidate{
+				Node: ID(r.member, serve.GlobalID(cd.Node)),
+				// The decode buffers behind cd.Avail are reused on the
+				// next response; the leg outlives them.
+				Avail:   vector.Vec(append([]float64(nil), cd.Avail...)),
+				Surplus: cd.Surplus,
+			})
+		}
+		return nil
+	})
+	if err != nil {
+		return serve.PlacementLeg{}, err
+	}
+	return leg, nil
+}
+
+func (r *RemotePrimary) Update(node serve.GlobalID, avail vector.Vec, announce bool) error {
+	_, local := SplitID(node)
+	return r.do(func(c *wire.Client) error {
+		return c.Update(uint64(local), avail, announce)
+	})
+}
+
+func (r *RemotePrimary) Join(avail vector.Vec) (serve.GlobalID, error) {
+	var id serve.GlobalID
+	err := r.do(func(c *wire.Client) error {
+		raw, err := c.Join(-1, avail)
+		if err != nil {
+			return err
+		}
+		id = ID(r.member, serve.GlobalID(raw))
+		return nil
+	})
+	return id, err
+}
+
+func (r *RemotePrimary) Leave(node serve.GlobalID) error {
+	_, local := SplitID(node)
+	err := r.do(func(c *wire.Client) error {
+		return c.Leave(uint64(local))
+	})
+	if err == nil && r.fwd != nil {
+		r.fwd.Forget(node) // removed ids only matter to routing
+	}
+	return err
+}
+
+// Take removes a node from the member for re-homing elsewhere. The
+// member logs the removal as a plain leave (the out contract — its
+// local crash recovery must not resurrect the node), so out is
+// implied for a remote placement. A degraded take (applied, not
+// durable on the member) surfaces as serve.ErrWAL with the
+// availability still valid, matching the in-process contract.
+func (r *RemotePrimary) Take(node serve.GlobalID, out bool) (vector.Vec, error) {
+	_ = out // always an out-take from the member's point of view
+	_, local := SplitID(node)
+	var avail vector.Vec
+	var degraded bool
+	err := r.do(func(c *wire.Client) error {
+		a, d, err := c.TakeNode(uint64(local))
+		if err != nil {
+			return err
+		}
+		avail, degraded = vector.Vec(a), d
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	if degraded {
+		return avail, fmt.Errorf("%w (member %d)", serve.ErrWAL, r.member)
+	}
+	return avail, nil
+}
+
+// MapExchange offers the member a federation map at version ver
+// (blob may be nil to only pull) and returns the newest version and
+// blob the member holds, copied out of the connection's buffers.
+func (r *RemotePrimary) MapExchange(ver uint64, blob []byte) (uint64, []byte, error) {
+	var gotVer uint64
+	var got []byte
+	err := r.do(func(c *wire.Client) error {
+		v, b, err := c.MapExchange(ver, blob)
+		if err != nil {
+			return err
+		}
+		gotVer = v
+		got = append([]byte(nil), b...)
+		return nil
+	})
+	return gotVer, got, err
+}
+
+// CompleteMigration re-joins a taken node on this member and
+// repoints the router's forwarding state. Unlike the in-process
+// placement, a remote join that fails durability (CodeWAL) is a
+// failure, not a degraded success — the acknowledgment crossed a
+// process boundary, so the caller must be able to roll back rather
+// than leave the node's only copy un-logged in a foreign WAL.
+func (r *RemotePrimary) CompleteMigration(avail vector.Vec, ext, old serve.GlobalID) (serve.GlobalID, error) {
+	id, err := r.Join(avail)
+	if err != nil {
+		return 0, err
+	}
+	if r.fwd != nil {
+		r.fwd.Repoint(ext, old, id)
+	}
+	return id, nil
+}

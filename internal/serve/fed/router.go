@@ -1,0 +1,578 @@
+package fed
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"pidcan/internal/serve"
+	"pidcan/internal/serve/wire"
+	"pidcan/internal/vector"
+)
+
+// Config parameterizes a Router.
+type Config struct {
+	// Members lists each federation member's wire addresses, primary
+	// first; later entries are promotable followers the router
+	// rotates to after fail-over. Ignored when Map is set.
+	Members [][]string
+
+	// Map, when non-nil, is the starting federation map (addresses
+	// and keyspace slices) instead of an EvenSplit over Members.
+	Map *Map
+
+	// CMax is the engines' capacity vector. When nil, the router
+	// discovers it from the first member that answers a stats call.
+	CMax vector.Vec
+
+	// ScatterTimeout bounds a whole cross-member gather (default
+	// 2s — remote legs ride real networks, not channel hops).
+	ScatterTimeout time.Duration
+
+	// ForwardGrace bounds how long a migrated-away id stays routable
+	// after its last repoint (default 1m).
+	ForwardGrace time.Duration
+
+	// AfterTake, when non-nil, runs between a migration's take and
+	// its destination re-join — a crash-injection point for tests.
+	AfterTake func()
+}
+
+// Stats is the router's /stats (and wire OpStats) document.
+type Stats struct {
+	CMax         vector.Vec    `json:"cmax"`
+	Map          Map           `json:"map"`
+	Members      []MemberStats `json:"members"`
+	Queries      uint64        `json:"queries"`
+	Updates      uint64        `json:"updates"`
+	Joins        uint64        `json:"joins"`
+	Leaves       uint64        `json:"leaves"`
+	Migrations   uint64        `json:"migrations"`
+	Errors       uint64        `json:"errors"`
+	ForwardedIDs int           `json:"forwarded_ids"`
+}
+
+// MemberStats describes one member in Stats.
+type MemberStats struct {
+	Index int    `json:"index"`
+	Addr  string `json:"addr"` // address currently in use (rotates on fail-over)
+	Epoch uint64 `json:"epoch"`
+}
+
+// fedRetries bounds migration-chase retries on rejected writes,
+// matching the engine's in-process migrateRetries.
+const fedRetries = 8
+
+// Router federates primary processes behind the serve.Service
+// surface: queries scatter-gather across the members through the
+// same ScatterQuery loop an Engine runs across its shards, writes
+// chase nodes through a forwarding table exactly as in-process
+// migrations do, and the versioned federation map propagates
+// promotions (a member answering with a higher replication epoch)
+// to every member without a coordinator.
+type Router struct {
+	mu sync.Mutex // guards m (the federation map)
+	m  Map
+
+	mapVer  atomic.Uint64 // mirror of m.Version for lock-free stamping
+	members []*RemotePrimary
+	places  []serve.Placement
+	fwd     *serve.ForwardTable
+	cmax    vector.Vec
+
+	scatterTimeout time.Duration
+	afterTake      func()
+
+	stop    chan struct{}
+	closed  atomic.Bool
+	pushing atomic.Bool
+	pulling atomic.Bool
+
+	joinSeq atomic.Uint64
+	rrQuery atomic.Uint64
+
+	queries    atomic.Uint64
+	updates    atomic.Uint64
+	joins      atomic.Uint64
+	leaves     atomic.Uint64
+	migrations atomic.Uint64
+	errors     atomic.Uint64
+}
+
+var _ serve.Service = (*Router)(nil)
+
+// New connects a router to its federation members, discovers the
+// capacity vector if not configured, and offers the initial map to
+// every member (best-effort; members holding a newer map answer
+// with it and the router adopts it).
+func New(cfg Config) (*Router, error) {
+	m := EvenSplit(cfg.Members)
+	if cfg.Map != nil {
+		m = *cfg.Map
+	}
+	if len(m.Members) == 0 {
+		return nil, fmt.Errorf("fed: no members configured")
+	}
+	r := &Router{
+		m:              m,
+		cmax:           cfg.CMax,
+		scatterTimeout: cfg.ScatterTimeout,
+		afterTake:      cfg.AfterTake,
+		stop:           make(chan struct{}),
+	}
+	if r.scatterTimeout <= 0 {
+		r.scatterTimeout = 2 * time.Second
+	}
+	grace := cfg.ForwardGrace
+	if grace <= 0 {
+		grace = time.Minute
+	}
+	r.fwd = serve.NewForwardTable(grace)
+	r.mapVer.Store(m.Version)
+	for i := range m.Members {
+		rp := NewRemotePrimary(i, m.Members[i].Addrs, r.fwd)
+		rp.mapVer = r.mapVer.Load
+		rp.writeEpoch = r.epochOf
+		rp.onEpoch = r.observeEpoch
+		rp.onStale = r.observeStale
+		r.members = append(r.members, rp)
+		r.places = append(r.places, rp)
+	}
+	if r.cmax == nil {
+		if err := r.discoverCMax(); err != nil {
+			r.Close()
+			return nil, err
+		}
+	}
+	r.pushMap()
+	return r, nil
+}
+
+// discoverCMax reads the capacity vector from the first member whose
+// stats call answers.
+func (r *Router) discoverCMax() error {
+	var lastErr error
+	for _, rp := range r.members {
+		var st struct {
+			CMax []float64 `json:"cmax"`
+		}
+		err := rp.do(func(c *wire.Client) error {
+			_, err := c.Stats(&st)
+			return err
+		})
+		if err != nil {
+			lastErr = err
+			continue
+		}
+		if len(st.CMax) == 0 {
+			lastErr = fmt.Errorf("fed: member %d reports no capacity vector", rp.member)
+			continue
+		}
+		r.cmax = vector.Vec(st.CMax)
+		return nil
+	}
+	return fmt.Errorf("fed: capacity discovery failed: %w", lastErr)
+}
+
+// Close drops every member's connection pool. In-flight operations
+// unwind with serve.ErrClosed.
+func (r *Router) Close() error {
+	if !r.closed.CompareAndSwap(false, true) {
+		return serve.ErrClosed
+	}
+	close(r.stop)
+	for _, rp := range r.members {
+		rp.Close()
+	}
+	return nil
+}
+
+// CMax returns the federation's capacity vector.
+func (r *Router) CMax() vector.Vec { return r.cmax }
+
+// Map returns a copy of the current federation map.
+func (r *Router) Map() Map {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	m := r.m
+	m.Members = append([]Member(nil), r.m.Members...)
+	return m
+}
+
+// epochOf returns the member's recorded replication epoch (stamped
+// into its write frames, fencing deposed primaries).
+func (r *Router) epochOf(member int) uint64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if member < len(r.m.Members) {
+		return r.m.Members[member].Epoch
+	}
+	return 0
+}
+
+// observeEpoch records a member answering with a replication epoch
+// above the map's: evidence of a promotion. The map version bumps
+// and the new map pushes to every member, so other routers pick the
+// change up on their next stale-flagged query.
+func (r *Router) observeEpoch(member int, epoch uint64) {
+	r.mu.Lock()
+	if member >= len(r.m.Members) || epoch <= r.m.Members[member].Epoch {
+		r.mu.Unlock()
+		return
+	}
+	r.m.Members[member].Epoch = epoch
+	r.m.Version++
+	r.mapVer.Store(r.m.Version)
+	r.mu.Unlock()
+	r.pushMap()
+}
+
+// observeStale reacts to a member flagging our map version as
+// behind: pull its map and adopt it if genuinely newer.
+func (r *Router) observeStale(member int) {
+	if r.closed.Load() || !r.pulling.CompareAndSwap(false, true) {
+		return
+	}
+	go func() {
+		defer r.pulling.Store(false)
+		ver, blob, err := r.members[member].MapExchange(0, nil)
+		if err != nil || ver <= r.mapVer.Load() {
+			return
+		}
+		if m, err := DecodeMap(blob); err == nil {
+			r.adoptMap(m)
+		}
+	}()
+}
+
+// adoptMap merges a map learned from a member. Member identity is
+// positional: a map with a different member count is ignored (the
+// router's address lists are configuration, not gossip).
+func (r *Router) adoptMap(m Map) {
+	r.mu.Lock()
+	if len(m.Members) != len(r.m.Members) || !r.m.Merge(m) {
+		r.mu.Unlock()
+		return
+	}
+	r.mapVer.Store(r.m.Version)
+	r.mu.Unlock()
+	r.pushMap()
+}
+
+// pushMap offers the current map to every member asynchronously
+// (coalesced: one push in flight at a time, re-armed by the next
+// version bump). Members holding a newer map answer with it.
+func (r *Router) pushMap() {
+	if r.closed.Load() || !r.pushing.CompareAndSwap(false, true) {
+		return
+	}
+	go func() {
+		defer r.pushing.Store(false)
+		r.mu.Lock()
+		ver, blob := r.m.Version, r.m.Encode()
+		r.mu.Unlock()
+		for _, rp := range r.members {
+			gotVer, gotBlob, err := rp.MapExchange(ver, blob)
+			if err != nil || gotVer <= ver {
+				continue
+			}
+			if m, derr := DecodeMap(gotBlob); derr == nil {
+				r.adoptMap(m)
+			}
+		}
+	}()
+}
+
+func (r *Router) checkDemand(demand vector.Vec) error {
+	if demand.Dim() != r.cmax.Dim() || !demand.IsFinite() || !demand.IsNonNegative() {
+		return fmt.Errorf("%w: %v (want %d non-negative finite dims)",
+			serve.ErrBadDemand, demand, r.cmax.Dim())
+	}
+	return nil
+}
+
+// Query answers one best-fit query across the federation: consistent
+// ScopeOne round-robins a single member's protocol, everything else
+// scatter-gathers every member through the same loop an Engine runs
+// across its shards — partial merges when a member is down, one
+// whole-gather deadline.
+func (r *Router) Query(req serve.QueryRequest) (serve.QueryResponse, error) {
+	if r.closed.Load() {
+		return serve.QueryResponse{}, serve.ErrClosed
+	}
+	if err := r.checkDemand(req.Demand); err != nil {
+		r.errors.Add(1)
+		return serve.QueryResponse{}, err
+	}
+	switch req.Scope {
+	case "", serve.ScopeAll, serve.ScopeOne:
+	default:
+		r.errors.Add(1)
+		return serve.QueryResponse{}, fmt.Errorf("%w: %q (want %q or %q)",
+			serve.ErrBadScope, req.Scope, serve.ScopeAll, serve.ScopeOne)
+	}
+	if req.K <= 0 {
+		req.K = 1
+	}
+	r.queries.Add(1)
+	if req.Consistent && req.Scope == serve.ScopeOne {
+		p := r.places[(r.rrQuery.Add(1)-1)%uint64(len(r.places))]
+		leg, err := p.QueryLeg(req, nil)
+		if err != nil {
+			r.errors.Add(1)
+			return serve.QueryResponse{}, err
+		}
+		return serve.QueryResponse{
+			Candidates:    r.fwd.Externalize(serve.RankCandidates(leg.Cands, req.K)),
+			Hops:          leg.Hops,
+			HopsMax:       leg.HopsMax,
+			ShardsQueried: leg.Queried,
+		}, nil
+	}
+	resp, err := serve.ScatterQuery(r.places, req, r.scatterTimeout)
+	if err != nil {
+		r.errors.Add(1)
+		return serve.QueryResponse{}, err
+	}
+	resp.Candidates = r.fwd.Externalize(resp.Candidates)
+	return resp, nil
+}
+
+// resolveApply resolves node through the forwarding table, applies
+// do against the owning member, and chases concurrent cross-process
+// migrations: a rejected write whose id moved mid-flight retries
+// against the node's new home, up to fedRetries times.
+func (r *Router) resolveApply(node serve.GlobalID, do func(p serve.Placement, phys serve.GlobalID) error) error {
+	if r.closed.Load() {
+		return serve.ErrClosed
+	}
+	for attempt := 0; ; attempt++ {
+		phys := r.fwd.Resolve(node)
+		mi, _ := SplitID(phys)
+		if mi < 0 || mi >= len(r.places) {
+			r.errors.Add(1)
+			return fmt.Errorf("%w: member %d (node %v)", serve.ErrNoShard, mi, node)
+		}
+		err := do(r.places[mi], phys)
+		if err == nil {
+			return nil
+		}
+		if errors.Is(err, serve.ErrClosed) {
+			return err
+		}
+		if attempt < fedRetries && r.fwd.WaitSettled(node, phys, r.stop) {
+			continue
+		}
+		r.errors.Add(1)
+		return fmt.Errorf("fed: node %v: %w", node, err)
+	}
+}
+
+// Update republishes a node's availability, by any id it was ever
+// known by.
+func (r *Router) Update(node serve.GlobalID, avail vector.Vec, announce bool) error {
+	err := r.resolveApply(node, func(p serve.Placement, phys serve.GlobalID) error {
+		return p.Update(phys, avail, announce)
+	})
+	if err == nil {
+		r.updates.Add(1)
+	}
+	return err
+}
+
+// Join places a node on the member owning a hash of the join
+// sequence number, so EvenSplit slices receive joins in proportion
+// to their keyspace width.
+func (r *Router) Join(avail vector.Vec) (serve.GlobalID, error) {
+	r.mu.Lock()
+	owner := r.m.Owner(splitmix64(r.joinSeq.Add(1)))
+	r.mu.Unlock()
+	return r.JoinOn(owner, avail)
+}
+
+// JoinOn places a node on one member by index.
+func (r *Router) JoinOn(member int, avail vector.Vec) (serve.GlobalID, error) {
+	if r.closed.Load() {
+		return 0, serve.ErrClosed
+	}
+	if member < 0 || member >= len(r.places) {
+		r.errors.Add(1)
+		return 0, fmt.Errorf("%w: member %d (join target)", serve.ErrNoShard, member)
+	}
+	id, err := r.places[member].Join(avail)
+	if err != nil {
+		r.errors.Add(1)
+		return 0, err
+	}
+	r.joins.Add(1)
+	return id, nil
+}
+
+// Leave removes a node permanently, by any id it was ever known by.
+func (r *Router) Leave(node serve.GlobalID) error {
+	err := r.resolveApply(node, func(p serve.Placement, phys serve.GlobalID) error {
+		return p.Leave(phys)
+	})
+	if err == nil {
+		r.leaves.Add(1)
+	}
+	return err
+}
+
+// Take removes a node for re-homing outside the federation. An error
+// wrapping serve.ErrWAL means applied-but-not-durable on the owning
+// member, with the availability still valid.
+func (r *Router) Take(node serve.GlobalID) (vector.Vec, error) {
+	if r.closed.Load() {
+		return nil, serve.ErrClosed
+	}
+	phys, _, release, err := r.fwd.Begin(node, r.stop)
+	if err != nil {
+		r.errors.Add(1)
+		return nil, err
+	}
+	defer release()
+	mi, _ := SplitID(phys)
+	if mi < 0 || mi >= len(r.places) {
+		r.errors.Add(1)
+		return nil, fmt.Errorf("%w: member %d (node %v)", serve.ErrNoShard, mi, node)
+	}
+	avail, err := r.places[mi].Take(phys, true)
+	if err != nil && !errors.Is(err, serve.ErrWAL) {
+		r.errors.Add(1)
+		return nil, fmt.Errorf("fed: take %v: %w", node, err)
+	}
+	r.fwd.Forget(phys)
+	r.leaves.Add(1)
+	return avail, err
+}
+
+// Migrate moves a node to another member: take from its current
+// home, re-join at the destination, repoint every id it was ever
+// known by — the engine's in-process migration over the wire. A
+// destination failure rolls the node back home; only when the
+// source also refuses it is the node reported lost.
+func (r *Router) Migrate(node serve.GlobalID, to int) error {
+	if r.closed.Load() {
+		return serve.ErrClosed
+	}
+	if to < 0 || to >= len(r.places) {
+		r.errors.Add(1)
+		return fmt.Errorf("%w: member %d (migration destination)", serve.ErrNoShard, to)
+	}
+	phys, x, release, err := r.fwd.Begin(node, r.stop)
+	if err != nil {
+		r.errors.Add(1)
+		return err
+	}
+	defer release()
+	mi, _ := SplitID(phys)
+	if mi < 0 || mi >= len(r.places) {
+		r.errors.Add(1)
+		return fmt.Errorf("%w: member %d (node %v)", serve.ErrNoShard, mi, node)
+	}
+	if mi == to {
+		return nil
+	}
+	src, dst := r.places[mi], r.places[to]
+	avail, err := src.Take(phys, true)
+	var walDegraded error
+	if errors.Is(err, serve.ErrWAL) {
+		// Applied, availability in hand — only the member's log
+		// record is missing. Completing the move is the honest
+		// outcome; the degraded durability is reported below.
+		walDegraded, err = err, nil
+	}
+	if err != nil {
+		r.errors.Add(1)
+		return fmt.Errorf("fed: migrate %v: %w", node, err)
+	}
+	if r.afterTake != nil {
+		r.afterTake()
+	}
+	if _, err := dst.CompleteMigration(avail, x, phys); err != nil {
+		// Roll the node back home under a fresh id (its old one is
+		// gone — the take applied).
+		if _, berr := src.CompleteMigration(avail, x, phys); berr != nil && !errors.Is(berr, serve.ErrWAL) {
+			r.fwd.Forget(phys)
+			r.errors.Add(1)
+			return fmt.Errorf("fed: migrate %v lost (destination: %v; rollback: %w)", node, err, berr)
+		}
+		r.errors.Add(1)
+		return fmt.Errorf("fed: migrate %v to member %d: %w", node, to, err)
+	}
+	r.migrations.Add(1)
+	if walDegraded != nil {
+		return fmt.Errorf("fed: migrate %v to member %d completed: %w", node, to, walDegraded)
+	}
+	return nil
+}
+
+// Nodes lists every alive node across the federation by its stable
+// external id: a zero-demand uncached scatter (zero demand is
+// dominated by every availability, so every member returns its full
+// population).
+func (r *Router) Nodes() []serve.GlobalID {
+	if r.closed.Load() {
+		return nil
+	}
+	req := serve.QueryRequest{
+		Demand:  make(vector.Vec, r.cmax.Dim()),
+		K:       0xFFFF,
+		NoCache: true,
+	}
+	resp, err := serve.ScatterQuery(r.places, req, r.scatterTimeout)
+	if err != nil {
+		r.errors.Add(1)
+		return nil
+	}
+	ids := make([]serve.GlobalID, 0, len(resp.Candidates))
+	for _, c := range resp.Candidates {
+		ids = append(ids, c.Node)
+	}
+	r.fwd.ExternalizeIDs(ids)
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	dedup := ids[:0]
+	for i, id := range ids {
+		if i == 0 || id != ids[i-1] {
+			dedup = append(dedup, id)
+		}
+	}
+	return dedup
+}
+
+// Epoch is the router's fencing epoch: the federation map version.
+func (r *Router) Epoch() uint64 { return r.mapVer.Load() }
+
+// Fence is a no-op: the router holds no writable state to fence —
+// map movement happens through the versioned exchange instead.
+func (r *Router) Fence(epoch uint64) {}
+
+// PrimaryAddr returns "": the router accepts writes itself.
+func (r *Router) PrimaryAddr() string { return "" }
+
+// StatsPayload assembles the router's stats document.
+func (r *Router) StatsPayload() any {
+	st := Stats{
+		CMax:         r.cmax,
+		Map:          r.Map(),
+		Queries:      r.queries.Load(),
+		Updates:      r.updates.Load(),
+		Joins:        r.joins.Load(),
+		Leaves:       r.leaves.Load(),
+		Migrations:   r.migrations.Load(),
+		Errors:       r.errors.Load(),
+		ForwardedIDs: r.fwd.Count(),
+	}
+	for i, rp := range r.members {
+		st.Members = append(st.Members, MemberStats{
+			Index: i,
+			Addr:  rp.Addr(),
+			Epoch: st.Map.Members[i].Epoch,
+		})
+	}
+	return st
+}

@@ -17,6 +17,7 @@ import (
 //	POST /update {"node":N,"avail":[...],"announce":true} -> {"ok":true}
 //	POST /join   {"avail":[...],"shard":S}                -> {"node":N}
 //	POST /leave  {"node":N}                               -> {"ok":true}
+//	POST /take   {"node":N}                               -> {"avail":[...]}
 //	POST /rebalance -> RebalanceResult
 //	POST /checkpoint -> CheckpointResult
 //	POST /promote -> {"role":"primary","epoch":E}
@@ -26,8 +27,8 @@ import (
 //
 // Node ids on the wire are GlobalIDs (shard in the high 32 bits); a
 // migrated node keeps answering to every id it was ever known by.
-// /join's optional "shard" targets a specific shard instead of the
-// round-robin placement; /rebalance triggers one adaptive rebalance
+// /join's optional "shard" targets a specific placement instead of
+// the round-robin pick; /rebalance triggers one adaptive rebalance
 // pass on demand; /checkpoint snapshots a durable (DataDir) engine's
 // state and truncates its op-logs. On a replication follower, writes
 // return 503 with the primary's address in the error message (reads
@@ -42,14 +43,57 @@ import (
 // 504 (scatter-gather deadline expired with no leg answered).
 func NewHandler(e *Engine) http.Handler {
 	mux := http.NewServeMux()
+	addServiceRoutes(mux, e)
+	// Engine-only operator surface: these drive machinery a generic
+	// Service does not expose.
+	mux.HandleFunc("POST /rebalance", func(w http.ResponseWriter, r *http.Request) {
+		res, err := e.Rebalance()
+		if err != nil {
+			writeErr(w, e.PrimaryAddr(), err)
+			return
+		}
+		writeJSON(w, http.StatusOK, res)
+	})
+	mux.HandleFunc("POST /checkpoint", func(w http.ResponseWriter, r *http.Request) {
+		res, err := e.Checkpoint()
+		if err != nil {
+			writeErr(w, e.PrimaryAddr(), err)
+			return
+		}
+		writeJSON(w, http.StatusOK, res)
+	})
+	mux.HandleFunc("POST /promote", func(w http.ResponseWriter, r *http.Request) {
+		epoch, err := e.Promote()
+		if err != nil {
+			writeErr(w, e.PrimaryAddr(), err)
+			return
+		}
+		writeJSON(w, http.StatusOK, map[string]any{"role": e.Role(), "epoch": epoch})
+	})
+	return mux
+}
+
+// NewServiceHandler exposes any Service — an *Engine or a federation
+// router — over the same JSON API as NewHandler, minus the
+// engine-only operator routes (/rebalance, /checkpoint, /promote)
+// and plus POST /take (remove a node, returning its availability for
+// re-homing elsewhere).
+func NewServiceHandler(s Service) http.Handler {
+	mux := http.NewServeMux()
+	addServiceRoutes(mux, s)
+	return mux
+}
+
+// addServiceRoutes registers the Service-generic routes on mux.
+func addServiceRoutes(mux *http.ServeMux, s Service) {
 	mux.HandleFunc("POST /query", func(w http.ResponseWriter, r *http.Request) {
 		var req QueryRequest
 		if !decode(w, r, &req) {
 			return
 		}
-		resp, err := e.Query(req)
+		resp, err := s.Query(req)
 		if err != nil {
-			writeErr(w, e, err)
+			writeErr(w, s.PrimaryAddr(), err)
 			return
 		}
 		writeJSON(w, http.StatusOK, resp)
@@ -63,8 +107,8 @@ func NewHandler(e *Engine) http.Handler {
 		if !decode(w, r, &req) {
 			return
 		}
-		if err := e.Update(req.Node, req.Avail, req.Announce); err != nil {
-			writeErr(w, e, err)
+		if err := s.Update(req.Node, req.Avail, req.Announce); err != nil {
+			writeErr(w, s.PrimaryAddr(), err)
 			return
 		}
 		writeJSON(w, http.StatusOK, map[string]bool{"ok": true})
@@ -80,39 +124,15 @@ func NewHandler(e *Engine) http.Handler {
 		var id GlobalID
 		var err error
 		if req.Shard != nil {
-			id, err = e.JoinOn(*req.Shard, req.Avail)
+			id, err = s.JoinOn(*req.Shard, req.Avail)
 		} else {
-			id, err = e.Join(req.Avail)
+			id, err = s.Join(req.Avail)
 		}
 		if err != nil {
-			writeErr(w, e, err)
+			writeErr(w, s.PrimaryAddr(), err)
 			return
 		}
 		writeJSON(w, http.StatusOK, map[string]GlobalID{"node": id})
-	})
-	mux.HandleFunc("POST /rebalance", func(w http.ResponseWriter, r *http.Request) {
-		res, err := e.Rebalance()
-		if err != nil {
-			writeErr(w, e, err)
-			return
-		}
-		writeJSON(w, http.StatusOK, res)
-	})
-	mux.HandleFunc("POST /checkpoint", func(w http.ResponseWriter, r *http.Request) {
-		res, err := e.Checkpoint()
-		if err != nil {
-			writeErr(w, e, err)
-			return
-		}
-		writeJSON(w, http.StatusOK, res)
-	})
-	mux.HandleFunc("POST /promote", func(w http.ResponseWriter, r *http.Request) {
-		epoch, err := e.Promote()
-		if err != nil {
-			writeErr(w, e, err)
-			return
-		}
-		writeJSON(w, http.StatusOK, map[string]any{"role": e.Role(), "epoch": epoch})
 	})
 	mux.HandleFunc("POST /leave", func(w http.ResponseWriter, r *http.Request) {
 		var req struct {
@@ -121,26 +141,42 @@ func NewHandler(e *Engine) http.Handler {
 		if !decode(w, r, &req) {
 			return
 		}
-		if err := e.Leave(req.Node); err != nil {
-			writeErr(w, e, err)
+		if err := s.Leave(req.Node); err != nil {
+			writeErr(w, s.PrimaryAddr(), err)
 			return
 		}
 		writeJSON(w, http.StatusOK, map[string]bool{"ok": true})
 	})
+	mux.HandleFunc("POST /take", func(w http.ResponseWriter, r *http.Request) {
+		var req struct {
+			Node GlobalID `json:"node"`
+		}
+		if !decode(w, r, &req) {
+			return
+		}
+		avail, err := s.Take(req.Node)
+		if err != nil {
+			writeErr(w, s.PrimaryAddr(), err)
+			return
+		}
+		if avail == nil {
+			avail = vector.Vec{}
+		}
+		writeJSON(w, http.StatusOK, map[string]vector.Vec{"avail": avail})
+	})
 	mux.HandleFunc("GET /nodes", func(w http.ResponseWriter, r *http.Request) {
-		nodes := e.Nodes()
+		nodes := s.Nodes()
 		if nodes == nil {
 			nodes = []GlobalID{}
 		}
 		writeJSON(w, http.StatusOK, map[string][]GlobalID{"nodes": nodes})
 	})
 	mux.HandleFunc("GET /stats", func(w http.ResponseWriter, r *http.Request) {
-		writeJSON(w, http.StatusOK, e.Stats())
+		writeJSON(w, http.StatusOK, s.StatsPayload())
 	})
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusOK, map[string]bool{"ok": true})
 	})
-	return mux
 }
 
 // maxRequestBody caps decoded request bodies; anything larger is
@@ -169,7 +205,7 @@ func decode(w http.ResponseWriter, r *http.Request, dst any) bool {
 // primary promptly.
 const retryAfterSeconds = 1
 
-func writeErr(w http.ResponseWriter, e *Engine, err error) {
+func writeErr(w http.ResponseWriter, primary string, err error) {
 	status := http.StatusConflict
 	switch {
 	case errors.Is(err, ErrClosed):
@@ -181,7 +217,7 @@ func writeErr(w http.ResponseWriter, e *Engine, err error) {
 		w.Header().Set("Retry-After", fmt.Sprintf("%d", retryAfterSeconds))
 		writeJSON(w, http.StatusServiceUnavailable, map[string]any{
 			"error":          err.Error(),
-			"primary":        e.Config().PrimaryAddr,
+			"primary":        primary,
 			"retry_after_ms": retryAfterSeconds * 1000,
 		})
 		return

@@ -73,7 +73,10 @@ func newFwdTable(cfg Config) *fwdTable {
 	// (<= CacheTTL old), a stale snapshot (republished every
 	// FlushInterval), or a scatter leg (<= ScatterTimeout). Twice
 	// their sum comfortably outlives every holder.
-	grace := 2 * (cfg.CacheTTL + cfg.FlushInterval + cfg.ScatterTimeout)
+	return newFwdTableGrace(2 * (cfg.CacheTTL + cfg.FlushInterval + cfg.ScatterTimeout))
+}
+
+func newFwdTableGrace(grace time.Duration) *fwdTable {
 	return &fwdTable{
 		next:      map[GlobalID]GlobalID{},
 		ext:       map[GlobalID]GlobalID{},
@@ -437,15 +440,8 @@ func (e *Engine) Migrate(node GlobalID, to int) error {
 	if from == to {
 		return nil
 	}
-	src, dst := e.shards[from], e.shards[to]
-	take, err := src.submit(op{
-		kind:  opTake,
-		node:  phys.Local(),
-		reply: make(chan opResult, 1),
-	}, nil)
-	if err == nil {
-		err = take.err
-	}
+	src, dst := e.places[from], e.places[to]
+	avail, err := src.Take(phys, false)
 	var walDegraded error
 	if errors.Is(err, ErrWAL) {
 		// The take APPLIED — the node is off its source shard, its
@@ -466,29 +462,14 @@ func (e *Engine) Migrate(node GlobalID, to int) error {
 		e.errors.Add(1)
 		return fmt.Errorf("serve: migrate %v: %w", node, err)
 	}
-	// The forwarding repoint rides the join op itself: the
-	// destination shard goroutine installs it after applying the
-	// join and before publishing the snapshot, so no concurrent
-	// reader ever sees the new physical id unmapped. The same
-	// metadata is logged with the join (op.mig), so a recovery
-	// replaying this op re-installs the identical repoint.
-	rejoin := func(home int) op {
-		return op{
-			kind:  opJoin,
-			avail: take.avail,
-			mig:   &migMeta{ext: x, old: phys},
-			reply: make(chan opResult, 1),
-			onApplied: func(res opResult) {
-				if res.err == nil {
-					e.fwd.repoint(x, phys, Global(home, res.node))
-				}
-			},
-		}
-	}
-	join, err := dst.submit(rejoin(to), nil)
-	if err == nil {
-		err = join.err
-	}
+	// The forwarding repoint rides the join inside
+	// CompleteMigration: the destination shard goroutine installs
+	// it after applying the join and before publishing the
+	// snapshot, so no concurrent reader ever sees the new physical
+	// id unmapped. The same metadata is logged with the join
+	// (op.mig), so a recovery replaying this op re-installs the
+	// identical repoint.
+	_, err = dst.CompleteMigration(avail, x, phys)
 	if errors.Is(err, ErrWAL) {
 		// The join APPLIED (the node lives on the destination, the
 		// repoint installed); a rollback would duplicate it. Complete
@@ -499,7 +480,7 @@ func (e *Engine) Migrate(node GlobalID, to int) error {
 		// The node is off its source shard but never landed; try to
 		// send it home so it is not lost. A rollback join assigns a
 		// fresh local id, so the forwarding table still repoints.
-		if back, berr := src.submit(rejoin(from), nil); berr != nil || (back.err != nil && !errors.Is(back.err, ErrWAL)) {
+		if _, berr := src.CompleteMigration(avail, x, phys); berr != nil && !errors.Is(berr, ErrWAL) {
 			// The node is gone for good (both shards refused it).
 			// Drop its forwarding state so its ids fail fast instead
 			// of routing to the vacated shard forever.
@@ -634,4 +615,83 @@ func (e *Engine) rebalanceLoop(interval time.Duration) {
 			e.Rebalance() // errors surface through Stats.Errors
 		}
 	}
+}
+
+// ForwardTable exports the migrated-node id forwarding table for
+// placement owners outside the package: the federation router keeps
+// one to make nodes migrated between primary processes routable by
+// every id they were ever known by, exactly as an Engine does for
+// nodes migrated between its shards. The grace period bounds how
+// long a vacated id stays routable after its last repoint; pick it
+// the way newFwdTable does — twice the longest time any reader can
+// hold a stale id.
+type ForwardTable struct{ t *fwdTable }
+
+// NewForwardTable builds an empty table with the given alias grace.
+func NewForwardTable(grace time.Duration) *ForwardTable {
+	return &ForwardTable{t: newFwdTableGrace(grace)}
+}
+
+// Resolve follows the forwarding chain from any id the node was ever
+// known by to its current physical id (the id itself when it never
+// migrated), with lazy path compression.
+func (f *ForwardTable) Resolve(id GlobalID) GlobalID { return f.t.resolve(id) }
+
+// Begin claims the node for migration, waiting out a move already in
+// flight; it returns the node's current physical id, its stable
+// external id, and a release ending the claim. closing aborts the
+// wait (ErrClosed).
+func (f *ForwardTable) Begin(id GlobalID, closing <-chan struct{}) (phys, ext GlobalID, release func(), err error) {
+	return f.t.begin(id, closing)
+}
+
+// Repoint links a completed move: ext and the vacated old id now
+// route to the node's new physical id.
+func (f *ForwardTable) Repoint(ext, old, now GlobalID) { f.t.repoint(ext, old, now) }
+
+// Forget drops all forwarding state of the node currently at phys,
+// returning every id that belonged to it.
+func (f *ForwardTable) Forget(phys GlobalID) []GlobalID { return f.t.forget(phys) }
+
+// WaitSettled blocks while the node's move is in flight and reports
+// whether retrying resolution could see a different physical id.
+func (f *ForwardTable) WaitSettled(id, phys GlobalID, closing <-chan struct{}) bool {
+	return f.t.waitSettled(id, phys, closing)
+}
+
+// Count returns the number of routable forwarded ids.
+func (f *ForwardTable) Count() int { return f.t.count() }
+
+// External maps a physical id back to the node's stable external id
+// (the id itself when it never migrated).
+func (f *ForwardTable) External(phys GlobalID) GlobalID { return f.t.externalOf(phys) }
+
+// Externalize maps every candidate's physical id back to its stable
+// external id in place, skipping all lock traffic while nothing has
+// ever migrated.
+func (f *ForwardTable) Externalize(cands []Candidate) []Candidate {
+	t := f.t
+	if t.entries.Load() == 0 {
+		return cands
+	}
+	t.mu.RLock()
+	for i := range cands {
+		cands[i].Node = t.externalLocked(cands[i].Node)
+	}
+	t.mu.RUnlock()
+	return cands
+}
+
+// ExternalizeIDs is Externalize for bare ids.
+func (f *ForwardTable) ExternalizeIDs(ids []GlobalID) []GlobalID {
+	t := f.t
+	if t.entries.Load() == 0 {
+		return ids
+	}
+	t.mu.RLock()
+	for i := range ids {
+		ids[i] = t.externalLocked(ids[i])
+	}
+	t.mu.RUnlock()
+	return ids
 }

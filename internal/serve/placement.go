@@ -1,0 +1,272 @@
+package serve
+
+import (
+	"fmt"
+	"time"
+
+	"pidcan/internal/vector"
+)
+
+// PlacementLeg is one placement's contribution to a scatter-gather
+// consistent query: its candidates, already scored against the
+// request demand and named in the caller's id namespace, plus the
+// hop accounting the caller folds into the response. Queried counts
+// the shards that actually answered inside the placement (1 for an
+// in-process shard; a remote primary reports its own gather count).
+type PlacementLeg struct {
+	Cands   []Candidate
+	Hops    int
+	HopsMax int
+	Queried int
+}
+
+// Placement abstracts "a set of nodes I can query, update, join,
+// leave, and migrate against". The engine speaks this interface for
+// every placement-directed operation, so an in-process shard
+// (shardPlacement) and a whole remote primary process reached over
+// the wire protocol (fed.RemotePrimary) are interchangeable: shard
+// count and primary count become the same axis, and the scatter,
+// migration-chase and take/re-join machinery is written once.
+//
+// Each implementation owns the forwarding-table consequences of its
+// operations: Leave drops the owner's forwarding state for the node,
+// CompleteMigration repoints it. Ids crossing the interface are
+// physical ids in the owner's namespace, already resolved through
+// its forwarding table.
+type Placement interface {
+	// Ref is the placement's index in its owning set — the shard
+	// index in an Engine, the member index in a federation map.
+	Ref() int
+
+	// QueryLeg runs one consistent protocol query against this
+	// placement. cancel, when non-nil, abandons a leg whose gather
+	// has already returned (scatter deadline fired); implementations
+	// backed by a blocking transport may ignore it.
+	QueryLeg(req QueryRequest, cancel <-chan struct{}) (PlacementLeg, error)
+
+	// Update republishes a node's availability.
+	Update(node GlobalID, avail vector.Vec, announce bool) error
+
+	// Join adds a node and returns its id in the owner's namespace.
+	Join(avail vector.Vec) (GlobalID, error)
+
+	// Leave removes a node permanently, dropping the owner's
+	// forwarding state for it once the removal is applied.
+	Leave(node GlobalID) error
+
+	// Take removes a node mid-migration and returns its last
+	// published availability so the caller can re-join it
+	// elsewhere. out marks a take whose re-join happens outside
+	// this placement's process (a cross-process migration): the
+	// removal is then logged as a plain leave, so a local crash
+	// recovery cannot resurrect a node that now lives elsewhere.
+	// An error wrapping ErrWAL means applied-but-not-durable; the
+	// returned availability is still valid.
+	Take(node GlobalID, out bool) (vector.Vec, error)
+
+	// CompleteMigration re-joins a taken node here and repoints the
+	// owner's forwarding state from the node's previous physical id
+	// (old) to its new home, keeping the stable external id (ext)
+	// routable. It returns the node's new physical id.
+	CompleteMigration(avail vector.Vec, ext, old GlobalID) (GlobalID, error)
+}
+
+// shardPlacement adapts one in-process shard — plus its owning
+// engine's forwarding table and config — to the Placement interface.
+type shardPlacement struct {
+	e *Engine
+	s *shard
+}
+
+var _ Placement = (*shardPlacement)(nil)
+
+func (p *shardPlacement) Ref() int { return p.s.idx }
+
+// QueryLeg runs one protocol query through the shard's write queue.
+// The demand is cloned per leg, so concurrent shard goroutines never
+// share a vector.
+func (p *shardPlacement) QueryLeg(req QueryRequest, cancel <-chan struct{}) (PlacementLeg, error) {
+	res, err := p.s.submit(op{
+		kind:   opQuery,
+		node:   -1,
+		demand: req.Demand.Clone(),
+		k:      req.K,
+		reply:  make(chan opResult, 1),
+	}, cancel)
+	if err == nil {
+		err = res.err
+	}
+	if err != nil {
+		return PlacementLeg{}, err
+	}
+	return PlacementLeg{
+		Cands:   legCandidates(nil, p.s.idx, res.recs, req.Demand, p.e.cfg.CMax),
+		Hops:    res.hops,
+		HopsMax: res.hops,
+		Queried: 1,
+	}, nil
+}
+
+func (p *shardPlacement) Update(node GlobalID, avail vector.Vec, announce bool) error {
+	res, err := p.s.submit(op{
+		kind:     opUpdate,
+		node:     node.Local(),
+		avail:    avail.Clone(),
+		announce: announce,
+		reply:    make(chan opResult, 1),
+	}, nil)
+	if err == nil {
+		err = res.err
+	}
+	return err
+}
+
+func (p *shardPlacement) Join(avail vector.Vec) (GlobalID, error) {
+	res, err := p.s.submit(op{
+		kind:  opJoin,
+		avail: avail,
+		reply: make(chan opResult, 1),
+	}, nil)
+	if err == nil {
+		err = res.err
+	}
+	if err != nil {
+		return 0, err
+	}
+	return Global(p.s.idx, res.node), nil
+}
+
+func (p *shardPlacement) Leave(node GlobalID) error {
+	res, err := p.s.submit(op{
+		kind:  opLeave,
+		node:  node.Local(),
+		reply: make(chan opResult, 1),
+		// Forwarding state dies on the shard goroutine, before the
+		// leave is acknowledged: a checkpoint captured later on that
+		// goroutine then cannot serialize forwarding entries whose
+		// leave record it no longer covers.
+		onApplied: func(res opResult) {
+			if res.err == nil {
+				p.e.fwd.forget(node) // removed ids only matter to recovery
+			}
+		},
+	}, nil)
+	if err == nil {
+		err = res.err
+	}
+	return err
+}
+
+func (p *shardPlacement) Take(node GlobalID, out bool) (vector.Vec, error) {
+	res, err := p.s.submit(op{
+		kind:    opTake,
+		node:    node.Local(),
+		fedTake: out,
+		reply:   make(chan opResult, 1),
+	}, nil)
+	if err == nil {
+		err = res.err
+	}
+	return res.avail, err
+}
+
+func (p *shardPlacement) CompleteMigration(avail vector.Vec, ext, old GlobalID) (GlobalID, error) {
+	res, err := p.s.submit(op{
+		kind:  opJoin,
+		avail: avail,
+		mig:   &migMeta{ext: ext, old: old},
+		reply: make(chan opResult, 1),
+		// Repoint on the destination shard goroutine, before the
+		// join is acknowledged and before the shard publishes a
+		// snapshot containing the new id: no reader can observe the
+		// new physical id without the forwarding table already
+		// translating it back to the stable external id.
+		onApplied: func(res opResult) {
+			if res.err == nil {
+				p.e.fwd.repoint(ext, old, Global(p.s.idx, res.node))
+			}
+		},
+	}, nil)
+	if err == nil {
+		err = res.err
+	}
+	if err != nil {
+		return 0, err
+	}
+	return Global(p.s.idx, res.node), nil
+}
+
+// ScatterQuery fans req out to every placement concurrently and
+// merges the gathered legs best-fit first — the PR 2 scatter-gather
+// shape lifted off the shard type so an engine scatters across
+// shards and a federation router scatters across primary processes
+// through the same loop. The fan-in channel is buffered to the
+// placement count, so abandoned legs never block their senders, and
+// the abandon channel unwinds legs still waiting on a full write
+// queue once the gather returns. timeout is one whole-gather
+// deadline: when it fires, legs still outstanding are dropped and
+// the merge proceeds over the legs already gathered. The query fails
+// only when no leg succeeds; with zero legs at the deadline the
+// error is ErrScatterTimeout. Candidates in the response are ranked
+// (bestFit) but not externalized — the caller owns the forwarding
+// table.
+func ScatterQuery(places []Placement, req QueryRequest, timeout time.Duration) (QueryResponse, error) {
+	type result struct {
+		leg PlacementLeg
+		err error
+	}
+	legs := make(chan result, len(places))
+	abandon := make(chan struct{})
+	defer close(abandon)
+	for _, p := range places {
+		go func(p Placement) {
+			leg, err := p.QueryLeg(req, abandon)
+			legs <- result{leg: leg, err: err}
+		}(p)
+	}
+	deadline := time.NewTimer(timeout)
+	defer deadline.Stop()
+	var (
+		cands    []Candidate
+		resp     QueryResponse
+		firstErr error
+	)
+gather:
+	for pending := len(places); pending > 0; pending-- {
+		select {
+		case r := <-legs:
+			if r.err != nil {
+				if firstErr == nil {
+					firstErr = r.err
+				}
+				continue
+			}
+			resp.ShardsQueried += r.leg.Queried
+			resp.Hops += r.leg.Hops
+			if r.leg.HopsMax > resp.HopsMax {
+				resp.HopsMax = r.leg.HopsMax
+			}
+			cands = append(cands, r.leg.Cands...)
+		case <-deadline.C:
+			if firstErr == nil {
+				firstErr = fmt.Errorf("%w: after %v (%d of %d legs gathered)",
+					ErrScatterTimeout, timeout, resp.ShardsQueried, len(places))
+			}
+			break gather
+		}
+	}
+	if resp.ShardsQueried == 0 {
+		return QueryResponse{}, firstErr
+	}
+	resp.Candidates = bestFit(cands, req.K)
+	return resp, nil
+}
+
+// RankCandidates sorts candidates by descending best-fit quality
+// (ascending surplus, ids breaking ties) and truncates to k when
+// k > 0 — the merge step of a scatter-gather, exported for placement
+// callers outside the package (the federation router ranks its
+// single-leg consistent queries with it).
+func RankCandidates(cands []Candidate, k int) []Candidate {
+	return bestFit(cands, k)
+}

@@ -1,0 +1,93 @@
+package serve
+
+import (
+	"errors"
+	"fmt"
+
+	"pidcan/internal/vector"
+)
+
+// Service is the node-serving surface both edges (HTTP and the wire
+// protocol) are written against: an *Engine satisfies it directly,
+// and the federation router (internal/serve/fed) satisfies it by
+// scatter-gathering over remote primaries — so one process and a
+// whole federation are served by the same handlers.
+type Service interface {
+	Query(req QueryRequest) (QueryResponse, error)
+	Update(node GlobalID, avail vector.Vec, announce bool) error
+	Join(avail vector.Vec) (GlobalID, error)
+	// JoinOn targets one placement by index — a shard on an engine,
+	// a federation member on a router.
+	JoinOn(place int, avail vector.Vec) (GlobalID, error)
+	Leave(node GlobalID) error
+	// Take removes a node and returns its last published
+	// availability, for callers re-homing it in another process
+	// (the fed-take half of a cross-process migration). An error
+	// wrapping ErrWAL means applied-but-not-durable; the
+	// availability is still valid.
+	Take(node GlobalID) (vector.Vec, error)
+	Nodes() []GlobalID
+	// Epoch and Fence carry the write-fencing discipline: Epoch is
+	// the current promotion epoch (a router reports its federation
+	// map version), Fence reacts to evidence of a newer one.
+	Epoch() uint64
+	Fence(epoch uint64)
+	// PrimaryAddr is the address redirected writes should retry
+	// against, or "" when this service accepts writes itself.
+	PrimaryAddr() string
+	// StatsPayload is the /stats (and wire OpStats) JSON document.
+	StatsPayload() any
+}
+
+var _ Service = (*Engine)(nil)
+
+// PrimaryAddr returns the configured primary address followers
+// redirect writes to ("" on a primary).
+func (e *Engine) PrimaryAddr() string { return e.cfg.PrimaryAddr }
+
+// StatsPayload returns the Stats snapshot as the serving edges'
+// opaque stats document.
+func (e *Engine) StatsPayload() any { return e.Stats() }
+
+// Take removes a node from the engine — any id it was ever known by
+// — and returns its last published availability, so a federation
+// router can re-join it in another primary process. Unlike a local
+// Migrate's take, the removal is logged as a plain leave: if this
+// process crashes afterwards, recovery must not resurrect a node
+// whose new home is another process's WAL. Forwarding state for the
+// node is dropped once the take is applied. An error wrapping ErrWAL
+// reports applied-but-not-durable, with the availability still
+// valid.
+func (e *Engine) Take(node GlobalID) (vector.Vec, error) {
+	if e.closed.Load() {
+		return nil, ErrClosed
+	}
+	if err := e.writable(); err != nil {
+		e.errors.Add(1)
+		return nil, err
+	}
+	// Claim the id against concurrent migrations, exactly like
+	// Migrate: the take must hit the node's settled home.
+	phys, _, release, err := e.fwd.begin(node, e.stop)
+	if err != nil {
+		e.errors.Add(1)
+		return nil, err
+	}
+	defer release()
+	si := phys.Shard()
+	if si >= len(e.places) {
+		e.errors.Add(1)
+		return nil, fmt.Errorf("%w: shard %d (node %v)", ErrNoShard, si, node)
+	}
+	avail, err := e.places[si].Take(phys, true)
+	if err != nil && !errors.Is(err, ErrWAL) {
+		if e.closed.Load() {
+			return nil, ErrClosed
+		}
+		e.errors.Add(1)
+		return nil, fmt.Errorf("serve: take %v: %w", node, err)
+	}
+	e.fwd.forget(phys)
+	e.leaves.Add(1)
+	return avail, err
+}

@@ -47,6 +47,7 @@ type op struct {
 	demand    vector.Vec
 	k         int
 	mig       *migMeta
+	fedTake   bool // take whose re-join happens in another process
 	reply     chan opResult
 	onApplied func(opResult)
 }
@@ -412,6 +413,13 @@ func (s *shard) logBatch(batch []op, results []opResult) error {
 		case opLeave:
 			recs = append(recs, wal.Record{Kind: wal.KindLeave, Node: uint32(o.node)})
 		case opTake:
+			if o.fedTake {
+				// The matching re-join lives in another process's
+				// WAL, so recovery here must never roll the node
+				// back: log the removal as a plain leave.
+				recs = append(recs, wal.Record{Kind: wal.KindLeave, Node: uint32(o.node)})
+				break
+			}
 			// The captured availability rides the take record so a
 			// recovery that finds the take durable but the matching
 			// join lost can roll the node back onto this shard.

@@ -2,8 +2,10 @@ package wire
 
 import (
 	"encoding/json"
+	"errors"
 	"fmt"
 	"net"
+	"sync/atomic"
 	"time"
 )
 
@@ -23,12 +25,28 @@ type Client struct {
 	c      net.Conn
 	out    []byte
 	nextID uint32
+	// pendingOut counts requests enqueued but not yet flushed
+	// (sender-side only; folded into sent at Flush).
+	pendingOut int
 
 	// WriteEpoch, when non-zero, is stamped into every write frame
 	// (update/join/leave) for server-side fencing: set it to the
 	// epoch learned from responses to guarantee writes never land on
 	// a primary from another timeline.
 	WriteEpoch uint64
+
+	// DrainTimeout bounds how long Close waits for the reader to
+	// consume responses still owed to flushed requests (default
+	// 500ms; <= 0 uses the default).
+	DrainTimeout time.Duration
+
+	// sent counts flushed requests, rcvd complete responses; their
+	// difference is what Close must wait out so pipelined readers
+	// are not cut off mid-stream. closed gates ReadResponse's error
+	// translation to ErrClosed.
+	sent   atomic.Uint64
+	rcvd   atomic.Uint64
+	closed atomic.Bool
 
 	// read half
 	br      *reader
@@ -55,6 +73,16 @@ type Response struct {
 	// Stats is the raw JSON of an OpStats response (aliases an
 	// internal buffer; valid until the next ReadResponse).
 	Stats []byte
+	// TakeAvail and TakeDegraded are an OpFedTake response: the
+	// taken node's availability (reused across decodes) and whether
+	// the take applied without reaching the log (ErrWAL).
+	TakeAvail    []float64
+	TakeDegraded bool
+	// MapVer and MapBlob are an OpFedMap response: the newest
+	// federation map the server holds. MapBlob aliases an internal
+	// buffer; valid until the next ReadResponse.
+	MapVer  uint64
+	MapBlob []byte
 }
 
 // Dial connects a wire client.
@@ -76,11 +104,39 @@ func NewClient(c net.Conn) *Client {
 	}
 }
 
-// Close closes the connection.
-func (c *Client) Close() error { return c.c.Close() }
+// ErrClosed is returned by ReadResponse once Close has been called
+// and every owed response has been consumed — a blocked pipelined
+// reader unblocks with it instead of a raw connection error.
+var ErrClosed = errors.New("wire: client closed")
+
+// Close shuts the client down. With pipelined reads in flight (the
+// one sanctioned concurrent split: one enqueuer, one reader), it
+// first drains: responses already owed to flushed requests keep
+// flowing to the reader goroutine until caught up or DrainTimeout
+// expires, so queued responses are not dropped silently. Only then
+// does the connection close, and any reader still blocked unblocks
+// with ErrClosed. A second Close returns ErrClosed.
+func (c *Client) Close() error {
+	if !c.closed.CompareAndSwap(false, true) {
+		return ErrClosed
+	}
+	deadline := time.Now().Add(c.drainTimeout())
+	for c.rcvd.Load() < c.sent.Load() && time.Now().Before(deadline) {
+		time.Sleep(500 * time.Microsecond)
+	}
+	return c.c.Close()
+}
+
+func (c *Client) drainTimeout() time.Duration {
+	if c.DrainTimeout > 0 {
+		return c.DrainTimeout
+	}
+	return 500 * time.Millisecond
+}
 
 func (c *Client) reqID() uint32 {
 	c.nextID++
+	c.pendingOut++
 	return c.nextID
 }
 
@@ -126,6 +182,11 @@ func (c *Client) Flush() error {
 	if len(c.out) == 0 {
 		return nil
 	}
+	// Count before the write: a partially-written burst may still be
+	// answered, and over-counting only makes Close wait out its
+	// drain deadline — under-counting would cut a reader off.
+	c.sent.Add(uint64(c.pendingOut))
+	c.pendingOut = 0
 	_, err := c.c.Write(c.out)
 	c.out = c.out[:0]
 	return err
@@ -134,10 +195,16 @@ func (c *Client) Flush() error {
 // ReadResponse reads and decodes the next response into the
 // returned *Response (owned by the client, valid until the next
 // call). Responses arrive in request order; an Errored response is
-// a server-side rejection, not a read error.
+// a server-side rejection, not a read error. After Close, owed
+// responses remain readable until the drain deadline; once the
+// stream is cut, ReadResponse returns ErrClosed instead of the raw
+// connection error.
 func (c *Client) ReadResponse() (*Response, error) {
+	if c.closed.Load() && c.rcvd.Load() >= c.sent.Load() {
+		return nil, ErrClosed
+	}
 	if _, err := c.br.readFull(c.hdr[:]); err != nil {
-		return nil, err
+		return nil, c.readErr(err)
 	}
 	h, err := ParseHeader(c.hdr[:])
 	if err != nil {
@@ -151,29 +218,52 @@ func (c *Client) ReadResponse() (*Response, error) {
 	}
 	c.payload = c.payload[:h.PLen]
 	if _, err := c.br.readFull(c.payload); err != nil {
-		return nil, err
+		return nil, c.readErr(err)
 	}
 	if !VerifyFrame(c.hdr[:], c.payload) {
 		return nil, errBadCRC
 	}
+	c.rcvd.Add(1)
 	r := &c.resp
 	r.Op, r.ReqID, r.Epoch = h.Op, h.ReqID, h.Epoch
 	r.Errored = h.Flags&FlagError != 0
-	r.Stats = nil
+	r.Stats, r.MapBlob = nil, nil
 	if r.Errored {
 		return r, DecodeError(c.payload, &r.Err)
 	}
 	switch h.Op {
-	case OpQuery:
+	case OpQuery, OpFedQuery:
 		return r, DecodeQueryResponse(c.payload, &r.Query)
 	case OpJoin:
 		r.Node, err = DecodeJoinResponse(c.payload)
 		return r, err
 	case OpStats:
 		r.Stats = c.payload
+	case OpFedTake:
+		r.TakeAvail, r.TakeDegraded, err = DecodeFedTakeResponse(c.payload, r.TakeAvail)
+		return r, err
+	case OpFedMap:
+		r.MapVer, r.MapBlob, err = DecodeFedMap(c.payload)
+		return r, err
 	}
 	return r, nil
 }
+
+// readErr translates transport errors after Close into ErrClosed so
+// a reader blocked in ReadResponse when the drain deadline cuts the
+// connection sees a clean shutdown, not "use of closed connection".
+func (c *Client) readErr(err error) error {
+	if c.closed.Load() {
+		return ErrClosed
+	}
+	return err
+}
+
+// LastEpoch returns the replication epoch stamped on the most
+// recently read response (0 before the first response). Rejections
+// carry it too, so a caller fenced by a promoted primary can learn
+// the new epoch from the rejection itself.
+func (c *Client) LastEpoch() uint64 { return c.resp.Epoch }
 
 // errOf converts an errored response into an *Error (allocating —
 // error path only).
@@ -203,23 +293,131 @@ func (c *Client) Query(q *Query, res *QueryResult) error {
 	return nil
 }
 
-// Update publishes a node's availability synchronously.
+// redirectTarget reports the primary address named by a CodeReadOnly
+// rejection, the one redirect the sync write wrappers auto-follow.
+func redirectTarget(err error) (string, bool) {
+	var we *Error
+	if errors.As(err, &we) && we.Code == CodeReadOnly && we.Primary != "" {
+		return we.Primary, true
+	}
+	return "", false
+}
+
+// followOnce retries op once against the primary a CodeReadOnly
+// rejection names (a follower telling us who to write to). Bounded:
+// one hop. The original connection is kept until the primary
+// actually answers — a dead or unreachable primary restores it and
+// surfaces the original rejection, so the client stays usable for
+// reads against the follower.
+func (c *Client) followOnce(err error, op func() error) error {
+	addr, ok := redirectTarget(err)
+	if !ok {
+		return err
+	}
+	nc, derr := net.Dial("tcp", addr)
+	if derr != nil {
+		return err
+	}
+	// Sync-wrapper context: the old connection is response-drained
+	// (one request, one response), so it can be parked and restored.
+	oldC, oldBr := c.c, c.br
+	c.c, c.br = nc, newReader(nc, 64<<10)
+	c.out, c.pendingOut = c.out[:0], 0
+	rerr := op()
+	var we *Error
+	if rerr != nil && !errors.As(rerr, &we) {
+		// Transport failure before the primary answered: abandon the
+		// redirect (its flushed request will never be answered —
+		// settle the drain ledger) and keep the follower connection.
+		nc.Close()
+		c.c, c.br = oldC, oldBr
+		c.out, c.pendingOut = c.out[:0], 0
+		c.rcvd.Store(c.sent.Load())
+		return err
+	}
+	oldC.Close()
+	return rerr
+}
+
+// Update publishes a node's availability synchronously. A follower's
+// read-only rejection naming its primary is auto-followed once.
 func (c *Client) Update(node uint64, avail []float64, announce bool) error {
-	c.EnqueueUpdate(node, avail, announce)
-	if err := c.Flush(); err != nil {
-		return err
+	op := func() error {
+		c.EnqueueUpdate(node, avail, announce)
+		if err := c.Flush(); err != nil {
+			return err
+		}
+		r, err := c.ReadResponse()
+		if err != nil {
+			return err
+		}
+		return errOf(r)
 	}
-	r, err := c.ReadResponse()
-	if err != nil {
-		return err
+	if err := op(); err != nil {
+		return c.followOnce(err, op)
 	}
-	return errOf(r)
+	return nil
 }
 
 // Join adds a node (shard < 0: server round-robin) and returns its
-// global id.
+// global id, auto-following a read-only redirect once.
 func (c *Client) Join(shard int, avail []float64) (uint64, error) {
-	c.EnqueueJoin(shard, avail)
+	var node uint64
+	op := func() error {
+		c.EnqueueJoin(shard, avail)
+		if err := c.Flush(); err != nil {
+			return err
+		}
+		r, err := c.ReadResponse()
+		if err != nil {
+			return err
+		}
+		if err := errOf(r); err != nil {
+			return err
+		}
+		node = r.Node
+		return nil
+	}
+	err := op()
+	if err != nil {
+		err = c.followOnce(err, op)
+	}
+	return node, err
+}
+
+// Leave removes a node, auto-following a read-only redirect once.
+func (c *Client) Leave(node uint64) error {
+	op := func() error {
+		c.EnqueueLeave(node)
+		if err := c.Flush(); err != nil {
+			return err
+		}
+		r, err := c.ReadResponse()
+		if err != nil {
+			return err
+		}
+		return errOf(r)
+	}
+	if err := op(); err != nil {
+		return c.followOnce(err, op)
+	}
+	return nil
+}
+
+// EnqueueFedQuery appends a federation query stamped with the
+// router's map version; the response's MapStale bit tells the router
+// its map is behind this member's.
+func (c *Client) EnqueueFedQuery(mapVer uint64, q *Query) uint32 {
+	id := c.reqID()
+	c.out = AppendFedQuery(c.out, id, 0, mapVer, q)
+	return id
+}
+
+// FedQuery runs one synchronous federation query, decoding into res.
+// Returns the member's replication epoch (res.MapStale reports a
+// newer federation map held server-side).
+func (c *Client) FedQuery(mapVer uint64, q *Query, res *QueryResult) (uint64, error) {
+	c.EnqueueFedQuery(mapVer, q)
 	if err := c.Flush(); err != nil {
 		return 0, err
 	}
@@ -228,22 +426,59 @@ func (c *Client) Join(shard int, avail []float64) (uint64, error) {
 		return 0, err
 	}
 	if err := errOf(r); err != nil {
-		return 0, err
+		return r.Epoch, err
 	}
-	return r.Node, nil
+	*res, r.Query = r.Query, *res
+	return r.Epoch, nil
 }
 
-// Leave removes a node.
-func (c *Client) Leave(node uint64) error {
-	c.EnqueueLeave(node)
+// TakeNode atomically removes a node for cross-process migration,
+// returning its last availability and whether the removal applied
+// without durable logging (degraded). Auto-follows a read-only
+// redirect once, like the other write wrappers.
+func (c *Client) TakeNode(node uint64) (avail []float64, degraded bool, err error) {
+	op := func() error {
+		id := c.reqID()
+		c.out = AppendFedTake(c.out, id, c.WriteEpoch, node)
+		if err := c.Flush(); err != nil {
+			return err
+		}
+		r, err := c.ReadResponse()
+		if err != nil {
+			return err
+		}
+		if err := errOf(r); err != nil {
+			return err
+		}
+		avail = append(avail[:0], r.TakeAvail...)
+		degraded = r.TakeDegraded
+		return nil
+	}
+	err = op()
+	if err != nil {
+		err = c.followOnce(err, op)
+	}
+	return avail, degraded, err
+}
+
+// MapExchange offers the server a federation map at version ver
+// (blob may be nil to only pull) and returns the newest version and
+// blob the server holds. The returned blob aliases an internal
+// buffer — valid until the next ReadResponse.
+func (c *Client) MapExchange(ver uint64, blob []byte) (uint64, []byte, error) {
+	id := c.reqID()
+	c.out = AppendFedMapRequest(c.out, id, 0, ver, blob)
 	if err := c.Flush(); err != nil {
-		return err
+		return 0, nil, err
 	}
 	r, err := c.ReadResponse()
 	if err != nil {
-		return err
+		return 0, nil, err
 	}
-	return errOf(r)
+	if err := errOf(r); err != nil {
+		return 0, nil, err
+	}
+	return r.MapVer, r.MapBlob, nil
 }
 
 // Stats fetches the engine's Stats, decoded from the debug op's

@@ -23,6 +23,23 @@ type Query struct {
 // AppendQuery appends a query-request frame.
 func AppendQuery(dst []byte, reqID uint32, epoch uint64, q *Query) []byte {
 	dst, off := beginFrame(dst, OpQuery, 0, reqID, epoch)
+	dst = appendQueryPayload(dst, q)
+	sealFrame(dst, off)
+	return dst
+}
+
+// AppendFedQuery appends a fed-query-request frame: OpQuery's
+// payload prefixed with the sender's federation-map version, so the
+// answering primary can flag a router routing on a stale map.
+func AppendFedQuery(dst []byte, reqID uint32, epoch, mapVer uint64, q *Query) []byte {
+	dst, off := beginFrame(dst, OpFedQuery, 0, reqID, epoch)
+	dst = binary.LittleEndian.AppendUint64(dst, mapVer)
+	dst = appendQueryPayload(dst, q)
+	sealFrame(dst, off)
+	return dst
+}
+
+func appendQueryPayload(dst []byte, q *Query) []byte {
 	var f byte
 	if q.Consistent {
 		f |= qfConsistent
@@ -36,7 +53,6 @@ func AppendQuery(dst []byte, reqID uint32, epoch uint64, q *Query) []byte {
 	dst = append(dst, f)
 	dst = binary.LittleEndian.AppendUint16(dst, uint16(q.K))
 	dst = appendVec(dst, q.Demand)
-	sealFrame(dst, off)
 	return dst
 }
 
@@ -44,13 +60,28 @@ func AppendQuery(dst []byte, reqID uint32, epoch uint64, q *Query) []byte {
 // q.Demand's backing array.
 func DecodeQuery(payload []byte, q *Query) error {
 	d := dec{buf: payload}
+	return decodeQueryPayload(&d, q)
+}
+
+// DecodeFedQuery decodes a fed-query-request payload into q,
+// returning the sender's federation-map version.
+func DecodeFedQuery(payload []byte, q *Query) (uint64, error) {
+	d := dec{buf: payload}
+	mapVer := d.u64()
+	if d.err != nil {
+		return 0, d.err
+	}
+	return mapVer, decodeQueryPayload(&d, q)
+}
+
+func decodeQueryPayload(d *dec, q *Query) error {
 	f := d.u8()
 	q.Consistent = f&qfConsistent != 0
 	q.NoCache = f&qfNoCache != 0
 	q.ScopeOne = f&qfScopeOne != 0
 	q.K = int(d.u16())
 	var err error
-	q.Demand, err = decodeVec(&d, q.Demand)
+	q.Demand, err = decodeVec(d, q.Demand)
 	if err != nil {
 		return err
 	}
@@ -75,7 +106,10 @@ type QueryResult struct {
 	ShardsQueried int
 	Hops          int
 	HopsMax       int
-	Candidates    []Candidate
+	// MapStale (fed queries only): the answering primary holds a
+	// newer federation map than the request was stamped with.
+	MapStale   bool
+	Candidates []Candidate
 
 	avail []float64 // shared backing for the candidates' Avail
 }
@@ -84,8 +118,22 @@ type QueryResult struct {
 // engine's response. Allocation-free: candidates are written
 // straight from the engine's slice.
 func AppendQueryResponse(dst []byte, reqID uint32, epoch uint64, resp *serve.QueryResponse) []byte {
-	dst, off := beginFrame(dst, OpQuery, FlagResponse, reqID, epoch)
-	var f byte
+	return appendQueryResponse(dst, OpQuery, 0, reqID, epoch, resp)
+}
+
+// AppendFedQueryResponse is AppendQueryResponse under OpFedQuery,
+// optionally flagging that the sender's federation map is stale.
+func AppendFedQueryResponse(dst []byte, reqID uint32, epoch uint64, resp *serve.QueryResponse, stale bool) []byte {
+	var extra byte
+	if stale {
+		extra = rfMapStale
+	}
+	return appendQueryResponse(dst, OpFedQuery, extra, reqID, epoch, resp)
+}
+
+func appendQueryResponse(dst []byte, op, extra byte, reqID uint32, epoch uint64, resp *serve.QueryResponse) []byte {
+	dst, off := beginFrame(dst, op, FlagResponse, reqID, epoch)
+	f := extra
 	if resp.Cached {
 		f |= rfCached
 	}
@@ -117,6 +165,7 @@ func DecodeQueryResponse(payload []byte, r *QueryResult) error {
 	d := dec{buf: payload}
 	f := d.u8()
 	r.Cached = f&rfCached != 0
+	r.MapStale = f&rfMapStale != 0
 	r.ShardsQueried = int(d.u16())
 	r.Hops = int(d.u32())
 	r.HopsMax = int(d.u32())
@@ -287,6 +336,90 @@ func AppendStatsResponse(dst []byte, reqID uint32, epoch uint64, statsJSON []byt
 	dst = append(dst, statsJSON...)
 	sealFrame(dst, off)
 	return dst
+}
+
+// AppendFedTake appends a fed-take request: remove the node,
+// returning its availability so the caller can re-home it in another
+// process. Node ids are in the server's namespace.
+func AppendFedTake(dst []byte, reqID uint32, epoch uint64, node uint64) []byte {
+	dst, off := beginFrame(dst, OpFedTake, 0, reqID, epoch)
+	dst = binary.LittleEndian.AppendUint64(dst, node)
+	sealFrame(dst, off)
+	return dst
+}
+
+// DecodeFedTake decodes a fed-take request payload.
+func DecodeFedTake(payload []byte) (uint64, error) {
+	if len(payload) != 8 {
+		return 0, errTruncated
+	}
+	return binary.LittleEndian.Uint64(payload), nil
+}
+
+// AppendFedTakeResponse appends a fed-take response: a flag byte
+// (tfDegraded: applied but not durable) plus the taken node's last
+// published availability (zero-length for a node that never
+// published one).
+func AppendFedTakeResponse(dst []byte, reqID uint32, epoch uint64, avail []float64, degraded bool) []byte {
+	dst, off := beginFrame(dst, OpFedTake, FlagResponse, reqID, epoch)
+	var f byte
+	if degraded {
+		f = tfDegraded
+	}
+	dst = append(dst, f)
+	dst = appendVec(dst, avail)
+	sealFrame(dst, off)
+	return dst
+}
+
+// DecodeFedTakeResponse decodes a fed-take response into prev's
+// backing array, returning the availability (nil when the node never
+// published one) and whether the take was durability-degraded.
+func DecodeFedTakeResponse(payload []byte, prev []float64) ([]float64, bool, error) {
+	d := dec{buf: payload}
+	f := d.u8()
+	avail, err := decodeVec(&d, prev)
+	if err != nil {
+		return nil, false, err
+	}
+	if d.err != nil || len(d.buf) != 0 {
+		return nil, false, errTruncated
+	}
+	if len(avail) == 0 {
+		avail = nil
+	}
+	return avail, f&tfDegraded != 0, nil
+}
+
+// AppendFedMapRequest appends a map-exchange request: u64 version
+// plus an opaque encoded federation map. Version 0 with an empty
+// blob is a pure pull — the server returns the newest map it has
+// seen without storing anything.
+func AppendFedMapRequest(dst []byte, reqID uint32, epoch, ver uint64, blob []byte) []byte {
+	return appendFedMap(dst, 0, reqID, epoch, ver, blob)
+}
+
+// AppendFedMapResponse appends a map-exchange response: the newest
+// version + blob the server holds (0 and empty when it has none).
+func AppendFedMapResponse(dst []byte, reqID uint32, epoch, ver uint64, blob []byte) []byte {
+	return appendFedMap(dst, FlagResponse, reqID, epoch, ver, blob)
+}
+
+func appendFedMap(dst []byte, flags byte, reqID uint32, epoch, ver uint64, blob []byte) []byte {
+	dst, off := beginFrame(dst, OpFedMap, flags, reqID, epoch)
+	dst = binary.LittleEndian.AppendUint64(dst, ver)
+	dst = append(dst, blob...)
+	sealFrame(dst, off)
+	return dst
+}
+
+// DecodeFedMap decodes a map-exchange payload (request or response).
+// The returned blob aliases the payload.
+func DecodeFedMap(payload []byte) (uint64, []byte, error) {
+	if len(payload) < 8 {
+		return 0, nil, errTruncated
+	}
+	return binary.LittleEndian.Uint64(payload), payload[8:], nil
 }
 
 // appendVec encodes a float vector as u16 dim + dim float64 bits.

@@ -51,17 +51,27 @@ func (c ServerConfig) withDefaults() ServerConfig {
 
 // Server serves the wire protocol over persistent TCP connections
 // (Serve) and optionally single-packet UDP queries (ServeUDP). The
-// engine is resolved through a getter on every request so a follower
-// re-bootstrap can swap engines under a live listener (nil = not
-// ready, requests fail with CodeNotReady).
+// service — an *serve.Engine or a federation router — is resolved
+// through a getter on every request so a follower re-bootstrap can
+// swap engines under a live listener (nil = not ready, requests fail
+// with CodeNotReady).
 type Server struct {
 	cfg    ServerConfig
-	engine func() *serve.Engine
+	engine func() serve.Service
 
 	conns    atomic.Int64
 	requests atomic.Uint64
 	rejected atomic.Uint64
 	udpReqs  atomic.Uint64
+
+	// The newest federation map seen on this edge (OpFedMap). The
+	// server stores it content-agnostically — version-compare and
+	// echo — so a still-bootstrapping process can already take map
+	// pushes and stale-version detection needs one atomic load on
+	// the fed-query path.
+	fedVer  atomic.Uint64
+	fedMu   sync.Mutex
+	fedBlob []byte
 
 	closed atomic.Bool
 	mu     sync.Mutex
@@ -71,9 +81,9 @@ type Server struct {
 	wg     sync.WaitGroup
 }
 
-// NewServer builds a wire server over the engine getter. Attach it
+// NewServer builds a wire server over the service getter. Attach it
 // to an engine's Stats with serve.Engine.SetWireStats(s.Stats).
-func NewServer(engine func() *serve.Engine, cfg ServerConfig) *Server {
+func NewServer(engine func() serve.Service, cfg ServerConfig) *Server {
 	return &Server{
 		cfg:    cfg.withDefaults(),
 		engine: engine,
@@ -256,11 +266,31 @@ func (s *Server) handleConn(c net.Conn) {
 // to out.
 func (s *Server) handle(out []byte, h Header, payload []byte, st *connState) []byte {
 	eng := s.engine()
+	var epoch uint64
+	if eng != nil {
+		epoch = eng.Epoch()
+	}
+	if h.Op == OpFedMap {
+		// Map exchange is engine-independent (a follower still
+		// bootstrapping its mirror can already take map pushes):
+		// store the sender's map if newer, echo the newest held.
+		ver, blob, err := DecodeFedMap(payload)
+		if err != nil {
+			return AppendError(out, h.Op, h.ReqID, epoch, CodeBadRequest, 0, "", err.Error())
+		}
+		s.fedMu.Lock()
+		if ver > s.fedVer.Load() {
+			s.fedBlob = append(s.fedBlob[:0], blob...)
+			s.fedVer.Store(ver)
+		}
+		out = AppendFedMapResponse(out, h.ReqID, epoch, s.fedVer.Load(), s.fedBlob)
+		s.fedMu.Unlock()
+		return out
+	}
 	if eng == nil {
 		return AppendError(out, h.Op, h.ReqID, 0, CodeNotReady, s.cfg.RetryAfter, "",
 			"engine not ready (follower still bootstrapping)")
 	}
-	epoch := eng.Epoch()
 	switch h.Op {
 	case OpQuery:
 		if err := DecodeQuery(payload, &st.q); err != nil {
@@ -327,11 +357,47 @@ func (s *Server) handle(out []byte, h Header, payload []byte, st *connState) []b
 		return AppendAck(out, OpLeave, h.ReqID, epoch)
 
 	case OpStats:
-		data, err := json.Marshal(eng.Stats())
+		data, err := json.Marshal(eng.StatsPayload())
 		if err != nil {
 			return s.appendErr(out, h, epoch, eng, err)
 		}
 		return AppendStatsResponse(out, h.ReqID, epoch, data)
+
+	case OpFedQuery:
+		mapVer, err := DecodeFedQuery(payload, &st.q)
+		if err != nil {
+			return AppendError(out, h.Op, h.ReqID, epoch, CodeBadRequest, 0, "", err.Error())
+		}
+		scope := ""
+		if st.q.ScopeOne {
+			scope = serve.ScopeOne
+		}
+		resp, err := eng.Query(serve.QueryRequest{
+			Demand:     vector.Vec(st.q.Demand),
+			K:          st.q.K,
+			Consistent: st.q.Consistent,
+			NoCache:    st.q.NoCache,
+			Scope:      scope,
+		})
+		if err != nil {
+			return s.appendErr(out, h, epoch, eng, err)
+		}
+		return AppendFedQueryResponse(out, h.ReqID, epoch, &resp, s.fedVer.Load() > mapVer)
+
+	case OpFedTake:
+		node, err := DecodeFedTake(payload)
+		if err != nil {
+			return AppendError(out, h.Op, h.ReqID, epoch, CodeBadRequest, 0, "", err.Error())
+		}
+		if out, ok := s.fence(out, h, eng, epoch); !ok {
+			return out
+		}
+		avail, err := eng.Take(serve.GlobalID(node))
+		degraded := err != nil && errors.Is(err, serve.ErrWAL)
+		if err != nil && !degraded {
+			return s.appendErr(out, h, epoch, eng, err)
+		}
+		return AppendFedTakeResponse(out, h.ReqID, epoch, avail, degraded)
 	}
 	// Unreachable: the filter bounds h.Op.
 	return AppendError(out, h.Op, h.ReqID, epoch, CodeBadRequest, 0, "", "unknown op")
@@ -343,7 +409,7 @@ func (s *Server) handle(out []byte, h Header, payload []byte, st *connState) []b
 // and seals this deposed primary on contact; a frame stamped with an
 // OLDER epoch is a stale client whose write must not apply to the
 // new timeline. Epoch 0 opts out (the client does not care).
-func (s *Server) fence(out []byte, h Header, eng *serve.Engine, epoch uint64) ([]byte, bool) {
+func (s *Server) fence(out []byte, h Header, eng serve.Service, epoch uint64) ([]byte, bool) {
 	if h.Epoch == 0 || h.Epoch == epoch {
 		return out, true
 	}
@@ -358,7 +424,7 @@ func (s *Server) fence(out []byte, h Header, eng *serve.Engine, epoch uint64) ([
 // the HTTP handler's status mapping. Read-only and fenced
 // rejections carry the primary's address and a retry-after hint —
 // the wire twin of HTTP 503 + Retry-After.
-func (s *Server) appendErr(out []byte, h Header, epoch uint64, eng *serve.Engine, err error) []byte {
+func (s *Server) appendErr(out []byte, h Header, epoch uint64, eng serve.Service, err error) []byte {
 	code := CodeRejected
 	retry := time.Duration(0)
 	primary := ""
@@ -367,7 +433,7 @@ func (s *Server) appendErr(out []byte, h Header, epoch uint64, eng *serve.Engine
 		code, retry = CodeClosed, s.cfg.RetryAfter
 	case errors.Is(err, serve.ErrReadOnly):
 		code, retry = CodeReadOnly, s.cfg.RetryAfter
-		primary = eng.Config().PrimaryAddr
+		primary = eng.PrimaryAddr()
 	case errors.Is(err, serve.ErrFenced):
 		code, retry = CodeFenced, s.cfg.RetryAfter
 	case errors.Is(err, serve.ErrWAL):

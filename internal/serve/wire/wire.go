@@ -79,7 +79,16 @@ const (
 	OpJoin   byte = 3
 	OpLeave  byte = 4
 	OpStats  byte = 5
-	opMax    byte = 5
+	// Federation ops (PR 7). OpFedQuery is OpQuery prefixed with the
+	// sender's federation-map version, so the answering primary can
+	// flag a stale router. OpFedTake removes a node and returns its
+	// availability for re-homing in another process. OpFedMap
+	// exchanges federation maps: the server keeps the newest version
+	// it has seen and returns it.
+	OpFedQuery byte = 6
+	OpFedTake  byte = 7
+	OpFedMap   byte = 8
+	opMax      byte = 8
 )
 
 // Header flags.
@@ -136,7 +145,21 @@ const (
 )
 
 // Query response flags.
-const rfCached byte = 1 << 0
+const (
+	rfCached byte = 1 << 0
+	// rfMapStale (OpFedQuery responses only): the answering primary
+	// holds a newer federation map than the version stamped on the
+	// request — the router should pull the map and re-plan.
+	rfMapStale byte = 1 << 1
+)
+
+// Fed-take response flags.
+const (
+	// tfDegraded: the take applied but its log record did not make
+	// it to disk (ErrWAL) — the availability is valid, the caller
+	// decides whether to proceed.
+	tfDegraded byte = 1 << 0
+)
 
 var crcTable = crc32.MakeTable(crc32.IEEE)
 

@@ -44,7 +44,7 @@ func startWire(t *testing.T, eng *serve.Engine) (*wire.Server, string) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	srv := wire.NewServer(func() *serve.Engine { return eng }, wire.ServerConfig{})
+	srv := wire.NewServer(func() serve.Service { return eng }, wire.ServerConfig{})
 	go srv.Serve(ln)
 	t.Cleanup(func() { srv.Close() })
 	return srv, ln.Addr().String()
@@ -80,7 +80,7 @@ func TestFilterHeader(t *testing.T) {
 		{"bad magic", mutate(0, 0x00)},
 		{"bad version", mutate(1, 99)},
 		{"op zero", mutate(2, 0)},
-		{"op out of range", mutate(2, 6)},
+		{"op out of range", mutate(2, 9)},
 		{"bad flag bits", mutate(3, 0x80)},
 		{"oversize payload", mutate(19, 0xFF)}, // plen high byte -> > MaxPayload
 	}

@@ -34,6 +34,7 @@ import (
 	"pidcan/internal/proto"
 	"pidcan/internal/psm"
 	"pidcan/internal/serve"
+	"pidcan/internal/serve/fed"
 	"pidcan/internal/serve/repl"
 	"pidcan/internal/serve/wire"
 	"pidcan/internal/sim"
@@ -297,7 +298,19 @@ type WireStats = serve.WireStats
 // getter indirection lets a follower re-bootstrap swap engines under
 // a live listener; return nil while not ready).
 func NewWireServer(engine func() *Engine, cfg WireServerConfig) *WireServer {
-	return wire.NewServer(engine, cfg)
+	return wire.NewServer(func() serve.Service {
+		if e := engine(); e != nil {
+			return e
+		}
+		return nil // avoid a typed-nil Service from a nil *Engine
+	}, cfg)
+}
+
+// NewServiceWireServer builds a wire server over any Service — an
+// Engine or a federation Router — for front-ends that are not
+// engine-backed.
+func NewServiceWireServer(svc func() Service, cfg WireServerConfig) *WireServer {
+	return wire.NewServer(svc, cfg)
 }
 
 // DialWire connects a wire client to a pidcan-serve -wire-addr
@@ -336,3 +349,41 @@ func NewEngine(cfg EngineConfig) (*Engine, error) {
 // cmd/pidcan-serve): POST /query, /update, /join, /leave and GET
 // /nodes, /stats, /healthz.
 func NewEngineHandler(e *Engine) http.Handler { return serve.NewHandler(e) }
+
+// --- federation (internal/serve/fed) ------------------------------------------
+
+// Service is the query/update/join/leave surface shared by an Engine
+// and a federation Router: anything that serves the PID-CAN API,
+// local or scatter-gathered across processes.
+type Service = serve.Service
+
+// NewServiceHandler exposes any Service over the same HTTP JSON API
+// as NewEngineHandler (minus the engine-only admin routes).
+func NewServiceHandler(s Service) http.Handler { return serve.NewServiceHandler(s) }
+
+// FedMap partitions the 64-bit placement keyspace across federation
+// members (primary processes); see fed.Map.
+type FedMap = fed.Map
+
+// FedMember is one entry of a FedMap: a member's address list
+// (primary first, promotable followers after) and keyspace slice.
+type FedMember = fed.Member
+
+// FedRouter scatter-gathers the Service API across federation
+// members over the wire protocol, exactly as an Engine scatters
+// across in-process shards.
+type FedRouter = fed.Router
+
+// FedRouterConfig parameterizes NewFedRouter.
+type FedRouterConfig = fed.Config
+
+// FedRouterStats is the counter set behind FedRouter.StatsPayload.
+type FedRouterStats = fed.Stats
+
+// NewFedRouter connects a router to its federation members and
+// exchanges the initial map.
+func NewFedRouter(cfg FedRouterConfig) (*FedRouter, error) { return fed.New(cfg) }
+
+// FedEvenSplit builds a version-1 federation map dividing the
+// keyspace evenly across the given members' address lists.
+func FedEvenSplit(addrs [][]string) FedMap { return fed.EvenSplit(addrs) }

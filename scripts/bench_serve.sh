@@ -21,7 +21,7 @@ benchtime="${2:-1s}"
 tmp="$out.tmp"
 rm -f "$tmp"
 PIDCAN_BENCH_SERVE_JSON="$tmp" \
-	go test -run '^$' -bench 'BenchmarkServe|BenchmarkWire' -benchtime "$benchtime" .
+	go test -run '^$' -bench 'BenchmarkServe|BenchmarkWire|BenchmarkFed' -benchtime "$benchtime" .
 
 # The harness ramps b.N, emitting one line per calibration run; keep
 # only the final (longest, most accurate) run of each benchmark.

@@ -1,0 +1,186 @@
+#!/bin/sh
+# Federation smoke test: two primary processes (one replicated to a
+# streaming follower) behind a pidcan-router, loadgen driven through
+# the router, a cross-process node migration, then kill -9 of the
+# replicated primary and promotion of its follower — verifying zero
+# acked-write loss through the router and router convergence onto the
+# promoted member's epoch.
+#
+#   scripts/smoke_federation.sh [first-port]
+#
+# Uses eight consecutive ports starting at first-port (default 18591).
+set -eu
+
+cd "$(dirname "$0")/.."
+base="${1:-18591}"
+ahttp=$base
+awire=$((base + 1))
+bhttp=$((base + 2))
+bwire=$((base + 3))
+brepl=$((base + 4))
+fhttp=$((base + 5))
+fwire=$((base + 6))
+rhttp=$((base + 7))
+rbase="http://127.0.0.1:$rhttp"
+
+work=$(mktemp -d)
+pids=""
+cleanup() {
+	for p in $pids; do kill -9 "$p" 2>/dev/null || true; done
+	rm -rf "$work"
+}
+trap cleanup EXIT INT TERM
+
+echo "building pidcan-serve, pidcan-router, pidcan-loadgen..."
+go build -o "$work/pidcan-serve" ./cmd/pidcan-serve
+go build -o "$work/pidcan-router" ./cmd/pidcan-router
+go build -o "$work/pidcan-loadgen" ./cmd/pidcan-loadgen
+
+wait_healthy() {
+	i=0
+	until curl -sf "http://127.0.0.1:$1/healthz" >/dev/null 2>&1; do
+		i=$((i + 1))
+		if [ "$i" -gt 100 ]; then
+			echo "server on port $1 did not come up; log:" >&2
+			cat "$2" >&2
+			exit 1
+		fi
+		sleep 0.1
+	done
+}
+
+post() { curl -sf -X POST -d "$2" "$rbase$1"; }
+
+echo "starting primary A (in-memory) and primary B (durable, repl on :$brepl)..."
+"$work/pidcan-serve" -addr "127.0.0.1:$ahttp" -wire-addr "127.0.0.1:$awire" \
+	-shards 2 -nodes 8 -seed 3 -warmup 1m >"$work/a.log" 2>&1 &
+pids="$pids $!"
+"$work/pidcan-serve" -addr "127.0.0.1:$bhttp" -wire-addr "127.0.0.1:$bwire" \
+	-shards 2 -nodes 8 -seed 4 -warmup 1m -data-dir "$work/b" \
+	-repl-addr "127.0.0.1:$brepl" >"$work/b.log" 2>&1 &
+bpid=$!
+pids="$pids $bpid"
+wait_healthy "$ahttp" "$work/a.log"
+wait_healthy "$bhttp" "$work/b.log"
+
+echo "starting follower B2..."
+"$work/pidcan-serve" -addr "127.0.0.1:$fhttp" -wire-addr "127.0.0.1:$fwire" \
+	-shards 2 -nodes 8 -seed 4 -warmup 1m -data-dir "$work/b2" \
+	-role follower -primary "127.0.0.1:$brepl" >"$work/b2.log" 2>&1 &
+pids="$pids $!"
+wait_healthy "$fhttp" "$work/b2.log"
+
+echo "starting router (members: A; B with B2 fallback)..."
+"$work/pidcan-router" -addr "127.0.0.1:$rhttp" \
+	-members "127.0.0.1:$awire,127.0.0.1:$bwire|127.0.0.1:$fwire" \
+	>"$work/router.log" 2>&1 &
+pids="$pids $!"
+wait_healthy "$rhttp" "$work/router.log"
+
+echo "driving load through the router..."
+"$work/pidcan-loadgen" -url "$rbase" -rate 2000 -duration 2s -workers 16 \
+	-mix "query=80,update=12,join=6,leave=2" -seed 7 >"$work/loadgen.out" 2>&1 || {
+	echo "FAIL: loadgen through the router failed" >&2
+	cat "$work/loadgen.out" "$work/router.log" >&2
+	exit 1
+}
+
+# A federation id tags its owning member in bits 48-63 (member+1):
+# pick one node per member from the routable set.
+nodes_json=$(curl -sf "$rbase/nodes")
+m0node=$(printf '%s' "$nodes_json" | tr -c '0-9' '\n' | awk '$0 != "" && int($0/281474976710656) == 1 {print; exit}')
+m1node=$(printf '%s' "$nodes_json" | tr -c '0-9' '\n' | awk '$0 != "" && int($0/281474976710656) == 2 {print; exit}')
+if [ -z "$m0node" ] || [ -z "$m1node" ]; then
+	echo "FAIL: could not find one node per member in $nodes_json" >&2
+	exit 1
+fi
+
+echo "migrating node $m0node from member 0 to member 1..."
+mig=$(post /migrate "{\"node\":$m0node,\"member\":1}")
+case "$mig" in
+*'"ok":true'*) ;;
+*)
+	echo "FAIL: migrate response: $mig" >&2
+	exit 1
+	;;
+esac
+post /update "{\"node\":$m0node,\"avail\":[210,42,420,63,1.5]}" >/dev/null
+
+echo "waiting for the follower to drain the stream..."
+i=0
+while :; do
+	bn=$(curl -sf "http://127.0.0.1:$bhttp/nodes")
+	fn=$(curl -sf "http://127.0.0.1:$fhttp/nodes")
+	[ "$bn" = "$fn" ] && break
+	i=$((i + 1))
+	if [ "$i" -gt 100 ]; then
+		echo "FAIL: follower never converged" >&2
+		echo "primary B: $bn" >&2
+		echo "follower:  $fn" >&2
+		cat "$work/b2.log" >&2
+		exit 1
+	fi
+	sleep 0.1
+done
+
+query='{"demand":[100,10,100,10,0.5],"k":4,"no_cache":true}'
+curl -sf "$rbase/nodes" >"$work/nodes.acked"
+post /query "$query" >"$work/query.acked"
+
+echo "killing primary B (SIGKILL) and promoting B2..."
+kill -9 "$bpid"
+wait "$bpid" 2>/dev/null || true
+promo=$(curl -sf -X POST "http://127.0.0.1:$fhttp/promote")
+case "$promo" in
+*'"role":"primary"'*) ;;
+*)
+	echo "FAIL: promote response: $promo" >&2
+	cat "$work/b2.log" >&2
+	exit 1
+	;;
+esac
+
+echo "waiting for the router to converge onto the promoted member's epoch..."
+i=0
+while :; do
+	# Traffic is what carries epoch evidence; queries keep flowing
+	# while the router walks dead primary -> fallback follower.
+	post /query "$query" >/dev/null 2>&1 || true
+	epoch=$(curl -sf "$rbase/map" | sed 's/.*"index":1[^}]*"epoch":\([0-9]*\).*/\1/')
+	[ "$epoch" = "2" ] && break
+	i=$((i + 1))
+	if [ "$i" -gt 100 ]; then
+		echo "FAIL: router never observed epoch 2 (last: $epoch)" >&2
+		curl -sf "$rbase/map" >&2 || true
+		cat "$work/router.log" >&2
+		exit 1
+	fi
+	sleep 0.1
+done
+
+curl -sf "$rbase/nodes" >"$work/nodes.after"
+post /query "$query" >"$work/query.after"
+
+fail=0
+if ! cmp -s "$work/nodes.acked" "$work/nodes.after"; then
+	echo "FAIL: acked node set lost across member fail-over" >&2
+	diff "$work/nodes.acked" "$work/nodes.after" >&2 || true
+	fail=1
+fi
+if ! cmp -s "$work/query.acked" "$work/query.after"; then
+	echo "FAIL: acked query results lost across member fail-over" >&2
+	diff "$work/query.acked" "$work/query.after" >&2 || true
+	fail=1
+fi
+# Writes to both members still land through the router — including
+# the migrated node's original id, now served by the promoted B2.
+for n in $m1node $m0node; do
+	code=$(curl -s -o /dev/null -w '%{http_code}' -X POST \
+		-d "{\"node\":$n,\"avail\":[250,45,430,65,1.5]}" "$rbase/update")
+	if [ "$code" != "200" ]; then
+		echo "FAIL: post-fail-over update of node $n returned $code, want 200" >&2
+		fail=1
+	fi
+done
+[ "$fail" -eq 0 ] || exit 1
+echo "OK: zero acked-write loss across member kill -9 + promotion, router converged to epoch 2"
