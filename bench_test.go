@@ -29,6 +29,7 @@ import (
 	"time"
 
 	"pidcan/internal/experiment"
+	"pidcan/internal/serve"
 	"pidcan/internal/vector"
 )
 
@@ -285,6 +286,53 @@ func newBenchEngineCfg(b *testing.B, cfg EngineConfig) *Engine {
 	return eng
 }
 
+// newPopBenchEngine builds the large-population engines of the
+// BenchmarkServeQueryNoCache sweep. Seeding 100k nodes through
+// Engine.Update would republish an O(population) snapshot per write
+// batch (minutes of setup); instead the shard factory seeds each
+// cluster backend directly before the engine starts, so the initial
+// snapshot publication already carries the whole population. A
+// near-frozen simulation clock (1 sim-ms per applied batch / flush
+// tick) keeps the CAN protocol's own state-update routing — whose
+// cost grows with overlay size — from drowning the read-path
+// measurement.
+func newPopBenchEngine(b *testing.B, shards, totalNodes int) *Engine {
+	b.Helper()
+	rng := rand.New(rand.NewPCG(11, 0xbe7c4))
+	eng, err := serve.New(EngineConfig{
+		Shards:        shards,
+		NodesPerShard: totalNodes / shards,
+		Seed:          11,
+		StepQuantum:   Millisecond,
+	}, func(i int, rc serve.Config) (serve.Backend, error) {
+		c, err := NewCluster(ClusterConfig{
+			Nodes: rc.NodesPerShard,
+			CMax:  rc.CMax,
+			Seed:  rc.Seed ^ (uint64(i+1) * 0x9e3779b97f4a7c15),
+			Core:  rc.Core,
+			Net:   rc.Net,
+		})
+		if err != nil {
+			return nil, err
+		}
+		for _, id := range c.Nodes() {
+			avail := make(Vec, rc.CMax.Dim())
+			for k := range avail {
+				avail[k] = rc.CMax[k] * (0.2 + 0.8*rng.Float64())
+			}
+			if err := c.SetAvailability(id, avail); err != nil {
+				return nil, err
+			}
+		}
+		return c, nil
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(func() { eng.Close() })
+	return eng
+}
+
 // benchDemands precomputes a deterministic demand working set.
 func benchDemands(eng *Engine, n int) []Vec {
 	cmax := eng.Config().CMax
@@ -352,8 +400,13 @@ func BenchmarkServeQuery(b *testing.B) {
 	}
 }
 
-// BenchmarkServeQueryNoCache isolates the snapshot scan: every query
-// walks all shards' records, qualifies and ranks them.
+// BenchmarkServeQueryNoCache isolates the uncached ranking path:
+// every query searches all shards' snapshot indexes, qualifies and
+// ranks. The shard sweep holds the population at the historical 128
+// nodes (the BENCH_serve.json trajectory); the population sweep
+// scales to 100k nodes, where the flat dominance index's
+// score-ordered scan keeps per-query cost sub-linear in records —
+// qps should fall far more slowly than population grows.
 func BenchmarkServeQueryNoCache(b *testing.B) {
 	for _, shards := range []int{1, 4, 8} {
 		b.Run(fmt.Sprintf("shards=%d/clients=8", shards), func(b *testing.B) {
@@ -364,6 +417,67 @@ func BenchmarkServeQueryNoCache(b *testing.B) {
 					b.Error(err)
 				}
 			})
+		})
+	}
+	for _, pop := range []int{1000, 10000, 100000} {
+		b.Run(fmt.Sprintf("pop=%d/shards=4/clients=8", pop), func(b *testing.B) {
+			eng := newPopBenchEngine(b, 4, pop)
+			demands := benchDemands(eng, 512)
+			runServeBench(b, 4, 8, func(c, i int) {
+				if _, err := eng.Query(QueryRequest{Demand: demands[(i+c)%len(demands)], K: 3, NoCache: true}); err != nil {
+					b.Error(err)
+				}
+			})
+			st := eng.Stats()
+			if st.IndexSearches > 0 {
+				b.ReportMetric(float64(st.IndexScannedRecords)/float64(st.IndexSearches), "scanned/query")
+			}
+		})
+	}
+}
+
+// BenchmarkServeAdaptiveCache replays the demand-drift workload (the
+// distribution's center wanders across the capacity range, so a
+// fine fixed grid sees almost only virgin cells) against fixed knobs
+// and against the adaptive controller. The interesting metric is
+// hit-rate — the controller coarsens the grid until drifting demands
+// alias onto live cells — with the qps gap as its consequence.
+func BenchmarkServeAdaptiveCache(b *testing.B) {
+	for _, mode := range []string{"fixed", "adaptive"} {
+		b.Run(fmt.Sprintf("mode=%s/shards=4/clients=8", mode), func(b *testing.B) {
+			cfg := EngineConfig{
+				Shards:        4,
+				NodesPerShard: 256,
+				Seed:          11,
+				CacheQuantum:  0.002,
+				CacheTTL:      5 * time.Second,
+				CacheSize:     4096,
+			}
+			if mode == "adaptive" {
+				cfg.CacheAdaptEvery = 64
+				cfg.CacheQuantumMax = 0.1
+			}
+			eng := newBenchEngineCfg(b, cfg)
+			cmax := eng.Config().CMax
+			rng := rand.New(rand.NewPCG(29, 0xfeed5))
+			jitter := make([]float64, 4096)
+			for i := range jitter {
+				jitter[i] = rng.Float64()
+			}
+			runServeBench(b, 4, 8, func(c, i int) {
+				demand := make(Vec, cmax.Dim())
+				for d := range demand {
+					base := (0.15 + 0.5*float64(i)/float64(b.N)) * cmax[d]
+					demand[d] = base + 0.08*cmax[d]*jitter[(i*7+c*13+d)%len(jitter)]
+				}
+				if _, err := eng.Query(QueryRequest{Demand: demand, K: 3}); err != nil {
+					b.Error(err)
+				}
+			})
+			st := eng.Stats()
+			if total := st.CacheHits + st.CacheMisses; total > 0 {
+				b.ReportMetric(float64(st.CacheHits)/float64(total), "hit-rate")
+			}
 		})
 	}
 }

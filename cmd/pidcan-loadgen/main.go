@@ -159,7 +159,13 @@ func main() {
 		client: client, cmax: cmax, nodes: nodes,
 		nodesByShard: nodesByShard, shardCount: shardCount,
 	}
+	probe0, probeErr := fetchServerProbe(client, *baseURL)
 	sum := runLoad(rc)
+	if probeErr == nil {
+		if probe1, err := fetchServerProbe(client, *baseURL); err == nil {
+			sum.Server = probe1.diff(probe0)
+		}
+	}
 	report(sum, *jsonOut)
 	if *skew > 1 {
 		reportBalance(client, *baseURL)
@@ -854,6 +860,67 @@ type summary struct {
 	Shed        int                     `json:"shed"`
 	Late        int                     `json:"late"`
 	Classes     map[string]classSummary `json:"classes"`
+	// Server is the read-path view from the server's /stats,
+	// differenced across the run: how the query cache and the
+	// snapshot dominance index behaved under this load.
+	Server *serverProbe `json:"server,omitempty"`
+}
+
+// serverProbe mirrors the cache/index counters of the server's
+// /stats endpoint. Counter fields are deltas over the run; the knob
+// fields (TTL, quantum, population) are the post-run values, which is
+// what makes the adaptive controller's drift visible.
+type serverProbe struct {
+	TotalNodes      int     `json:"total_nodes"`
+	CacheHits       uint64  `json:"cache_hits"`
+	CacheMisses     uint64  `json:"cache_misses"`
+	CacheHitRate    float64 `json:"cache_hit_rate"`
+	CacheStale      uint64  `json:"cache_stale"`
+	CacheAdaptions  uint64  `json:"cache_adaptions"`
+	CacheTTLMS      float64 `json:"cache_ttl_ms"`
+	CacheQuantum    float64 `json:"cache_quantum"`
+	IndexSearches   uint64  `json:"index_searches"`
+	IndexScanned    uint64  `json:"index_scanned_records"`
+	ScannedPerQuery float64 `json:"index_scanned_per_search"`
+	IndexBuilds     uint64  `json:"index_builds"`
+	IndexDeltas     uint64  `json:"index_delta_builds"`
+	IndexReuses     uint64  `json:"index_reuses"`
+}
+
+// fetchServerProbe reads the read-path counters from /stats.
+func fetchServerProbe(client *http.Client, base string) (*serverProbe, error) {
+	r, err := client.Get(base + "/stats")
+	if err != nil {
+		return nil, err
+	}
+	defer r.Body.Close()
+	var p serverProbe
+	if err := json.NewDecoder(r.Body).Decode(&p); err != nil {
+		return nil, err
+	}
+	return &p, nil
+}
+
+// diff returns the counter deltas of after over before, keeping
+// after's knob values.
+func (p *serverProbe) diff(before *serverProbe) *serverProbe {
+	d := *p
+	d.CacheHits -= before.CacheHits
+	d.CacheMisses -= before.CacheMisses
+	d.CacheStale -= before.CacheStale
+	d.CacheAdaptions -= before.CacheAdaptions
+	d.IndexSearches -= before.IndexSearches
+	d.IndexScanned -= before.IndexScanned
+	d.IndexBuilds -= before.IndexBuilds
+	d.IndexDeltas -= before.IndexDeltas
+	d.IndexReuses -= before.IndexReuses
+	if lookups := d.CacheHits + d.CacheMisses; lookups > 0 {
+		d.CacheHitRate = float64(d.CacheHits) / float64(lookups)
+	}
+	if d.IndexSearches > 0 {
+		d.ScannedPerQuery = float64(d.IndexScanned) / float64(d.IndexSearches)
+	}
+	return &d
 }
 
 func percentile(sorted []time.Duration, p float64) time.Duration {
@@ -936,6 +1003,13 @@ func report(sum summary, jsonOut string) {
 		}
 		fmt.Printf("%-8s %10d %8d %8.2fms %8.2fms %8.2fms %8.2fms %8.2fms\n",
 			name, cs.Count, cs.Errors, cs.P50ms, cs.P90ms, cs.P99ms, cs.P999ms, cs.MaxMs)
+	}
+	if p := sum.Server; p != nil {
+		fmt.Printf("server:  %d nodes; cache %.1f%% hits (%d stale, %d adaptions; ttl %.0fms, quantum %.4f); index %.1f records/search over %d searches (%d builds, %d deltas, %d reuses)\n",
+			p.TotalNodes, 100*p.CacheHitRate, p.CacheStale, p.CacheAdaptions,
+			p.CacheTTLMS, p.CacheQuantum,
+			p.ScannedPerQuery, p.IndexSearches,
+			p.IndexBuilds, p.IndexDeltas, p.IndexReuses)
 	}
 
 	if jsonOut != "" {

@@ -33,6 +33,8 @@ type Engine struct {
 	epoch atomic.Uint64
 
 	queries       atomic.Uint64
+	idxSearches   atomic.Uint64 // snapshot-path index searches (uncached + cache fills)
+	idxScanned    atomic.Uint64 // records those searches visited
 	consistent    atomic.Uint64
 	updates       atomic.Uint64
 	joins         atomic.Uint64
@@ -155,9 +157,35 @@ type Stats struct {
 	Queries      uint64       `json:"queries"`
 	CacheHits    uint64       `json:"cache_hits"`
 	CacheMisses  uint64       `json:"cache_misses"`
-	CacheResets  uint64       `json:"cache_resets"`
-	CacheEntries int          `json:"cache_entries"`
-	Consistent   uint64       `json:"consistent_queries"`
+	// CacheResets counts cache generation rotations: the cache keeps
+	// two generations and, when full, drops only the older one (the
+	// historical name survives for stats continuity).
+	CacheResets  uint64 `json:"cache_resets"`
+	CacheEntries int    `json:"cache_entries"`
+	// CacheStale counts entries invalidated at lookup (TTL or epoch
+	// expiry) and CacheAdaptions the knob adjustments the adaptive
+	// controller has made (0 with fixed knobs). CacheTTLMS,
+	// CacheQuantum and CacheEpochBound are the live knob values —
+	// the configured constants unless the controller is steering.
+	CacheStale      uint64  `json:"cache_stale"`
+	CacheAdaptions  uint64  `json:"cache_adaptions"`
+	CacheTTLMS      float64 `json:"cache_ttl_ms"`
+	CacheQuantum    float64 `json:"cache_quantum"`
+	CacheEpochBound uint64  `json:"cache_epoch_bound"`
+	// IndexSearches counts snapshot-path index searches (uncached
+	// queries + cache fills); IndexScannedRecords the records those
+	// searches visited — scanned/searches vs total_nodes is the
+	// sub-linearity gauge of the read path. IndexBuilds counts full
+	// per-shard index builds, IndexDeltaBuilds incremental
+	// (merge-with-dirty-nodes) rebuilds, and IndexReuses
+	// publications that reused the previous records + index
+	// wholesale because the batch changed nothing.
+	IndexSearches       uint64 `json:"index_searches"`
+	IndexScannedRecords uint64 `json:"index_scanned_records"`
+	IndexBuilds         uint64 `json:"index_builds"`
+	IndexDeltaBuilds    uint64 `json:"index_delta_builds"`
+	IndexReuses         uint64 `json:"index_reuses"`
+	Consistent          uint64 `json:"consistent_queries"`
 	Updates      uint64       `json:"updates"`
 	Joins        uint64       `json:"joins"`
 	Leaves       uint64       `json:"leaves"`
@@ -432,11 +460,7 @@ func (e *Engine) Query(req QueryRequest) (QueryResponse, error) {
 	// only the cell-evaluated candidate set.
 	useCache := !e.cfg.CacheDisabled && !req.NoCache
 	if !useCache {
-		var cands []Candidate
-		for _, s := range e.shards {
-			snap := s.snapshot()
-			cands = snap.collect(cands, req.Demand, e.cfg.CMax, snap.Taken)
-		}
+		cands := e.searchShards(req.Demand, req.K)
 		return QueryResponse{Candidates: e.externalize(bestFit(cands, req.K))}, nil
 	}
 	key, cellDemand := e.cache.quantize(req.Demand, req.K)
@@ -446,11 +470,7 @@ func (e *Engine) Query(req QueryRequest) (QueryResponse, error) {
 	epoch := e.epoch.Load()
 	resp, hit := e.cache.get(key, time.Now(), epoch) // Candidates already a private copy
 	if !hit {
-		var cands []Candidate
-		for _, s := range e.shards {
-			snap := s.snapshot()
-			cands = snap.collect(cands, cellDemand, e.cfg.CMax, snap.Taken)
-		}
+		cands := e.searchShards(cellDemand, req.K)
 		cached := QueryResponse{Candidates: bestFit(cands, req.K)}
 		e.cache.put(key, cached, time.Now(), epoch)
 		resp = QueryResponse{Candidates: append([]Candidate(nil), cached.Candidates...)}
@@ -458,6 +478,24 @@ func (e *Engine) Query(req QueryRequest) (QueryResponse, error) {
 	resp.Cached = hit
 	resp.Candidates = e.externalize(rescore(resp.Candidates, req.Demand, e.cfg.CMax, req.K))
 	return resp, nil
+}
+
+// searchShards merges every shard snapshot's QueryIndex search for
+// the k best-fit candidates dominating demand — the one read-path
+// ranking entry the uncached and cache-fill queries both go through.
+// The returned candidates still need bestFit: per-shard searches
+// return their own top k (plus near ties), not a global order.
+func (e *Engine) searchShards(demand vector.Vec, k int) []Candidate {
+	var cands []Candidate
+	visited := 0
+	for _, s := range e.shards {
+		var n int
+		cands, n = s.snapshot().Search(cands, demand, e.cfg.CMax, k)
+		visited += n
+	}
+	e.idxSearches.Add(1)
+	e.idxScanned.Add(uint64(visited))
+	return cands
 }
 
 // externalize rewrites candidate ids to their nodes' stable
@@ -756,7 +794,15 @@ func (e *Engine) Stats() Stats {
 		st.WireRejected = ws.Rejected
 		st.WireUDPRequests = ws.UDPRequests
 	}
-	st.CacheHits, st.CacheMisses, st.CacheResets, st.CacheEntries = e.cache.stats()
+	cs := e.cache.stats()
+	st.CacheHits, st.CacheMisses = cs.hits, cs.misses
+	st.CacheResets, st.CacheEntries = cs.rotations, cs.entries
+	st.CacheStale, st.CacheAdaptions = cs.stale, cs.adaptions
+	st.CacheTTLMS = float64(cs.ttl) / float64(time.Millisecond)
+	st.CacheQuantum = cs.quantum
+	st.CacheEpochBound = cs.epochBound
+	st.IndexSearches = e.idxSearches.Load()
+	st.IndexScannedRecords = e.idxScanned.Load()
 	for _, s := range e.shards {
 		snap := s.snapshot()
 		st.Shards = append(st.Shards, ShardStats{
@@ -773,6 +819,9 @@ func (e *Engine) Stats() Stats {
 		st.LogBytes += s.logBytes.Load()
 		st.LogRecords += s.logRecords.Load()
 		st.LogErrors += s.logErrors.Load()
+		st.IndexBuilds += s.idxBuilds.Load()
+		st.IndexDeltaBuilds += s.idxDeltas.Load()
+		st.IndexReuses += s.idxReuses.Load()
 	}
 	return st
 }

@@ -1,0 +1,284 @@
+package index
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+
+	"pidcan/internal/overlay"
+	"pidcan/internal/proto"
+	"pidcan/internal/sim"
+	"pidcan/internal/vector"
+)
+
+const never = sim.Time(1<<63 - 1)
+
+// randPopulation builds n records ascending by node id with
+// availabilities drawn under cmax; a fraction get finite expiries
+// around now so Search sees both live and stale entries.
+func randPopulation(rng *rand.Rand, n int, cmax vector.Vec, now sim.Time) []proto.Record {
+	recs := make([]proto.Record, n)
+	for i := range recs {
+		a := vector.New(cmax.Dim())
+		for d := range a {
+			a[d] = cmax[d] * rng.Float64()
+			if rng.Intn(8) == 0 {
+				a[d] = 0 // exact-zero edges: score ties, flat dimensions
+			}
+		}
+		exp := never
+		switch rng.Intn(4) {
+		case 0:
+			exp = now - sim.Time(rng.Intn(50)) // already expired
+		case 1:
+			exp = now + 1 + sim.Time(rng.Intn(100))
+		}
+		recs[i] = proto.Record{Node: overlay.NodeID(i * 2), Avail: a, Expires: exp}
+	}
+	return recs
+}
+
+// bruteTopK is the reference ranking the engine's linear path
+// produces: every unexpired dominating record, sorted by ascending
+// (exact surplus, node), truncated to k.
+func bruteTopK(recs []proto.Record, demand, cmax vector.Vec, now sim.Time, k int) []overlay.NodeID {
+	type cand struct {
+		node    overlay.NodeID
+		surplus float64
+	}
+	var cands []cand
+	for _, r := range recs {
+		if r.Expired(now) || !r.Avail.Dominates(demand) {
+			continue
+		}
+		cands = append(cands, cand{r.Node, r.Avail.Surplus(demand, cmax)})
+	}
+	sort.Slice(cands, func(i, j int) bool {
+		if cands[i].surplus != cands[j].surplus {
+			return cands[i].surplus < cands[j].surplus
+		}
+		return cands[i].node < cands[j].node
+	})
+	if k > 0 && len(cands) > k {
+		cands = cands[:k]
+	}
+	out := make([]overlay.NodeID, len(cands))
+	for i, c := range cands {
+		out[i] = c.node
+	}
+	return out
+}
+
+// rankReturned re-ranks the index's (superset) answer the way the
+// engine does — exact surplus, node tie-break — and truncates to k.
+func rankReturned(f *Flat, entries []int32, demand, cmax vector.Vec, k int) []overlay.NodeID {
+	type cand struct {
+		node    overlay.NodeID
+		surplus float64
+	}
+	cands := make([]cand, 0, len(entries))
+	for _, e := range entries {
+		cands = append(cands, cand{f.NodeAt(e), f.Row(e).Surplus(demand, cmax)})
+	}
+	sort.Slice(cands, func(i, j int) bool {
+		if cands[i].surplus != cands[j].surplus {
+			return cands[i].surplus < cands[j].surplus
+		}
+		return cands[i].node < cands[j].node
+	})
+	if k > 0 && len(cands) > k {
+		cands = cands[:k]
+	}
+	out := make([]overlay.NodeID, len(cands))
+	for i, c := range cands {
+		out[i] = c.node
+	}
+	return out
+}
+
+// TestSearchMatchesLinear is the index-vs-linear property test: over
+// randomized populations, demands, expiries, and k, the index's
+// re-ranked answer must be identical — same nodes, same order — to
+// the brute-force linear ranking.
+func TestSearchMatchesLinear(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 200; trial++ {
+		dims := 1 + rng.Intn(4)
+		cmax := vector.New(dims)
+		for d := range cmax {
+			cmax[d] = 1 + 20*rng.Float64()
+		}
+		if rng.Intn(6) == 0 {
+			cmax[rng.Intn(dims)] = 0 // unscored dimension
+		}
+		now := sim.Time(1000)
+		recs := randPopulation(rng, rng.Intn(120), cmax, now)
+		f := Build(recs, cmax)
+
+		for q := 0; q < 20; q++ {
+			demand := vector.New(dims)
+			for d := range demand {
+				demand[d] = cmax[d] * rng.Float64() * 0.9
+				if rng.Intn(8) == 0 {
+					demand[d] = 0
+				}
+			}
+			// Half the demands copy a record's availability exactly,
+			// forcing score == D boundary hits.
+			if rng.Intn(2) == 0 && len(recs) > 0 {
+				demand = recs[rng.Intn(len(recs))].Avail.Clone()
+			}
+			k := rng.Intn(12) // 0 = unlimited
+			got, visited := f.Search(nil, demand, now, k)
+			if visited > len(recs) {
+				t.Fatalf("visited %d of %d records", visited, len(recs))
+			}
+			want := bruteTopK(recs, demand, cmax, now, k)
+			ranked := rankReturned(f, got, demand, cmax, k)
+			if len(ranked) != len(want) {
+				t.Fatalf("trial %d q %d: got %d ranked (%v), want %d (%v)",
+					trial, q, len(ranked), ranked, len(want), want)
+			}
+			for i := range want {
+				if ranked[i] != want[i] {
+					t.Fatalf("trial %d q %d pos %d: got %v, want %v",
+						trial, q, i, ranked, want)
+				}
+			}
+		}
+	}
+}
+
+// TestUpdateMatchesBuild: applying randomized churn batches through
+// Update must yield exactly the index a from-scratch Build produces.
+func TestUpdateMatchesBuild(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	cmax := vector.Of(8, 12, 5)
+	now := sim.Time(500)
+	recs := randPopulation(rng, 60, cmax, now)
+	f := Build(recs, cmax)
+	next := overlay.NodeID(1000)
+
+	for batch := 0; batch < 50; batch++ {
+		dirty := map[overlay.NodeID]bool{}
+		cur := append([]proto.Record(nil), recs...)
+		for op := 0; op < 1+rng.Intn(10); op++ {
+			switch {
+			case rng.Intn(3) == 0 && len(cur) > 0: // leave
+				i := rng.Intn(len(cur))
+				dirty[cur[i].Node] = false
+				cur = append(cur[:i], cur[i+1:]...)
+			case rng.Intn(3) == 0: // join
+				a := vector.New(cmax.Dim())
+				for d := range a {
+					a[d] = cmax[d] * rng.Float64()
+				}
+				r := proto.Record{Node: next, Avail: a, Expires: now + sim.Time(rng.Intn(200))}
+				next++
+				cur = append(cur, r)
+				dirty[r.Node] = true
+			default: // re-advertise
+				if len(cur) == 0 {
+					continue
+				}
+				i := rng.Intn(len(cur))
+				a := vector.New(cmax.Dim())
+				for d := range a {
+					a[d] = cmax[d] * rng.Float64()
+				}
+				cur[i].Avail = a
+				cur[i].Expires = never
+				dirty[cur[i].Node] = true
+			}
+		}
+		sort.Slice(cur, func(i, j int) bool { return cur[i].Node < cur[j].Node })
+		f = f.Update(cur, dirty)
+		recs = cur
+
+		want := Build(recs, cmax)
+		if len(f.nodes) != len(want.nodes) {
+			t.Fatalf("batch %d: %d entries after Update, want %d", batch, len(f.nodes), len(want.nodes))
+		}
+		for i := range want.nodes {
+			if f.nodes[i] != want.nodes[i] || f.score[i] != want.score[i] ||
+				f.expires[i] != want.expires[i] {
+				t.Fatalf("batch %d entry %d: Update (%d,%v,%d) != Build (%d,%v,%d)",
+					batch, i, f.nodes[i], f.score[i], f.expires[i],
+					want.nodes[i], want.score[i], want.expires[i])
+			}
+		}
+		for i := range want.vals {
+			if f.vals[i] != want.vals[i] {
+				t.Fatalf("batch %d: vals[%d] = %v, want %v", batch, i, f.vals[i], want.vals[i])
+			}
+		}
+		for i := range want.sufMax {
+			if f.sufMax[i] != want.sufMax[i] {
+				t.Fatalf("batch %d: sufMax[%d] = %v, want %v", batch, i, f.sufMax[i], want.sufMax[i])
+			}
+		}
+	}
+}
+
+// TestSearchSubLinear: on a large uniform population with a demanding
+// query, the scan must visit far fewer entries than a linear pass.
+func TestSearchSubLinear(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	cmax := vector.Of(10, 10, 10, 10)
+	n := 20000
+	recs := make([]proto.Record, n)
+	for i := range recs {
+		a := vector.New(4)
+		for d := range a {
+			a[d] = cmax[d] * rng.Float64()
+		}
+		recs[i] = proto.Record{Node: overlay.NodeID(i), Avail: a, Expires: never}
+	}
+	f := Build(recs, cmax)
+	total := 0
+	for q := 0; q < 100; q++ {
+		demand := vector.New(4)
+		for d := range demand {
+			demand[d] = cmax[d] * rng.Float64() * 0.6
+		}
+		nodes, visited := f.Search(nil, demand, sim.Time(0), 8)
+		total += visited
+		want := bruteTopK(recs, demand, cmax, sim.Time(0), 8)
+		ranked := rankReturned(f, nodes, demand, cmax, 8)
+		for i := range want {
+			if i >= len(ranked) || ranked[i] != want[i] {
+				t.Fatalf("q %d: ranked %v, want %v", q, ranked, want)
+			}
+		}
+	}
+	if avg := float64(total) / 100; avg > float64(n)/5 {
+		t.Fatalf("avg %.0f entries visited per query on %d records — not sub-linear", avg, n)
+	}
+}
+
+func TestEmptyAndDegenerate(t *testing.T) {
+	f := Build(nil, vector.Of(1, 1))
+	if got, visited := f.Search(nil, vector.Of(0.5, 0.5), 0, 3); len(got) != 0 || visited != 0 {
+		t.Fatalf("empty index returned %v (visited %d)", got, visited)
+	}
+	if f.Len() != 0 {
+		t.Fatalf("empty index Len = %d", f.Len())
+	}
+	// All-zero cmax: every score is 0, search degenerates to a scan.
+	recs := []proto.Record{
+		{Node: 1, Avail: vector.Of(3, 3), Expires: never},
+		{Node: 2, Avail: vector.Of(1, 1), Expires: never},
+	}
+	z := Build(recs, vector.Of(0, 0))
+	got, _ := z.Search(nil, vector.Of(2, 2), 0, 0)
+	if len(got) != 1 || z.NodeAt(got[0]) != 1 {
+		t.Fatalf("zero-scale search returned %v, want [node 1]", got)
+	}
+	if z.Record(2) == nil || z.Record(99) != nil {
+		t.Fatal("Record lookup misbehaved")
+	}
+	if math.IsNaN(z.score[0]) {
+		t.Fatal("zero-scale score is NaN")
+	}
+}

@@ -1,0 +1,248 @@
+package serve
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"time"
+
+	"pidcan/internal/vector"
+)
+
+// TestIndexedQueryMatchesLinear is the engine-level half of the
+// index-vs-linear property: two engines fed the identical write
+// history — one ranking through the flat dominance index, one through
+// the linear snapshot scan — must return byte-identical NoCache query
+// responses for every demand, including through churn batches that
+// exercise the incremental index rebuild.
+func TestIndexedQueryMatchesLinear(t *testing.T) {
+	cfg := testConfig(2)
+	cfg.NodesPerShard = 25
+	cfg.CMax = vector.Of(8, 12, 5)
+
+	linCfg := cfg
+	linCfg.IndexDisabled = true
+	idx := newTestEngine(t, cfg)
+	lin := newTestEngine(t, linCfg)
+	engines := []*Engine{idx, lin}
+
+	rng := rand.New(rand.NewSource(42))
+	randAvail := func() vector.Vec {
+		a := vector.New(cfg.CMax.Dim())
+		for d := range a {
+			a[d] = cfg.CMax[d] * rng.Float64()
+			if rng.Intn(10) == 0 {
+				a[d] = 0
+			}
+		}
+		return a
+	}
+
+	compare := func(round int) {
+		t.Helper()
+		for q := 0; q < 40; q++ {
+			demand := vector.New(cfg.CMax.Dim())
+			for d := range demand {
+				demand[d] = cfg.CMax[d] * rng.Float64() * 0.8
+			}
+			k := 1 + rng.Intn(6)
+			req := QueryRequest{Demand: demand, K: k, NoCache: true}
+			ri, err := idx.Query(req)
+			if err != nil {
+				t.Fatal(err)
+			}
+			rl, err := lin.Query(req)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(ri.Candidates) != len(rl.Candidates) {
+				t.Fatalf("round %d q %d: indexed %d candidates, linear %d\n%+v\n%+v",
+					round, q, len(ri.Candidates), len(rl.Candidates), ri.Candidates, rl.Candidates)
+			}
+			for i := range ri.Candidates {
+				a, b := ri.Candidates[i], rl.Candidates[i]
+				if a.Node != b.Node ||
+					math.Float64bits(a.Surplus) != math.Float64bits(b.Surplus) ||
+					!a.Avail.Equal(b.Avail) {
+					t.Fatalf("round %d q %d cand %d: indexed %+v != linear %+v",
+						round, q, i, a, b)
+				}
+			}
+		}
+	}
+
+	// Seed both engines with the same availabilities, then interleave
+	// churn rounds (updates, joins, leaves — the deltas the
+	// incremental rebuild merges) with full response comparisons.
+	for round := 0; round < 8; round++ {
+		ni, nl := idx.Nodes(), lin.Nodes()
+		if len(ni) != len(nl) {
+			t.Fatalf("round %d: populations diverged: %d vs %d", round, len(ni), len(nl))
+		}
+		for op := 0; op < 30; op++ {
+			switch {
+			case len(ni) > 4 && rng.Intn(6) == 0: // leave
+				p := rng.Intn(len(ni))
+				for j, e := range engines {
+					n := []GlobalID{ni[p], nl[p]}[j]
+					if err := e.Leave(n); err != nil {
+						t.Fatal(err)
+					}
+				}
+				ni = append(ni[:p], ni[p+1:]...)
+				nl = append(nl[:p], nl[p+1:]...)
+			case rng.Intn(6) == 0: // join
+				a := randAvail()
+				gi, err := idx.Join(a)
+				if err != nil {
+					t.Fatal(err)
+				}
+				gl, err := lin.Join(a)
+				if err != nil {
+					t.Fatal(err)
+				}
+				ni, nl = append(ni, gi), append(nl, gl)
+			default: // re-advertise
+				p := rng.Intn(len(ni))
+				a := randAvail()
+				if err := idx.Update(ni[p], a, false); err != nil {
+					t.Fatal(err)
+				}
+				if err := lin.Update(nl[p], a, false); err != nil {
+					t.Fatal(err)
+				}
+			}
+		}
+		compare(round)
+	}
+
+	st := idx.Stats()
+	if st.IndexSearches == 0 || st.IndexBuilds == 0 {
+		t.Fatalf("indexed engine reported no index activity: %+v", st)
+	}
+	if st.IndexDeltaBuilds == 0 {
+		t.Fatalf("churn rounds never took the incremental rebuild path: %+v", st)
+	}
+	if lin.Stats().IndexSearches == 0 {
+		t.Fatal("linear engine searches not counted")
+	}
+}
+
+// driftConfig is the demand-drift scenario: a fine quantization grid
+// against a slowly wandering demand distribution, so nearly every
+// lookup lands in a virgin cell and the fixed-knob cache can't
+// amortize anything.
+func driftConfig() Config {
+	cfg := testConfig(1)
+	cfg.NodesPerShard = 32
+	cfg.CacheTTL = 5 * time.Second // wall-clock expiry off the table
+	cfg.CacheQuantum = 0.002
+	cfg.CacheSize = 4096
+	return cfg
+}
+
+// driftHitRate drives n random-walk demands through the engine and
+// returns the cache hit-rate.
+func driftHitRate(t *testing.T, e *Engine, n int) float64 {
+	t.Helper()
+	rng := rand.New(rand.NewSource(99))
+	cmax := e.Config().CMax
+	for i := 0; i < n; i++ {
+		demand := vector.New(2)
+		for d := range demand {
+			// The distribution's center drifts across half the
+			// capacity range over the run — hundreds of fine grid
+			// cells — while per-query jitter spreads each batch of
+			// demands over a ~40x40 cell neighborhood. Far more
+			// virgin cells than repeat visits for a fixed fine grid;
+			// a handful of live cells once the grid coarsens.
+			base := (0.15 + 0.5*float64(i)/float64(n)) * cmax[d]
+			demand[d] = base + 0.08*cmax[d]*rng.Float64()
+		}
+		if _, err := e.Query(QueryRequest{Demand: demand, K: 3}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st := e.Stats()
+	total := st.CacheHits + st.CacheMisses
+	if total == 0 {
+		t.Fatal("no cache lookups recorded")
+	}
+	return float64(st.CacheHits) / float64(total)
+}
+
+// TestAdaptiveCacheRecoversFromDrift: under drifting demands the
+// fixed-knob cache misses almost always, while the adaptive
+// controller detects the compulsory-miss pattern, coarsens the grid,
+// and recovers a useful hit-rate from the very same workload.
+func TestAdaptiveCacheRecoversFromDrift(t *testing.T) {
+	fixed := newTestEngine(t, driftConfig())
+	adaptCfg := driftConfig()
+	adaptCfg.CacheAdaptEvery = 64
+	adaptCfg.CacheQuantumMax = 0.1
+	adaptive := newTestEngine(t, adaptCfg)
+
+	const n = 3000
+	fixedRate := driftHitRate(t, fixed, n)
+	adaptiveRate := driftHitRate(t, adaptive, n)
+	t.Logf("hit-rate under drift: fixed %.3f, adaptive %.3f", fixedRate, adaptiveRate)
+
+	if fixedRate > 0.25 {
+		t.Fatalf("fixed-knob cache hit-rate %.3f — drift scenario not hostile enough", fixedRate)
+	}
+	if adaptiveRate < 0.35 {
+		t.Fatalf("adaptive cache hit-rate %.3f, want >= 0.35 (fixed: %.3f)", adaptiveRate, fixedRate)
+	}
+	if adaptiveRate < 3*fixedRate {
+		t.Fatalf("adaptive hit-rate %.3f not >= 3x fixed %.3f", adaptiveRate, fixedRate)
+	}
+
+	st := adaptive.Stats()
+	if st.CacheAdaptions == 0 {
+		t.Fatalf("controller never adapted: %+v", st)
+	}
+	if st.CacheQuantum <= adaptCfg.CacheQuantum {
+		t.Fatalf("quantum %v never coarsened past %v", st.CacheQuantum, adaptCfg.CacheQuantum)
+	}
+	if fs := fixed.Stats(); fs.CacheAdaptions != 0 {
+		t.Fatalf("fixed-knob engine adapted %d times", fs.CacheAdaptions)
+	}
+}
+
+// TestCacheRotationKeepsHotHalf: filling past capacity must rotate
+// generations (shedding the coldest half) rather than wiping the
+// whole cache — a hot key stays served across the rotation.
+func TestCacheRotationKeepsHotHalf(t *testing.T) {
+	cfg := testConfig(1)
+	cfg.CacheSize = 8 // halfMax = 4
+	cfg.CacheTTL = 5 * time.Second
+	cfg.CacheQuantum = 0.01
+	e := newTestEngine(t, cfg)
+
+	hot := QueryRequest{Demand: vector.Of(1, 1), K: 2}
+	if _, err := e.Query(hot); err != nil { // fill the hot cell
+		t.Fatal(err)
+	}
+	// Walk enough distinct cells to force several rotations, touching
+	// the hot key between fills so promotion keeps it live.
+	for i := 0; i < 40; i++ {
+		d := vector.Of(2+float64(i)*0.15, 3)
+		if _, err := e.Query(QueryRequest{Demand: d, K: 2}); err != nil {
+			t.Fatal(err)
+		}
+		resp, err := e.Query(hot)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !resp.Cached {
+			t.Fatalf("hot key evicted after %d cold fills (stats %+v)", i+1, e.Stats())
+		}
+	}
+	st := e.Stats()
+	if st.CacheResets == 0 {
+		t.Fatalf("no generation rotation happened: %+v", st)
+	}
+	if st.CacheEntries > cfg.CacheSize {
+		t.Fatalf("cache grew past its bound: %d > %d", st.CacheEntries, cfg.CacheSize)
+	}
+}

@@ -1,0 +1,70 @@
+package serve
+
+import (
+	"pidcan/internal/serve/index"
+	"pidcan/internal/sim"
+	"pidcan/internal/vector"
+)
+
+// QueryIndex is the pluggable ranking structure behind the snapshot
+// read path: every layer that answers best-fit queries from published
+// records — the engine's one-shot Query, the cache fill, scatter
+// merges, the federation router's legs — obtains candidates through
+// one of these instead of an ad-hoc scan. An implementation is built
+// at snapshot publication, immutable afterwards, and shared by
+// lock-free concurrent readers.
+type QueryIndex interface {
+	// Search appends to dst the candidates needed to rank the k
+	// smallest-surplus unexpired records dominating demand at
+	// simulation time now — at least the true top k (it may return a
+	// few more near score ties; callers rank the merged set with
+	// RankCandidates, which is what guarantees the final order).
+	// k <= 0 returns every match. The second result is how many
+	// records the search visited, the engine's sub-linearity gauge.
+	Search(dst []Candidate, demand vector.Vec, now sim.Time, k int) ([]Candidate, int)
+	// Len is the number of indexed records.
+	Len() int
+}
+
+// flatIndex adapts index.Flat — the sorted-by-score columnar
+// dominance index — to QueryIndex for one shard's snapshot,
+// translating node ids into the engine's global namespace and
+// scoring surpluses with the exact arithmetic the linear scan uses
+// (so index and scan produce byte-identical candidates).
+type flatIndex struct {
+	shard int
+	scale vector.Vec
+	flat  *index.Flat
+}
+
+func (fi *flatIndex) Search(dst []Candidate, demand vector.Vec, now sim.Time, k int) ([]Candidate, int) {
+	var buf [8]int32
+	entries, visited := fi.flat.Search(buf[:0], demand, now, k)
+	for _, e := range entries {
+		avail := fi.flat.Row(e)
+		dst = append(dst, Candidate{
+			Node:    Global(fi.shard, fi.flat.NodeAt(e)),
+			Avail:   avail,
+			Surplus: avail.Surplus(demand, fi.scale),
+		})
+	}
+	return dst, visited
+}
+
+func (fi *flatIndex) Len() int { return fi.flat.Len() }
+
+// linearIndex is the fallback QueryIndex (Config.IndexDisabled): the
+// original full linear scan over the snapshot's records. It exists so
+// the indexed and scanning read paths stay interchangeable behind the
+// same interface — for comparison benchmarks and as the reference the
+// equivalence property tests pin the flat index against.
+type linearIndex struct {
+	snap  *Snapshot
+	scale vector.Vec
+}
+
+func (li *linearIndex) Search(dst []Candidate, demand vector.Vec, now sim.Time, k int) ([]Candidate, int) {
+	return li.snap.collect(dst, demand, li.scale, now), len(li.snap.Records)
+}
+
+func (li *linearIndex) Len() int { return len(li.snap.Records) }

@@ -407,7 +407,7 @@ func TestCacheExpiredEntryDeletedOnLookup(t *testing.T) {
 	t0 := time.Now()
 	qc.put("k1", QueryResponse{Candidates: []Candidate{{Node: 1}}}, t0, 0)
 	qc.put("k2", QueryResponse{}, t0, 0)
-	if _, _, _, n := qc.stats(); n != 2 {
+	if n := qc.stats().entries; n != 2 {
 		t.Fatalf("entries = %d after two puts, want 2", n)
 	}
 	if _, ok := qc.get("k1", t0.Add(cfg.CacheTTL/2), 0); !ok {
@@ -416,7 +416,7 @@ func TestCacheExpiredEntryDeletedOnLookup(t *testing.T) {
 	if _, ok := qc.get("k1", t0.Add(cfg.CacheTTL+time.Second), 0); ok {
 		t.Fatal("expired entry served")
 	}
-	if _, _, _, n := qc.stats(); n != 1 {
+	if n := qc.stats().entries; n != 1 {
 		t.Fatalf("entries = %d after expired lookup, want 1 (dead entry retained)", n)
 	}
 }
@@ -899,7 +899,8 @@ func TestCacheConcurrentRefreshIsHit(t *testing.T) {
 	if len(resp.Candidates) != 1 || resp.Candidates[0].Node != 2 {
 		t.Fatalf("got %+v, want the refreshed entry", resp.Candidates)
 	}
-	hits, misses, _, entries := qc.stats()
+	cs := qc.stats()
+	hits, misses, entries := cs.hits, cs.misses, cs.entries
 	if hits != 1 || misses != 0 {
 		t.Fatalf("hits %d misses %d, want 1/0", hits, misses)
 	}

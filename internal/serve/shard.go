@@ -2,11 +2,13 @@ package serve
 
 import (
 	"fmt"
+	"sort"
 	"sync/atomic"
 	"time"
 
 	"pidcan/internal/overlay"
 	"pidcan/internal/proto"
+	"pidcan/internal/serve/index"
 	"pidcan/internal/serve/wal"
 	"pidcan/internal/sim"
 	"pidcan/internal/vector"
@@ -39,6 +41,13 @@ type migMeta struct {
 // hook migration uses to install forwarding for a joined node
 // before any snapshot can expose its new physical id, and Leave uses
 // to drop forwarding state ahead of any later checkpoint capture.
+// pendingReply is an applied, logged op whose ack is parked until
+// the snapshot publication covering its batch goes live.
+type pendingReply struct {
+	reply chan opResult
+	res   opResult
+}
+
 type op struct {
 	kind      opKind
 	node      overlay.NodeID
@@ -118,6 +127,19 @@ type shard struct {
 	// Owned by the shard goroutine (initialized before start).
 	fresh map[overlay.NodeID]sim.Time
 
+	// dirty collects the nodes the current batch mutated (true:
+	// alive, re-read from the backend at publication; false:
+	// removed), so publishDelta can merge the previous snapshot's
+	// records instead of rebuilding all of them. Owned by the shard
+	// goroutine; cleared at every publication.
+	dirty map[overlay.NodeID]bool
+
+	// flat is the dominance index of the latest published snapshot
+	// (nil with Config.IndexDisabled) — the predecessor incremental
+	// rebuilds derive from. Owned by the shard goroutine; readers see
+	// it only through the published Snapshot.
+	flat *index.Flat
+
 	// nextLocal tracks the next local id the backend will assign —
 	// what a checkpoint records so recovery can re-create the same id
 	// sequence. Owned by the shard goroutine.
@@ -152,6 +174,11 @@ type shard struct {
 	batchBuf []op
 	resBuf   []opResult
 	recBuf   []wal.Record
+	// pend holds replies whose batches were applied and logged but
+	// whose snapshot publication is still being coalesced with a
+	// queued backlog — no caller is acked before the snapshot
+	// containing its write is live.
+	pend []pendingReply
 
 	halted     atomic.Bool
 	snap       atomic.Pointer[Snapshot]
@@ -163,6 +190,13 @@ type shard struct {
 	logErrors  atomic.Uint64 // append/sync failures (durability degraded)
 	segNum     atomic.Uint64 // current segment number (replication lag reads)
 	segRecs    atomic.Uint64 // records in the current segment
+
+	// Index maintenance counters (Stats): full builds, incremental
+	// (delta-merged) rebuilds, and publications that reused the
+	// previous records + index wholesale because nothing changed.
+	idxBuilds atomic.Uint64
+	idxDeltas atomic.Uint64
+	idxReuses atomic.Uint64
 }
 
 func newShard(idx int, cfg Config, be Backend) *shard {
@@ -176,6 +210,7 @@ func newShard(idx int, cfg Config, be Backend) *shard {
 		stop:     make(chan struct{}),
 		done:     make(chan struct{}),
 		fresh:    make(map[overlay.NodeID]sim.Time),
+		dirty:    make(map[overlay.NodeID]bool),
 		batchBuf: make([]op, 0, cfg.MaxBatch),
 		resBuf:   make([]opResult, cfg.MaxBatch),
 		recBuf:   make([]wal.Record, 0, cfg.MaxBatch),
@@ -225,37 +260,54 @@ func (s *shard) loop() {
 		case <-s.stop:
 			return
 		case o := <-s.ops:
-			batch := s.drain(o)
-			results, muts := s.applyBatch(batch)
-			// WAL discipline: the batch is durable (per the fsync
-			// policy) before any caller learns its write was applied.
-			s.logBatch(batch, results)
-			if muts > 0 && s.epoch != nil {
-				s.epoch.Add(1)
+			for {
+				batch := s.drain(o)
+				results, muts := s.applyBatch(batch)
+				// WAL discipline: the batch is durable (per the fsync
+				// policy) before any caller learns its write was
+				// applied.
+				s.logBatch(batch, results)
+				if muts > 0 && s.epoch != nil {
+					s.epoch.Add(1)
+				}
+				s.be.Step(s.cfg.StepQuantum)
+				// The buffers persist across batches: park the
+				// replies, then drop op/result references (reply
+				// channels, vectors, hooks) so they do not outlive
+				// their batch.
+				for i := range batch {
+					if batch[i].reply != nil {
+						s.pend = append(s.pend, pendingReply{batch[i].reply, results[i]})
+					}
+					batch[i] = op{}
+					results[i] = opResult{}
+				}
+				// Coalesce publications under backlog: ops already
+				// queued join this round, so one snapshot/index
+				// rebuild — an O(records) affair — amortizes over
+				// every batch of a write burst instead of running
+				// per batch. MaxBatch pending acks bound the added
+				// latency (and the dirty-set growth).
+				if len(s.pend) >= s.cfg.MaxBatch || len(s.ops) == 0 {
+					break
+				}
+				o = <-s.ops
 			}
-			s.be.Step(s.cfg.StepQuantum)
-			s.publish()
+			s.publishDelta()
 			// Replies go out only after the new snapshot is live, so
 			// a caller whose write returned reads its own write.
-			for i := range batch {
-				if batch[i].reply != nil {
-					batch[i].reply <- results[i]
-				}
+			for i := range s.pend {
+				s.pend[i].reply <- s.pend[i].res
+				s.pend[i] = pendingReply{}
 			}
-			// The buffers persist across batches: drop op/result
-			// references (reply channels, vectors, hooks) so they do
-			// not outlive their batch.
-			for i := range batch {
-				batch[i] = op{}
-				results[i] = opResult{}
-			}
+			s.pend = s.pend[:0]
 		case req := <-s.ckpt:
 			req.reply <- s.checkpointNow()
 		case req := <-s.ctl:
 			req.reply <- s.control(req)
 		case <-idle.C:
 			s.be.Step(s.cfg.StepQuantum)
-			s.publish()
+			s.publishDelta()
 		}
 	}
 }
@@ -295,6 +347,7 @@ func (s *shard) applyBatch(batch []op) ([]opResult, int) {
 			}
 			if res.err == nil {
 				s.fresh[o.node] = s.be.Now()
+				s.dirty[o.node] = true
 				muts++
 			}
 		case opJoin:
@@ -307,6 +360,7 @@ func (s *shard) applyBatch(batch []op) ([]opResult, int) {
 			}
 			if res.err == nil {
 				s.fresh[res.node] = s.be.Now()
+				s.dirty[res.node] = true
 				s.nextLocal = res.node + 1
 				muts++
 			}
@@ -314,6 +368,7 @@ func (s *shard) applyBatch(batch []op) ([]opResult, int) {
 			res.err = s.be.Leave(o.node)
 			if res.err == nil {
 				delete(s.fresh, o.node)
+				s.dirty[o.node] = false
 				muts++
 			}
 		case opQuery:
@@ -362,6 +417,7 @@ func (s *shard) applyBatch(batch []op) ([]opResult, int) {
 				res.avail = nil
 			} else {
 				delete(s.fresh, o.node)
+				s.dirty[o.node] = false
 				muts++
 			}
 		}
@@ -599,34 +655,108 @@ func (s *shard) checkpoint() (wal.ShardState, error) {
 	}
 }
 
+// record builds one node's published record.
+func (s *shard) record(id overlay.NodeID, now sim.Time) proto.Record {
+	stored, ok := s.fresh[id]
+	if !ok {
+		stored = now
+	}
+	expires := sim.Time(1<<63 - 1) // RecordTTL 0: never expires
+	if s.cfg.RecordTTL > 0 {
+		expires = stored + s.cfg.RecordTTL
+	}
+	return proto.Record{
+		Node:    id,
+		Avail:   s.be.Availability(id), // already a copy
+		Stored:  stored,
+		Expires: expires,
+	}
+}
+
 // publish builds and atomically installs a fresh immutable snapshot
-// of the shard's record index.
+// of the shard's full record index — the from-scratch path used at
+// startup, after recovery replay, and whenever a batch dirtied too
+// large a fraction of the population for a delta merge to win.
 func (s *shard) publish() {
 	now := s.be.Now()
 	nodes := s.be.Nodes()
 	recs := make([]proto.Record, 0, len(nodes))
 	for _, id := range nodes {
-		stored, ok := s.fresh[id]
-		if !ok {
-			stored = now
-		}
-		expires := sim.Time(1<<63 - 1) // RecordTTL 0: never expires
-		if s.cfg.RecordTTL > 0 {
-			expires = stored + s.cfg.RecordTTL
-		}
-		recs = append(recs, proto.Record{
-			Node:    id,
-			Avail:   s.be.Availability(id), // already a copy
-			Stored:  stored,
-			Expires: expires,
-		})
+		recs = append(recs, s.record(id, now))
 	}
-	s.snap.Store(&Snapshot{
+	if !s.cfg.IndexDisabled {
+		s.flat = index.Build(recs, s.cfg.CMax)
+		s.idxBuilds.Add(1)
+	}
+	s.installSnap(now, recs)
+	clear(s.dirty)
+}
+
+// publishDelta publishes the post-batch snapshot incrementally,
+// amortizing against the batched write drain: with nothing dirty
+// (idle ticks, query-only batches) the previous records and index
+// are republished wholesale under a fresh clock; with a small dirty
+// set the previous records are merged with the re-read dirty nodes
+// (both orders ascending by node id) and the dominance index rebuilt
+// by sorted-order merge instead of a full re-sort. A batch that
+// dirtied a large fraction of the population falls back to publish.
+func (s *shard) publishDelta() {
+	prev := s.snap.Load()
+	if prev == nil || len(s.dirty)*4 > len(prev.Records)+16 {
+		s.publish()
+		return
+	}
+	now := s.be.Now()
+	if len(s.dirty) == 0 {
+		s.idxReuses.Add(1)
+		s.installSnap(now, prev.Records)
+		return
+	}
+	add := make([]proto.Record, 0, len(s.dirty))
+	for id, alive := range s.dirty {
+		if alive {
+			add = append(add, s.record(id, now))
+		}
+	}
+	sort.Slice(add, func(i, j int) bool { return add[i].Node < add[j].Node })
+	old := prev.Records
+	recs := make([]proto.Record, 0, len(old)+len(add))
+	j := 0
+	for i := range old {
+		if _, touched := s.dirty[old[i].Node]; touched {
+			continue // superseded by its dirty re-read (or removed)
+		}
+		for j < len(add) && add[j].Node < old[i].Node {
+			recs = append(recs, add[j])
+			j++
+		}
+		recs = append(recs, old[i])
+	}
+	recs = append(recs, add[j:]...)
+	if !s.cfg.IndexDisabled {
+		s.flat = s.flat.Update(recs, s.dirty)
+		s.idxDeltas.Add(1)
+	}
+	s.installSnap(now, recs)
+	clear(s.dirty)
+}
+
+// installSnap publishes recs under the shard's current index (the
+// flat dominance index, or the linear-scan fallback with
+// Config.IndexDisabled).
+func (s *shard) installSnap(now sim.Time, recs []proto.Record) {
+	snap := &Snapshot{
 		Shard:   s.idx,
 		Version: s.version.Add(1),
 		Taken:   now,
 		Records: recs,
-	})
+	}
+	if s.flat != nil {
+		snap.idx = &flatIndex{shard: s.idx, scale: s.cfg.CMax, flat: s.flat}
+	} else {
+		snap.idx = &linearIndex{snap: snap, scale: s.cfg.CMax}
+	}
+	s.snap.Store(snap)
 }
 
 // snapshot returns the current published snapshot (never nil after

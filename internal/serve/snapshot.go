@@ -1,7 +1,7 @@
 package serve
 
 import (
-	"sort"
+	"slices"
 
 	"pidcan/internal/proto"
 	"pidcan/internal/sim"
@@ -24,6 +24,24 @@ type Snapshot struct {
 	// Records, their Avail vectors, and everything reachable from
 	// them are shared and must not be mutated.
 	Records []proto.Record
+	// idx ranks this snapshot's records for best-fit queries: the
+	// flat dominance index built at publication, or the linear-scan
+	// fallback (Config.IndexDisabled). Immutable and shared, like
+	// everything else here. nil only in hand-rolled test snapshots,
+	// which fall back to the linear scan.
+	idx QueryIndex
+}
+
+// Search appends to dst the candidates needed to rank the k best-fit
+// records of this snapshot dominating demand at the snapshot's
+// simulation time, delegating to the published QueryIndex (it may
+// append a few extra near-tie candidates beyond k; callers rank the
+// merged set). The second result counts records visited.
+func (s *Snapshot) Search(dst []Candidate, demand, scale vector.Vec, k int) ([]Candidate, int) {
+	if s.idx == nil {
+		return s.collect(dst, demand, scale, s.Taken), len(s.Records)
+	}
+	return s.idx.Search(dst, demand, s.Taken, k)
 }
 
 // Candidate is one qualified node of a query response.
@@ -59,13 +77,25 @@ func (s *Snapshot) collect(dst []Candidate, demand, scale vector.Vec, now sim.Ti
 
 // bestFit sorts candidates by ascending surplus (ties broken by
 // global id, for deterministic responses) and truncates to k.
-// k <= 0 means no limit.
+// k <= 0 means no limit. (slices.SortFunc, not sort.Slice: the
+// comparator is a total order — no two candidates share surplus AND
+// node — so the non-stable sort is deterministic, without the
+// reflection-based swapping that dominated query-path profiles.)
 func bestFit(cands []Candidate, k int) []Candidate {
-	sort.Slice(cands, func(i, j int) bool {
-		if cands[i].Surplus != cands[j].Surplus {
-			return cands[i].Surplus < cands[j].Surplus
+	slices.SortFunc(cands, func(a, b Candidate) int {
+		if a.Surplus != b.Surplus {
+			if a.Surplus < b.Surplus {
+				return -1
+			}
+			return 1
 		}
-		return cands[i].Node < cands[j].Node
+		if a.Node != b.Node {
+			if a.Node < b.Node {
+				return -1
+			}
+			return 1
+		}
+		return 0
 	})
 	if k > 0 && len(cands) > k {
 		cands = cands[:k]

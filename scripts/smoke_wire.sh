@@ -54,10 +54,30 @@ echo "driving closed-loop queries over the wire edge..."
 flat=$(tr -d ' \t\n' < "$work/summary.json")
 qps=$(printf '%s' "$flat" | sed 's/.*"achieved_qps":\([0-9.]*\).*/\1/')
 errors=$(printf '%s' "$flat" | sed 's/.*"errors":\([0-9]*\),"shed".*/\1/')
-rejected=$(curl -sf "$base/stats" | sed 's/.*"wire_rejected":\([0-9]*\).*/\1/')
+stats=$(curl -sf "$base/stats")
+rejected=$(printf '%s' "$stats" | sed 's/.*"wire_rejected":\([0-9]*\).*/\1/')
 case "$rejected" in *[!0-9]*) rejected=0 ;; esac # omitempty: absent means 0
 
 fail=0
+# The indexed read path and adaptive cache report through /stats —
+# that is where pidcan-loadgen's end-of-run server probe reads them,
+# so every counter must be present, and a query-only load must have
+# driven searches through the snapshot index.
+for key in index_searches index_builds cache_stale cache_adaptions cache_ttl_ms cache_quantum; do
+	case "$stats" in
+	*"\"$key\":"*) ;;
+	*)
+		echo "FAIL: /stats is missing the $key counter" >&2
+		fail=1
+		;;
+	esac
+done
+searches=$(printf '%s' "$stats" | sed 's/.*"index_searches":\([0-9]*\).*/\1/')
+case "$searches" in '' | *[!0-9]*) searches=0 ;; esac
+if [ "$searches" -eq 0 ]; then
+	echo "FAIL: index_searches is 0 after a query load — the read path is not using the snapshot index" >&2
+	fail=1
+fi
 if [ "$errors" != "0" ]; then
 	echo "FAIL: $errors loadgen errors over the wire protocol" >&2
 	fail=1
