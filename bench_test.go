@@ -1102,10 +1102,10 @@ func BenchmarkServeHTTPQuery(b *testing.B) {
 // --- federation benchmarks (internal/serve/fed) ------------------------------
 
 // newBenchFed builds a federation of wire-served member engines and a
-// router over them. Total population stays constant across member
-// counts, so member scaling measures the scatter tier, not index
-// size.
-func newBenchFed(b *testing.B, members, totalNodes int) (*FedRouter, []*Engine) {
+// router over them (cfg.Members is filled in). Total population stays
+// constant across member counts, so member scaling measures the
+// scatter tier, not index size.
+func newBenchFed(b *testing.B, members, totalNodes int, cfg FedRouterConfig) (*FedRouter, []*Engine) {
 	b.Helper()
 	lists := make([][]string, members)
 	engs := make([]*Engine, members)
@@ -1117,7 +1117,8 @@ func newBenchFed(b *testing.B, members, totalNodes int) (*FedRouter, []*Engine) 
 		})
 		lists[m] = []string{startBenchWire(b, engs[m])}
 	}
-	router, err := NewFedRouter(FedRouterConfig{Members: lists})
+	cfg.Members = lists
+	router, err := NewFedRouter(cfg)
 	if err != nil {
 		b.Fatal(err)
 	}
@@ -1125,11 +1126,27 @@ func newBenchFed(b *testing.B, members, totalNodes int) (*FedRouter, []*Engine) 
 	return router, engs
 }
 
+// zeroMember drives every record on eng to zero availability, so the
+// member's summary max becomes the zero vector and demand-region
+// pruning can prove the member useless for any positive demand.
+func zeroMember(b *testing.B, eng *Engine) {
+	b.Helper()
+	zero := make(Vec, eng.Config().CMax.Dim())
+	for _, id := range eng.Nodes() {
+		if err := eng.Update(id, zero, false); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
 // BenchmarkFedQuery measures the router's cross-member scatter-gather
-// read path (each leg a fed-query over a pooled wire connection)
-// against the direct in-process engine the federation replaces. The
-// 1-member case isolates the wire + routing-tier tax; 2 members add
-// the real scatter.
+// read path against the direct in-process engine the federation
+// replaces. The 1-member case isolates the wire + routing-tier tax;
+// 2 and 4 members add the real scatter. The unpipelined variants
+// revert the members to the synchronous one-call-per-connection
+// transport (the pre-pipelining baseline); the skew variants hold all
+// the population on member 0 (the rest zeroed) and compare pruned
+// scatter against the forced full fan-out on that identical skew.
 func BenchmarkFedQuery(b *testing.B) {
 	b.Run("direct/shards=4/clients=8", func(b *testing.B) {
 		eng := newBenchEngine(b, 4, 128)
@@ -1140,16 +1157,65 @@ func BenchmarkFedQuery(b *testing.B) {
 			}
 		})
 	})
-	for _, members := range []int{1, 2} {
-		b.Run(fmt.Sprintf("members=%d/clients=8", members), func(b *testing.B) {
-			router, engs := newBenchFed(b, members, 128)
+	for _, members := range []int{1, 2, 4} {
+		for _, unpiped := range []bool{false, true} {
+			name := fmt.Sprintf("members=%d/clients=8", members)
+			if unpiped {
+				name = fmt.Sprintf("members=%d/unpipelined/clients=8", members)
+			}
+			b.Run(name, func(b *testing.B) {
+				router, engs := newBenchFed(b, members, 128, FedRouterConfig{Unpipelined: unpiped})
+				demands := benchDemands(engs[0], 512)
+				runServeBench(b, members, 8, func(c, i int) {
+					if _, err := router.Query(QueryRequest{Demand: demands[(i+c)%len(demands)], K: 3}); err != nil {
+						b.Error(err)
+					}
+				})
+			})
+		}
+	}
+	// High concurrency is where pipelining pays most: more concurrent
+	// legs share each flush train, so the syscall amortization deepens
+	// with offered load while the synchronous transport stays flat.
+	for _, unpiped := range []bool{false, true} {
+		name := "members=2/clients=32"
+		if unpiped {
+			name = "members=2/unpipelined/clients=32"
+		}
+		b.Run(name, func(b *testing.B) {
+			router, engs := newBenchFed(b, 2, 128, FedRouterConfig{Unpipelined: unpiped})
 			demands := benchDemands(engs[0], 512)
-			runServeBench(b, members, 8, func(c, i int) {
+			runServeBench(b, 2, 32, func(c, i int) {
 				if _, err := router.Query(QueryRequest{Demand: demands[(i+c)%len(demands)], K: 3}); err != nil {
 					b.Error(err)
 				}
 			})
 		})
+	}
+	for _, members := range []int{2, 4} {
+		for _, prune := range []bool{true, false} {
+			name := fmt.Sprintf("members=%d/skew/full-fanout/clients=8", members)
+			if prune {
+				name = fmt.Sprintf("members=%d/skew/pruned/clients=8", members)
+			}
+			b.Run(name, func(b *testing.B) {
+				router, engs := newBenchFed(b, members, 128, FedRouterConfig{
+					DisablePruning: !prune,
+					SummaryTTL:     time.Hour,
+					SummaryRefresh: -1,
+				})
+				for m := 1; m < members; m++ {
+					zeroMember(b, engs[m])
+				}
+				router.RefreshSummaries()
+				demands := benchDemands(engs[0], 512)
+				runServeBench(b, members, 8, func(c, i int) {
+					if _, err := router.Query(QueryRequest{Demand: demands[(i+c)%len(demands)], K: 3}); err != nil {
+						b.Error(err)
+					}
+				})
+			})
+		}
 	}
 }
 
@@ -1157,23 +1223,29 @@ func BenchmarkFedQuery(b *testing.B) {
 // queries: updates resolve through the forwarding table and pin one
 // member, queries fan out to all of them.
 func BenchmarkFedMixed(b *testing.B) {
-	for _, members := range []int{1, 2} {
-		b.Run(fmt.Sprintf("members=%d/clients=8", members), func(b *testing.B) {
-			router, engs := newBenchFed(b, members, 128)
-			demands := benchDemands(engs[0], 512)
-			ids := router.Nodes()
-			avail := engs[0].Config().CMax.Scale(0.5)
-			runServeBench(b, members, 8, func(c, i int) {
-				if i%10 == 9 {
-					if err := router.Update(ids[(c*31+i)%len(ids)], avail, false); err != nil {
+	for _, members := range []int{1, 2, 4} {
+		for _, unpiped := range []bool{false, true} {
+			name := fmt.Sprintf("members=%d/clients=8", members)
+			if unpiped {
+				name = fmt.Sprintf("members=%d/unpipelined/clients=8", members)
+			}
+			b.Run(name, func(b *testing.B) {
+				router, engs := newBenchFed(b, members, 128, FedRouterConfig{Unpipelined: unpiped})
+				demands := benchDemands(engs[0], 512)
+				ids := router.Nodes()
+				avail := engs[0].Config().CMax.Scale(0.5)
+				runServeBench(b, members, 8, func(c, i int) {
+					if i%10 == 9 {
+						if err := router.Update(ids[(c*31+i)%len(ids)], avail, false); err != nil {
+							b.Error(err)
+						}
+						return
+					}
+					if _, err := router.Query(QueryRequest{Demand: demands[(i+c)%len(demands)], K: 3}); err != nil {
 						b.Error(err)
 					}
-					return
-				}
-				if _, err := router.Query(QueryRequest{Demand: demands[(i+c)%len(demands)], K: 3}); err != nil {
-					b.Error(err)
-				}
+				})
 			})
-		})
+		}
 	}
 }

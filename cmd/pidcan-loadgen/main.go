@@ -106,6 +106,7 @@ func main() {
 		conScope = flag.String("consistent-scope", "all", "consistent-query scope: all (scatter-gather every shard) or one (single shard)")
 		skew     = flag.Float64("skew", 0, "zipf exponent (> 1) concentrating joins and updates onto low shard indexes; 0 = uniform")
 		seed     = flag.Uint64("seed", 1, "generator seed")
+		router   = flag.Bool("router", false, "target is a pidcan-router: the server: line and JSON report scatter legs/query, pruned legs, and pipeline depth from its /stats")
 		jsonOut  = flag.String("json", "", "also write the summary as JSON to this file")
 	)
 	flag.Parse()
@@ -164,6 +165,7 @@ func main() {
 	if probeErr == nil {
 		if probe1, err := fetchServerProbe(client, *baseURL); err == nil {
 			sum.Server = probe1.diff(probe0)
+			sum.Server.Router = *router
 		}
 	}
 	report(sum, *jsonOut)
@@ -885,6 +887,17 @@ type serverProbe struct {
 	IndexBuilds     uint64  `json:"index_builds"`
 	IndexDeltas     uint64  `json:"index_delta_builds"`
 	IndexReuses     uint64  `json:"index_reuses"`
+
+	// Router-mode fields (-router, a pidcan-router target): scatter
+	// legs actually sent vs pruned by demand-region summaries, and
+	// the mean pipeline depth on the shared member connections.
+	// LegsPerQuery is derived from the run's deltas.
+	Router           bool    `json:"-"`
+	Queries          uint64  `json:"queries"`
+	FedLegsSent      uint64  `json:"fed_legs_sent"`
+	FedLegsPruned    uint64  `json:"fed_legs_pruned"`
+	FedLegsPerQuery  float64 `json:"fed_legs_per_query"`
+	FedPipelineDepth float64 `json:"fed_pipeline_depth"`
 }
 
 // fetchServerProbe reads the read-path counters from /stats.
@@ -914,6 +927,13 @@ func (p *serverProbe) diff(before *serverProbe) *serverProbe {
 	d.IndexBuilds -= before.IndexBuilds
 	d.IndexDeltas -= before.IndexDeltas
 	d.IndexReuses -= before.IndexReuses
+	d.Queries -= before.Queries
+	d.FedLegsSent -= before.FedLegsSent
+	d.FedLegsPruned -= before.FedLegsPruned
+	d.FedLegsPerQuery = 0
+	if d.Queries > 0 {
+		d.FedLegsPerQuery = float64(d.FedLegsSent) / float64(d.Queries)
+	}
 	if lookups := d.CacheHits + d.CacheMisses; lookups > 0 {
 		d.CacheHitRate = float64(d.CacheHits) / float64(lookups)
 	}
@@ -1004,7 +1024,10 @@ func report(sum summary, jsonOut string) {
 		fmt.Printf("%-8s %10d %8d %8.2fms %8.2fms %8.2fms %8.2fms %8.2fms\n",
 			name, cs.Count, cs.Errors, cs.P50ms, cs.P90ms, cs.P99ms, cs.P999ms, cs.MaxMs)
 	}
-	if p := sum.Server; p != nil {
+	if p := sum.Server; p != nil && p.Router {
+		fmt.Printf("server:  router: %.2f legs/query (%d sent, %d pruned over %d queries); pipeline depth %.1f\n",
+			p.FedLegsPerQuery, p.FedLegsSent, p.FedLegsPruned, p.Queries, p.FedPipelineDepth)
+	} else if p != nil {
 		fmt.Printf("server:  %d nodes; cache %.1f%% hits (%d stale, %d adaptions; ttl %.0fms, quantum %.4f); index %.1f records/search over %d searches (%d builds, %d deltas, %d reuses)\n",
 			p.TotalNodes, 100*p.CacheHitRate, p.CacheStale, p.CacheAdaptions,
 			p.CacheTTLMS, p.CacheQuantum,

@@ -32,6 +32,11 @@ type Engine struct {
 	// to expire entries filled before recent writes.
 	epoch atomic.Uint64
 
+	// availSum caches the availability summary AvailSummary computes
+	// for federation pruning, keyed on epoch: read-mostly workloads
+	// answer repeated summary exchanges without rescanning snapshots.
+	availSum atomic.Pointer[availSummary]
+
 	queries       atomic.Uint64
 	idxSearches   atomic.Uint64 // snapshot-path index searches (uncached + cache fills)
 	idxScanned    atomic.Uint64 // records those searches visited

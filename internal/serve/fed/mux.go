@@ -1,0 +1,279 @@
+package fed
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"pidcan/internal/serve/wire"
+)
+
+// muxConn is one pipelined wire connection shared by every concurrent
+// caller of a RemotePrimary. Callers append their request frame under
+// a short mutex and park on a per-call channel; a dedicated flusher
+// goroutine batches everything concurrent callers enqueued into one
+// write syscall per round; and a single reader goroutine walks the
+// strictly-ordered response stream, correlating each response back to
+// its caller through a FIFO. This is exactly the wire.Client's one
+// sanctioned concurrency split — one enqueuer (serialized by mu), one
+// reader — so concurrent router scatter legs ride a shared connection
+// instead of paying one synchronous RTT each.
+//
+// A transport error poisons the whole connection: the sticky error
+// fails every in-flight and subsequent call fast (responses on a
+// desynced stream can no longer be trusted), and the owning pool
+// replaces the conn on its next checkout. Server-side rejections are
+// NOT transport errors — they complete their call normally and the
+// connection keeps serving.
+type muxConn struct {
+	c    *wire.Client
+	addr string
+
+	mu        sync.Mutex
+	unflushed int   // requests enqueued since the last Flush
+	err       error // sticky poison; set once, never cleared
+
+	// kick wakes the flusher goroutine (cap 1: wake-ups coalesce).
+	// The flusher yields one scheduler round before flushing, so on a
+	// saturated machine every runnable submitter gets to append its
+	// frame first and the whole train leaves in one write syscall —
+	// the batching that makes pipelining pay on busy cores, where a
+	// flush-on-enqueue strategy degenerates to one syscall per frame.
+	kick chan struct{}
+
+	// pending is the in-flight FIFO: entry order matches frame order
+	// on the wire (both happen under mu), which is the whole
+	// correlation scheme — the protocol answers strictly in request
+	// order, and reqID equality is verified per response.
+	pending chan muxCall
+
+	dead     atomic.Bool  // mirrors err != nil for lock-free checks
+	inflight atomic.Int64 // submitted minus completed (depth gauge)
+
+	// serial selects the unpipelined fallback transport: one call
+	// owns the connection end-to-end (enqueue, flush, read) under
+	// serialMu — the pre-pipelining behavior, kept as a benchmark
+	// baseline and escape hatch.
+	serial   bool
+	serialMu sync.Mutex
+
+	closeOnce sync.Once
+}
+
+// muxCall is one in-flight request: the reader runs on against the
+// decoded response (still aliasing reused client buffers — on must
+// copy anything it keeps) and completes done.
+type muxCall struct {
+	reqID uint32
+	on    func(*wire.Response) error
+	done  chan error
+}
+
+// muxPendingCap bounds the in-flight FIFO. A full FIFO does not drop
+// or fail calls: the submitter flushes (so the reader can drain) and
+// then blocks for a slot, still in order.
+const muxPendingCap = 1024
+
+// donePool recycles the per-call completion channels: a call's
+// channel is empty again after its receive, so it is safe to hand to
+// the next call instead of allocating one per request.
+var donePool = sync.Pool{New: func() any { return make(chan error, 1) }}
+
+func newMuxConn(c *wire.Client, addr string, serial bool) *muxConn {
+	// The mux accounts for its own in-flight calls; the client's
+	// close-time drain only needs to cover a response mid-read.
+	c.DrainTimeout = 10 * time.Millisecond
+	m := &muxConn{
+		c: c, addr: addr, serial: serial,
+		pending: make(chan muxCall, muxPendingCap),
+		kick:    make(chan struct{}, 1),
+	}
+	if !serial {
+		go m.readLoop()
+		go m.flushLoop()
+	}
+	return m
+}
+
+// submit runs one request over the shared connection: enqueue the
+// frame (stamped with writeEpoch) under mu, register the call in the
+// FIFO, kick the flusher, and wait for the reader to deliver the
+// response to on. The returned error is the transport error that
+// poisoned the conn, or whatever on returned.
+func (m *muxConn) submit(writeEpoch uint64, enq func(*wire.Client) uint32, on func(*wire.Response) error) error {
+	if m.serial {
+		return m.submitSerial(writeEpoch, enq, on)
+	}
+	done, err := m.start(writeEpoch, enq, on)
+	if err != nil {
+		return err
+	}
+	err = <-done
+	donePool.Put(done)
+	return err
+}
+
+// start is submit's non-blocking half: enqueue, register, kick the
+// flusher, and return the call's completion channel — the reader
+// sends its outcome exactly once. Callers that receive from it must
+// return the channel to donePool; callers that abandon the wait must
+// NOT (the reader's late send still lands in the buffer). Not valid
+// in serial mode.
+func (m *muxConn) start(writeEpoch uint64, enq func(*wire.Client) uint32, on func(*wire.Response) error) (chan error, error) {
+	done := donePool.Get().(chan error)
+	m.mu.Lock()
+	if m.err != nil {
+		err := m.err
+		m.mu.Unlock()
+		donePool.Put(done)
+		return nil, err
+	}
+	m.c.WriteEpoch = writeEpoch
+	id := enq(m.c)
+	m.unflushed++
+	call := muxCall{reqID: id, on: on, done: done}
+	select {
+	case m.pending <- call:
+	default:
+		// FIFO full. Flush first — our frame included — so the reader
+		// can drain responses and free a slot, then block for it. The
+		// push stays under mu: FIFO order must keep matching frame
+		// order on the wire.
+		m.flushLocked()
+		m.pending <- call
+	}
+	m.inflight.Add(1)
+	m.mu.Unlock()
+	select {
+	case m.kick <- struct{}{}:
+	default: // a wake-up is already pending; it covers this frame too
+	}
+	return done, nil
+}
+
+// flushLoop is the dedicated flusher: woken by the first enqueue of a
+// train, it yields one scheduler round — letting every runnable
+// submitter append its frame — then flushes the whole batch in one
+// write syscall, repeating while more frames keep arriving. Exits
+// once the conn is poisoned (Close and fail both kick it awake).
+func (m *muxConn) flushLoop() {
+	for range m.kick {
+		runtime.Gosched()
+		m.mu.Lock()
+		for m.err == nil && m.unflushed > 0 {
+			m.unflushed = 0
+			if err := m.c.Flush(); err != nil {
+				m.failLocked(err)
+			}
+		}
+		dead := m.err != nil
+		m.mu.Unlock()
+		if dead {
+			return
+		}
+	}
+}
+
+func (m *muxConn) flushLocked() {
+	if m.err != nil || m.unflushed == 0 {
+		return
+	}
+	m.unflushed = 0
+	if err := m.c.Flush(); err != nil {
+		m.failLocked(err)
+	}
+}
+
+// readLoop is the single reader: one FIFO entry, one ReadResponse,
+// in lockstep. Once the conn is poisoned it keeps consuming the FIFO
+// — failing calls fast without touching the socket — so submitters
+// blocked on a full FIFO always make progress.
+func (m *muxConn) readLoop() {
+	for call := range m.pending {
+		var err error
+		if m.dead.Load() {
+			m.mu.Lock()
+			err = m.err
+			m.mu.Unlock()
+		} else {
+			var r *wire.Response
+			r, err = m.c.ReadResponse()
+			if err != nil {
+				m.fail(err)
+			} else if r.ReqID != call.reqID {
+				err = fmt.Errorf("wire: pipelined response id %d for request %d (stream desync)", r.ReqID, call.reqID)
+				m.fail(err)
+			} else {
+				err = call.on(r)
+			}
+		}
+		call.done <- err
+		m.inflight.Add(-1)
+	}
+}
+
+// submitSerial is the unpipelined transport: exclusive ownership of
+// the connection for the whole enqueue-flush-read exchange.
+func (m *muxConn) submitSerial(writeEpoch uint64, enq func(*wire.Client) uint32, on func(*wire.Response) error) error {
+	m.serialMu.Lock()
+	defer m.serialMu.Unlock()
+	m.mu.Lock()
+	if m.err != nil {
+		err := m.err
+		m.mu.Unlock()
+		return err
+	}
+	m.mu.Unlock()
+	m.c.WriteEpoch = writeEpoch
+	reqID := enq(m.c)
+	m.inflight.Add(1)
+	defer m.inflight.Add(-1)
+	if err := m.c.Flush(); err != nil {
+		m.fail(err)
+		return err
+	}
+	r, err := m.c.ReadResponse()
+	if err != nil {
+		m.fail(err)
+		return err
+	}
+	if r.ReqID != reqID {
+		err = fmt.Errorf("wire: response id %d for request %d", r.ReqID, reqID)
+		m.fail(err)
+		return err
+	}
+	return on(r)
+}
+
+func (m *muxConn) fail(err error) {
+	m.mu.Lock()
+	m.failLocked(err)
+	m.mu.Unlock()
+}
+
+func (m *muxConn) failLocked(err error) {
+	if m.err == nil {
+		m.err = err
+		m.dead.Store(true)
+		// Closing the client unblocks a reader mid-ReadResponse; the
+		// kick lets an idle-parked flusher observe the poison and exit.
+		m.c.Close()
+		select {
+		case m.kick <- struct{}{}:
+		default:
+		}
+	}
+}
+
+// Close poisons the conn and closes the FIFO. Safe against concurrent
+// submits: the sticky error is set under mu before the channel
+// closes, so no submitter can push afterwards, and the reader drains
+// what remains (failing each call fast) before exiting.
+func (m *muxConn) Close() {
+	m.closeOnce.Do(func() {
+		m.fail(wire.ErrClosed)
+		close(m.pending)
+	})
+}

@@ -3,42 +3,66 @@ package fed
 import (
 	"errors"
 	"fmt"
+	"math/rand/v2"
 	"sync"
+	"sync/atomic"
+	"time"
 
 	"pidcan/internal/serve"
 	"pidcan/internal/serve/wire"
 	"pidcan/internal/vector"
 )
 
-// poolCap bounds the idle wire connections kept per member.
-const poolCap = 8
-
-type pooledConn struct {
-	c    *wire.Client
-	addr string
-}
+// defaultPoolSize is the pipelined connections kept per member.
+// Concurrent callers multiplex onto them round-robin. One shared
+// connection wins under load: every concurrent leg lands in the same
+// flush train, so the syscall amortization is maximal — spreading the
+// same traffic over more connections only dilutes the batches.
+// Config.PoolSize raises it for deployments where a single reader
+// goroutine per member becomes the bottleneck.
+const defaultPoolSize = 1
 
 // RemotePrimary adapts one federation member — a whole primary
 // process reached over the wire protocol — to the serve.Placement
 // interface, so the scatter/migrate machinery written for in-process
 // shards drives remote processes unchanged.
 //
-// Connections are pooled per member (concurrent scatter legs and
-// router requests each check one out), and the member's address list
-// is rotated on transport failure or read-only answers: after a
-// fail-over the router converges onto the promoted follower without
-// configuration changes. Every operation retries once after a
-// rotation; writes interrupted mid-flight are at-most-once (the
-// retry may find the first attempt applied and surface the member's
-// rejection).
+// The transport is a fixed pool of shared pipelined connections
+// (muxConn): concurrent scatter legs and router requests enqueue
+// onto the same connection and a single flush carries them all, so a
+// leg costs a fraction of an RTT instead of a synchronous exchange.
+// The member's address list rotates on transport failure or
+// read-only answers — after a fail-over the router converges onto
+// the promoted follower without configuration changes — and repeated
+// dial failures back off with jitter instead of hammering a dead
+// address. Every operation retries over the rotation; writes
+// interrupted mid-flight are at-most-once (the retry may find the
+// first attempt applied and surface the member's rejection).
 type RemotePrimary struct {
 	member int
 
-	mu     sync.Mutex
-	addrs  []string
-	cur    int
-	pool   []pooledConn
-	closed bool
+	mu    sync.Mutex
+	addrs []string
+	cur   int
+	conns []*muxConn // fixed slots, dialed lazily
+	// Dial backoff: consecutive failures gate redials exponentially
+	// (jittered); rotation clears the gate — it belongs to the
+	// address that failed, not to its fallback.
+	dialFails   int
+	nextDial    time.Time
+	lastDialErr error
+	closed      bool
+
+	poolSize    int
+	unpipelined bool
+
+	rr atomic.Uint64 // round-robin slot pick
+
+	// depthSum/depthN sample the pipeline depth seen at submit time
+	// (in-flight calls on the chosen conn, this one included) — the
+	// feed behind the router's fed_pipeline_depth stat.
+	depthSum atomic.Uint64
+	depthN   atomic.Uint64
 
 	// fwd is the owning router's forwarding table: Leave drops the
 	// node's entries, CompleteMigration repoints them (nil in
@@ -49,11 +73,15 @@ type RemotePrimary struct {
 	// Router hooks (any may be nil): mapVer stamps fed queries with
 	// the current map version, writeEpoch fences writes with the
 	// member's recorded epoch, onEpoch/onStale feed fail-over and
-	// map-staleness evidence back to the router.
+	// map-staleness evidence back to the router, and
+	// writeBegin/writeEnd bracket every write routed to this member
+	// (the router's summary dirty-tracking).
 	mapVer     func() uint64
 	writeEpoch func(member int) uint64
 	onEpoch    func(member int, epoch uint64)
 	onStale    func(member int)
+	writeBegin func(member int)
+	writeEnd   func(member int)
 }
 
 var _ serve.Placement = (*RemotePrimary)(nil)
@@ -63,9 +91,10 @@ var _ serve.Placement = (*RemotePrimary)(nil)
 // fwd may be nil when the caller owns forwarding state itself.
 func NewRemotePrimary(member int, addrs []string, fwd *serve.ForwardTable) *RemotePrimary {
 	return &RemotePrimary{
-		member: member,
-		addrs:  append([]string(nil), addrs...),
-		fwd:    fwd,
+		member:   member,
+		addrs:    append([]string(nil), addrs...),
+		fwd:      fwd,
+		poolSize: defaultPoolSize,
 	}
 }
 
@@ -79,86 +108,153 @@ func (r *RemotePrimary) Addr() string {
 	return r.addrs[r.cur]
 }
 
-// Close drops the idle connection pool and fails subsequent calls
+// Close poisons every pooled connection and fails subsequent calls
 // with serve.ErrClosed.
 func (r *RemotePrimary) Close() {
 	r.mu.Lock()
 	r.closed = true
-	pool := r.pool
-	r.pool = nil
+	conns := r.conns
+	r.conns = nil
 	r.mu.Unlock()
-	for _, pc := range pool {
-		pc.c.Close()
-	}
-}
-
-// get checks a connection out of the pool, discarding entries dialed
-// before an address rotation, or dials the current address.
-func (r *RemotePrimary) get() (*wire.Client, string, error) {
-	r.mu.Lock()
-	if r.closed {
-		r.mu.Unlock()
-		return nil, "", serve.ErrClosed
-	}
-	addr := r.addrs[r.cur]
-	var stale []pooledConn
-	var got *wire.Client
-	for len(r.pool) > 0 && got == nil {
-		pc := r.pool[len(r.pool)-1]
-		r.pool = r.pool[:len(r.pool)-1]
-		if pc.addr == addr {
-			got = pc.c
-		} else {
-			stale = append(stale, pc)
+	for _, mc := range conns {
+		if mc != nil {
+			mc.Close()
 		}
 	}
-	r.mu.Unlock()
-	for _, pc := range stale {
-		pc.c.Close()
-	}
-	if got != nil {
-		return got, addr, nil
-	}
-	c, err := wire.Dial(addr)
-	if err != nil {
-		return nil, addr, err
-	}
-	return c, addr, nil
 }
 
-// put returns a healthy connection to the pool (closed instead when
-// the pool is full or the address rotated underneath it).
-func (r *RemotePrimary) put(c *wire.Client, addr string) {
-	r.mu.Lock()
-	if !r.closed && addr == r.addrs[r.cur] && len(r.pool) < poolCap {
-		r.pool = append(r.pool, pooledConn{c: c, addr: addr})
-		r.mu.Unlock()
-		return
+// backoffAfter is the jittered redial gate after fails consecutive
+// dial failures: exponential from 25ms, capped at 1.6s, uniformly
+// jittered over [d/2, d) so a fleet of routers never reconverges on
+// a recovering member in lockstep.
+func backoffAfter(fails int) time.Duration {
+	shift := fails
+	if shift > 6 {
+		shift = 6
 	}
-	r.mu.Unlock()
-	c.Close()
+	d := 25 * time.Millisecond << shift
+	return d/2 + time.Duration(rand.Int64N(int64(d/2)))
+}
+
+// getConn returns a healthy shared connection to the member's
+// current address, replacing a dead or rotated-away slot by dialing
+// (outside the lock) — or failing fast while the backoff gate holds.
+func (r *RemotePrimary) getConn() (*muxConn, string, error) {
+	slot := int(r.rr.Add(1)-1) % r.poolSize
+	for tries := 0; tries < 2; tries++ {
+		r.mu.Lock()
+		if r.closed {
+			r.mu.Unlock()
+			return nil, "", serve.ErrClosed
+		}
+		if r.conns == nil {
+			r.conns = make([]*muxConn, r.poolSize)
+		}
+		addr := r.addrs[r.cur]
+		if mc := r.conns[slot]; mc != nil && mc.addr == addr && !mc.dead.Load() {
+			r.mu.Unlock()
+			return mc, addr, nil
+		}
+		if now := time.Now(); now.Before(r.nextDial) {
+			err := r.lastDialErr
+			r.mu.Unlock()
+			return nil, addr, fmt.Errorf("dial backoff: %w", err)
+		}
+		r.mu.Unlock()
+
+		c, err := wire.Dial(addr)
+
+		r.mu.Lock()
+		if r.closed {
+			r.mu.Unlock()
+			if err == nil {
+				c.Close()
+			}
+			return nil, addr, serve.ErrClosed
+		}
+		if err != nil {
+			r.dialFails++
+			r.lastDialErr = err
+			r.nextDial = time.Now().Add(backoffAfter(r.dialFails))
+			r.mu.Unlock()
+			return nil, addr, err
+		}
+		r.dialFails = 0
+		r.nextDial = time.Time{}
+		if addr != r.addrs[r.cur] {
+			// Rotated away mid-dial: don't install a connection to the
+			// abandoned address — loop and re-evaluate.
+			r.mu.Unlock()
+			c.Close()
+			continue
+		}
+		if mc := r.conns[slot]; mc != nil && mc.addr == addr && !mc.dead.Load() {
+			// A concurrent caller already replaced the slot.
+			r.mu.Unlock()
+			c.Close()
+			return mc, addr, nil
+		}
+		old := r.conns[slot]
+		mc := newMuxConn(c, addr, r.unpipelined)
+		r.conns[slot] = mc
+		r.mu.Unlock()
+		if old != nil {
+			old.Close()
+		}
+		return mc, addr, nil
+	}
+	return nil, "", fmt.Errorf("fed: member %d: address rotated repeatedly mid-dial", r.member)
 }
 
 // rotate advances to the member's next fallback address, if addr is
-// still the one that failed (concurrent failures rotate once).
+// still the one that failed (concurrent failures rotate once). The
+// dial-backoff gate resets: a fresh address deserves an immediate
+// dial.
 func (r *RemotePrimary) rotate(addr string) {
 	r.mu.Lock()
 	if !r.closed && addr == r.addrs[r.cur] && len(r.addrs) > 1 {
 		r.cur = (r.cur + 1) % len(r.addrs)
+		r.nextDial = time.Time{}
+		r.dialFails = 0
 	}
 	r.mu.Unlock()
 }
 
-// do runs f over a pooled connection with bounded retries: a
-// transport failure or a read-only/not-ready answer rotates the
-// address and tries again, a fenced write re-stamps the epoch just
-// observed. Three attempts cover the longest fail-over walk: dead
-// primary -> transport error -> rotate -> promoted follower ->
-// fenced -> re-stamp with the new epoch -> applied.
-func (r *RemotePrimary) do(f func(c *wire.Client) error) error {
+func (r *RemotePrimary) isClosed() bool {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.closed
+}
+
+// beginWrite brackets one write routed to this member for the
+// router's summary dirty-tracking; the returned func marks its
+// completion. Usage: defer r.beginWrite()().
+func (r *RemotePrimary) beginWrite() func() {
+	if r.writeBegin != nil {
+		r.writeBegin(r.member)
+	}
+	if r.writeEnd == nil {
+		return func() {}
+	}
+	return func() { r.writeEnd(r.member) }
+}
+
+// do runs one request — enq appends the frame, on consumes the
+// decoded response — over the shared pipelined transport with
+// bounded retries: a transport failure or a read-only/not-ready
+// answer rotates the address and tries again, a fenced write
+// re-stamps the epoch just observed. Three attempts cover the
+// longest fail-over walk: dead primary -> transport error -> rotate
+// -> promoted follower -> fenced -> re-stamp with the new epoch ->
+// applied.
+//
+// on runs on the connection's reader goroutine; anything it keeps
+// from the response must be copied out of the client's reused
+// buffers before it returns.
+func (r *RemotePrimary) do(enq func(c *wire.Client) uint32, on func(resp *wire.Response) error) error {
 	var lastErr error
 	for attempt := 0; attempt < 3; attempt++ {
-		c, addr, err := r.get()
+		mc, addr, err := r.getConn()
 		if err != nil {
 			if errors.Is(err, serve.ErrClosed) {
 				return err
@@ -167,41 +263,54 @@ func (r *RemotePrimary) do(f func(c *wire.Client) error) error {
 			r.rotate(addr)
 			continue
 		}
+		var we uint64
 		if r.writeEpoch != nil {
-			c.WriteEpoch = r.writeEpoch(r.member)
+			we = r.writeEpoch(r.member)
 		}
-		err = f(c)
-		// Every response — rejections included — carries the
-		// member's replication epoch; a jump is the first evidence
-		// of a promotion and feeds the federation map.
-		if r.onEpoch != nil {
-			if ep := c.LastEpoch(); ep > 0 {
-				r.onEpoch(r.member, ep)
+		r.depthSum.Add(uint64(mc.inflight.Load() + 1))
+		r.depthN.Add(1)
+		var gotEpoch uint64
+		err = mc.submit(we, enq, func(resp *wire.Response) error {
+			gotEpoch = resp.Epoch
+			if resp.Errored {
+				e := resp.Err
+				return &e
 			}
+			return on(resp)
+		})
+		// Every response — rejections included — carries the member's
+		// replication epoch; a jump is the first evidence of a
+		// promotion and feeds the federation map. (Safe to read after
+		// submit: the reader goroutine's write happens-before the
+		// done-channel receive.)
+		if r.onEpoch != nil && gotEpoch > 0 {
+			r.onEpoch(r.member, gotEpoch)
 		}
 		if err == nil {
-			r.put(c, addr)
 			return nil
 		}
-		var we *wire.Error
-		if errors.As(err, &we) {
-			// The server answered; the connection is healthy.
-			r.put(c, addr)
-			switch we.Code {
+		var werr *wire.Error
+		if errors.As(err, &werr) {
+			// The server answered; the shared connection is healthy
+			// and stays in the pool.
+			switch werr.Code {
 			case wire.CodeReadOnly, wire.CodeNotReady:
-				lastErr = r.translate(we)
+				lastErr = r.translate(werr)
 				r.rotate(addr)
 				continue
 			case wire.CodeFenced:
 				// Our stamped epoch was stale; the observation above
 				// recorded the newer one — retry stamps it.
-				lastErr = r.translate(we)
+				lastErr = r.translate(werr)
 				continue
 			}
-			return r.translate(we)
+			return r.translate(werr)
 		}
-		// Transport error mid-exchange: the connection is poisoned.
-		c.Close()
+		if errors.Is(err, wire.ErrClosed) && r.isClosed() {
+			return serve.ErrClosed
+		}
+		// Transport error: the mux poisoned the shared connection;
+		// the pool replaces it on the next checkout.
 		lastErr = fmt.Errorf("fed: member %d: %w", r.member, err)
 		r.rotate(addr)
 	}
@@ -241,11 +350,8 @@ func (r *RemotePrimary) curMapVer() uint64 {
 	return 0
 }
 
-// QueryLeg runs one query against the member as a scatter leg,
-// translating candidate ids into the federation namespace. The
-// member's epoch and map-staleness bit feed the router's fail-over
-// and map-propagation hooks.
-func (r *RemotePrimary) QueryLeg(req serve.QueryRequest, cancel <-chan struct{}) (serve.PlacementLeg, error) {
+// legWireQuery translates a serve query into its wire form.
+func legWireQuery(req serve.QueryRequest) wire.Query {
 	wq := wire.Query{
 		Demand:     req.Demand,
 		K:          req.K,
@@ -256,13 +362,16 @@ func (r *RemotePrimary) QueryLeg(req serve.QueryRequest, cancel <-chan struct{})
 	if wq.K > 0xFFFF || wq.K < 0 {
 		wq.K = 0xFFFF // wire K is u16; the merge re-truncates anyway
 	}
-	var leg serve.PlacementLeg
-	err := r.do(func(c *wire.Client) error {
-		var res wire.QueryResult
-		_, err := c.FedQuery(r.curMapVer(), &wq, &res) // do() observes the epoch
-		if err != nil {
-			return err
-		}
+	return wq
+}
+
+// legDecoder returns the response callback that decodes a fed-query
+// answer into leg, translating candidate ids into the federation
+// namespace. It runs on the connection's reader goroutine, so
+// everything kept is copied out of the client's reused buffers.
+func (r *RemotePrimary) legDecoder(leg *serve.PlacementLeg) func(resp *wire.Response) error {
+	return func(resp *wire.Response) error {
+		res := &resp.Query
 		if res.MapStale && r.onStale != nil {
 			r.onStale(r.member)
 		}
@@ -270,49 +379,136 @@ func (r *RemotePrimary) QueryLeg(req serve.QueryRequest, cancel <-chan struct{})
 		if leg.Queried == 0 {
 			leg.Queried = 1 // snapshot path: answered without protocol legs
 		}
-		leg.Cands = leg.Cands[:0]
+		// The decode buffers behind cd.Avail are reused on the
+		// next response; the leg outlives them. One backing array
+		// holds every candidate's copy (one alloc per leg, not
+		// one per candidate).
+		total := 0
 		for _, cd := range res.Candidates {
+			total += len(cd.Avail)
+		}
+		backing := make([]float64, 0, total)
+		leg.Cands = make([]serve.Candidate, 0, len(res.Candidates))
+		for _, cd := range res.Candidates {
+			backing = append(backing, cd.Avail...)
 			leg.Cands = append(leg.Cands, serve.Candidate{
-				Node: ID(r.member, serve.GlobalID(cd.Node)),
-				// The decode buffers behind cd.Avail are reused on the
-				// next response; the leg outlives them.
-				Avail:   vector.Vec(append([]float64(nil), cd.Avail...)),
+				Node:    ID(r.member, serve.GlobalID(cd.Node)),
+				Avail:   vector.Vec(backing[len(backing)-len(cd.Avail):]),
 				Surplus: cd.Surplus,
 			})
 		}
 		return nil
-	})
+	}
+}
+
+// QueryLeg runs one query against the member as a scatter leg,
+// translating candidate ids into the federation namespace. The
+// member's epoch and map-staleness bit feed the router's fail-over
+// and map-propagation hooks.
+func (r *RemotePrimary) QueryLeg(req serve.QueryRequest, cancel <-chan struct{}) (serve.PlacementLeg, error) {
+	wq := legWireQuery(req)
+	var leg serve.PlacementLeg
+	err := r.do(
+		func(c *wire.Client) uint32 { return c.EnqueueFedQuery(r.curMapVer(), &wq) },
+		r.legDecoder(&leg))
 	if err != nil {
 		return serve.PlacementLeg{}, err
 	}
 	return leg, nil
 }
 
+// QueryLegAsync issues one scatter leg without blocking for its
+// response: the frame is enqueued onto a shared pipelined connection
+// from the caller's goroutine, and the returned channel delivers the
+// leg's outcome exactly once. This lets the router start every leg of
+// a scatter and gather them on its own goroutine — no per-leg
+// goroutine, no per-leg flush.
+//
+// done == nil means the fast path could not start (unpipelined
+// transport, dial failure/backoff); call collect(nil) and it runs the
+// synchronous QueryLeg instead. When done is non-nil, receive from it
+// and pass the received error to collect — on any in-flight failure
+// collect also falls back to the synchronous path, whose do() owns
+// rotation, retries, and error translation (fed queries are
+// idempotent, so re-asking is safe). A caller that abandons the wait
+// (timeout) must simply not call collect; the reader's buffered send
+// completes regardless.
+func (r *RemotePrimary) QueryLegAsync(req serve.QueryRequest) (done chan error, collect func(err error) (serve.PlacementLeg, error)) {
+	sync := func(error) (serve.PlacementLeg, error) { return r.QueryLeg(req, nil) }
+	if r.unpipelined {
+		return nil, sync
+	}
+	mc, _, err := r.getConn()
+	if err != nil {
+		return nil, sync
+	}
+	var we uint64
+	if r.writeEpoch != nil {
+		we = r.writeEpoch(r.member)
+	}
+	r.depthSum.Add(uint64(mc.inflight.Load() + 1))
+	r.depthN.Add(1)
+	wq := legWireQuery(req)
+	leg := new(serve.PlacementLeg)
+	var gotEpoch uint64
+	done, err = mc.start(we,
+		func(c *wire.Client) uint32 { return c.EnqueueFedQuery(r.curMapVer(), &wq) },
+		func(resp *wire.Response) error {
+			gotEpoch = resp.Epoch
+			if resp.Errored {
+				e := resp.Err
+				return &e
+			}
+			return r.legDecoder(leg)(resp)
+		})
+	if err != nil {
+		return nil, sync
+	}
+	collect = func(err error) (serve.PlacementLeg, error) {
+		// Safe to read gotEpoch here: the reader goroutine's write
+		// happens-before the caller's done-channel receive.
+		if r.onEpoch != nil && gotEpoch > 0 {
+			r.onEpoch(r.member, gotEpoch)
+		}
+		if err == nil {
+			return *leg, nil
+		}
+		if errors.Is(err, wire.ErrClosed) && r.isClosed() {
+			return serve.PlacementLeg{}, serve.ErrClosed
+		}
+		return r.QueryLeg(req, nil)
+	}
+	return done, collect
+}
+
 func (r *RemotePrimary) Update(node serve.GlobalID, avail vector.Vec, announce bool) error {
+	defer r.beginWrite()()
 	_, local := SplitID(node)
-	return r.do(func(c *wire.Client) error {
-		return c.Update(uint64(local), avail, announce)
-	})
+	return r.do(
+		func(c *wire.Client) uint32 { return c.EnqueueUpdate(uint64(local), avail, announce) },
+		func(resp *wire.Response) error { return nil },
+	)
 }
 
 func (r *RemotePrimary) Join(avail vector.Vec) (serve.GlobalID, error) {
+	defer r.beginWrite()()
 	var id serve.GlobalID
-	err := r.do(func(c *wire.Client) error {
-		raw, err := c.Join(-1, avail)
-		if err != nil {
-			return err
-		}
-		id = ID(r.member, serve.GlobalID(raw))
-		return nil
-	})
+	err := r.do(
+		func(c *wire.Client) uint32 { return c.EnqueueJoin(-1, avail) },
+		func(resp *wire.Response) error {
+			id = ID(r.member, serve.GlobalID(resp.Node))
+			return nil
+		})
 	return id, err
 }
 
 func (r *RemotePrimary) Leave(node serve.GlobalID) error {
+	defer r.beginWrite()()
 	_, local := SplitID(node)
-	err := r.do(func(c *wire.Client) error {
-		return c.Leave(uint64(local))
-	})
+	err := r.do(
+		func(c *wire.Client) uint32 { return c.EnqueueLeave(uint64(local)) },
+		func(resp *wire.Response) error { return nil },
+	)
 	if err == nil && r.fwd != nil {
 		r.fwd.Forget(node) // removed ids only matter to routing
 	}
@@ -327,17 +523,20 @@ func (r *RemotePrimary) Leave(node serve.GlobalID) error {
 // availability still valid, matching the in-process contract.
 func (r *RemotePrimary) Take(node serve.GlobalID, out bool) (vector.Vec, error) {
 	_ = out // always an out-take from the member's point of view
+	defer r.beginWrite()()
 	_, local := SplitID(node)
 	var avail vector.Vec
 	var degraded bool
-	err := r.do(func(c *wire.Client) error {
-		a, d, err := c.TakeNode(uint64(local))
-		if err != nil {
-			return err
-		}
-		avail, degraded = vector.Vec(a), d
-		return nil
-	})
+	err := r.do(
+		func(c *wire.Client) uint32 { return c.EnqueueFedTake(uint64(local)) },
+		func(resp *wire.Response) error {
+			avail = vector.Vec(append([]float64(nil), resp.TakeAvail...))
+			if len(avail) == 0 {
+				avail = nil
+			}
+			degraded = resp.TakeDegraded
+			return nil
+		})
 	if err != nil {
 		return nil, err
 	}
@@ -349,20 +548,27 @@ func (r *RemotePrimary) Take(node serve.GlobalID, out bool) (vector.Vec, error) 
 
 // MapExchange offers the member a federation map at version ver
 // (blob may be nil to only pull) and returns the newest version and
-// blob the member holds, copied out of the connection's buffers.
-func (r *RemotePrimary) MapExchange(ver uint64, blob []byte) (uint64, []byte, error) {
+// blob the member holds — plus the member's availability summary,
+// when it sent one — copied out of the connection's buffers.
+func (r *RemotePrimary) MapExchange(ver uint64, blob []byte) (uint64, []byte, *wire.Summary, error) {
 	var gotVer uint64
 	var got []byte
-	err := r.do(func(c *wire.Client) error {
-		v, b, err := c.MapExchange(ver, blob)
-		if err != nil {
-			return err
-		}
-		gotVer = v
-		got = append([]byte(nil), b...)
-		return nil
-	})
-	return gotVer, got, err
+	var sum *wire.Summary
+	err := r.do(
+		func(c *wire.Client) uint32 { return c.EnqueueMapExchange(ver, blob) },
+		func(resp *wire.Response) error {
+			gotVer = resp.MapVer
+			got = append([]byte(nil), resp.MapBlob...)
+			if resp.SumOK {
+				sum = &wire.Summary{
+					Seq: resp.Summary.Seq,
+					Pop: resp.Summary.Pop,
+					Max: append([]float64(nil), resp.Summary.Max...),
+				}
+			}
+			return nil
+		})
+	return gotVer, got, sum, err
 }
 
 // CompleteMigration re-joins a taken node on this member and
@@ -380,4 +586,10 @@ func (r *RemotePrimary) CompleteMigration(avail vector.Vec, ext, old serve.Globa
 		r.fwd.Repoint(ext, old, id)
 	}
 	return id, nil
+}
+
+// depthStats returns the cumulative pipeline-depth samples (sum and
+// count) taken at submit time.
+func (r *RemotePrimary) depthStats() (sum, n uint64) {
+	return r.depthSum.Load(), r.depthN.Load()
 }

@@ -1,6 +1,7 @@
 package fed
 
 import (
+	"encoding/json"
 	"errors"
 	"fmt"
 	"sort"
@@ -36,6 +37,33 @@ type Config struct {
 	// after its last repoint (default 1m).
 	ForwardGrace time.Duration
 
+	// PoolSize is the number of shared pipelined wire connections
+	// kept per member (default 1 — one connection concentrates every
+	// concurrent leg into the same flush train). Raising it only
+	// helps once a member's single reader goroutine saturates a core.
+	PoolSize int
+
+	// Unpipelined reverts members to the synchronous
+	// one-call-owns-the-connection transport (the pre-pipelining
+	// baseline, kept for benchmarking; PoolSize then caps per-member
+	// concurrency).
+	Unpipelined bool
+
+	// SummaryTTL bounds how old a member's availability summary may
+	// be and still prune that member's scatter leg (default 1s).
+	// Stale, missing or write-dirtied summaries force the full
+	// fan-out for that member.
+	SummaryTTL time.Duration
+
+	// SummaryRefresh is the period of the background summary/map
+	// exchange with every member (default 250ms; < 0 disables the
+	// loop — tests drive RefreshSummaries directly).
+	SummaryRefresh time.Duration
+
+	// DisablePruning turns demand-region pruning off: every query
+	// fans out to every member regardless of summaries.
+	DisablePruning bool
+
 	// AfterTake, when non-nil, runs between a migration's take and
 	// its destination re-join — a crash-injection point for tests.
 	AfterTake func()
@@ -53,6 +81,16 @@ type Stats struct {
 	Migrations   uint64        `json:"migrations"`
 	Errors       uint64        `json:"errors"`
 	ForwardedIDs int           `json:"forwarded_ids"`
+	// LegsSent counts scatter legs actually dispatched by queries;
+	// LegsPruned counts legs skipped because a member's availability
+	// summary proved it could not satisfy the demand. Their sum is
+	// what an unpruned router would have sent.
+	LegsSent   uint64 `json:"fed_legs_sent"`
+	LegsPruned uint64 `json:"fed_legs_pruned"`
+	// PipelineDepth is the mean in-flight request count observed on
+	// the shared member connections at submit time — >1 means
+	// concurrent legs are batching onto shared flushes.
+	PipelineDepth float64 `json:"fed_pipeline_depth"`
 }
 
 // MemberStats describes one member in Stats.
@@ -60,6 +98,11 @@ type MemberStats struct {
 	Index int    `json:"index"`
 	Addr  string `json:"addr"` // address currently in use (rotates on fail-over)
 	Epoch uint64 `json:"epoch"`
+	// SummaryPop is the record count behind the member's last
+	// adopted availability summary (-1: none held), SummaryAgeMS its
+	// age — the observability behind "why wasn't this leg pruned".
+	SummaryPop   int   `json:"summary_pop"`
+	SummaryAgeMS int64 `json:"summary_age_ms"`
 }
 
 // fedRetries bounds migration-chase retries on rejected writes,
@@ -85,11 +128,24 @@ type Router struct {
 
 	scatterTimeout time.Duration
 	afterTake      func()
+	unpipelined    bool
 
-	stop    chan struct{}
-	closed  atomic.Bool
-	pushing atomic.Bool
-	pulling atomic.Bool
+	// Demand-region pruning state: sums holds each member's last
+	// adopted availability summary; wstart/wdone count writes routed
+	// to each member (bumped at call start and completion) — the
+	// dirty-tracking that invalidates a summary the moment a write
+	// might have outrun it.
+	summaryTTL time.Duration
+	noPrune    bool
+	sums       []atomic.Pointer[memberSummary]
+	wstart     []atomic.Uint64
+	wdone      []atomic.Uint64
+
+	stop       chan struct{}
+	closed     atomic.Bool
+	pushing    atomic.Bool
+	pulling    atomic.Bool
+	refreshing atomic.Bool
 
 	joinSeq atomic.Uint64
 	rrQuery atomic.Uint64
@@ -100,6 +156,22 @@ type Router struct {
 	leaves     atomic.Uint64
 	migrations atomic.Uint64
 	errors     atomic.Uint64
+	legsSent   atomic.Uint64
+	legsPruned atomic.Uint64
+}
+
+// memberSummary is the router's adopted copy of one member's
+// availability summary plus the local anchors that bound its
+// validity: at (receipt time, aged against SummaryTTL) and wseq (the
+// member's wstart counter when the exchange began — any later write
+// to the member shifts the counter and dirties the summary until a
+// post-write refresh).
+type memberSummary struct {
+	max  vector.Vec
+	pop  uint32
+	seq  uint64
+	at   time.Time
+	wseq uint64
 }
 
 var _ serve.Service = (*Router)(nil)
@@ -121,6 +193,7 @@ func New(cfg Config) (*Router, error) {
 		cmax:           cfg.CMax,
 		scatterTimeout: cfg.ScatterTimeout,
 		afterTake:      cfg.AfterTake,
+		unpipelined:    cfg.Unpipelined,
 		stop:           make(chan struct{}),
 	}
 	if r.scatterTimeout <= 0 {
@@ -130,14 +203,28 @@ func New(cfg Config) (*Router, error) {
 	if grace <= 0 {
 		grace = time.Minute
 	}
+	r.summaryTTL = cfg.SummaryTTL
+	if r.summaryTTL <= 0 {
+		r.summaryTTL = time.Second
+	}
+	r.noPrune = cfg.DisablePruning
+	r.sums = make([]atomic.Pointer[memberSummary], len(m.Members))
+	r.wstart = make([]atomic.Uint64, len(m.Members))
+	r.wdone = make([]atomic.Uint64, len(m.Members))
 	r.fwd = serve.NewForwardTable(grace)
 	r.mapVer.Store(m.Version)
 	for i := range m.Members {
 		rp := NewRemotePrimary(i, m.Members[i].Addrs, r.fwd)
+		if cfg.PoolSize > 0 {
+			rp.poolSize = cfg.PoolSize
+		}
+		rp.unpipelined = cfg.Unpipelined
 		rp.mapVer = r.mapVer.Load
 		rp.writeEpoch = r.epochOf
 		rp.onEpoch = r.observeEpoch
 		rp.onStale = r.observeStale
+		rp.writeBegin = r.noteWriteStart
+		rp.writeEnd = r.noteWriteEnd
 		r.members = append(r.members, rp)
 		r.places = append(r.places, rp)
 	}
@@ -148,7 +235,26 @@ func New(cfg Config) (*Router, error) {
 		}
 	}
 	r.pushMap()
+	refresh := cfg.SummaryRefresh
+	if refresh == 0 {
+		refresh = 250 * time.Millisecond
+	}
+	if refresh > 0 && !r.noPrune {
+		go r.summaryLoop(refresh)
+	}
 	return r, nil
+}
+
+func (r *Router) noteWriteStart(member int) {
+	if member < len(r.wstart) {
+		r.wstart[member].Add(1)
+	}
+}
+
+func (r *Router) noteWriteEnd(member int) {
+	if member < len(r.wdone) {
+		r.wdone[member].Add(1)
+	}
 }
 
 // discoverCMax reads the capacity vector from the first member whose
@@ -159,10 +265,10 @@ func (r *Router) discoverCMax() error {
 		var st struct {
 			CMax []float64 `json:"cmax"`
 		}
-		err := rp.do(func(c *wire.Client) error {
-			_, err := c.Stats(&st)
-			return err
-		})
+		err := rp.do(
+			func(c *wire.Client) uint32 { return c.EnqueueStats() },
+			func(resp *wire.Response) error { return json.Unmarshal(resp.Stats, &st) },
+		)
 		if err != nil {
 			lastErr = err
 			continue
@@ -238,7 +344,7 @@ func (r *Router) observeStale(member int) {
 	}
 	go func() {
 		defer r.pulling.Store(false)
-		ver, blob, err := r.members[member].MapExchange(0, nil)
+		ver, blob, _, err := r.members[member].MapExchange(0, nil)
 		if err != nil || ver <= r.mapVer.Load() {
 			return
 		}
@@ -275,7 +381,7 @@ func (r *Router) pushMap() {
 		ver, blob := r.m.Version, r.m.Encode()
 		r.mu.Unlock()
 		for _, rp := range r.members {
-			gotVer, gotBlob, err := rp.MapExchange(ver, blob)
+			gotVer, gotBlob, _, err := rp.MapExchange(ver, blob)
 			if err != nil || gotVer <= ver {
 				continue
 			}
@@ -284,6 +390,125 @@ func (r *Router) pushMap() {
 			}
 		}
 	}()
+}
+
+// summaryLoop periodically exchanges the map and availability
+// summaries with every member until the router closes.
+func (r *Router) summaryLoop(every time.Duration) {
+	t := time.NewTicker(every)
+	defer t.Stop()
+	for {
+		select {
+		case <-r.stop:
+			return
+		case <-t.C:
+			r.RefreshSummaries()
+		}
+	}
+}
+
+// RefreshSummaries runs one synchronous map/summary exchange with
+// every member: the current map is offered (members holding a newer
+// one answer with it and the router adopts it), and each member's
+// availability summary is adopted when no router-routed write to
+// that member was in flight around the exchange — a write racing the
+// summary could land after the member computed it, and a summary
+// that might under-state the member must never prune it. Adopted
+// summaries stay valid until SummaryTTL ages them out or a later
+// write to the member dirties them. Concurrent calls coalesce.
+func (r *Router) RefreshSummaries() {
+	if r.closed.Load() || !r.refreshing.CompareAndSwap(false, true) {
+		return
+	}
+	defer r.refreshing.Store(false)
+	r.mu.Lock()
+	ver, blob := r.m.Version, r.m.Encode()
+	r.mu.Unlock()
+	for i, rp := range r.members {
+		if r.closed.Load() {
+			return
+		}
+		w0 := r.wstart[i].Load()
+		clean := w0 == r.wdone[i].Load()
+		gotVer, gotBlob, sum, err := rp.MapExchange(ver, blob)
+		if err != nil {
+			continue
+		}
+		if gotVer > ver {
+			if m, derr := DecodeMap(gotBlob); derr == nil {
+				r.adoptMap(m)
+			}
+		}
+		if sum == nil || !clean {
+			continue
+		}
+		if old := r.sums[i].Load(); old != nil && sum.Seq < old.seq {
+			continue // never regress to an older member state
+		}
+		r.sums[i].Store(&memberSummary{
+			max:  vector.Vec(sum.Max),
+			pop:  sum.Pop,
+			seq:  sum.Seq,
+			at:   time.Now(),
+			wseq: w0,
+		})
+	}
+}
+
+// summaryOf returns member i's currently valid summary, or nil when
+// pruning must fall back to the full fan-out for it: none held, aged
+// past SummaryTTL, or router-routed writes landed on the member
+// since it was taken.
+func (r *Router) summaryOf(i int, now time.Time) *memberSummary {
+	s := r.sums[i].Load()
+	if s == nil || now.Sub(s.at) > r.summaryTTL || r.wstart[i].Load() != s.wseq {
+		return nil
+	}
+	return s
+}
+
+// canSatisfy reports whether a member whose summary is s could hold
+// a record dominating demand: it has records at all and its
+// per-dimension maximum dominates demand in every dimension. The max
+// vector is an upper bound over the member's records (expiry
+// ignored), so !canSatisfy proves the member contributes no
+// candidate for this demand — pruning its leg cannot change the
+// merged candidate set.
+func canSatisfy(s *memberSummary, demand vector.Vec) bool {
+	if s.pop == 0 {
+		return false
+	}
+	if len(s.max) != len(demand) {
+		return true // dimension surprise: never prune on it
+	}
+	return s.max.Dominates(demand)
+}
+
+// scatterTargets prunes the scatter list down to the members whose
+// summaries do not prove them unable to satisfy demand. Members
+// without a valid summary are always kept — stale falls back to full
+// fan-out, never to a wrong answer.
+func (r *Router) scatterTargets(demand vector.Vec) ([]serve.Placement, int) {
+	now := time.Now()
+	var keep []serve.Placement
+	pruned := 0
+	for i, p := range r.places {
+		s := r.summaryOf(i, now)
+		if s != nil && !canSatisfy(s, demand) {
+			if keep == nil {
+				keep = append(make([]serve.Placement, 0, len(r.places)), r.places[:i]...)
+			}
+			pruned++
+			continue
+		}
+		if keep != nil {
+			keep = append(keep, p)
+		}
+	}
+	if keep == nil {
+		return r.places, 0
+	}
+	return keep, pruned
 }
 
 func (r *Router) checkDemand(demand vector.Vec) error {
@@ -332,12 +557,118 @@ func (r *Router) Query(req serve.QueryRequest) (serve.QueryResponse, error) {
 			ShardsQueried: leg.Queried,
 		}, nil
 	}
-	resp, err := serve.ScatterQuery(r.places, req, r.scatterTimeout)
+	// Demand-region pruning: skip legs whose summary proves the
+	// member cannot satisfy the demand. Consistent queries never
+	// prune — they must observe writes still queued behind the
+	// members' published snapshots, which summaries cannot bound.
+	places := r.places
+	pruned := 0
+	if !r.noPrune && !req.Consistent {
+		places, pruned = r.scatterTargets(req.Demand)
+	}
+	r.legsSent.Add(uint64(len(places)))
+	r.legsPruned.Add(uint64(pruned))
+	if len(places) == 0 {
+		// Every member provably empty-handed: an honest miss without
+		// a single network hop.
+		return serve.QueryResponse{ShardsQueried: 0}, nil
+	}
+	resp, err := r.fedScatter(places, req)
 	if err != nil {
 		r.errors.Add(1)
 		return serve.QueryResponse{}, err
 	}
 	resp.Candidates = r.fwd.Externalize(resp.Candidates)
+	return resp, nil
+}
+
+// fedScatter runs one scatter-gather across places entirely on the
+// calling goroutine: every leg is enqueued up front through the
+// members' shared pipelined connections (QueryLegAsync) — one flush
+// train often carries all of them — and then gathered against one
+// whole-gather deadline. Compared to serve.ScatterQuery this spends
+// zero goroutines per query, which is most of a busy router's
+// per-query cost. Error and timeout semantics match ScatterQuery:
+// partial gathers merge, the query fails only when no leg succeeds,
+// and legs still outstanding at the deadline are abandoned (their
+// completion sends land in the calls' buffered channels).
+func (r *Router) fedScatter(places []serve.Placement, req serve.QueryRequest) (serve.QueryResponse, error) {
+	if r.unpipelined {
+		return serve.ScatterQuery(places, req, r.scatterTimeout)
+	}
+	type legCall struct {
+		done    chan error
+		collect func(error) (serve.PlacementLeg, error)
+	}
+	pend := make([]legCall, 0, len(places))
+	for _, p := range places {
+		rp, ok := p.(*RemotePrimary)
+		if !ok {
+			// A foreign placement in the list: fall back to the
+			// goroutine scatter, which needs nothing beyond QueryLeg.
+			return serve.ScatterQuery(places, req, r.scatterTimeout)
+		}
+		done, collect := rp.QueryLegAsync(req)
+		pend = append(pend, legCall{done: done, collect: collect})
+	}
+	var (
+		deadline *time.Timer // created only if a leg makes us block
+		cands    []serve.Candidate
+		resp     serve.QueryResponse
+		firstErr error
+		timedOut = false
+	)
+	for _, lc := range pend {
+		var lerr error
+		if lc.done != nil {
+			select {
+			case lerr = <-lc.done:
+				// Fast path: the pipelined response already landed —
+				// no select against the timer, which under load is
+				// where most legs complete.
+				donePool.Put(lc.done)
+			default:
+				if timedOut {
+					// Past the deadline: abandon the leg (never return
+					// an abandoned channel to the pool — its send is
+					// still owed).
+					continue
+				}
+				if deadline == nil {
+					deadline = time.NewTimer(r.scatterTimeout)
+					defer deadline.Stop()
+				}
+				select {
+				case lerr = <-lc.done:
+					donePool.Put(lc.done)
+				case <-deadline.C:
+					timedOut = true
+					if firstErr == nil {
+						firstErr = fmt.Errorf("%w: after %v (%d of %d legs gathered)",
+							serve.ErrScatterTimeout, r.scatterTimeout, resp.ShardsQueried, len(places))
+					}
+					continue
+				}
+			}
+		}
+		leg, err := lc.collect(lerr)
+		if err != nil {
+			if firstErr == nil {
+				firstErr = err
+			}
+			continue
+		}
+		resp.ShardsQueried += leg.Queried
+		resp.Hops += leg.Hops
+		if leg.HopsMax > resp.HopsMax {
+			resp.HopsMax = leg.HopsMax
+		}
+		cands = append(cands, leg.Cands...)
+	}
+	if resp.ShardsQueried == 0 {
+		return serve.QueryResponse{}, firstErr
+	}
+	resp.Candidates = serve.RankCandidates(cands, req.K)
 	return resp, nil
 }
 
@@ -566,13 +897,29 @@ func (r *Router) StatsPayload() any {
 		Migrations:   r.migrations.Load(),
 		Errors:       r.errors.Load(),
 		ForwardedIDs: r.fwd.Count(),
+		LegsSent:     r.legsSent.Load(),
+		LegsPruned:   r.legsPruned.Load(),
 	}
+	var dsum, dn uint64
+	now := time.Now()
 	for i, rp := range r.members {
-		st.Members = append(st.Members, MemberStats{
-			Index: i,
-			Addr:  rp.Addr(),
-			Epoch: st.Map.Members[i].Epoch,
-		})
+		s, n := rp.depthStats()
+		dsum += s
+		dn += n
+		ms := MemberStats{
+			Index:      i,
+			Addr:       rp.Addr(),
+			Epoch:      st.Map.Members[i].Epoch,
+			SummaryPop: -1,
+		}
+		if sum := r.sums[i].Load(); sum != nil {
+			ms.SummaryPop = int(sum.pop)
+			ms.SummaryAgeMS = now.Sub(sum.at).Milliseconds()
+		}
+		st.Members = append(st.Members, ms)
+	}
+	if dn > 0 {
+		st.PipelineDepth = float64(dsum) / float64(dn)
 	}
 	return st
 }

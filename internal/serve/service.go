@@ -41,6 +41,59 @@ type Service interface {
 
 var _ Service = (*Engine)(nil)
 
+// AvailSummarizer is implemented by services able to publish a
+// compact availability summary for federation demand-region pruning:
+// max is the per-dimension maximum availability over every record
+// held (expiry ignored — a safe upper bound), pop the record count
+// behind it, and seq the write epoch the summary reflects. ok is
+// false when the service holds no summarizable population of its own
+// (a federation router, say); callers then omit the summary rather
+// than fabricate one.
+type AvailSummarizer interface {
+	AvailSummary() (max vector.Vec, pop int, seq uint64, ok bool)
+}
+
+var _ AvailSummarizer = (*Engine)(nil)
+
+// availSummary is the Engine's cached AvailSummary result.
+type availSummary struct {
+	max vector.Vec
+	pop int
+	seq uint64
+}
+
+// AvailSummary computes the engine's availability summary over every
+// shard's published snapshot. The write epoch is read BEFORE the
+// scan: records applied mid-scan can only push the maxima higher, so
+// the result is always a valid upper bound for the returned seq.
+// Expired records are included — expiry only shrinks the true
+// maxima, so ignoring it keeps the bound safe while making the
+// summary insensitive to clock skew between members and routers.
+// The result is cached until the next mutating batch; the returned
+// vector is shared and must not be mutated.
+func (e *Engine) AvailSummary() (vector.Vec, int, uint64, bool) {
+	seq := e.epoch.Load()
+	if s := e.availSum.Load(); s != nil && s.seq == seq {
+		return s.max, s.pop, s.seq, true
+	}
+	max := make(vector.Vec, e.cfg.CMax.Dim())
+	pop := 0
+	for _, sh := range e.shards {
+		snap := sh.snapshot()
+		pop += len(snap.Records)
+		for i := range snap.Records {
+			for d, v := range snap.Records[i].Avail {
+				if d < len(max) && v > max[d] {
+					max[d] = v
+				}
+			}
+		}
+	}
+	s := &availSummary{max: max, pop: pop, seq: seq}
+	e.availSum.Store(s)
+	return s.max, s.pop, s.seq, true
+}
+
 // PrimaryAddr returns the configured primary address followers
 // redirect writes to ("" on a primary).
 func (e *Engine) PrimaryAddr() string { return e.cfg.PrimaryAddr }

@@ -83,6 +83,11 @@ type Response struct {
 	// buffer; valid until the next ReadResponse.
 	MapVer  uint64
 	MapBlob []byte
+	// SumOK reports that an OpFedMap response carried the member's
+	// availability summary; Summary holds it (Summary.Max reuses an
+	// internal buffer; valid until the next ReadResponse).
+	SumOK   bool
+	Summary Summary
 }
 
 // Dial connects a wire client.
@@ -243,7 +248,7 @@ func (c *Client) ReadResponse() (*Response, error) {
 		r.TakeAvail, r.TakeDegraded, err = DecodeFedTakeResponse(c.payload, r.TakeAvail)
 		return r, err
 	case OpFedMap:
-		r.MapVer, r.MapBlob, err = DecodeFedMap(c.payload)
+		r.MapVer, r.MapBlob, r.SumOK, err = DecodeFedMap(c.payload, &r.Summary)
 		return r, err
 	}
 	return r, nil
@@ -413,6 +418,22 @@ func (c *Client) EnqueueFedQuery(mapVer uint64, q *Query) uint32 {
 	return id
 }
 
+// EnqueueFedTake appends a fed-take request (stamped with
+// WriteEpoch).
+func (c *Client) EnqueueFedTake(node uint64) uint32 {
+	id := c.reqID()
+	c.out = AppendFedTake(c.out, id, c.WriteEpoch, node)
+	return id
+}
+
+// EnqueueMapExchange appends a map-exchange request (blob may be nil
+// to only pull).
+func (c *Client) EnqueueMapExchange(ver uint64, blob []byte) uint32 {
+	id := c.reqID()
+	c.out = AppendFedMapRequest(c.out, id, 0, ver, blob)
+	return id
+}
+
 // FedQuery runs one synchronous federation query, decoding into res.
 // Returns the member's replication epoch (res.MapStale reports a
 // newer federation map held server-side).
@@ -438,8 +459,7 @@ func (c *Client) FedQuery(mapVer uint64, q *Query, res *QueryResult) (uint64, er
 // redirect once, like the other write wrappers.
 func (c *Client) TakeNode(node uint64) (avail []float64, degraded bool, err error) {
 	op := func() error {
-		id := c.reqID()
-		c.out = AppendFedTake(c.out, id, c.WriteEpoch, node)
+		c.EnqueueFedTake(node)
 		if err := c.Flush(); err != nil {
 			return err
 		}
@@ -463,22 +483,26 @@ func (c *Client) TakeNode(node uint64) (avail []float64, degraded bool, err erro
 
 // MapExchange offers the server a federation map at version ver
 // (blob may be nil to only pull) and returns the newest version and
-// blob the server holds. The returned blob aliases an internal
-// buffer — valid until the next ReadResponse.
-func (c *Client) MapExchange(ver uint64, blob []byte) (uint64, []byte, error) {
-	id := c.reqID()
-	c.out = AppendFedMapRequest(c.out, id, 0, ver, blob)
+// blob the server holds, plus its availability summary when it sent
+// one. The returned blob and summary alias internal buffers — valid
+// until the next ReadResponse.
+func (c *Client) MapExchange(ver uint64, blob []byte) (uint64, []byte, *Summary, error) {
+	c.EnqueueMapExchange(ver, blob)
 	if err := c.Flush(); err != nil {
-		return 0, nil, err
+		return 0, nil, nil, err
 	}
 	r, err := c.ReadResponse()
 	if err != nil {
-		return 0, nil, err
+		return 0, nil, nil, err
 	}
 	if err := errOf(r); err != nil {
-		return 0, nil, err
+		return 0, nil, nil, err
 	}
-	return r.MapVer, r.MapBlob, nil
+	var sum *Summary
+	if r.SumOK {
+		sum = &r.Summary
+	}
+	return r.MapVer, r.MapBlob, sum, nil
 }
 
 // Stats fetches the engine's Stats, decoded from the debug op's

@@ -391,35 +391,95 @@ func DecodeFedTakeResponse(payload []byte, prev []float64) ([]float64, bool, err
 	return avail, f&tfDegraded != 0, nil
 }
 
-// AppendFedMapRequest appends a map-exchange request: u64 version
-// plus an opaque encoded federation map. Version 0 with an empty
-// blob is a pure pull — the server returns the newest map it has
-// seen without storing anything.
+// Summary is a member's compact per-dimension availability summary,
+// piggybacked on OpFedMap responses: the maximum availability the
+// member holds in each dimension (computed over every record, expiry
+// ignored — a safe upper bound that only over-states what the member
+// can offer), the record count behind it, and the member's write
+// epoch when it was computed. A router prunes a scatter leg when the
+// summary proves the member cannot hold any record dominating the
+// query's demand.
+type Summary struct {
+	Seq uint64
+	Pop uint32
+	Max []float64
+}
+
+// sfSummary flags a map-exchange payload carrying a Summary tail.
+const sfSummary byte = 1 << 0
+
+// AppendFedMapRequest appends a map-exchange request: u64 version +
+// u32 blob length + an opaque encoded federation map, and a flag
+// byte reserved for a summary tail (requests carry none — routers
+// hold no population). Version 0 with an empty blob is a pure pull —
+// the server returns the newest map it has seen without storing
+// anything.
 func AppendFedMapRequest(dst []byte, reqID uint32, epoch, ver uint64, blob []byte) []byte {
-	return appendFedMap(dst, 0, reqID, epoch, ver, blob)
+	return appendFedMap(dst, 0, reqID, epoch, ver, blob, nil)
 }
 
 // AppendFedMapResponse appends a map-exchange response: the newest
-// version + blob the server holds (0 and empty when it has none).
-func AppendFedMapResponse(dst []byte, reqID uint32, epoch, ver uint64, blob []byte) []byte {
-	return appendFedMap(dst, FlagResponse, reqID, epoch, ver, blob)
+// version + blob the server holds (0 and empty when it has none),
+// plus the answering member's availability summary when it has one.
+func AppendFedMapResponse(dst []byte, reqID uint32, epoch, ver uint64, blob []byte, sum *Summary) []byte {
+	return appendFedMap(dst, FlagResponse, reqID, epoch, ver, blob, sum)
 }
 
-func appendFedMap(dst []byte, flags byte, reqID uint32, epoch, ver uint64, blob []byte) []byte {
+func appendFedMap(dst []byte, flags byte, reqID uint32, epoch, ver uint64, blob []byte, sum *Summary) []byte {
 	dst, off := beginFrame(dst, OpFedMap, flags, reqID, epoch)
 	dst = binary.LittleEndian.AppendUint64(dst, ver)
+	dst = binary.LittleEndian.AppendUint32(dst, uint32(len(blob)))
 	dst = append(dst, blob...)
+	if sum == nil {
+		dst = append(dst, 0)
+	} else {
+		dst = append(dst, sfSummary)
+		dst = binary.LittleEndian.AppendUint64(dst, sum.Seq)
+		dst = binary.LittleEndian.AppendUint32(dst, sum.Pop)
+		dst = appendVec(dst, sum.Max)
+	}
 	sealFrame(dst, off)
 	return dst
 }
 
 // DecodeFedMap decodes a map-exchange payload (request or response).
-// The returned blob aliases the payload.
-func DecodeFedMap(payload []byte) (uint64, []byte, error) {
-	if len(payload) < 8 {
-		return 0, nil, errTruncated
+// The returned blob aliases the payload. When the payload carries a
+// summary tail and sum is non-nil, sum receives it (reusing sum.Max's
+// backing array) and the bool reports its presence; a nil sum skips
+// the tail.
+func DecodeFedMap(payload []byte, sum *Summary) (uint64, []byte, bool, error) {
+	d := dec{buf: payload}
+	ver := d.u64()
+	blen := int(d.u32())
+	if d.err != nil || len(d.buf) < blen {
+		return 0, nil, false, errTruncated
 	}
-	return binary.LittleEndian.Uint64(payload), payload[8:], nil
+	blob := d.buf[:blen]
+	d.buf = d.buf[blen:]
+	f := d.u8()
+	if d.err != nil {
+		return 0, nil, false, errTruncated
+	}
+	if f&sfSummary == 0 {
+		if len(d.buf) != 0 {
+			return 0, nil, false, errTruncated
+		}
+		return ver, blob, false, nil
+	}
+	if sum == nil {
+		sum = &Summary{}
+	}
+	sum.Seq = d.u64()
+	sum.Pop = d.u32()
+	var err error
+	sum.Max, err = decodeVec(&d, sum.Max)
+	if err != nil {
+		return 0, nil, false, err
+	}
+	if d.err != nil || len(d.buf) != 0 {
+		return 0, nil, false, errTruncated
+	}
+	return ver, blob, true, nil
 }
 
 // appendVec encodes a float vector as u16 dim + dim float64 bits.

@@ -273,17 +273,26 @@ func (s *Server) handle(out []byte, h Header, payload []byte, st *connState) []b
 	if h.Op == OpFedMap {
 		// Map exchange is engine-independent (a follower still
 		// bootstrapping its mirror can already take map pushes):
-		// store the sender's map if newer, echo the newest held.
-		ver, blob, err := DecodeFedMap(payload)
+		// store the sender's map if newer, echo the newest held —
+		// with this member's availability summary piggybacked, so
+		// the exchange that already propagates the map doubles as
+		// the routers' demand-region-pruning feed.
+		ver, blob, _, err := DecodeFedMap(payload, nil)
 		if err != nil {
 			return AppendError(out, h.Op, h.ReqID, epoch, CodeBadRequest, 0, "", err.Error())
+		}
+		var sum *Summary
+		if az, ok := eng.(serve.AvailSummarizer); ok {
+			if max, pop, seq, sok := az.AvailSummary(); sok {
+				sum = &Summary{Seq: seq, Pop: uint32(pop), Max: max}
+			}
 		}
 		s.fedMu.Lock()
 		if ver > s.fedVer.Load() {
 			s.fedBlob = append(s.fedBlob[:0], blob...)
 			s.fedVer.Store(ver)
 		}
-		out = AppendFedMapResponse(out, h.ReqID, epoch, s.fedVer.Load(), s.fedBlob)
+		out = AppendFedMapResponse(out, h.ReqID, epoch, s.fedVer.Load(), s.fedBlob, sum)
 		s.fedMu.Unlock()
 		return out
 	}

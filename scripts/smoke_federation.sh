@@ -6,13 +6,21 @@
 # acked-write loss through the router and router convergence onto the
 # promoted member's epoch.
 #
-#   scripts/smoke_federation.sh [first-port]
+#   scripts/smoke_federation.sh [first-port] [router-qps-floor]
 #
-# Uses eight consecutive ports starting at first-port (default 18591).
+# Also asserts the router's scatter-pruning path: a second federation
+# (fresh members C and D — members hold their federation's map, so
+# federations cannot share a member) with a maximally skewed
+# population (C populated, D's nodes all zeroed to no availability)
+# must prune scatter legs (nonzero fed_legs_pruned) while sustaining
+# a query qps floor (default 1500) through the pipelined transport.
+#
+# Uses thirteen consecutive ports starting at first-port (default 18591).
 set -eu
 
 cd "$(dirname "$0")/.."
 base="${1:-18591}"
+qpsfloor="${2:-1500}"
 ahttp=$base
 awire=$((base + 1))
 bhttp=$((base + 2))
@@ -21,7 +29,13 @@ brepl=$((base + 4))
 fhttp=$((base + 5))
 fwire=$((base + 6))
 rhttp=$((base + 7))
+chttp=$((base + 8))
+cwire=$((base + 9))
+dhttp=$((base + 10))
+dwire=$((base + 11))
+r2http=$((base + 12))
 rbase="http://127.0.0.1:$rhttp"
+r2base="http://127.0.0.1:$r2http"
 
 work=$(mktemp -d)
 pids=""
@@ -84,6 +98,53 @@ echo "driving load through the router..."
 	cat "$work/loadgen.out" "$work/router.log" >&2
 	exit 1
 }
+
+echo "starting members C (populated) and D (zeroed) and the pruning router..."
+"$work/pidcan-serve" -addr "127.0.0.1:$chttp" -wire-addr "127.0.0.1:$cwire" \
+	-shards 2 -nodes 8 -seed 5 -warmup 1m >"$work/c.log" 2>&1 &
+pids="$pids $!"
+"$work/pidcan-serve" -addr "127.0.0.1:$dhttp" -wire-addr "127.0.0.1:$dwire" \
+	-shards 2 -nodes 2 -seed 6 -warmup 1m >"$work/d.log" 2>&1 &
+pids="$pids $!"
+wait_healthy "$chttp" "$work/c.log"
+wait_healthy "$dhttp" "$work/d.log"
+# Zero every availability on member D: its summary max becomes the
+# zero vector, which dominates no positive demand, so D's scatter
+# leg must be pruned on every query.
+for n in $(curl -sf "http://127.0.0.1:$dhttp/nodes" | tr -c '0-9' '\n'); do
+	if [ -n "$n" ]; then
+		curl -sf -X POST -d "{\"node\":$n,\"avail\":[0,0,0,0,0]}" \
+			"http://127.0.0.1:$dhttp/update" >/dev/null
+	fi
+done
+"$work/pidcan-router" -addr "127.0.0.1:$r2http" \
+	-members "127.0.0.1:$cwire,127.0.0.1:$dwire" \
+	-summary-refresh 100ms >"$work/router2.log" 2>&1 &
+pids="$pids $!"
+wait_healthy "$r2http" "$work/router2.log"
+
+echo "driving query-only load through the pruning router..."
+sleep 0.5 # a few summary-refresh periods: member C's emptiness is provable
+"$work/pidcan-loadgen" -url "$r2base" -router -rate 4000 -duration 2s -workers 16 \
+	-mix "query=100" -seed 8 -json "$work/prune.json" >"$work/prune.out" 2>&1 || {
+	echo "FAIL: loadgen through the pruning router failed" >&2
+	cat "$work/prune.out" "$work/router2.log" >&2
+	exit 1
+}
+pruned=$(curl -sf "$r2base/stats" | sed 's/.*"fed_legs_pruned":\([0-9]*\).*/\1/')
+if [ -z "$pruned" ] || [ "$pruned" -eq 0 ]; then
+	echo "FAIL: skewed population pruned no scatter legs (fed_legs_pruned=$pruned)" >&2
+	cat "$work/prune.out" >&2
+	curl -sf "$r2base/stats" >&2 || true
+	exit 1
+fi
+qps=$(awk -F': *|,' '/"achieved_qps"/ {printf "%d", $2; exit}' "$work/prune.json")
+if [ -z "$qps" ] || [ "$qps" -lt "$qpsfloor" ]; then
+	echo "FAIL: pruning router sustained $qps qps, floor $qpsfloor" >&2
+	cat "$work/prune.out" >&2
+	exit 1
+fi
+echo "pruning router: $qps qps (floor $qpsfloor), $pruned legs pruned"
 
 # A federation id tags its owning member in bits 48-63 (member+1):
 # pick one node per member from the routable set.
@@ -183,4 +244,4 @@ for n in $m1node $m0node; do
 	fi
 done
 [ "$fail" -eq 0 ] || exit 1
-echo "OK: zero acked-write loss across member kill -9 + promotion, router converged to epoch 2"
+echo "OK: zero acked-write loss across member kill -9 + promotion, router converged to epoch 2; pruning router held $qps qps with $pruned legs pruned"
