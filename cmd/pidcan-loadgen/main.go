@@ -371,7 +371,7 @@ func runLoad(rc runCfg) summary {
 		}(w)
 	}
 	wg.Wait()
-	return buildSummary(rc.proto, st.samples, time.Since(start), rc.rate,
+	return buildSummary(rc.proto, rc.seed, st.samples, time.Since(start), rc.rate,
 		int(shed.Load()), int(st.late.Load()))
 }
 
@@ -853,7 +853,11 @@ type classSummary struct {
 }
 
 type summary struct {
-	Proto       string                  `json:"proto"`
+	Proto string `json:"proto"`
+	// Seed is the generator seed the run used — stamped into the
+	// summary so a recorded run can be regenerated (or replayed
+	// against a capture trace) bit-for-bit.
+	Seed        uint64                  `json:"seed"`
 	OfferedQPS  float64                 `json:"offered_qps"`
 	AchievedQPS float64                 `json:"achieved_qps"`
 	DurationSec float64                 `json:"duration_sec"`
@@ -976,7 +980,7 @@ func summarize(lats []time.Duration, count, errs int) classSummary {
 }
 
 // buildSummary aggregates one run's samples.
-func buildSummary(proto string, samples []sample, elapsed time.Duration, offered float64, shed, late int) summary {
+func buildSummary(proto string, seed uint64, samples []sample, elapsed time.Duration, offered float64, shed, late int) summary {
 	var all []time.Duration
 	perClass := map[opClass][]time.Duration{}
 	counts := map[opClass]int{}
@@ -994,6 +998,7 @@ func buildSummary(proto string, samples []sample, elapsed time.Duration, offered
 	}
 	sum := summary{
 		Proto:       proto,
+		Seed:        seed,
 		OfferedQPS:  offered,
 		AchievedQPS: float64(len(samples)) / elapsed.Seconds(),
 		DurationSec: elapsed.Seconds(),
@@ -1011,8 +1016,8 @@ func buildSummary(proto string, samples []sample, elapsed time.Duration, offered
 }
 
 func report(sum summary, jsonOut string) {
-	fmt.Printf("\n[%s] %d requests in %.2fs: %.0f req/s achieved (%.0f offered), %d errors, %d shed, %d late\n",
-		sum.Proto, sum.Requests, sum.DurationSec, sum.AchievedQPS, sum.OfferedQPS, sum.Errors, sum.Shed, sum.Late)
+	fmt.Printf("\n[%s seed=%d] %d requests in %.2fs: %.0f req/s achieved (%.0f offered), %d errors, %d shed, %d late\n",
+		sum.Proto, sum.Seed, sum.Requests, sum.DurationSec, sum.AchievedQPS, sum.OfferedQPS, sum.Errors, sum.Shed, sum.Late)
 	fmt.Printf("%-8s %10s %8s %9s %9s %9s %9s %9s\n",
 		"class", "count", "errors", "p50", "p90", "p99", "p99.9", "max")
 	order := []string{"all", "query", "update", "join", "leave"}

@@ -47,6 +47,7 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"syscall"
@@ -104,6 +105,7 @@ func main() {
 	}
 
 	var h dynHandler
+	h.capture = pidcan.NewCaptureHandler(h.engine)
 
 	// The wire edge starts before the engine: its listeners answer
 	// CodeNotReady until the role setup mounts one through h.set
@@ -180,10 +182,11 @@ func main() {
 // dynHandler routes HTTP to the current engine — which a follower
 // can swap when a re-bootstrap rebuilds it.
 type dynHandler struct {
-	mu   sync.RWMutex
-	eng  *pidcan.Engine
-	h    http.Handler
-	wire *pidcan.WireServer
+	mu      sync.RWMutex
+	eng     *pidcan.Engine
+	h       http.Handler
+	wire    *pidcan.WireServer
+	capture http.Handler
 }
 
 func (d *dynHandler) set(e *pidcan.Engine) {
@@ -205,6 +208,12 @@ func (d *dynHandler) engine() *pidcan.Engine {
 }
 
 func (d *dynHandler) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	// The capture control surface rides next to the engine API and
+	// follows engine swaps through the same getter the wire edge uses.
+	if strings.HasPrefix(r.URL.Path, "/capture/") {
+		d.capture.ServeHTTP(w, r)
+		return
+	}
 	d.mu.RLock()
 	h := d.h
 	d.mu.RUnlock()

@@ -83,6 +83,9 @@ type Engine struct {
 	// wireStats, when set, feeds the wire serving edge's gauges into
 	// Stats (the wire server's counters; see SetWireStats).
 	wireStats atomic.Pointer[func() WireStats]
+	// capture, when set, receives every answered query and applied
+	// mutation for trace recording (see SetCapture).
+	capture atomic.Pointer[CaptureSink]
 	// loopMu orders background-loop starts (deferred to promotion on
 	// followers) against Close's teardown waits.
 	loopMu sync.Mutex
@@ -155,13 +158,13 @@ type ShardStats struct {
 
 // Stats is a point-in-time view of engine counters.
 type Stats struct {
-	Shards       []ShardStats `json:"shards"`
-	TotalNodes   int          `json:"total_nodes"`
-	Dims         int          `json:"dims"`
-	CMax         vector.Vec   `json:"cmax"`
-	Queries      uint64       `json:"queries"`
-	CacheHits    uint64       `json:"cache_hits"`
-	CacheMisses  uint64       `json:"cache_misses"`
+	Shards      []ShardStats `json:"shards"`
+	TotalNodes  int          `json:"total_nodes"`
+	Dims        int          `json:"dims"`
+	CMax        vector.Vec   `json:"cmax"`
+	Queries     uint64       `json:"queries"`
+	CacheHits   uint64       `json:"cache_hits"`
+	CacheMisses uint64       `json:"cache_misses"`
 	// CacheResets counts cache generation rotations: the cache keeps
 	// two generations and, when full, drops only the older one (the
 	// historical name survives for stats continuity).
@@ -191,9 +194,9 @@ type Stats struct {
 	IndexDeltaBuilds    uint64 `json:"index_delta_builds"`
 	IndexReuses         uint64 `json:"index_reuses"`
 	Consistent          uint64 `json:"consistent_queries"`
-	Updates      uint64       `json:"updates"`
-	Joins        uint64       `json:"joins"`
-	Leaves       uint64       `json:"leaves"`
+	Updates             uint64 `json:"updates"`
+	Joins               uint64 `json:"joins"`
+	Leaves              uint64 `json:"leaves"`
 	// Migrations counts completed cross-shard node migrations;
 	// Rebalances counts rebalance passes run (background or manual).
 	Migrations uint64 `json:"migrations"`
@@ -257,6 +260,15 @@ type Stats struct {
 	WireRequests    uint64 `json:"wire_requests,omitempty"`
 	WireRejected    uint64 `json:"wire_rejected,omitempty"`
 	WireUDPRequests uint64 `json:"wire_udp_requests,omitempty"`
+
+	// Trace capture (internal/serve/capture), fed by a recorder
+	// attached via SetCapture: records captured, records dropped by
+	// the bounded ring (the drop-not-block backpressure policy), and
+	// trace bytes written. Deliberately not omitempty: operators and
+	// smoke checks can always see the gauges, zero or not.
+	CaptureRecords uint64 `json:"capture_records"`
+	CaptureDropped uint64 `json:"capture_dropped"`
+	CaptureBytes   uint64 `json:"capture_bytes"`
 }
 
 // WireStats is the gauge set a wire front-end feeds into Stats.
@@ -302,6 +314,7 @@ func New(cfg Config, factory BackendFactory) (*Engine, error) {
 		s.replEpoch = &e.replEpoch
 		s.sink = &e.replSink
 		s.readOnly = &e.follower
+		s.capture = &e.capture
 		e.shards = append(e.shards, s)
 		e.places = append(e.places, &shardPlacement{e: e, s: s})
 	}
@@ -434,6 +447,15 @@ func (e *Engine) checkDemand(demand vector.Vec) error {
 // records and ranks them by surplus; it consults the query cache
 // first unless the request opts out.
 func (e *Engine) Query(req QueryRequest) (QueryResponse, error) {
+	resp, err := e.query(req)
+	if p := e.capture.Load(); p != nil {
+		(*p).CaptureQuery(req, &resp, err)
+	}
+	return resp, err
+}
+
+// query implements Query; the wrapper adds capture emission.
+func (e *Engine) query(req QueryRequest) (QueryResponse, error) {
 	if e.closed.Load() {
 		return QueryResponse{}, ErrClosed
 	}
@@ -798,6 +820,12 @@ func (e *Engine) Stats() Stats {
 		st.WireRequests = ws.Requests
 		st.WireRejected = ws.Rejected
 		st.WireUDPRequests = ws.UDPRequests
+	}
+	if p := e.capture.Load(); p != nil {
+		cs := (*p).CaptureStats()
+		st.CaptureRecords = cs.Records
+		st.CaptureDropped = cs.Dropped
+		st.CaptureBytes = cs.Bytes
 	}
 	cs := e.cache.stats()
 	st.CacheHits, st.CacheMisses = cs.hits, cs.misses

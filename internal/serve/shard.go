@@ -167,6 +167,12 @@ type shard struct {
 	sink      *atomic.Pointer[ReplSink]
 	readOnly  *atomic.Bool
 
+	// capture, when the engine-owned pointer is set, receives the
+	// batch's canonical wal records in application order — the trace
+	// recorder's mutation stream (works on in-memory engines too,
+	// where log is nil).
+	capture *atomic.Pointer[CaptureSink]
+
 	// Reusable batch buffers (shard goroutine only): drain and
 	// applyBatch run once per batch, so one MaxBatch-sized allocation
 	// each serves the shard's lifetime (satellite fix: the old code
@@ -445,45 +451,24 @@ func (s *shard) applyBatch(batch []op) ([]opResult, int) {
 // rotates and the closed segment is compacted (followers rotate on
 // their primary's stream positions instead).
 func (s *shard) logBatch(batch []op, results []opResult) error {
-	if s.log == nil {
+	snk := s.captureSink()
+	if s.log == nil && snk == nil {
 		return nil
 	}
-	recs := s.recBuf[:0]
-	for i := range batch {
-		if results[i].err != nil {
-			continue
-		}
-		o := &batch[i]
-		switch o.kind {
-		case opUpdate:
-			recs = append(recs, wal.Record{
-				Kind: wal.KindUpdate, Node: uint32(o.node),
-				Announce: o.announce, Avail: o.avail,
-			})
-		case opJoin:
-			r := wal.Record{Kind: wal.KindJoin, Node: uint32(results[i].node), Avail: o.avail}
-			if o.mig != nil {
-				r.Repoint, r.Ext, r.Old = true, uint64(o.mig.ext), uint64(o.mig.old)
-			}
-			recs = append(recs, r)
-		case opLeave:
-			recs = append(recs, wal.Record{Kind: wal.KindLeave, Node: uint32(o.node)})
-		case opTake:
-			if o.fedTake {
-				// The matching re-join lives in another process's
-				// WAL, so recovery here must never roll the node
-				// back: log the removal as a plain leave.
-				recs = append(recs, wal.Record{Kind: wal.KindLeave, Node: uint32(o.node)})
-				break
-			}
-			// The captured availability rides the take record so a
-			// recovery that finds the take durable but the matching
-			// join lost can roll the node back onto this shard.
-			recs = append(recs, wal.Record{Kind: wal.KindTake, Node: uint32(o.node), Avail: results[i].avail})
-		}
-	}
+	recs := s.batchRecords(batch, results)
 	s.recBuf = recs[:0]
 	if len(recs) == 0 {
+		return nil
+	}
+	// The capture stream sees the batch whether or not a log exists
+	// (in-memory engines record traces too) and regardless of the
+	// append outcome below: the records describe state that IS applied
+	// in memory, which is what a replay reproduces. recs aliases the
+	// shard's reusable buffer; the sink copies what it keeps.
+	if snk != nil {
+		snk.CaptureMutations(s.idx, recs)
+	}
+	if s.log == nil {
 		return nil
 	}
 	before := s.log.Size()
@@ -519,6 +504,59 @@ func (s *shard) logBatch(batch []op, results []opResult) error {
 		s.rotate(s.log.Seg()+1, true)
 	}
 	return nil
+}
+
+// captureSink returns the attached capture sink, or nil.
+func (s *shard) captureSink() CaptureSink {
+	if s.capture == nil {
+		return nil
+	}
+	if p := s.capture.Load(); p != nil {
+		return *p
+	}
+	return nil
+}
+
+// batchRecords builds the canonical wal records of every
+// successfully applied mutation of the batch, into the shard's
+// reusable record buffer — the one op→Record mapping shared by the
+// op-log append, the replication sink and the capture stream.
+func (s *shard) batchRecords(batch []op, results []opResult) []wal.Record {
+	recs := s.recBuf[:0]
+	for i := range batch {
+		if results[i].err != nil {
+			continue
+		}
+		o := &batch[i]
+		switch o.kind {
+		case opUpdate:
+			recs = append(recs, wal.Record{
+				Kind: wal.KindUpdate, Node: uint32(o.node),
+				Announce: o.announce, Avail: o.avail,
+			})
+		case opJoin:
+			r := wal.Record{Kind: wal.KindJoin, Node: uint32(results[i].node), Avail: o.avail}
+			if o.mig != nil {
+				r.Repoint, r.Ext, r.Old = true, uint64(o.mig.ext), uint64(o.mig.old)
+			}
+			recs = append(recs, r)
+		case opLeave:
+			recs = append(recs, wal.Record{Kind: wal.KindLeave, Node: uint32(o.node)})
+		case opTake:
+			if o.fedTake {
+				// The matching re-join lives in another process's
+				// WAL, so recovery here must never roll the node
+				// back: log the removal as a plain leave.
+				recs = append(recs, wal.Record{Kind: wal.KindLeave, Node: uint32(o.node)})
+				break
+			}
+			// The captured availability rides the take record so a
+			// recovery that finds the take durable but the matching
+			// join lost can roll the node back onto this shard.
+			recs = append(recs, wal.Record{Kind: wal.KindTake, Node: uint32(o.node), Avail: results[i].avail})
+		}
+	}
+	return recs
 }
 
 // failBatch overrides every applied mutation's result with ErrWAL:

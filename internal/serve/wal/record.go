@@ -63,6 +63,36 @@ const maxPayload = 1 << 20
 
 var crcTable = crc32.MakeTable(crc32.IEEE)
 
+// AppendFrame appends one CRC frame carrying payload to dst — the
+// u32-length/u32-CRC framing shared by log segments, the replication
+// wire and capture trace files. Payloads larger than the frame limit
+// would read back as torn tails; callers keep them under 1 MiB.
+func AppendFrame(dst, payload []byte) []byte {
+	var hdr [frameHeader]byte
+	binary.LittleEndian.PutUint32(hdr[0:], uint32(len(payload)))
+	binary.LittleEndian.PutUint32(hdr[4:], crc32.Checksum(payload, crcTable))
+	dst = append(dst, hdr[:]...)
+	return append(dst, payload...)
+}
+
+// NextFrame parses the CRC frame at the head of data, returning its
+// payload (aliasing data) and the framed byte count. ok false is the
+// torn-tail signal: a short, oversized or CRC-failing head.
+func NextFrame(data []byte) (payload []byte, n int, ok bool) {
+	if len(data) < frameHeader {
+		return nil, 0, false
+	}
+	plen := int(binary.LittleEndian.Uint32(data[0:]))
+	if plen > maxPayload || len(data) < frameHeader+plen {
+		return nil, 0, false
+	}
+	p := data[frameHeader : frameHeader+plen]
+	if crc32.Checksum(p, crcTable) != binary.LittleEndian.Uint32(data[4:]) {
+		return nil, 0, false
+	}
+	return p, frameHeader + plen, true
+}
+
 // encodeRecord frames and writes r, returning the bytes written.
 func encodeRecord(w io.Writer, r *Record) (int, error) {
 	n := 6
@@ -130,32 +160,81 @@ func EncodeRecords(w io.Writer, recs []Record) (int, error) {
 // artifact.
 func DecodeRecords(data []byte) ([]Record, error) {
 	var recs []Record
-	off := 0
-	for off < len(data) {
-		rec, n, ok := decodeRecord(data[off:])
-		if !ok {
-			return nil, fmt.Errorf("wal: corrupt record blob at byte %d of %d", off, len(data))
-		}
-		recs = append(recs, rec)
-		off += n
+	it := IterRecords(data, 0)
+	for it.Next() {
+		recs = append(recs, it.Record())
+	}
+	if it.Dropped() != 0 {
+		return nil, fmt.Errorf("wal: corrupt record blob at byte %d of %d", it.Offset(), len(data))
 	}
 	return recs, nil
 }
+
+// RecordIter walks the valid framed-record prefix of an in-memory
+// segment image or record blob — the one torn-tail-tolerant reader
+// behind ReadSegmentInfo, ReadSegmentFrom, DecodeRecords and the
+// capture trace reader, so CRC verification and truncation handling
+// exist exactly once.
+type RecordIter struct {
+	data []byte
+	off  int
+	rec  Record
+}
+
+// IterRecords positions an iterator at byte offset off of data
+// (a segment's decoded header length for segment images, 0 for raw
+// record blobs).
+func IterRecords(data []byte, off int) *RecordIter {
+	if off > len(data) {
+		off = len(data)
+	}
+	return &RecordIter{data: data, off: off}
+}
+
+// Next advances to the next record, reporting false at the end of
+// the valid prefix — a clean end or a torn tail; Dropped tells them
+// apart.
+func (it *RecordIter) Next() bool {
+	rec, n, ok := decodeRecord(it.data[it.off:])
+	if !ok {
+		return false
+	}
+	it.rec = rec
+	it.off += n
+	return true
+}
+
+// Record returns the record the last successful Next decoded.
+func (it *RecordIter) Record() Record { return it.rec }
+
+// Offset is the byte offset just past the last valid record — the
+// valid-prefix size OpenAppend resumes appending at.
+func (it *RecordIter) Offset() int64 { return int64(it.off) }
+
+// Dropped is how many trailing bytes follow the valid prefix (0 when
+// the input ended exactly on a record boundary).
+func (it *RecordIter) Dropped() int64 { return int64(len(it.data)) - int64(it.off) }
 
 // decodeRecord parses one framed record from the head of data. ok is
 // false when the frame is short, oversized, or fails its CRC — the
 // torn-tail signal.
 func decodeRecord(data []byte) (rec Record, n int, ok bool) {
-	if len(data) < frameHeader {
+	p, n, ok := NextFrame(data)
+	if !ok {
 		return rec, 0, false
 	}
-	plen := int(binary.LittleEndian.Uint32(data[0:]))
-	if plen < 6 || plen > maxPayload || len(data) < frameHeader+plen {
+	rec, ok = decodeRecordPayload(p)
+	if !ok {
 		return rec, 0, false
 	}
-	p := data[frameHeader : frameHeader+plen]
-	if crc32.Checksum(p, crcTable) != binary.LittleEndian.Uint32(data[4:]) {
-		return rec, 0, false
+	return rec, n, true
+}
+
+// decodeRecordPayload parses a record from one verified frame
+// payload.
+func decodeRecordPayload(p []byte) (rec Record, ok bool) {
+	if len(p) < 6 {
+		return rec, false
 	}
 	rec.Kind = Kind(p[0])
 	flags := p[1]
@@ -164,12 +243,12 @@ func decodeRecord(data []byte) (rec Record, n int, ok bool) {
 	rec.Announce = flags&flagAnnounce != 0
 	if flags&flagAvail != 0 {
 		if len(p) < off+2 {
-			return rec, 0, false
+			return rec, false
 		}
 		dim := int(binary.LittleEndian.Uint16(p[off:]))
 		off += 2
 		if len(p) < off+8*dim {
-			return rec, 0, false
+			return rec, false
 		}
 		rec.Avail = make([]float64, dim)
 		for i := range rec.Avail {
@@ -179,15 +258,15 @@ func decodeRecord(data []byte) (rec Record, n int, ok bool) {
 	}
 	if flags&flagRepoint != 0 {
 		if len(p) < off+16 {
-			return rec, 0, false
+			return rec, false
 		}
 		rec.Repoint = true
 		rec.Ext = binary.LittleEndian.Uint64(p[off:])
 		rec.Old = binary.LittleEndian.Uint64(p[off+8:])
 		off += 16
 	}
-	if off != plen {
-		return rec, 0, false
+	if off != len(p) {
+		return rec, false
 	}
-	return rec, frameHeader + plen, true
+	return rec, true
 }

@@ -320,16 +320,11 @@ func ReadSegmentInfo(path string) (meta SegmentMeta, recs []Record, validSize, d
 		return SegmentMeta{}, nil, 0, 0, err
 	}
 	meta = decodeSegMeta(data)
-	off := meta.header
-	for off < len(data) {
-		rec, n, ok := decodeRecord(data[off:])
-		if !ok {
-			break
-		}
-		recs = append(recs, rec)
-		off += n
+	it := IterRecords(data, meta.header)
+	for it.Next() {
+		recs = append(recs, it.Record())
 	}
-	return meta, recs, int64(off), int64(len(data) - off), nil
+	return meta, recs, it.Offset(), it.Dropped(), nil
 }
 
 // ReadSegment decodes every valid record of a segment file,
@@ -343,16 +338,29 @@ func ReadSegment(path string) (recs []Record, dropped int64, err error) {
 // ReadSegmentFrom decodes a segment's valid records starting at
 // record ordinal from — the replication server's streaming read over
 // a live segment: the shard goroutine keeps appending past the flush
-// point while a catching-up follower reads the durable prefix.
+// point while a catching-up follower reads the durable prefix. The
+// skipped prefix is iterated, not materialized, so a long-lived
+// segment streamed in many rounds does not re-decode old records
+// into fresh allocations every round.
 func ReadSegmentFrom(path string, from int) ([]Record, error) {
-	_, recs, _, _, err := ReadSegmentInfo(path)
+	data, err := os.ReadFile(path)
+	if os.IsNotExist(err) {
+		return nil, nil
+	}
 	if err != nil {
 		return nil, err
 	}
-	if from >= len(recs) {
-		return nil, nil
+	it := IterRecords(data, decodeSegMeta(data).header)
+	for i := 0; i < from; i++ {
+		if !it.Next() {
+			return nil, nil
+		}
 	}
-	return recs[from:], nil
+	var recs []Record
+	for it.Next() {
+		recs = append(recs, it.Record())
+	}
+	return recs, nil
 }
 
 // RemoveSegmentsBelow deletes segments of dir numbered < seg —

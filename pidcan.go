@@ -34,6 +34,7 @@ import (
 	"pidcan/internal/proto"
 	"pidcan/internal/psm"
 	"pidcan/internal/serve"
+	"pidcan/internal/serve/capture"
 	"pidcan/internal/serve/fed"
 	"pidcan/internal/serve/repl"
 	"pidcan/internal/serve/wire"
@@ -349,6 +350,14 @@ func NewEngine(cfg EngineConfig) (*Engine, error) {
 // cmd/pidcan-serve): POST /query, /update, /join, /leave and GET
 // /nodes, /stats, /healthz.
 func NewEngineHandler(e *Engine) http.Handler { return serve.NewHandler(e) }
+
+// NewCaptureHandler exposes the traffic-capture control surface
+// (internal/serve/capture): POST /capture/start and /capture/stop
+// attach/detach a trace recorder on the current engine, GET
+// /capture/status reports it, GET /capture/trace downloads the last
+// finished trace. engine is a getter because followers swap engines
+// across re-bootstraps.
+func NewCaptureHandler(engine func() *Engine) http.Handler { return capture.NewHTTP(engine) }
 
 // --- federation (internal/serve/fed) ------------------------------------------
 
